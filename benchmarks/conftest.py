@@ -1,0 +1,27 @@
+"""Shared fixture: one full study run per benchmark session.
+
+Building the population and scanning eight sweeps is the expensive
+part and not what the benchmarks measure; each benchmark times the
+*analysis* that regenerates one table or figure, which is what someone
+replicating the paper on their own scan data would run repeatedly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.study import default_study_result
+
+
+@pytest.fixture(scope="session")
+def study_result():
+    return default_study_result()
+
+
+def print_report(report) -> None:
+    print()
+    print(report.render())
+    print(
+        f"[{report.experiment_id}] {report.exact_matches()}/"
+        f"{len(report.comparisons)} metrics match the paper exactly"
+    )

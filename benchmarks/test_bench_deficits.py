@@ -1,0 +1,10 @@
+"""Regenerates the §5.2/§5.4 takeaways (85 % / 92 % deficit shares)."""
+
+from benchmarks.conftest import print_report
+from repro.core.experiments import run_experiment
+
+
+def test_bench_aggregate_deficits(benchmark, study_result):
+    report = benchmark(run_experiment, "deficits", study_result)
+    print_report(report)
+    assert report.exact_matches() == len(report.comparisons)

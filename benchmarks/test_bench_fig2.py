@@ -1,0 +1,10 @@
+"""Regenerates Figure 2 (hosts over time by manufacturer)."""
+
+from benchmarks.conftest import print_report
+from repro.core.experiments import run_experiment
+
+
+def test_bench_fig2_hosts_over_time(benchmark, study_result):
+    report = benchmark(run_experiment, "fig2", study_result)
+    print_report(report)
+    assert report.exact_matches() == len(report.comparisons)

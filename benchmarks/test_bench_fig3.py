@@ -1,0 +1,10 @@
+"""Regenerates Figure 3 (security modes and policies)."""
+
+from benchmarks.conftest import print_report
+from repro.core.experiments import run_experiment
+
+
+def test_bench_fig3_modes_and_policies(benchmark, study_result):
+    report = benchmark(run_experiment, "fig3", study_result)
+    print_report(report)
+    assert report.exact_matches() == len(report.comparisons)

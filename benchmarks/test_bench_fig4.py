@@ -1,0 +1,10 @@
+"""Regenerates Figure 4 (certificates vs. announced policies)."""
+
+from benchmarks.conftest import print_report
+from repro.core.experiments import run_experiment
+
+
+def test_bench_fig4_certificate_conformance(benchmark, study_result):
+    report = benchmark(run_experiment, "fig4", study_result)
+    print_report(report)
+    assert report.exact_matches() == len(report.comparisons)

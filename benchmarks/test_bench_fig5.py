@@ -1,0 +1,11 @@
+"""Regenerates Figure 5 (certificate reuse) and the §5.3 shared-prime
+check."""
+
+from benchmarks.conftest import print_report
+from repro.core.experiments import run_experiment
+
+
+def test_bench_fig5_certificate_reuse(benchmark, study_result):
+    report = benchmark(run_experiment, "fig5", study_result)
+    print_report(report)
+    assert report.exact_matches() == len(report.comparisons)

@@ -1,0 +1,10 @@
+"""Regenerates Figure 6 and Table 2 (authentication & accessibility)."""
+
+from benchmarks.conftest import print_report
+from repro.core.experiments import run_experiment
+
+
+def test_bench_fig6_table2_access(benchmark, study_result):
+    report = benchmark(run_experiment, "fig6-table2", study_result)
+    print_report(report)
+    assert report.exact_matches() == len(report.comparisons)

@@ -1,0 +1,11 @@
+"""Regenerates Figure 7 (anonymous access-rights CDFs)."""
+
+from benchmarks.conftest import print_report
+from repro.core.experiments import run_experiment
+
+
+def test_bench_fig7_access_rights(benchmark, study_result):
+    report = benchmark(run_experiment, "fig7", study_result)
+    print_report(report)
+    # The CDF claims are shape metrics; all must hold.
+    assert report.exact_matches() >= len(report.comparisons) - 2

@@ -1,0 +1,10 @@
+"""Regenerates Figure 8 (deficit breakdown by manufacturer and AS)."""
+
+from benchmarks.conftest import print_report
+from repro.core.experiments import run_experiment
+
+
+def test_bench_fig8_deficit_breakdown(benchmark, study_result):
+    report = benchmark(run_experiment, "fig8", study_result)
+    print_report(report)
+    assert report.exact_matches() == len(report.comparisons)

@@ -1,0 +1,16 @@
+"""Regenerates the IPv6 future-work extension (§6 conjecture).
+
+This experiment runs an actual hitlist scan, so it executes a single
+round instead of pytest-benchmark's default repetition.
+"""
+
+from benchmarks.conftest import print_report
+from repro.core.experiments import run_experiment
+
+
+def test_bench_ipv6_extension(benchmark, study_result):
+    report = benchmark.pedantic(
+        run_experiment, args=("ipv6", study_result), rounds=1, iterations=1
+    )
+    print_report(report)
+    assert report.exact_matches() == len(report.comparisons)

@@ -1,0 +1,10 @@
+"""Regenerates §5.5 (longitudinal statistics across the 8 sweeps)."""
+
+from benchmarks.conftest import print_report
+from repro.core.experiments import run_experiment
+
+
+def test_bench_sec55_longitudinal(benchmark, study_result):
+    report = benchmark(run_experiment, "sec55", study_result)
+    print_report(report)
+    assert report.exact_matches() == len(report.comparisons)

@@ -1,0 +1,158 @@
+"""Micro-benchmarks of the protocol substrate.
+
+Not tied to a paper figure; these quantify the cost of the building
+blocks the scan pipeline leans on (encoding, DER parsing, handshakes)
+so regressions in the hot path are visible.
+"""
+
+import pytest
+
+from repro.secure.channel import ClientSecureChannel, ServerSecureChannel
+from repro.secure.policies import POLICY_BASIC256SHA256, POLICY_NONE
+from repro.transport.messages import HEADER_SIZE
+from repro.uabin.enums import MessageSecurityMode, SecurityTokenRequestType
+from repro.uabin.types_channel import (
+    ChannelSecurityToken,
+    OpenSecureChannelRequest,
+    OpenSecureChannelResponse,
+)
+from repro.uabin.types_discovery import GetEndpointsResponse
+from repro.util.rng import DeterministicRng
+from repro.util.simtime import parse_utc
+from repro.x509.builder import make_self_signed
+from repro.x509.certificate import parse_certificate
+from repro.crypto.rsa import generate_rsa_key
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = DeterministicRng(1234, "bench")
+    return generate_rsa_key(2048, rng)
+
+
+@pytest.fixture(scope="module")
+def certificate(keys):
+    rng = DeterministicRng(1235, "bench-cert")
+    return make_self_signed(
+        keys, "bench", "urn:bench", parse_utc("2020-01-01"), "sha256", rng
+    )
+
+
+def _sample_endpoints_message(certificate):
+    from repro.server.endpoints import EndpointConfig, build_endpoint_descriptions
+    from repro.uabin.enums import ApplicationType, UserTokenType
+
+    endpoints = build_endpoint_descriptions(
+        endpoint_url="opc.tcp://10.0.0.1:4840/",
+        application_uri="urn:bench:server",
+        product_uri=None,
+        application_name="bench",
+        application_type=ApplicationType.SERVER,
+        endpoint_configs=[
+            EndpointConfig(MessageSecurityMode.NONE, POLICY_NONE),
+            EndpointConfig(
+                MessageSecurityMode.SIGN_AND_ENCRYPT, POLICY_BASIC256SHA256
+            ),
+        ],
+        token_types=[UserTokenType.ANONYMOUS, UserTokenType.USERNAME],
+        certificate_der=certificate.raw_der,
+    )
+    return GetEndpointsResponse(endpoints=endpoints)
+
+
+def test_bench_encode_get_endpoints_response(benchmark, certificate):
+    message = _sample_endpoints_message(certificate)
+    data = benchmark(message.to_bytes)
+    assert len(data) > 500
+
+
+def test_bench_decode_get_endpoints_response(benchmark, certificate):
+    data = _sample_endpoints_message(certificate).to_bytes()
+    message = benchmark(GetEndpointsResponse.from_bytes, data)
+    assert len(message.endpoints) == 2
+
+
+def test_bench_parse_certificate(benchmark, certificate):
+    parsed = benchmark(parse_certificate, certificate.raw_der)
+    assert parsed.key_bits == 2048
+
+
+def test_bench_secure_channel_handshake(benchmark, keys, certificate):
+    """Full Basic256Sha256 OPN handshake (both halves)."""
+    rng = DeterministicRng(77, "bench-handshake")
+
+    def handshake():
+        client = ClientSecureChannel(
+            POLICY_BASIC256SHA256,
+            MessageSecurityMode.SIGN_AND_ENCRYPT,
+            rng,
+            client_certificate=certificate,
+            client_private_key=keys.private,
+            server_certificate=certificate,
+        )
+        server = ServerSecureChannel(
+            POLICY_BASIC256SHA256,
+            MessageSecurityMode.SIGN_AND_ENCRYPT,
+            rng,
+            channel_id=1,
+            server_certificate=certificate,
+            server_private_key=keys.private,
+        )
+        opn = client.build_open_request(
+            OpenSecureChannelRequest(
+                request_type=SecurityTokenRequestType.ISSUE,
+                security_mode=MessageSecurityMode.SIGN_AND_ENCRYPT,
+            )
+        )
+        server.handle_open_request(opn[HEADER_SIZE:])
+        response = server.build_open_response(
+            OpenSecureChannelResponse(
+                security_token=ChannelSecurityToken(channel_id=1, token_id=1)
+            )
+        )
+        return client.handle_open_response(response[HEADER_SIZE:])
+
+    response = benchmark(handshake)
+    assert response.security_token.channel_id == 1
+
+
+def test_bench_symmetric_message_round_trip(benchmark, keys, certificate):
+    """Encrypt+decrypt one protected MSG chunk (SignAndEncrypt)."""
+    rng = DeterministicRng(78, "bench-msg")
+    client = ClientSecureChannel(
+        POLICY_BASIC256SHA256,
+        MessageSecurityMode.SIGN_AND_ENCRYPT,
+        rng,
+        client_certificate=certificate,
+        client_private_key=keys.private,
+        server_certificate=certificate,
+    )
+    server = ServerSecureChannel(
+        POLICY_BASIC256SHA256,
+        MessageSecurityMode.SIGN_AND_ENCRYPT,
+        rng,
+        channel_id=1,
+        server_certificate=certificate,
+        server_private_key=keys.private,
+    )
+    opn = client.build_open_request(
+        OpenSecureChannelRequest(
+            security_mode=MessageSecurityMode.SIGN_AND_ENCRYPT
+        )
+    )
+    server.handle_open_request(opn[HEADER_SIZE:])
+    response = server.build_open_response(
+        OpenSecureChannelResponse(
+            security_token=ChannelSecurityToken(channel_id=1, token_id=1)
+        )
+    )
+    client.handle_open_response(response[HEADER_SIZE:])
+    message = _sample_endpoints_message(certificate)
+
+    def round_trip():
+        frame = server.encode_message(message, request_id=1)
+        decoded, _ = client.decode_message(frame[HEADER_SIZE:])
+        return decoded
+
+    decoded = benchmark(round_trip)
+    assert len(decoded.endpoints) == 2

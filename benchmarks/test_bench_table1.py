@@ -1,0 +1,10 @@
+"""Regenerates Table 1 (the security policy catalogue)."""
+
+from benchmarks.conftest import print_report
+from repro.core.experiments import run_experiment
+
+
+def test_bench_table1_policies(benchmark, study_result):
+    report = benchmark(run_experiment, "table1", study_result)
+    print_report(report)
+    assert report.exact_matches() == len(report.comparisons)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Produce an anonymized dataset release, as the paper did.
+
+Runs a single scan sweep over a small deployment sample, anonymizes it
+(consecutive IP/AS pseudonyms, blackened certificate fields, payload
+excluded), writes JSONL, reads it back, and shows that the security
+analyses still work on the released data.
+
+Run:  python examples/dataset_release.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis.modes import analyze_security_modes
+from repro.analysis.policies import analyze_security_policies
+from repro.client import ClientIdentity
+from repro.crypto.rsa import generate_rsa_key
+from repro.dataset import AnonymizationMap, anonymize_snapshot
+from repro.dataset.io import read_snapshots, write_snapshots
+from repro.deployments.population import PopulationBuilder, install_hosts
+from repro.deployments.spec import PopulationSpec, build_default_spec
+from repro.netsim.net import SimNetwork
+from repro.scanner.campaign import ScanCampaign, ScannerIdentity
+from repro.util.rng import DeterministicRng
+from repro.util.simtime import SimClock, parse_utc
+from repro.x509.builder import make_self_signed
+
+
+def main() -> None:
+    rng = DeterministicRng(99, "dataset-example")
+
+    # A small but diverse sample: the first 12 archetype rows.
+    spec = build_default_spec()
+    sample = PopulationSpec(rows=spec.rows[:12])
+    print(f"building {sample.total_servers} sample deployments...")
+    builder = PopulationBuilder(sample, seed=99)
+    hosts = builder.build_hosts()
+    network = SimNetwork(SimClock(parse_utc("2020-08-30")))
+    install_hosts(network, hosts)
+
+    keys = generate_rsa_key(1024, rng.substream("key"))
+    identity = ScannerIdentity(
+        ClientIdentity(
+            application_uri="urn:example:scanner",
+            application_name="Dataset example scanner",
+            certificate=make_self_signed(
+                keys, "scanner", "urn:example:scanner",
+                parse_utc("2020-01-01"), "sha256", rng.substream("cert"),
+            ),
+            private_key=keys.private,
+        )
+    )
+    campaign = ScanCampaign(network, identity, rng.substream("campaign"))
+    snapshot = campaign.run_sweep(label="2020-08-30")
+    print(f"scanned: {len(snapshot.reachable())} OPC UA hosts")
+
+    mapping = AnonymizationMap()
+    released = anonymize_snapshot(snapshot, mapping)
+    sample_record = released.records[0]
+    print("\nanonymization check (first record):")
+    print(f"  ip pseudonym:  {sample_record.ip}")
+    print(f"  asn pseudonym: {sample_record.asn}")
+    if sample_record.certificate:
+        print(f"  cert subject:  {sample_record.certificate.subject}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "opcua-dataset.jsonl"
+        write_snapshots(path, [released])
+        print(f"\nwrote {path.stat().st_size} bytes of JSONL")
+        loaded = read_snapshots(path)
+
+    servers = loaded[0].servers()
+    modes = analyze_security_modes(servers)
+    policies = analyze_security_policies(servers)
+    print("\nanalysis on the released dataset still works:")
+    print(f"  servers:              {len(servers)}")
+    print(f"  mode support:         {modes.supported}")
+    print(f"  deprecated policies:  {policies.supports_deprecated}")
+
+
+if __name__ == "__main__":
+    main()

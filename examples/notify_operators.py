@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Responsible disclosure: find operator contacts and track remediation.
+
+Replays the paper's Appendix-A workflow on a simulated deployment
+sample: scan, discover contact addresses in accessible address spaces,
+notify the operators, then re-scan later and measure who actually
+fixed their configuration (the paper: 50 notified, 2 replies, exactly
+one system gained access control, three went offline).
+
+Run:  python examples/notify_operators.py
+"""
+
+from repro.core.study import Study, StudyConfig
+from repro.deployments.population import PopulationBuilder, install_hosts
+from repro.deployments.spec import PopulationSpec, build_default_spec
+from repro.netsim.net import SimNetwork
+from repro.scanner.campaign import ScanCampaign
+from repro.scanner.ethics import (
+    NotificationCampaign,
+    find_contact_addresses,
+    measure_remediation,
+)
+from repro.server.auth import Authenticator
+from repro.uabin.enums import UserTokenType
+from repro.util.simtime import SimClock, parse_utc
+
+SEED = 20200830
+
+
+def main() -> None:
+    spec = build_default_spec()
+    sample = PopulationSpec(rows=spec.rows[:7])
+    print(f"building {sample.total_servers} deployments...")
+    builder = PopulationBuilder(sample, seed=SEED)
+    hosts = builder.build_hosts()
+    network = SimNetwork(SimClock(parse_utc("2020-04-05")))
+    install_hosts(network, hosts)
+
+    study = Study(StudyConfig(seed=SEED))
+    identity = study.scanner_identity()
+    scan = ScanCampaign(network, identity, study._rng.substream("notify"))
+    first = scan.run_sweep(label="2020-04-05")
+
+    contact_values = {
+        (r.ip, r.port): (r.nodes.value_samples if r.nodes else [])
+        for r in first.records
+    }
+    campaign = NotificationCampaign()
+    sent = campaign.notify_from_snapshot(first, contact_values)
+    accessible = sum(1 for r in first.records if r.anonymous_accessible())
+    print(
+        f"scan 2020-04-05: {accessible} anonymously accessible systems, "
+        f"contacts found for {sent}"
+    )
+    for notification in campaign.notifications[:5]:
+        print(f"  notified {notification.contact}")
+
+    # One operator reacts (as in the paper): anonymous access disabled.
+    if campaign.notifications:
+        fixed = campaign.notifications[0]
+        campaign.record_reply(fixed.ip, fixed.port)
+        responsive = next(
+            h for h in hosts if h.address == fixed.ip and h.port == fixed.port
+        )
+        config = responsive.server.config
+        config.token_types = [UserTokenType.USERNAME]
+        config.authenticator = Authenticator(
+            allowed_token_types={UserTokenType.USERNAME},
+            directory=config.authenticator.directory,
+        )
+        print(f"\noperator of {fixed.contact} replied and disabled anonymous access")
+
+    network.clock.set_to(parse_utc("2020-08-30"))
+    second = ScanCampaign(
+        network, identity, study._rng.substream("notify-2")
+    ).run_sweep(label="2020-08-30")
+    outcome = measure_remediation(campaign, second)
+    print("\nfour months later:")
+    print(f"  notified:   {outcome['notified']}")
+    print(f"  remediated: {outcome['remediated']}")
+    print(f"  still open: {outcome['still_open']}")
+    print(f"  offline:    {outcome['offline']}")
+    print(
+        "\nthe paper observed the same pattern: of 50 notified operators, "
+        "2 replied and exactly 1 system gained access control"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Quickstart: build an OPC UA server, connect a client securely,
+and read industrial process values — all with the repro stack.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.client import ClientIdentity, UaClient
+from repro.crypto.rsa import generate_rsa_key
+from repro.secure.policies import POLICY_BASIC256SHA256, POLICY_NONE
+from repro.server import (
+    EndpointConfig,
+    Permissions,
+    ServerConfig,
+    UaServer,
+    VariableNode,
+)
+from repro.server.addressspace import AddressSpace, NodeIds, ReferenceTypeIds
+from repro.server.nodes import ObjectNode
+from repro.uabin.builtin import LocalizedText, QualifiedName
+from repro.uabin.enums import MessageSecurityMode, UserTokenType
+from repro.uabin.nodeid import NodeId
+from repro.uabin.variant import Variant, VariantType
+from repro.util.rng import DeterministicRng
+from repro.util.simtime import parse_utc
+from repro.x509.builder import make_self_signed
+
+
+class LoopbackStream:
+    """Wire a client directly to a server connection, in-process."""
+
+    def __init__(self, server: UaServer):
+        self._connection = server.new_connection()
+        self._inbox = bytearray()
+
+    def write(self, data: bytes) -> None:
+        self._inbox.extend(self._connection.receive(data))
+
+    def read(self) -> bytes:
+        out = bytes(self._inbox)
+        self._inbox.clear()
+        return out
+
+
+def build_server(rng: DeterministicRng) -> UaServer:
+    """A server with one public and one protected variable."""
+    space = AddressSpace()
+    ns = space.register_namespace("urn:quickstart:boiler")
+    boiler = ObjectNode(
+        node_id=NodeId(ns, "Boiler"),
+        browse_name=QualifiedName(ns, "Boiler"),
+        display_name=LocalizedText("Boiler"),
+    )
+    space.add_node(boiler, parent=NodeIds.ObjectsFolder,
+                   reference_type=ReferenceTypeIds.Organizes)
+    space.add_node(
+        VariableNode(
+            node_id=NodeId(ns, "Boiler/Temperature"),
+            browse_name=QualifiedName(ns, "Temperature"),
+            display_name=LocalizedText("Temperature"),
+            value=Variant(72.5, VariantType.DOUBLE),
+            permissions=Permissions.read_only_public(),
+        ),
+        parent=boiler.node_id,
+    )
+    space.add_node(
+        VariableNode(
+            node_id=NodeId(ns, "Boiler/Setpoint"),
+            browse_name=QualifiedName(ns, "Setpoint"),
+            display_name=LocalizedText("Setpoint"),
+            value=Variant(80.0, VariantType.DOUBLE),
+            permissions=Permissions(),  # authenticated users only
+        ),
+        parent=boiler.node_id,
+    )
+
+    keys = generate_rsa_key(1024, rng.substream("server-key"))
+    certificate = make_self_signed(
+        keys,
+        common_name="quickstart-server",
+        application_uri="urn:quickstart:server",
+        not_before=parse_utc("2020-01-01"),
+        hash_name="sha256",
+        rng=rng.substream("server-cert"),
+    )
+    config = ServerConfig(
+        application_uri="urn:quickstart:server",
+        application_name="Quickstart Boiler Server",
+        endpoint_url="opc.tcp://10.0.0.1:4840/",
+        certificate=certificate,
+        private_key=keys.private,
+        endpoint_configs=[
+            EndpointConfig(MessageSecurityMode.NONE, POLICY_NONE),
+            EndpointConfig(
+                MessageSecurityMode.SIGN_AND_ENCRYPT, POLICY_BASIC256SHA256
+            ),
+        ],
+        token_types=[UserTokenType.ANONYMOUS, UserTokenType.USERNAME],
+        address_space=space,
+    )
+    config.authenticator.directory.add_user("operator", "secret")
+    return UaServer(config, rng.substream("server"))
+
+
+def main() -> None:
+    rng = DeterministicRng(42, "quickstart")
+    server = build_server(rng)
+
+    keys = generate_rsa_key(1024, rng.substream("client-key"))
+    identity = ClientIdentity(
+        application_uri="urn:quickstart:client",
+        application_name="Quickstart Client",
+        certificate=make_self_signed(
+            keys,
+            common_name="quickstart-client",
+            application_uri="urn:quickstart:client",
+            not_before=parse_utc("2020-01-01"),
+            hash_name="sha256",
+            rng=rng.substream("client-cert"),
+        ),
+        private_key=keys.private,
+    )
+
+    client = UaClient(LoopbackStream(server), identity, rng.substream("client"))
+    client.hello()
+    client.open_secure_channel()  # discovery channel, policy None
+    endpoints = client.get_endpoints()
+    print(f"server offers {len(endpoints)} endpoints:")
+    for endpoint in endpoints:
+        policy = endpoint.security_policy_uri.rsplit("#", 1)[-1]
+        print(f"  mode={endpoint.security_mode.name:<16} policy={policy}")
+
+    # Reconnect on the encrypted endpoint.
+    secure = max(endpoints, key=lambda e: e.security_level)
+    client = UaClient(LoopbackStream(server), identity, rng.substream("c2"))
+    client.hello()
+    client.open_secure_channel(
+        POLICY_BASIC256SHA256,
+        MessageSecurityMode.SIGN_AND_ENCRYPT,
+        server_certificate_der=secure.server_certificate,
+    )
+    client.create_session()
+    client.activate_session_username("operator", "secret")
+
+    ns = 1
+    values = client.read_values(
+        [NodeId(ns, "Boiler/Temperature"), NodeId(ns, "Boiler/Setpoint")]
+    )
+    print("\nover the encrypted channel, as 'operator':")
+    print(f"  Temperature = {values[0].value.value}")
+    print(f"  Setpoint    = {values[1].value.value}")
+    client.close_session()
+    print("\nquickstart complete: Basic256Sha256 + SignAndEncrypt end-to-end")
+
+
+if __name__ == "__main__":
+    main()

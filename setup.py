@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e .` works offline.
+
+The environment has setuptools but no `wheel` package and no network,
+which breaks PEP 517 editable builds; this file lets pip fall back to
+`setup.py develop` (pip install -e . --no-use-pep517).
+"""
+
+from setuptools import setup
+
+setup()

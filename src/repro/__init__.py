@@ -1,0 +1,32 @@
+"""repro — reproduction of "Easing the Conscience with OPC UA:
+An Internet-Wide Study on Insecure Deployments" (IMC 2020).
+
+A from-scratch OPC UA stack (binary encoding, UA-TCP transport,
+secure channels, server, client), a simulated IPv4 Internet, a
+zmap/zgrab2-style scan pipeline, a ground-truth deployment population
+encoding the paper's published distributions, and the analyses that
+regenerate every table and figure.
+
+Quickstart::
+
+    from repro import Study, StudyConfig, run_experiment
+
+    result = Study(StudyConfig(seed=20200830)).run()
+    print(run_experiment("fig3", result).render())
+"""
+
+from repro.core.config import StudyConfig
+from repro.core.study import Study, StudyResult, default_study_result
+from repro.core.experiments import EXPERIMENTS, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EXPERIMENTS",
+    "Study",
+    "StudyConfig",
+    "StudyResult",
+    "default_study_result",
+    "run_experiment",
+    "__version__",
+]

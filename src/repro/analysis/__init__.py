@@ -1,0 +1,53 @@
+"""Security-configuration analyses (paper §5, Appendix B).
+
+Every function here consumes :class:`~repro.scanner.records.HostRecord`
+lists — what crossed the wire — never the generator's ground truth, so
+the pipeline has the same information boundary as the paper's.
+"""
+
+from repro.analysis.modes import ModeStatistics, analyze_security_modes
+from repro.analysis.policies import PolicyStatistics, analyze_security_policies
+from repro.analysis.certs import (
+    CertificateConformance,
+    analyze_certificate_conformance,
+)
+from repro.analysis.reuse import (
+    ReuseAnalysis,
+    analyze_certificate_reuse,
+    find_shared_primes,
+)
+from repro.analysis.access import (
+    AccessAnalysis,
+    analyze_access_control,
+    classify_system,
+)
+from repro.analysis.rights import RightsCdf, analyze_access_rights
+from repro.analysis.longitudinal import (
+    LongitudinalAnalysis,
+    analyze_longitudinal,
+)
+from repro.analysis.breakdown import DeficitBreakdown, analyze_deficit_breakdown
+from repro.analysis.deficits import DeficitSummary, analyze_deficits
+
+__all__ = [
+    "AccessAnalysis",
+    "CertificateConformance",
+    "DeficitBreakdown",
+    "DeficitSummary",
+    "LongitudinalAnalysis",
+    "ModeStatistics",
+    "PolicyStatistics",
+    "ReuseAnalysis",
+    "RightsCdf",
+    "analyze_access_control",
+    "analyze_access_rights",
+    "analyze_certificate_conformance",
+    "analyze_certificate_reuse",
+    "analyze_deficit_breakdown",
+    "analyze_deficits",
+    "analyze_longitudinal",
+    "analyze_security_modes",
+    "analyze_security_policies",
+    "classify_system",
+    "find_shared_primes",
+]

@@ -1,0 +1,130 @@
+"""§5.4 — access control (Figure 6, Table 2).
+
+Classifies every server by the authentication-token combination it
+advertises and the outcome of the anonymous access attempt, and — for
+accessible systems — into production / test / unclassified via the
+namespace heuristic the paper describes (industrial standards and
+manufacturer namespaces vs. example-application namespaces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.deployments.addresspaces import (
+    FREEOPCUA_EXAMPLE_NAMESPACE,
+    IEC61131_NAMESPACE,
+)
+from repro.scanner.records import HostRecord
+from repro.server.addressspace import STANDARD_NAMESPACE
+from repro.uabin.enums import UserTokenType
+
+# Namespace fragments indicating example/demo deployments (the paper
+# cites the FreeOpcUa example applications).  Markers are specific so
+# vendor domains never collide with them.
+_TEST_NAMESPACE_MARKERS = (
+    "examples.freeopcua",
+    "freeopcua.github.io",
+    "quickstart",
+    "sampleserver",
+    "/demo/",
+)
+
+# Namespace fragments indicating industrial standards or vendors.
+_PRODUCTION_NAMESPACE_MARKERS = (
+    "PLCopen.org/OpcUa/IEC61131",
+    "iec61131",
+    "bachmann",
+    "beckhoff",
+    "wago",
+    "automatawerk",
+    "controlcorp",
+    "siemens",
+)
+
+
+def classify_system(namespaces: list[str]) -> str:
+    """The paper's heuristic: production / test / unclassified."""
+    informative = [ns for ns in namespaces if ns != STANDARD_NAMESPACE]
+    for namespace in informative:
+        lowered = namespace.lower()
+        if any(marker.lower() in lowered for marker in _TEST_NAMESPACE_MARKERS):
+            return "test"
+    for namespace in informative:
+        lowered = namespace.lower()
+        if any(
+            marker.lower() in lowered for marker in _PRODUCTION_NAMESPACE_MARKERS
+        ):
+            return "production"
+    return "unclassified"
+
+
+@dataclass
+class AccessAnalysis:
+    total_servers: int = 0
+    # Table 2: (sorted token tuple) -> outcome -> count.
+    table: dict[tuple, dict[str, int]] = field(default_factory=dict)
+    accessible: int = 0
+    production: int = 0
+    test: int = 0
+    unclassified: int = 0
+    rejected_authentication: int = 0
+    rejected_secure_channel: int = 0
+    anonymous_offered: int = 0
+    channel_ok: int = 0
+    anonymous_offered_channel_ok: int = 0
+    forced_secure_accessible: int = 0
+
+    def cell(self, tokens, outcome: str) -> int:
+        key = tuple(sorted(int(t) for t in tokens))
+        return self.table.get(key, {}).get(outcome, 0)
+
+
+def _outcome_for(record: HostRecord) -> str:
+    if record.anonymous_accessible():
+        return f"accessible-{classify_system(record.namespaces)}"[
+            : len("accessible-") + 32
+        ]
+    if record.secure_channel is not None and not record.secure_channel.success:
+        return "rejected-secure-channel"
+    return "rejected-authentication"
+
+
+def analyze_access_control(records: list[HostRecord]) -> AccessAnalysis:
+    analysis = AccessAnalysis()
+    for record in records:
+        analysis.total_servers += 1
+        tokens = tuple(sorted(int(t) for t in record.offered_token_types()))
+        outcome = _outcome_for(record)
+        if record.anonymous_accessible():
+            classification = classify_system(record.namespaces)
+            outcome = f"accessible-{classification}"
+        bucket = analysis.table.setdefault(tokens, {})
+        bucket[outcome] = bucket.get(outcome, 0) + 1
+
+        if outcome.startswith("accessible"):
+            analysis.accessible += 1
+            if outcome.endswith("production"):
+                analysis.production += 1
+            elif outcome.endswith("test"):
+                analysis.test += 1
+            else:
+                analysis.unclassified += 1
+        elif outcome == "rejected-secure-channel":
+            analysis.rejected_secure_channel += 1
+        else:
+            analysis.rejected_authentication += 1
+
+        anonymous = UserTokenType.ANONYMOUS in record.offered_token_types()
+        if anonymous:
+            analysis.anonymous_offered += 1
+        if record.secure_channel_ok():
+            analysis.channel_ok += 1
+            if anonymous:
+                analysis.anonymous_offered_channel_ok += 1
+        if record.anonymous_accessible():
+            from repro.uabin.enums import MessageSecurityMode
+
+            if MessageSecurityMode.NONE not in record.security_modes():
+                analysis.forced_secure_accessible += 1
+    return analysis

@@ -1,0 +1,64 @@
+"""Appendix B.1 — deficit classes by manufacturer and AS (Figure 8).
+
+For each of the five deficit classes, the distribution of affected
+hosts over device manufacturers (via the ApplicationURI clustering)
+and over the autonomous systems announcing their addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.deficits import analyze_deficits
+from repro.deployments.manufacturers import classify_application_uri
+from repro.scanner.records import HostRecord
+
+DEFICIT_CLASSES = (
+    "none-only",
+    "deprecated-best",
+    "weak-certificate",
+    "certificate-reuse",
+    "anonymous-access",
+)
+
+
+@dataclass
+class DeficitBreakdown:
+    # class -> manufacturer -> count
+    by_manufacturer: dict[str, dict[str, int]] = field(default_factory=dict)
+    # class -> asn -> count
+    by_asn: dict[str, dict[int, int]] = field(default_factory=dict)
+
+    def class_total(self, deficit_class: str) -> int:
+        return sum(self.by_manufacturer.get(deficit_class, {}).values())
+
+    def dominant_manufacturer(self, deficit_class: str) -> tuple[str, int]:
+        counts = self.by_manufacturer.get(deficit_class, {})
+        if not counts:
+            return ("", 0)
+        name = max(counts, key=counts.get)
+        return name, counts[name]
+
+    def dominant_asn(self, deficit_class: str) -> tuple[int, int]:
+        counts = self.by_asn.get(deficit_class, {})
+        if not counts:
+            return (0, 0)
+        asn = max(counts, key=counts.get)
+        return asn, counts[asn]
+
+
+def analyze_deficit_breakdown(records: list[HostRecord]) -> DeficitBreakdown:
+    deficits = analyze_deficits(records)
+    breakdown = DeficitBreakdown(
+        by_manufacturer={cls: {} for cls in DEFICIT_CLASSES},
+        by_asn={cls: {} for cls in DEFICIT_CLASSES},
+    )
+    for record, flags in zip(records, deficits.per_host_flags):
+        manufacturer = classify_application_uri(record.application_uri)
+        for deficit_class in flags:
+            mf = breakdown.by_manufacturer[deficit_class]
+            mf[manufacturer] = mf.get(manufacturer, 0) + 1
+            if record.asn is not None:
+                asns = breakdown.by_asn[deficit_class]
+                asns[record.asn] = asns.get(record.asn, 0) + 1
+    return breakdown

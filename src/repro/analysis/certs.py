@@ -1,0 +1,109 @@
+"""§5.2 — actually used security parameters (Figure 4).
+
+For every security policy: the distribution of served certificates by
+signature hash function and key length among the servers announcing
+that policy, split into *matching*, *too weak*, and *too strong*
+relative to the policy's certificate requirements (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.policies import record_policies
+from repro.crypto.hashes import get_hash
+from repro.scanner.records import HostRecord
+from repro.secure.policies import ALL_POLICIES, SECURE_POLICIES, SecurityPolicy
+
+
+@dataclass
+class PolicyCertBucket:
+    """Certificate statistics for one policy column of Figure 4."""
+
+    policy_label: str
+    total: int = 0
+    by_hash_and_bits: dict[tuple[str, int], int] = field(default_factory=dict)
+    matching: int = 0
+    too_weak: int = 0
+    too_strong: int = 0
+
+
+@dataclass
+class CertificateConformance:
+    buckets: dict[str, PolicyCertBucket] = field(default_factory=dict)
+    self_signed: int = 0
+    ca_signed: int = 0
+    servers_with_certificate: int = 0
+    # §5.2 takeaway: servers whose most secure policy is current but
+    # whose certificate is weaker than it requires (paper: 409 via S2).
+    weaker_than_best_policy: int = 0
+
+
+def certificate_conformance_class(
+    policy: SecurityPolicy, signature_hash: str, key_bits: int
+) -> str:
+    """Classify a certificate against one policy: match/weak/strong.
+
+    * hash not allowed & ranked below every allowed hash → too weak
+      (e.g. MD5 or SHA-1 where SHA-256 is required);
+    * hash not allowed & ranked above → too strong (e.g. SHA-256 on
+      Basic128Rsa15);
+    * key below the range → too weak; above → too strong.
+    """
+    if not policy.provides_security:
+        return "match"
+    allowed = policy.certificate_hash
+    if signature_hash not in allowed:
+        rank = get_hash(signature_hash).strength_rank
+        allowed_ranks = [get_hash(h).strength_rank for h in allowed]
+        return "weak" if rank < min(allowed_ranks) else "strong"
+    if key_bits < policy.min_key_bits:
+        return "weak"
+    if key_bits > policy.max_key_bits:
+        return "strong"
+    return "match"
+
+
+def analyze_certificate_conformance(
+    records: list[HostRecord],
+) -> CertificateConformance:
+    result = CertificateConformance(
+        buckets={
+            p.short_label: PolicyCertBucket(p.short_label) for p in ALL_POLICIES
+        }
+    )
+    secure = set(SECURE_POLICIES)
+    for record in records:
+        certificate = record.certificate
+        if certificate is None:
+            continue
+        result.servers_with_certificate += 1
+        if certificate.self_signed:
+            result.self_signed += 1
+        else:
+            result.ca_signed += 1
+        policies = record_policies(record)
+        for policy in policies:
+            bucket = result.buckets[policy.short_label]
+            bucket.total += 1
+            key = (certificate.signature_hash, certificate.key_bits)
+            bucket.by_hash_and_bits[key] = bucket.by_hash_and_bits.get(key, 0) + 1
+            verdict = certificate_conformance_class(
+                policy, certificate.signature_hash, certificate.key_bits
+            )
+            if verdict == "match":
+                bucket.matching += 1
+            elif verdict == "weak":
+                bucket.too_weak += 1
+            else:
+                bucket.too_strong += 1
+        # Weaker-than-advertised for the host's best current policy.
+        best_secure = [p for p in policies if p in secure]
+        if best_secure:
+            strongest = max(best_secure, key=lambda p: p.security_rank)
+            verdict = certificate_conformance_class(
+                strongest, certificate.signature_hash, certificate.key_bits
+            )
+            if verdict == "weak":
+                result.weaker_than_best_policy += 1
+    return result

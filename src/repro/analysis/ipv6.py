@@ -1,0 +1,50 @@
+"""IPv6 extension analysis (paper future work, §6).
+
+The paper: "It might be possible that various OPC UA devices are
+connected via IPv6 only ... We do not anticipate that these devices
+are configured more securely."  This analysis runs a hitlist-based
+IPv6 measurement over the dual-stack population and compares the
+deficiency rate of IPv6-reachable devices against the IPv4 baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.deficits import analyze_deficits
+from repro.scanner.records import HostRecord
+
+
+@dataclass
+class Ipv6Comparison:
+    ipv4_servers: int
+    ipv4_deficient_fraction: float
+    ipv6_servers: int
+    ipv6_deficient_fraction: float
+    hitlist_size: int
+    hitlist_hits: int
+
+    @property
+    def configured_more_securely(self) -> bool:
+        """Is the IPv6 subset *meaningfully* more secure? (paper: no)"""
+        return (
+            self.ipv6_deficient_fraction
+            < self.ipv4_deficient_fraction - 0.05
+        )
+
+
+def compare_address_families(
+    ipv4_records: list[HostRecord],
+    ipv6_records: list[HostRecord],
+    hitlist_size: int,
+) -> Ipv6Comparison:
+    ipv4 = analyze_deficits(ipv4_records)
+    ipv6 = analyze_deficits(ipv6_records)
+    return Ipv6Comparison(
+        ipv4_servers=ipv4.total_servers,
+        ipv4_deficient_fraction=ipv4.deficient_fraction,
+        ipv6_servers=ipv6.total_servers,
+        ipv6_deficient_fraction=ipv6.deficient_fraction,
+        hitlist_size=hitlist_size,
+        hitlist_hits=len(ipv6_records),
+    )

@@ -1,0 +1,215 @@
+"""§5.5 and Figure 2 — longitudinal development across the sweeps.
+
+Computes per-sweep host counts by manufacturer (Figure 2's stacked
+series), the deficient fraction per sweep (the paper's avg 92 %,
+std 0.8 pp), certificate renewals on hosts with stable addresses
+(including hash upgrades/downgrades and coinciding software updates),
+and the certificate-age statistics over all certificates collected in
+the study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+
+from repro.analysis.deficits import analyze_deficits
+from repro.deployments.manufacturers import classify_application_uri
+from repro.scanner.records import MeasurementSnapshot
+
+SHA1_DEPRECATION_CUTOFF = datetime(2017, 5, 1, tzinfo=timezone.utc)
+RECENT_CUTOFF = datetime(2019, 1, 1, tzinfo=timezone.utc)
+
+
+@dataclass
+class SweepSummary:
+    date: str
+    total_reachable: int
+    discovery_servers: int
+    servers: int
+    by_manufacturer: dict[str, int]
+    via_reference: int
+    non_default_port: int
+    deficient: int
+
+    @property
+    def deficient_fraction(self) -> float:
+        return self.deficient / self.servers if self.servers else 0.0
+
+
+@dataclass
+class RenewalObservation:
+    ip: int
+    port: int
+    sweep_date: str
+    old_hash: str
+    new_hash: str
+    software_updated: bool
+
+    @property
+    def is_upgrade(self) -> bool:
+        return self.old_hash == "sha1" and self.new_hash == "sha256"
+
+    @property
+    def is_downgrade(self) -> bool:
+        return self.old_hash == "sha256" and self.new_hash == "sha1"
+
+
+@dataclass
+class LongitudinalAnalysis:
+    sweeps: list[SweepSummary] = field(default_factory=list)
+    renewals: list[RenewalObservation] = field(default_factory=list)
+    distinct_certificates: int = 0
+    sha1_certificates: int = 0
+    sha1_after_deprecation: int = 0
+    sha1_after_2019: int = 0
+    reuse_family_counts: list[int] = field(default_factory=list)
+
+    @property
+    def deficient_fractions(self) -> list[float]:
+        return [s.deficient_fraction for s in self.sweeps]
+
+    @property
+    def avg_deficient_fraction(self) -> float:
+        fractions = self.deficient_fractions
+        return sum(fractions) / len(fractions) if fractions else 0.0
+
+    @property
+    def std_deficient_fraction(self) -> float:
+        fractions = self.deficient_fractions
+        if len(fractions) < 2:
+            return 0.0
+        mean = self.avg_deficient_fraction
+        return (sum((f - mean) ** 2 for f in fractions) / len(fractions)) ** 0.5
+
+    @property
+    def renewal_count(self) -> int:
+        return len(self.renewals)
+
+    @property
+    def upgrades(self) -> int:
+        return sum(1 for r in self.renewals if r.is_upgrade)
+
+    @property
+    def downgrades(self) -> int:
+        return sum(1 for r in self.renewals if r.is_downgrade)
+
+    @property
+    def renewals_with_software_update(self) -> int:
+        return sum(1 for r in self.renewals if r.software_updated)
+
+
+def analyze_longitudinal(
+    snapshots: list[MeasurementSnapshot],
+) -> LongitudinalAnalysis:
+    analysis = LongitudinalAnalysis()
+    seen_certificates: dict[str, object] = {}
+
+    for snapshot in snapshots:
+        servers = snapshot.servers()
+        deficits = analyze_deficits(servers)
+        by_manufacturer: dict[str, int] = {}
+        for record in servers:
+            name = classify_application_uri(record.application_uri)
+            by_manufacturer[name] = by_manufacturer.get(name, 0) + 1
+        discovery = snapshot.discovery_servers()
+        analysis.sweeps.append(
+            SweepSummary(
+                date=snapshot.date,
+                total_reachable=len(snapshot.reachable()),
+                discovery_servers=len(discovery),
+                servers=len(servers),
+                by_manufacturer=by_manufacturer,
+                via_reference=sum(
+                    1 for r in snapshot.reachable() if r.via_reference
+                ),
+                non_default_port=sum(
+                    1 for r in snapshot.reachable() if r.port != 4840
+                ),
+                deficient=deficits.deficient,
+            )
+        )
+        for record in servers:
+            if record.certificate is not None:
+                seen_certificates.setdefault(
+                    record.certificate.thumbprint_hex, record.certificate
+                )
+        analysis.reuse_family_counts.append(_reuse_family_size(servers))
+
+    analysis.distinct_certificates = len(seen_certificates)
+    for certificate in seen_certificates.values():
+        if certificate.signature_hash != "sha1":
+            continue
+        analysis.sha1_certificates += 1
+        minted = certificate.not_before_dt()
+        if minted >= SHA1_DEPRECATION_CUTOFF:
+            analysis.sha1_after_deprecation += 1
+        if minted >= RECENT_CUTOFF:
+            analysis.sha1_after_2019 += 1
+
+    analysis.renewals = _detect_renewals(snapshots)
+    return analysis
+
+
+def _reuse_family_size(servers) -> int:
+    """Devices of the worst-affected manufacturer sharing certificates.
+
+    §5.5 tracks the manufacturer whose certificates appear identically
+    on many devices (263 → 387 over the study): count hosts in
+    ≥3-host reuse groups whose certificate subject matches the largest
+    group's subject.
+    """
+    counts: dict[str, int] = {}
+    subjects: dict[str, str] = {}
+    for record in servers:
+        if record.certificate is not None:
+            thumb = record.certificate.thumbprint_hex
+            counts[thumb] = counts.get(thumb, 0) + 1
+            subjects[thumb] = record.certificate.subject
+    big_groups = {t: c for t, c in counts.items() if c >= 3}
+    if not big_groups:
+        return 0
+    largest = max(big_groups, key=big_groups.get)
+    family_subject = subjects[largest]
+    return sum(
+        count
+        for thumb, count in big_groups.items()
+        if subjects[thumb] == family_subject
+    )
+
+
+def _detect_renewals(
+    snapshots: list[MeasurementSnapshot],
+) -> list[RenewalObservation]:
+    """Certificate changes on stable (ip, port) between sweeps."""
+    renewals = []
+    for previous, current in zip(snapshots, snapshots[1:]):
+        before = {
+            (r.ip, r.port): r for r in previous.servers() if r.certificate
+        }
+        for record in current.servers():
+            if record.certificate is None:
+                continue
+            old = before.get((record.ip, record.port))
+            if old is None or old.certificate is None:
+                continue
+            if (
+                old.certificate.thumbprint_hex
+                == record.certificate.thumbprint_hex
+            ):
+                continue
+            renewals.append(
+                RenewalObservation(
+                    ip=record.ip,
+                    port=record.port,
+                    sweep_date=current.date,
+                    old_hash=old.certificate.signature_hash,
+                    new_hash=record.certificate.signature_hash,
+                    software_updated=(
+                        old.software_version is not None
+                        and record.software_version is not None
+                        and old.software_version != record.software_version
+                    ),
+                )
+            )
+    return renewals

@@ -1,0 +1,58 @@
+"""§5.1 — advertised message security modes (Figure 3, left).
+
+For each security mode, three counts: how many servers *support* it,
+for how many it is the *least* secure option, and for how many the
+*most* secure option.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scanner.records import HostRecord
+from repro.uabin.enums import MessageSecurityMode
+
+MODES = (
+    MessageSecurityMode.NONE,
+    MessageSecurityMode.SIGN,
+    MessageSecurityMode.SIGN_AND_ENCRYPT,
+)
+
+
+@dataclass
+class ModeStatistics:
+    total_servers: int = 0
+    supported: dict[str, int] = field(default_factory=dict)
+    least_secure: dict[str, int] = field(default_factory=dict)
+    most_secure: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def none_only(self) -> int:
+        """Servers that only support security mode None (paper: 270)."""
+        return self.most_secure.get("N", 0)
+
+    @property
+    def supports_secure_mode(self) -> int:
+        """Servers offering Sign or SignAndEncrypt (paper: 844)."""
+        return self.most_secure.get("S", 0) + self.most_secure.get("S&E", 0)
+
+
+def analyze_security_modes(records: list[HostRecord]) -> ModeStatistics:
+    stats = ModeStatistics(
+        supported={m.short_label: 0 for m in MODES},
+        least_secure={m.short_label: 0 for m in MODES},
+        most_secure={m.short_label: 0 for m in MODES},
+    )
+    for record in records:
+        modes = record.security_modes()
+        modes.discard(MessageSecurityMode.INVALID)
+        if not modes:
+            continue
+        stats.total_servers += 1
+        for mode in modes:
+            stats.supported[mode.short_label] += 1
+        weakest = min(modes, key=lambda m: m.security_rank)
+        strongest = max(modes, key=lambda m: m.security_rank)
+        stats.least_secure[weakest.short_label] += 1
+        stats.most_secure[strongest.short_label] += 1
+    return stats

@@ -1,0 +1,73 @@
+"""§5.1 — advertised security policies (Figure 3, right).
+
+Counts supported / least-secure / most-secure per policy, plus the
+derived headline numbers: servers enforcing strong policies (16),
+servers still supporting deprecated SHA-1 policies (786), and servers
+whose best option is deprecated (280).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scanner.records import HostRecord
+from repro.secure.policies import (
+    ALL_POLICIES,
+    DEPRECATED_POLICIES,
+    SECURE_POLICIES,
+    SecurityPolicy,
+    policy_by_uri,
+)
+
+
+@dataclass
+class PolicyStatistics:
+    total_servers: int = 0
+    supported: dict[str, int] = field(default_factory=dict)
+    least_secure: dict[str, int] = field(default_factory=dict)
+    most_secure: dict[str, int] = field(default_factory=dict)
+    supports_deprecated: int = 0  # D1 ∪ D2 (paper: 786)
+    deprecated_as_best: int = 0  # most secure ∈ {D1, D2} (paper: 280)
+    enforce_secure: int = 0  # least secure ∈ {S1, S2, S3} (paper: 16)
+    secure_available: int = 0  # most secure ∈ {S1, S2, S3} (paper: 564)
+
+
+def record_policies(record: HostRecord) -> set[SecurityPolicy]:
+    policies = set()
+    for uri in record.security_policy_uris():
+        try:
+            policies.add(policy_by_uri(uri))
+        except KeyError:
+            continue
+    return policies
+
+
+def analyze_security_policies(records: list[HostRecord]) -> PolicyStatistics:
+    labels = [p.short_label for p in ALL_POLICIES]
+    stats = PolicyStatistics(
+        supported={label: 0 for label in labels},
+        least_secure={label: 0 for label in labels},
+        most_secure={label: 0 for label in labels},
+    )
+    deprecated = set(DEPRECATED_POLICIES)
+    secure = set(SECURE_POLICIES)
+    for record in records:
+        policies = record_policies(record)
+        if not policies:
+            continue
+        stats.total_servers += 1
+        for policy in policies:
+            stats.supported[policy.short_label] += 1
+        weakest = min(policies, key=lambda p: p.security_rank)
+        strongest = max(policies, key=lambda p: p.security_rank)
+        stats.least_secure[weakest.short_label] += 1
+        stats.most_secure[strongest.short_label] += 1
+        if policies & deprecated:
+            stats.supports_deprecated += 1
+        if strongest in deprecated:
+            stats.deprecated_as_best += 1
+        if weakest in secure:
+            stats.enforce_secure += 1
+        if strongest in secure:
+            stats.secure_available += 1
+    return stats

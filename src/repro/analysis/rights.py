@@ -1,0 +1,55 @@
+"""§5.4 — address-space access rights of the anonymous user (Figure 7).
+
+Computes the complementary CDF the paper plots: for a fraction *x* of
+hosts (x-axis), the fraction of nodes (y-axis) that at least ``x`` of
+the accessible hosts expose readable / writable / executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scanner.records import HostRecord
+
+
+@dataclass
+class RightsCdf:
+    hosts_analyzed: int = 0
+    readable_fractions: list[float] = field(default_factory=list)
+    writable_fractions: list[float] = field(default_factory=list)
+    executable_fractions: list[float] = field(default_factory=list)
+
+    def survival_value(self, series: str, host_fraction: float) -> float:
+        """Node fraction exposed by at least ``host_fraction`` of hosts.
+
+        Matches reading Figure 7 at x = host_fraction: sort the
+        per-host fractions descending; take the value at the given
+        quantile.
+        """
+        values = sorted(getattr(self, f"{series}_fractions"), reverse=True)
+        if not values:
+            return 0.0
+        index = min(
+            len(values) - 1, max(0, int(round(host_fraction * len(values))) - 1)
+        )
+        return values[index]
+
+    def fraction_of_hosts_above(self, series: str, node_fraction: float) -> float:
+        """Share of hosts exposing more than ``node_fraction`` of nodes."""
+        values = getattr(self, f"{series}_fractions")
+        if not values:
+            return 0.0
+        return sum(1 for v in values if v > node_fraction) / len(values)
+
+
+def analyze_access_rights(records: list[HostRecord]) -> RightsCdf:
+    cdf = RightsCdf()
+    for record in records:
+        if not record.anonymous_accessible() or record.nodes is None:
+            continue
+        summary = record.nodes
+        cdf.hosts_analyzed += 1
+        cdf.readable_fractions.append(summary.readable_fraction)
+        cdf.writable_fractions.append(summary.writable_fraction)
+        cdf.executable_fractions.append(summary.executable_fraction)
+    return cdf

@@ -1,0 +1,148 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro.cli study                 # run all sweeps + experiments
+    python -m repro.cli experiment fig3       # one experiment
+    python -m repro.cli list                  # known experiments
+    python -m repro.cli dataset out.jsonl     # anonymized dataset release
+    python -m repro.cli policies              # print Table 1
+
+The full study builds ~1900 hosts and scans them eight times; the
+first invocation also generates the RSA key cache (several minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.experiments import EXPERIMENTS, run_experiment
+from repro.core.study import Study, StudyConfig, default_study_result
+
+
+def _add_seed(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=20200830,
+        help="study seed (default: 20200830, the paper's last sweep date)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Easing the Conscience with OPC UA' (IMC 2020)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    study = commands.add_parser("study", help="run the full study")
+    _add_seed(study)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one table/figure"
+    )
+    experiment.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
+    _add_seed(experiment)
+
+    commands.add_parser("list", help="list known experiments")
+
+    dataset = commands.add_parser(
+        "dataset", help="write the anonymized dataset release"
+    )
+    dataset.add_argument("path", help="output JSONL path")
+    _add_seed(dataset)
+
+    commands.add_parser("policies", help="print the Table 1 policy catalogue")
+    return parser
+
+
+def cmd_study(args) -> int:
+    result = default_study_result(args.seed)
+    exact = total = 0
+    for experiment_id in EXPERIMENTS:
+        report = run_experiment(experiment_id, result)
+        print(report.render())
+        print()
+        exact += report.exact_matches()
+        total += len(report.comparisons)
+    print(f"reproduction summary: {exact}/{total} metrics match the paper")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    result = default_study_result(args.seed)
+    report = run_experiment(args.experiment_id, result)
+    print(report.render())
+    return 0
+
+
+def cmd_list(args) -> int:
+    for experiment_id, function in EXPERIMENTS.items():
+        summary = (function.__doc__ or "").strip().splitlines()[0]
+        print(f"{experiment_id:<12} {summary}")
+    return 0
+
+
+def cmd_dataset(args) -> int:
+    from repro.dataset import AnonymizationMap, anonymize_snapshot
+    from repro.dataset.io import write_snapshots
+
+    result = default_study_result(args.seed)
+    mapping = AnonymizationMap()
+    released = [
+        anonymize_snapshot(snapshot, mapping) for snapshot in result.snapshots
+    ]
+    write_snapshots(args.path, released)
+    records = sum(len(s.records) for s in released)
+    print(f"wrote {len(released)} snapshots / {records} records to {args.path}")
+    return 0
+
+
+def cmd_policies(args) -> int:
+    from repro.reporting.tables import render_table
+    from repro.secure.policies import ALL_POLICIES
+
+    rows = [
+        [
+            policy.name,
+            policy.short_label,
+            "/".join(policy.certificate_hash) or "-",
+            f"[{policy.min_key_bits}; {policy.max_key_bits}]"
+            if policy.provides_security
+            else "-",
+            "deprecated"
+            if policy.is_deprecated
+            else ("insecure" if not policy.provides_security else "current"),
+        ]
+        for policy in ALL_POLICIES
+    ]
+    print(
+        render_table(
+            ["Policy", "A", "Cert. hash", "Key bits", "Status"],
+            rows,
+            title="OPC UA security policies (paper Table 1)",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "study": cmd_study,
+    "experiment": cmd_experiment,
+    "list": cmd_list,
+    "dataset": cmd_dataset,
+    "policies": cmd_policies,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

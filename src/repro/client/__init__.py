@@ -1,0 +1,23 @@
+"""A from-scratch OPC UA binary client.
+
+Implements the exact grab sequence the paper's zgrab2 module performs:
+Hello/Acknowledge, GetEndpoints, OpenSecureChannel (presenting a
+self-signed certificate on secure policies), CreateSession /
+ActivateSession, and address-space access via Browse/Read/Call.
+"""
+
+from repro.client.errors import (
+    ConnectionClosedError,
+    ServiceFaultError,
+    TransportRejectedError,
+    UaClientError,
+)
+from repro.client.client import ClientIdentity, UaClient
+
+__all__ = [
+    "ClientIdentity",
+    "ConnectionClosedError",
+    "ServiceFaultError",
+    "TransportRejectedError",
+    "UaClient",
+]

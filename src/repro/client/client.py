@@ -1,0 +1,398 @@
+"""The UaClient: protocol driver over an abstract byte stream.
+
+The stream object only needs two methods::
+
+    stream.write(data: bytes) -> None   # send request bytes
+    stream.read() -> bytes              # drain whatever the peer produced
+
+which both the in-memory loopback used in tests and the network
+simulator's sockets provide.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.client.errors import (
+    ConnectionClosedError,
+    ServiceFaultError,
+    TransportRejectedError,
+    UaClientError,
+)
+from repro.secure.channel import ClientSecureChannel
+from repro.secure.crypto_suite import asym_sign
+from repro.secure.policies import POLICY_NONE, SecurityPolicy
+from repro.transport.connection import FrameReader, encode_frame
+from repro.transport.messages import (
+    AcknowledgeMessage,
+    ErrorMessage,
+    HEADER_SIZE,
+    HelloMessage,
+    MessageType,
+)
+from repro.uabin.enums import (
+    ApplicationType,
+    AttributeId,
+    MessageSecurityMode,
+    SecurityTokenRequestType,
+)
+from repro.uabin.builtin import LocalizedText
+from repro.uabin.nodeid import NodeId
+from repro.uabin.registry import make_extension_object
+from repro.uabin.statuscodes import lookup_status
+from repro.uabin.structs import RequestHeader
+from repro.uabin.types_attribute import ReadRequest, ReadValueId
+from repro.uabin.types_channel import (
+    CloseSecureChannelRequest,
+    OpenSecureChannelRequest,
+)
+from repro.uabin.types_common import ApplicationDescription, SignatureData
+from repro.uabin.types_discovery import FindServersRequest, GetEndpointsRequest
+from repro.uabin.types_method import CallMethodRequest, CallRequest, ServiceFault
+from repro.uabin.types_session import (
+    ActivateSessionRequest,
+    AnonymousIdentityToken,
+    CloseSessionRequest,
+    CreateSessionRequest,
+    UserNameIdentityToken,
+)
+from repro.uabin.types_view import BrowseDescription, BrowseRequest
+from repro.x509.certificate import Certificate, parse_certificate
+
+_SIGNATURE_ALG_URIS = {
+    "pkcs1-sha1": "http://www.w3.org/2000/09/xmldsig#rsa-sha1",
+    "pkcs1-sha256": "http://www.w3.org/2001/04/xmldsig-more#rsa-sha256",
+    "pss-sha256": "http://opcfoundation.org/UA/security/rsa-pss-sha2-256",
+}
+
+
+@dataclass(frozen=True)
+class ClientIdentity:
+    """The client application's identity (certificate + key)."""
+
+    application_uri: str
+    application_name: str
+    certificate: Certificate | None = None
+    private_key: object = None
+
+    def description(self) -> ApplicationDescription:
+        return ApplicationDescription(
+            application_uri=self.application_uri,
+            application_name=LocalizedText(self.application_name),
+            application_type=ApplicationType.CLIENT,
+        )
+
+
+class UaClient:
+    """Synchronous OPC UA client over a duplex byte stream."""
+
+    def __init__(
+        self,
+        stream,
+        identity: ClientIdentity,
+        rng: random.Random,
+        endpoint_url: str = "opc.tcp://unknown:4840/",
+    ):
+        self._stream = stream
+        self._identity = identity
+        self._rng = rng
+        self._endpoint_url = endpoint_url
+        self._frames = FrameReader()
+        self._channel: ClientSecureChannel | None = None
+        self._request_id = 0
+        self._request_handle = 0
+        self._auth_token = NodeId()
+        self._server_nonce: bytes = b""
+        self._server_certificate_der: bytes | None = None
+        self.connected = False
+
+    # --- low-level exchange ----------------------------------------------------
+
+    def _next_request_id(self) -> int:
+        self._request_id += 1
+        return self._request_id
+
+    def _request_header(self, timeout_ms: int = 10_000) -> RequestHeader:
+        self._request_handle += 1
+        return RequestHeader(
+            authentication_token=self._auth_token,
+            request_handle=self._request_handle,
+            timeout_hint=timeout_ms,
+        )
+
+    def _read_frame(self):
+        frame = self._frames.next_frame()
+        if frame is not None:
+            return frame
+        data = self._stream.read()
+        if not data:
+            raise ConnectionClosedError("no response from server")
+        self._frames.feed(data)
+        frame = self._frames.next_frame()
+        if frame is None:
+            raise ConnectionClosedError("incomplete frame from server")
+        return frame
+
+    def _expect(self, expected_type: MessageType):
+        header, body = self._read_frame()
+        if header.message_type == MessageType.ERROR:
+            error = ErrorMessage.decode_body(body)
+            raise TransportRejectedError(
+                lookup_status(error.error_code), error.reason
+            )
+        if header.message_type != expected_type:
+            raise UaClientError(
+                f"expected {expected_type.value}, got {header.message_type.value}"
+            )
+        return header, body
+
+    # --- connection establishment -----------------------------------------------
+
+    def hello(self) -> AcknowledgeMessage:
+        """Perform the HEL/ACK transport handshake."""
+        hello = HelloMessage(endpoint_url=self._endpoint_url)
+        self._stream.write(
+            encode_frame(MessageType.HELLO, "F", hello.encode_body())
+        )
+        _, body = self._expect(MessageType.ACKNOWLEDGE)
+        self.connected = True
+        return AcknowledgeMessage.decode_body(body)
+
+    def open_secure_channel(
+        self,
+        policy: SecurityPolicy = POLICY_NONE,
+        mode: MessageSecurityMode = MessageSecurityMode.NONE,
+        server_certificate_der: bytes | None = None,
+    ):
+        """Open a secure channel under the given policy and mode."""
+        if not self.connected:
+            raise UaClientError("hello() must run before open_secure_channel()")
+        server_cert = None
+        if policy is not POLICY_NONE:
+            if server_certificate_der is None:
+                raise UaClientError("secure policies need the server certificate")
+            server_cert = parse_certificate(server_certificate_der)
+            self._server_certificate_der = server_certificate_der
+        channel = ClientSecureChannel(
+            policy,
+            mode,
+            self._rng,
+            client_certificate=self._identity.certificate
+            if policy is not POLICY_NONE
+            else None,
+            client_private_key=self._identity.private_key
+            if policy is not POLICY_NONE
+            else None,
+            server_certificate=server_cert,
+        )
+        request = OpenSecureChannelRequest(
+            request_header=self._request_header(),
+            request_type=SecurityTokenRequestType.ISSUE,
+            security_mode=mode,
+        )
+        self._stream.write(channel.build_open_request(request))
+        _, body = self._expect(MessageType.OPEN_CHANNEL)
+        response = channel.handle_open_response(body)
+        self._channel = channel
+        return response
+
+    # --- service invocation -------------------------------------------------------
+
+    def _invoke(self, request):
+        if self._channel is None:
+            raise UaClientError("no secure channel")
+        request_id = self._next_request_id()
+        self._stream.write(self._channel.encode_message(request, request_id))
+        _, body = self._expect(MessageType.MESSAGE)
+        response, response_id = self._channel.decode_message(body)
+        if response_id != request_id:
+            raise UaClientError(
+                f"response id {response_id} does not match request {request_id}"
+            )
+        if isinstance(response, ServiceFault):
+            raise ServiceFaultError(response.response_header.service_result)
+        return response
+
+    # --- services ------------------------------------------------------------------
+
+    def get_endpoints(self):
+        request = GetEndpointsRequest(
+            request_header=self._request_header(),
+            endpoint_url=self._endpoint_url,
+        )
+        return self._invoke(request).endpoints or []
+
+    def find_servers(self):
+        """FindServers: application descriptions known to the peer.
+
+        The first entry is the responding application's own
+        description (the scanner uses it for manufacturer attribution
+        and discovery-server detection).
+        """
+        request = FindServersRequest(
+            request_header=self._request_header(),
+            endpoint_url=self._endpoint_url,
+        )
+        return self._invoke(request).servers or []
+
+    def create_session(self, session_name: str = "repro-session"):
+        client_nonce = self._rng.getrandbits(256).to_bytes(32, "big")
+        request = CreateSessionRequest(
+            request_header=self._request_header(),
+            client_description=self._identity.description(),
+            endpoint_url=self._endpoint_url,
+            session_name=session_name,
+            client_nonce=client_nonce,
+            client_certificate=(
+                self._identity.certificate.raw_der
+                if self._identity.certificate
+                else None
+            ),
+        )
+        response = self._invoke(request)
+        self._auth_token = response.authentication_token
+        self._server_nonce = response.server_nonce or b""
+        if response.server_certificate:
+            self._server_certificate_der = response.server_certificate
+        return response
+
+    def activate_session(self, identity_token=None):
+        """Activate with an identity token (default: anonymous)."""
+        token = identity_token or AnonymousIdentityToken(policy_id="anonymous")
+        client_signature = SignatureData()
+        channel = self._channel
+        if channel is not None and channel.policy is not POLICY_NONE:
+            signed = (self._server_certificate_der or b"") + self._server_nonce
+            client_signature = SignatureData(
+                algorithm=_SIGNATURE_ALG_URIS[channel.policy.asym_signature],
+                signature=asym_sign(
+                    channel.policy,
+                    self._identity.private_key,
+                    signed,
+                    self._rng,
+                ),
+            )
+        request = ActivateSessionRequest(
+            request_header=self._request_header(),
+            client_signature=client_signature,
+            user_identity_token=make_extension_object(token),
+        )
+        response = self._invoke(request)
+        self._server_nonce = response.server_nonce or self._server_nonce
+        return response
+
+    def activate_session_username(self, user_name: str, password: str):
+        token = UserNameIdentityToken(
+            policy_id="username",
+            user_name=user_name,
+            password=password.encode("utf-8"),
+        )
+        return self.activate_session(token)
+
+    def close_session(self):
+        request = CloseSessionRequest(request_header=self._request_header())
+        response = self._invoke(request)
+        self._auth_token = NodeId()
+        return response
+
+    def browse(self, node_ids, max_references: int = 0):
+        request = BrowseRequest(
+            request_header=self._request_header(),
+            requested_max_references_per_node=max_references,
+            nodes_to_browse=[
+                BrowseDescription(node_id=node_id) for node_id in node_ids
+            ],
+        )
+        return self._invoke(request).results or []
+
+    def read_attributes(self, pairs):
+        """Read (node_id, attribute_id) pairs; returns DataValues."""
+        request = ReadRequest(
+            request_header=self._request_header(),
+            nodes_to_read=[
+                ReadValueId(node_id=node_id, attribute_id=int(attribute))
+                for node_id, attribute in pairs
+            ],
+        )
+        return self._invoke(request).results or []
+
+    def read_values(self, node_ids):
+        return self.read_attributes(
+            [(node_id, AttributeId.VALUE) for node_id in node_ids]
+        )
+
+    def translate_browse_path(self, starting_node: NodeId, *browse_names):
+        """Resolve a browse path of (namespace, name) pairs to a NodeId.
+
+        Returns the target NodeId, or None when the path cannot be
+        resolved.
+        """
+        from repro.uabin.builtin import QualifiedName
+        from repro.uabin.types_query import (
+            BrowsePath,
+            RelativePath,
+            RelativePathElement,
+            TranslateBrowsePathsRequest,
+        )
+
+        elements = [
+            RelativePathElement(
+                target_name=QualifiedName(namespace, name)
+            )
+            for namespace, name in browse_names
+        ]
+        request = TranslateBrowsePathsRequest(
+            request_header=self._request_header(),
+            browse_paths=[
+                BrowsePath(
+                    starting_node=starting_node,
+                    relative_path=RelativePath(elements=elements),
+                )
+            ],
+        )
+        results = self._invoke(request).results or []
+        if not results or not results[0].status_code.is_good:
+            return None
+        targets = results[0].targets or []
+        return targets[0].target_id.node_id if targets else None
+
+    def register_server(self, registered_server):
+        """Announce a server to a discovery server (RegisterServer)."""
+        from repro.uabin.types_query import RegisterServerRequest
+
+        request = RegisterServerRequest(
+            request_header=self._request_header(), server=registered_server
+        )
+        return self._invoke(request)
+
+    def call_method(self, object_id: NodeId, method_id: NodeId, arguments=None):
+        request = CallRequest(
+            request_header=self._request_header(),
+            methods_to_call=[
+                CallMethodRequest(
+                    object_id=object_id,
+                    method_id=method_id,
+                    input_arguments=arguments or [],
+                )
+            ],
+        )
+        results = self._invoke(request).results or []
+        return results[0] if results else None
+
+    def close(self):
+        """Send CloseSecureChannel; the server does not respond."""
+        if self._channel is None:
+            return
+        try:
+            request = CloseSecureChannelRequest(
+                request_header=self._request_header()
+            )
+            self._stream.write(
+                self._channel.encode_message(
+                    request, self._next_request_id(), MessageType.CLOSE_CHANNEL
+                )
+            )
+        finally:
+            self._channel = None
+            self.connected = False

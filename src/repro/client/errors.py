@@ -1,0 +1,36 @@
+"""Client-side error hierarchy.
+
+The scanner distinguishes *where* a connection attempt failed — at the
+transport, during secure-channel establishment, or at session
+authentication — because the paper's Table 2 classifies hosts by
+exactly this failure point.
+"""
+
+from __future__ import annotations
+
+from repro.uabin.statuscodes import StatusCode
+
+
+class UaClientError(Exception):
+    """Base class for client failures."""
+
+
+class ConnectionClosedError(UaClientError):
+    """The peer closed the connection or never answered."""
+
+
+class TransportRejectedError(UaClientError):
+    """The server answered with an ERR transport message."""
+
+    def __init__(self, status: StatusCode, reason: str | None):
+        super().__init__(f"{status.name}: {reason or ''}")
+        self.status = status
+        self.reason = reason
+
+
+class ServiceFaultError(UaClientError):
+    """The server answered a service request with a ServiceFault."""
+
+    def __init__(self, status: StatusCode):
+        super().__init__(status.name)
+        self.status = status

@@ -1,0 +1,13 @@
+"""Study orchestration and the experiment registry.
+
+``Study`` wires the whole pipeline together — population, timeline,
+weekly scan campaigns — and caches the expensive result per seed so
+tests, examples, and benchmarks can share one run.
+``repro.core.experiments`` maps every table/figure of the paper to a
+regeneration function.
+"""
+
+from repro.core.config import StudyConfig
+from repro.core.study import Study, StudyResult, default_study_result
+
+__all__ = ["Study", "StudyConfig", "StudyResult", "default_study_result"]

@@ -1,0 +1,25 @@
+"""Study configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Knobs of a full study run.
+
+    ``noise_hosts`` adds non-OPC UA services on TCP/4840 to each sweep
+    (the paper found OPC UA on only 0.5 ‰ of hosts with the port open;
+    simulating millions of such hosts is pointless, so a token number
+    keeps the code path exercised — documented in DESIGN.md).
+    ``traverse_all_sweeps`` enables the address-space traversal on
+    every sweep instead of only the last (Figure 7 uses the latest
+    measurement, so the default keeps weekly sweeps fast).
+    """
+
+    seed: int = 20200830
+    noise_hosts: int = 40
+    traverse_all_sweeps: bool = False
+    follow_references_from_sweep: int = 3  # 2020-05-04, as in the paper
+    extra_sweep_candidates: int = 500  # random empty addresses probed

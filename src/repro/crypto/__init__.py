@@ -1,0 +1,50 @@
+"""From-scratch cryptographic substrate.
+
+Implements everything the OPC UA security policies of the paper's
+Table 1 require: RSA with PKCS#1 v1.5 / OAEP / PSS, MD5/SHA-1/SHA-256
+digests (via :mod:`hashlib`), HMAC-based P_SHA key derivation, and
+AES-CBC for SignAndEncrypt channels.  The implementation favours
+clarity over speed; the simulation's hot paths (scanning ~2000 hosts)
+stay comfortably fast because messages are small.
+"""
+
+from repro.crypto.hashes import HashAlgorithm, get_hash, hash_bytes
+from repro.crypto.primes import generate_prime, is_probable_prime
+from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, RsaPublicKey, generate_rsa_key
+from repro.crypto.pkcs1 import (
+    CryptoError,
+    oaep_decrypt,
+    oaep_encrypt,
+    pkcs1v15_decrypt,
+    pkcs1v15_encrypt,
+    pkcs1v15_sign,
+    pkcs1v15_verify,
+    pss_sign,
+    pss_verify,
+)
+from repro.crypto.hmac_prf import hmac_digest, p_hash
+from repro.crypto.aes import AesCbc
+
+__all__ = [
+    "AesCbc",
+    "CryptoError",
+    "HashAlgorithm",
+    "RsaKeyPair",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "generate_prime",
+    "generate_rsa_key",
+    "get_hash",
+    "hash_bytes",
+    "hmac_digest",
+    "is_probable_prime",
+    "oaep_decrypt",
+    "oaep_encrypt",
+    "p_hash",
+    "pkcs1v15_decrypt",
+    "pkcs1v15_encrypt",
+    "pkcs1v15_sign",
+    "pkcs1v15_verify",
+    "pss_sign",
+    "pss_verify",
+]

@@ -1,0 +1,51 @@
+"""Hash algorithm registry.
+
+The paper's certificate analysis distinguishes MD5, SHA-1, and SHA-256
+signatures (Figure 4); this module centralizes their metadata so the
+policy table, the certificate builder, and the analysis all agree on
+names and digest sizes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HashAlgorithm:
+    """Metadata for one digest algorithm."""
+
+    name: str
+    digest_size: int
+    block_size: int
+    # Strength ordering used when the analysis asks whether a
+    # certificate is weaker/stronger than its policy requires.
+    strength_rank: int
+
+    def new(self):
+        return hashlib.new(self.name)
+
+    def digest(self, data: bytes) -> bytes:
+        h = self.new()
+        h.update(data)
+        return h.digest()
+
+
+MD5 = HashAlgorithm("md5", 16, 64, 0)
+SHA1 = HashAlgorithm("sha1", 20, 64, 1)
+SHA256 = HashAlgorithm("sha256", 32, 64, 2)
+
+_REGISTRY = {alg.name: alg for alg in (MD5, SHA1, SHA256)}
+
+
+def get_hash(name: str) -> HashAlgorithm:
+    """Look up a hash algorithm by canonical lowercase name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(f"unsupported hash algorithm: {name!r}") from None
+
+
+def hash_bytes(name: str, data: bytes) -> bytes:
+    return get_hash(name).digest(data)

@@ -1,0 +1,33 @@
+"""HMAC and the P_SHA pseudo-random function.
+
+OPC UA derives the symmetric keys of a secure channel from the client
+and server nonces with P_SHA1 or P_SHA256 (OPC 10000-6), the same
+construction as TLS 1.x's P_hash.
+"""
+
+from __future__ import annotations
+
+import hmac as _hmac
+
+from repro.crypto.hashes import get_hash
+
+
+def hmac_digest(hash_name: str, key: bytes, data: bytes) -> bytes:
+    """HMAC via the standard library, keyed by registry name."""
+    return _hmac.new(key, data, get_hash(hash_name).name).digest()
+
+
+def p_hash(hash_name: str, secret: bytes, seed: bytes, length: int) -> bytes:
+    """The TLS-style P_hash expansion used by OPC UA key derivation.
+
+    A(0) = seed; A(i) = HMAC(secret, A(i-1));
+    output = HMAC(secret, A(1) || seed) || HMAC(secret, A(2) || seed) ...
+    """
+    if length < 0:
+        raise ValueError("negative output length")
+    out = bytearray()
+    a_value = seed
+    while len(out) < length:
+        a_value = hmac_digest(hash_name, secret, a_value)
+        out.extend(hmac_digest(hash_name, secret, a_value + seed))
+    return bytes(out[:length])

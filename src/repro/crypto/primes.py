@@ -1,0 +1,68 @@
+"""Probabilistic prime generation for RSA key material.
+
+Deterministic given the caller's RNG, which lets the deployment
+generator mint reproducible per-host keys.  Candidates are filtered by
+trial division against a small-prime sieve before Miller–Rabin, which
+is the difference between ~5 s and ~0.25 s for a 1024-bit prime in
+CPython.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def _sieve(limit: int) -> list[int]:
+    flags = bytearray([1]) * (limit + 1)
+    flags[0:2] = b"\x00\x00"
+    for i in range(2, int(limit**0.5) + 1):
+        if flags[i]:
+            flags[i * i :: i] = bytearray(len(flags[i * i :: i]))
+    return [i for i, f in enumerate(flags) if f]
+
+
+SMALL_PRIMES: list[int] = _sieve(10_000)
+
+
+def is_probable_prime(candidate: int, rng: random.Random | None = None, rounds: int = 16) -> bool:
+    """Miller–Rabin with trial division; error probability < 4**-rounds."""
+    if candidate < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if candidate % p == 0:
+            return candidate == p
+    rng = rng or random.Random(candidate & 0xFFFFFFFF)
+    d = candidate - 1
+    twos = 0
+    while d % 2 == 0:
+        d //= 2
+        twos += 1
+    for _ in range(rounds):
+        base = rng.randrange(2, candidate - 1)
+        x = pow(base, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(twos - 1):
+            x = x * x % candidate
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime with the top two bits set.
+
+    Setting the two most significant bits guarantees that the product
+    of two such primes has exactly ``2 * bits`` bits, so RSA moduli hit
+    their nominal size — the paper's analysis reads key lengths off the
+    modulus, and an off-by-one-bit key would land in the wrong bucket.
+    """
+    if bits < 8:
+        raise ValueError("prime too small for RSA use")
+    top_two = (1 << (bits - 1)) | (1 << (bits - 2))
+    while True:
+        candidate = rng.getrandbits(bits) | top_two | 1
+        if is_probable_prime(candidate, rng):
+            return candidate

@@ -1,0 +1,106 @@
+"""Textbook RSA keys with CRT private operations.
+
+Padding lives in :mod:`repro.crypto.pkcs1`; this module only provides
+key generation and the raw modular-exponentiation primitives.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.crypto.primes import generate_prime
+
+DEFAULT_PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    n: int
+    e: int
+
+    @property
+    def bit_length(self) -> int:
+        return self.n.bit_length()
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def raw_encrypt(self, message: int) -> int:
+        if not 0 <= message < self.n:
+            raise ValueError("message representative out of range")
+        return pow(message, self.e, self.n)
+
+    # Signature verification is the same operation as encryption.
+    raw_verify = raw_encrypt
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    def __post_init__(self):
+        # Precompute CRT exponents once; frozen dataclass, so use
+        # object.__setattr__ for the cached values.
+        object.__setattr__(self, "_dp", self.d % (self.p - 1))
+        object.__setattr__(self, "_dq", self.d % (self.q - 1))
+        object.__setattr__(self, "_qinv", pow(self.q, -1, self.p))
+
+    @property
+    def bit_length(self) -> int:
+        return self.n.bit_length()
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def public_key(self) -> RsaPublicKey:
+        return RsaPublicKey(self.n, self.e)
+
+    def raw_decrypt(self, ciphertext: int) -> int:
+        if not 0 <= ciphertext < self.n:
+            raise ValueError("ciphertext representative out of range")
+        m1 = pow(ciphertext, self._dp, self.p)
+        m2 = pow(ciphertext, self._dq, self.q)
+        h = (self._qinv * (m1 - m2)) % self.p
+        return m2 + h * self.q
+
+    # Signing is the same operation as decryption.
+    raw_sign = raw_decrypt
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    private: RsaPrivateKey
+
+    @property
+    def public(self) -> RsaPublicKey:
+        return self.private.public_key()
+
+
+def generate_rsa_key(
+    bits: int, rng: random.Random, public_exponent: int = DEFAULT_PUBLIC_EXPONENT
+) -> RsaKeyPair:
+    """Generate an RSA key whose modulus has exactly ``bits`` bits."""
+    if bits % 2:
+        raise ValueError("modulus size must be even")
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(half, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if math.gcd(public_exponent, phi) != 1:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        d = pow(public_exponent, -1, phi)
+        return RsaKeyPair(RsaPrivateKey(n=n, e=public_exponent, d=d, p=p, q=q))

@@ -1,0 +1,18 @@
+"""Anonymized dataset release (paper Appendix A.1).
+
+The paper released its dataset with IP addresses and AS numbers
+replaced by consecutive identifiers, certificate fields carrying
+address-equivalent information blackened, and all payload data
+excluded.  This package applies the same transformations and writes
+newline-delimited JSON.
+"""
+
+from repro.dataset.anonymize import AnonymizationMap, anonymize_snapshot
+from repro.dataset.io import read_snapshots, write_snapshots
+
+__all__ = [
+    "AnonymizationMap",
+    "anonymize_snapshot",
+    "read_snapshots",
+    "write_snapshots",
+]

@@ -1,0 +1,96 @@
+"""Anonymization transformations for the dataset release."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.scanner.records import HostRecord, MeasurementSnapshot
+
+
+@dataclass
+class AnonymizationMap:
+    """Stable consecutive renumbering of IPs and ASNs.
+
+    The same map must be used across all snapshots of one release so a
+    host keeps its pseudonym over time (the longitudinal analyses in
+    the paper rely on this property).
+    """
+
+    ip_map: dict[int, int] = field(default_factory=dict)
+    asn_map: dict[int, int] = field(default_factory=dict)
+
+    def pseudonym_ip(self, ip: int) -> int:
+        if ip not in self.ip_map:
+            self.ip_map[ip] = len(self.ip_map) + 1
+        return self.ip_map[ip]
+
+    def pseudonym_asn(self, asn: int | None) -> int | None:
+        if asn is None:
+            return None
+        if asn not in self.asn_map:
+            self.asn_map[asn] = len(self.asn_map) + 1
+        return self.asn_map[asn]
+
+
+def anonymize_record(record: HostRecord, mapping: AnonymizationMap) -> HostRecord:
+    """One record, anonymized per the paper's rules."""
+    certificate = record.certificate
+    if certificate is not None:
+        # Blacken fields that could identify the host (the paper
+        # blackened FQDNs and equivalent address information) while
+        # keeping the analysis-relevant fields.
+        certificate = replace(
+            certificate,
+            subject=_blacken(certificate.subject),
+            issuer=_blacken(certificate.issuer),
+            application_uri="[redacted]" if certificate.application_uri else None,
+            der_hex="",  # raw DER could embed identifying SANs
+        )
+    nodes = record.nodes
+    if nodes is not None:
+        # Payload (node names/values) is excluded from the release.
+        nodes = replace(
+            nodes,
+            readable_names_sample=[],
+            writable_names_sample=[],
+            executable_names_sample=[],
+            value_samples=[],
+        )
+    endpoints = [
+        replace(endpoint, endpoint_url=None) for endpoint in record.endpoints
+    ]
+    return replace(
+        record,
+        ip=mapping.pseudonym_ip(record.ip),
+        asn=mapping.pseudonym_asn(record.asn),
+        application_uri=_pseudonymize_uri(record.application_uri),
+        endpoints=endpoints,
+        certificate=certificate,
+        nodes=nodes,
+    )
+
+
+def anonymize_snapshot(
+    snapshot: MeasurementSnapshot, mapping: AnonymizationMap
+) -> MeasurementSnapshot:
+    return MeasurementSnapshot(
+        date=snapshot.date,
+        records=[anonymize_record(r, mapping) for r in snapshot.records],
+        probed=snapshot.probed,
+        port_open=snapshot.port_open,
+        excluded=snapshot.excluded,
+    )
+
+
+def _blacken(name: str) -> str:
+    """Keep the organization (manufacturer attribution), drop the rest."""
+    parts = [p for p in name.split(",") if p.startswith("O=")]
+    return ",".join(parts + ["CN=[redacted]"])
+
+
+def _pseudonymize_uri(uri: str | None) -> str | None:
+    """Keep the vendor prefix (needed for clustering), drop device ids."""
+    if uri is None:
+        return None
+    head, _, _tail = uri.rpartition(":")
+    return f"{head}:[device]" if head else uri

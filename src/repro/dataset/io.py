@@ -1,0 +1,53 @@
+"""Newline-delimited JSON dataset files.
+
+Layout: one header line per snapshot (``{"snapshot": date, ...}``)
+followed by one line per host record.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.scanner.records import HostRecord, MeasurementSnapshot
+
+
+def write_snapshots(path: str | Path, snapshots: list[MeasurementSnapshot]) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        for snapshot in snapshots:
+            header = {
+                "snapshot": snapshot.date,
+                "probed": snapshot.probed,
+                "port_open": snapshot.port_open,
+                "excluded": snapshot.excluded,
+                "records": len(snapshot.records),
+            }
+            handle.write(json.dumps(header) + "\n")
+            for record in snapshot.records:
+                handle.write(json.dumps(record.to_json_dict()) + "\n")
+
+
+def read_snapshots(path: str | Path) -> list[MeasurementSnapshot]:
+    snapshots: list[MeasurementSnapshot] = []
+    current: MeasurementSnapshot | None = None
+    remaining = 0
+    with open(path) as handle:
+        for line in handle:
+            data = json.loads(line)
+            if "snapshot" in data:
+                current = MeasurementSnapshot(
+                    date=data["snapshot"],
+                    probed=data.get("probed", 0),
+                    port_open=data.get("port_open", 0),
+                    excluded=data.get("excluded", 0),
+                )
+                snapshots.append(current)
+                remaining = data.get("records", 0)
+            else:
+                if current is None:
+                    raise ValueError("record line before snapshot header")
+                current.records.append(HostRecord.from_json_dict(data))
+                remaining -= 1
+    return snapshots

@@ -1,0 +1,228 @@
+"""Address-space templates for the deployment population.
+
+Three classes, matching the paper's classification heuristic (§5.4):
+
+* **production** — namespaces referencing the manufacturer and an
+  industrial standard (IEC 61131-3), realistic process-variable names;
+* **test** — namespaces of example applications (the paper cites the
+  FreeOpcUa examples);
+* **unclassified** — standard namespace only.
+
+Each accessible host also carries a *rights profile* (fractions of
+variables readable/writable and methods executable by the anonymous
+user); the per-host profiles are drawn so the population reproduces
+Figure 7's CDFs: 90 % of hosts expose >97 % of nodes readable, 33 %
+allow writes to >10 %, 61 % allow executing >86 % of methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deployments.manufacturers import Manufacturer
+from repro.server.access import Permissions
+from repro.server.addressspace import AddressSpace, NodeIds, ReferenceTypeIds
+from repro.server.nodes import MethodNode, ObjectNode, VariableNode
+from repro.uabin.builtin import LocalizedText, QualifiedName
+from repro.uabin.nodeid import NodeId
+from repro.uabin.variant import Variant, VariantType
+from repro.util.rng import DeterministicRng
+
+IEC61131_NAMESPACE = "http://PLCopen.org/OpcUa/IEC61131-3/"
+FREEOPCUA_EXAMPLE_NAMESPACE = "http://examples.freeopcua.github.io"
+
+# Realistic industrial tag vocabulary; the paper quotes
+# m3InflowPerHour and rSetFillLevel as examples of readable and
+# writable nodes it observed.
+_VARIABLE_NAMES = (
+    "m3InflowPerHour", "rSetFillLevel", "rActFillLevel", "iPumpState",
+    "rTankPressure", "rBoilerTemperature", "iValvePosition",
+    "bEmergencyStop", "rFlowSetpoint", "iCycleCounter", "rMotorCurrent",
+    "rOilLevel", "bDoorContact", "iParkingSlotsFree", "sLicensePlate",
+    "rConveyorSpeed", "iBatchNumber", "rCoolantTemp", "bMaintenanceDue",
+    "rPowerConsumption", "iErrorCode", "sOperatorNote", "rHumidity",
+    "rAmbientTemp", "iShiftCount", "bLightBarrier", "rTorque",
+    "iSpindleSpeed", "rFeedRate", "bSafetyFence",
+)
+
+_METHOD_NAMES = (
+    "AddEndpoint", "ResetCounters", "AcknowledgeAlarm", "StartPump",
+    "StopPump", "CalibrateSensor", "ExportLog", "RebootController",
+    "SetOperationMode", "ClearErrorMemory", "UpdateRecipe", "OpenGate",
+)
+
+_TEST_VARIABLE_NAMES = (
+    "MyVariable", "TestCounter", "Demo.Dynamic.Scalar.Double",
+    "SimulatedSine", "ExampleString", "RandomValue", "Counter1",
+)
+
+
+import math
+
+
+@dataclass(frozen=True)
+class RightsProfile:
+    """How much of the address space the anonymous user may touch.
+
+    Counts are explicit (not fractions) because the scanner's measured
+    fractions include the standard readable nodes every server exposes
+    (NamespaceArray, SoftwareVersion); the generator accounts for that
+    so the population's *measured* CDFs land on Figure 7's anchors.
+    """
+
+    variables: int
+    methods: int
+    readable: int
+    writable: int
+    executable: int
+
+    def readable_count(self) -> int:
+        return self.readable
+
+    def writable_count(self) -> int:
+        return self.writable
+
+    def executable_count(self) -> int:
+        return self.executable
+
+
+# Standard nodes always readable by everyone (NamespaceArray and
+# SoftwareVersion), which the traversal counts as variables.
+_STANDARD_READABLE = 2
+
+
+def draw_rights_profile(rng: DeterministicRng) -> RightsProfile:
+    """Draw one host's profile from the Figure-7 mixture.
+
+    Anchors: ~90 % of hosts expose >97 % of nodes readable, ~33 %
+    allow writes to >10 % of nodes, ~61 % allow executing >86 % of
+    methods.  High buckets use ceilings against the *measured*
+    denominator (variables + standard nodes) so rounding can never
+    drop a host below its anchor.
+    """
+    variables = rng.randrange(18, 60)
+    methods = rng.randrange(3, 12)
+    denominator = variables + _STANDARD_READABLE
+
+    if rng.random() < 0.92:
+        readable = variables  # everything readable -> measured 1.0
+    else:
+        readable = math.floor(rng.uniform(0.30, 0.90) * variables)
+
+    if rng.random() < 0.33:
+        target = rng.uniform(0.13, 0.60)
+        writable = min(
+            max(1, math.ceil(target * (denominator + 1))), readable, variables - 1
+        )
+    elif rng.random() < 0.5:
+        writable = 0
+    else:
+        writable = math.floor(rng.uniform(0.0, 0.07) * variables)
+
+    if rng.random() < 0.61:
+        executable = methods if methods < 8 else methods - rng.randrange(0, 2)
+    else:
+        executable = math.floor(rng.uniform(0.0, 0.80) * methods)
+
+    return RightsProfile(variables, methods, readable, writable, executable)
+
+
+def build_address_space(
+    classification: str,
+    manufacturer: Manufacturer,
+    profile: RightsProfile,
+    rng: DeterministicRng,
+    contact_email: str | None = None,
+) -> AddressSpace:
+    """Build one host's address space per classification template."""
+    space = AddressSpace()
+    if classification == "accessible-production":
+        namespace_uris = list(manufacturer.namespace_uris) + [IEC61131_NAMESPACE]
+        names = _VARIABLE_NAMES
+        root_name = "PLC"
+    elif classification == "accessible-test":
+        namespace_uris = [FREEOPCUA_EXAMPLE_NAMESPACE]
+        names = _TEST_VARIABLE_NAMES
+        root_name = "Examples"
+    else:
+        # Unclassified (standard namespace only) and inaccessible hosts.
+        namespace_uris = []
+        names = _VARIABLE_NAMES
+        root_name = "Device"
+    ns_index = 0
+    for uri in namespace_uris:
+        ns_index = space.register_namespace(uri)
+
+    device = ObjectNode(
+        node_id=NodeId(ns_index, root_name),
+        browse_name=QualifiedName(ns_index, root_name),
+        display_name=LocalizedText(root_name),
+        type_definition=NodeIds.FolderType,
+    )
+    space.add_node(device, parent=NodeIds.ObjectsFolder,
+                   reference_type=ReferenceTypeIds.Organizes)
+
+    readable = profile.readable_count()
+    writable = min(profile.writable_count(), readable)
+    for index in range(profile.variables):
+        name = f"{names[index % len(names)]}_{index // len(names)}" if (
+            index >= len(names)
+        ) else names[index % len(names)]
+        is_readable = index < readable
+        # Writable tags start at rSetFillLevel (index 1), matching the
+        # paper's observation of setpoint-style writable nodes.
+        is_writable = 1 <= index <= writable
+        space.add_node(
+            VariableNode(
+                node_id=NodeId(ns_index, f"{root_name}/{name}"),
+                browse_name=QualifiedName(ns_index, name),
+                display_name=LocalizedText(name),
+                value=_value_for(name, rng),
+                permissions=Permissions.make(
+                    read_anonymous=is_readable, write_anonymous=is_writable
+                ),
+            ),
+            parent=device.node_id,
+        )
+
+    if contact_email is not None:
+        # Operator contact data in the address space — how the paper's
+        # authors identified whom to notify (Appendix A.1).
+        space.add_node(
+            VariableNode(
+                node_id=NodeId(ns_index, f"{root_name}/sContact"),
+                browse_name=QualifiedName(ns_index, "sContact"),
+                display_name=LocalizedText("sContact"),
+                value=Variant(
+                    f"maintenance contact: {contact_email}", VariantType.STRING
+                ),
+                permissions=Permissions.make(read_anonymous=True),
+            ),
+            parent=device.node_id,
+        )
+
+    executable = profile.executable_count()
+    for index in range(profile.methods):
+        name = _METHOD_NAMES[index % len(_METHOD_NAMES)]
+        space.add_node(
+            MethodNode(
+                node_id=NodeId(ns_index, f"{root_name}/{name}"),
+                browse_name=QualifiedName(ns_index, name),
+                display_name=LocalizedText(name),
+                permissions=Permissions.make(
+                    execute_anonymous=index < executable
+                ),
+            ),
+            parent=device.node_id,
+        )
+    return space
+
+
+def _value_for(name: str, rng: DeterministicRng) -> Variant:
+    if name.startswith(("b", "B")):
+        return Variant(rng.random() < 0.5, VariantType.BOOLEAN)
+    if name.startswith(("i", "I")):
+        return Variant(rng.randrange(0, 10_000), VariantType.INT32)
+    if name.startswith(("s", "S")):
+        return Variant(f"value-{rng.randrange(1000)}", VariantType.STRING)
+    return Variant(round(rng.uniform(0.0, 500.0), 3), VariantType.DOUBLE)

@@ -1,0 +1,80 @@
+"""Dual-stack deployment extension (paper future work).
+
+Gives a fraction of the built hosts an additional IPv6 address and
+produces the hitlist an IPv6 measurement would start from.  The
+security configuration of a dual-stack host is *identical* on both
+address families (it is the same server process), which directly
+realizes the paper's conjecture that IPv6-reachable devices are not
+configured any more securely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.deployments.population import BuiltHost
+from repro.netsim.ipv6 import Ipv6Block
+from repro.netsim.net import SimHost, SimNetwork
+from repro.util.rng import DeterministicRng
+
+# Provider prefixes for simulated IPv6 deployments (documentation
+# prefix space, RFC 3849).
+PROVIDER_PREFIXES = (
+    Ipv6Block.parse("2001:db8:100::/48"),
+    Ipv6Block.parse("2001:db8:200::/48"),
+    Ipv6Block.parse("2001:db8:300::/48"),
+)
+
+
+@dataclass
+class DualStackPlan:
+    """Which hosts got IPv6 and where."""
+
+    addresses: dict[int, int] = field(default_factory=dict)  # host index -> v6
+    hitlist: list[int] = field(default_factory=list)
+
+    @property
+    def host_count(self) -> int:
+        return len(self.addresses)
+
+
+def enable_ipv6(
+    hosts: list[BuiltHost],
+    network: SimNetwork,
+    rng: DeterministicRng,
+    fraction: float = 0.2,
+    hitlist_coverage: float = 0.8,
+    hitlist_noise: int = 50,
+) -> DualStackPlan:
+    """Attach IPv6 addresses to a sample of hosts.
+
+    ``hitlist_coverage`` models the reality that hitlists are
+    incomplete: only that share of the dual-stack hosts appears on the
+    hitlist; ``hitlist_noise`` adds unreachable addresses.
+    """
+    plan = DualStackPlan()
+    used: set[int] = set()
+    for built in hosts:
+        if rng.substream(f"v6-{built.index}").random() >= fraction:
+            continue
+        prefix = PROVIDER_PREFIXES[built.index % len(PROVIDER_PREFIXES)]
+        address = None
+        attempt_rng = rng.substream(f"v6-addr-{built.index}")
+        while address is None or address in used:
+            address = prefix.address_at(attempt_rng.getrandbits(64))
+        used.add(address)
+        plan.addresses[built.index] = address
+        sim_host = SimHost(address=address, asn=built.asn)
+        sim_host.listen(built.port, built.server.new_connection)
+        network.add_host(sim_host)
+
+    list_rng = rng.substream("hitlist")
+    for host_index, address in plan.addresses.items():
+        if list_rng.random() < hitlist_coverage:
+            plan.hitlist.append(address)
+    for _ in range(hitlist_noise):
+        noise = PROVIDER_PREFIXES[0].address_at(list_rng.getrandbits(64))
+        if noise not in used:
+            plan.hitlist.append(noise)
+    plan.hitlist = list_rng.shuffled(plan.hitlist)
+    return plan

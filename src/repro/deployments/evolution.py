@@ -1,0 +1,342 @@
+"""The study timeline: eight weekly measurements, February–August 2020.
+
+Models everything §5.5 and Figure 2 observe:
+
+* slow growth of the server population and fluctuation of the
+  discovery-server population (totals stay within the paper's
+  1761–2069 range, 42 % discovery servers in the last measurement);
+* continued roll-out of devices carrying the reused AutomataWerk
+  certificates (263 devices at the first measurement → ~400 at the
+  last);
+* 84 certificate renewals on hosts with static addresses, 9 of them
+  coinciding with a software update, 7 replacing SHA-1 with SHA-256,
+  and one *downgrading* SHA-256 to SHA-1;
+* discovery servers announcing endpoints hosted on other machines and
+  non-default ports, which the scanner only finds once it follows
+  references (from 2020-05-04 on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deployments.population import (
+    BuiltHost,
+    GENERIC_AS_BASE,
+    GENERIC_AS_COUNT,
+    PopulationBuilder,
+)
+from repro.deployments.manufacturers import OPC_FOUNDATION
+from repro.netsim.net import SimHost, SimNetwork
+from repro.server.endpoints import build_endpoint_descriptions
+from repro.server.engine import ServerConfig, UaServer
+from repro.uabin.enums import ApplicationType
+from repro.util.ipaddr import format_ipv4
+from repro.util.rng import DeterministicRng
+from repro.util.simtime import SimClock, parse_utc
+from repro.x509.builder import CertificateBuilder
+from repro.x509.certificate import Certificate
+from repro.x509.name import DistinguishedName
+
+SWEEP_DATES: tuple[str, ...] = (
+    "2020-02-09",
+    "2020-03-01",
+    "2020-04-05",
+    "2020-05-04",
+    "2020-06-07",
+    "2020-07-05",
+    "2020-08-02",
+    "2020-08-30",
+)
+
+# Devices carrying one of the reused AutomataWerk certificates
+# (§5.5: 263 → 387 by August, still growing at +3/week).
+REUSE_COUNTS = (263, 283, 303, 323, 343, 363, 384, 400)
+# Servers (non-discovery) present per sweep.  The 714 non-reuse hosts
+# are stable; all growth comes from the continued roll-out of the
+# reuse-certificate devices — consistent with §5.5's observation that
+# the overall server count "marginally increased" while the reuse
+# family kept growing.
+SERVER_COUNTS = tuple(714 + reuse for reuse in REUSE_COUNTS)
+# Discovery servers per sweep.  Twenty servers sit on non-default
+# ports and are only *found* from the follow-references sweep on, so
+# measured totals = servers-found + discovery stay within the paper's
+# 1761–2069 range, peaking at 2020-05-04 and ending at 1921 (42 %
+# discovery share).
+DISCOVERY_COUNTS = (818, 823, 853, 1032, 933, 823, 763, 807)
+
+RENEWAL_TOTAL = 84
+RENEWALS_WITH_SOFTWARE_UPDATE = 9
+RENEWAL_UPGRADES = 7  # SHA-1 → SHA-256
+RENEWAL_DOWNGRADES = 1  # SHA-256 → SHA-1
+
+
+@dataclass
+class RenewalEvent:
+    """One certificate renewal observed between consecutive sweeps."""
+
+    host_index: int
+    sweep_index: int  # first sweep at which the NEW certificate appears
+    old_certificate: Certificate
+    new_certificate: Certificate
+    old_hash: str
+    new_hash: str
+    software_update: bool
+    old_software_version: str | None = None
+    new_software_version: str | None = None
+
+    @property
+    def is_upgrade(self) -> bool:
+        return self.old_hash == "sha1" and self.new_hash == "sha256"
+
+    @property
+    def is_downgrade(self) -> bool:
+        return self.old_hash == "sha256" and self.new_hash == "sha1"
+
+
+class StudyTimeline:
+    """Presence, renewals, and discovery fleet across the 8 sweeps."""
+
+    def __init__(
+        self,
+        builder: PopulationBuilder,
+        hosts: list[BuiltHost],
+        seed: int = 20200830,
+    ):
+        self._builder = builder
+        self._hosts = hosts
+        self._by_index = {h.index: h for h in hosts}
+        self._rng = DeterministicRng(seed, "timeline")
+        self._presence = self._plan_presence()
+        self.renewals = self._plan_renewals()
+        self._discovery_cache: dict[int, list[ServerConfig]] = {}
+
+    # --- presence ---------------------------------------------------------------
+
+    def _plan_presence(self) -> list[set[int]]:
+        """Which server hosts exist at each sweep.
+
+        Non-reuse hosts are stable; reuse-family devices roll out over
+        the study per :data:`REUSE_COUNTS`.
+        """
+        reuse = [h for h in self._hosts if h.row.reuse_group in ("R1", "R2", "R3")]
+        others = {h.index for h in self._hosts
+                  if h.row.reuse_group not in ("R1", "R2", "R3")}
+        # Deterministic roll-out order (R1 fully, then R2, then R3) so
+        # no reuse group is ever only partially deployed below the
+        # 3-host threshold the reuse analysis applies.
+        group_rank = {"R1": 0, "R2": 1, "R3": 2}
+        reuse_order = [
+            h.index
+            for h in sorted(
+                reuse, key=lambda h: (group_rank[h.row.reuse_group], h.index)
+            )
+        ]
+        presence = []
+        for sweep in range(len(SWEEP_DATES)):
+            reuse_present = set(reuse_order[: REUSE_COUNTS[sweep]])
+            presence.append(reuse_present | others)
+        return presence
+
+    def present_hosts(self, sweep: int) -> list[BuiltHost]:
+        return [self._by_index[i] for i in sorted(self._presence[sweep])]
+
+    def always_present_indices(self) -> set[int]:
+        result = set(self._presence[0])
+        for present in self._presence[1:]:
+            result &= present
+        return result
+
+    # --- renewals ----------------------------------------------------------------
+
+    def _plan_renewals(self) -> list[RenewalEvent]:
+        # Renewal hosts must be observable in *every* sweep: present
+        # throughout, on the default port (non-default ports are only
+        # discovered once follow-references starts), and not sharing a
+        # reuse certificate (a shared cert cannot renew on one host).
+        stable = sorted(
+            i for i in self.always_present_indices()
+            if self._by_index[i].port == 4840
+        )
+        rng = self._rng.substream("renewals")
+        # Hosts whose final cert is SHA-256 can model an upgrade; final
+        # SHA-1 hosts can model same-hash renewals or the downgrade.
+        sha256_hosts = [
+            i for i in stable
+            if self._by_index[i].certificate.signature_hash == "sha256"
+            and self._by_index[i].row.reuse_group is None
+        ]
+        sha1_hosts = [
+            i for i in stable
+            if self._by_index[i].certificate.signature_hash == "sha1"
+            and self._by_index[i].row.reuse_group is None
+        ]
+        upgrades = rng.sample(sha256_hosts, RENEWAL_UPGRADES)
+        downgrades = rng.sample(sha1_hosts, RENEWAL_DOWNGRADES)
+        taken = set(upgrades) | set(downgrades)
+        # Software-update renewals must land on accessible hosts: the
+        # SoftwareVersion field is only readable through the anonymous
+        # session, exactly as in the paper's §5.5 observation.
+        accessible_pool = [
+            i for i in stable
+            if self._by_index[i].row.accessible
+            and self._by_index[i].row.reuse_group is None
+            and not self._by_index[i].row.anon_on_secure_only
+            and i not in taken
+        ]
+        software_updaters = rng.sample(
+            accessible_pool, RENEWALS_WITH_SOFTWARE_UPDATE
+        )
+        taken |= set(software_updaters)
+        remaining_pool = [
+            i for i in sha1_hosts + sha256_hosts if i not in taken
+        ]
+        same_hash = rng.sample(
+            remaining_pool,
+            RENEWAL_TOTAL
+            - RENEWAL_UPGRADES
+            - RENEWAL_DOWNGRADES
+            - RENEWALS_WITH_SOFTWARE_UPDATE,
+        )
+        events = []
+        chosen = upgrades + downgrades + software_updaters + same_hash
+        software_update_flags = [False] * len(upgrades + downgrades) + [
+            True
+        ] * len(software_updaters) + [False] * len(same_hash)
+        for position, host_index in enumerate(chosen):
+            host = self._by_index[host_index]
+            new_hash = host.certificate.signature_hash
+            if host_index in upgrades:
+                old_hash = "sha1"
+            elif host_index in downgrades:
+                old_hash = "sha256"
+            else:
+                old_hash = new_hash
+            sweep_index = rng.randrange(1, len(SWEEP_DATES))
+            old_cert = self._make_old_certificate(host, old_hash)
+            event = RenewalEvent(
+                host_index=host_index,
+                sweep_index=sweep_index,
+                old_certificate=old_cert,
+                new_certificate=host.certificate,
+                old_hash=old_hash,
+                new_hash=new_hash,
+                software_update=software_update_flags[position],
+                old_software_version=self._older_version(host),
+                new_software_version=host.server.config.software_version,
+            )
+            host.renewal = event
+            events.append(event)
+        return events
+
+    def _make_old_certificate(self, host: BuiltHost, old_hash: str) -> Certificate:
+        """The pre-renewal certificate: same key, older validity."""
+        pair_key = host.server.config.private_key
+        rng = self._rng.substream(f"old-cert-{host.index}")
+        return (
+            CertificateBuilder()
+            .subject(host.certificate.subject)
+            .public_key(host.certificate.public_key)
+            .valid_from(parse_utc("2015-03-01"))
+            .valid_for_days(365 * 6)
+            .application_uri(host.certificate.application_uri or "urn:unknown")
+            .self_sign(pair_key, hash_name=old_hash, rng=rng)
+        )
+
+    def _older_version(self, host: BuiltHost) -> str:
+        version = host.server.config.software_version
+        parts = version.split(".")
+        if parts[0].isdigit() and int(parts[0]) > 1:
+            return ".".join([str(int(parts[0]) - 1)] + parts[1:])
+        return version + "-rc1"
+
+    # --- network assembly ----------------------------------------------------------
+
+    def network_for_sweep(self, sweep: int) -> SimNetwork:
+        """Assemble the simulated Internet as of sweep ``sweep``."""
+        date = parse_utc(SWEEP_DATES[sweep])
+        network = SimNetwork(SimClock(date))
+        for host in self.present_hosts(sweep):
+            self._apply_renewal_state(host, sweep)
+            sim_host = network.host(host.address)
+            if sim_host is None:
+                sim_host = SimHost(address=host.address, asn=host.asn)
+                network.add_host(sim_host)
+            sim_host.listen(host.port, host.server.new_connection)
+        for sim_host, server in self._discovery_hosts(sweep):
+            existing = network.host(sim_host.address)
+            if existing is None:
+                network.add_host(sim_host)
+                existing = sim_host
+            if 4840 not in existing.listeners:
+                existing.listen(4840, server.new_connection)
+        return network
+
+    def _apply_renewal_state(self, host: BuiltHost, sweep: int) -> None:
+        event = host.renewal
+        if event is None:
+            return
+        config = host.server.config
+        if sweep < event.sweep_index:
+            config.certificate = event.old_certificate
+            if event.software_update and event.old_software_version:
+                config.software_version = event.old_software_version
+                config.address_space.set_software_version(
+                    event.old_software_version
+                )
+        else:
+            config.certificate = event.new_certificate
+            if event.software_update and event.new_software_version:
+                config.software_version = event.new_software_version
+                config.address_space.set_software_version(
+                    event.new_software_version
+                )
+
+    # --- discovery fleet -------------------------------------------------------------
+
+    def _discovery_hosts(self, sweep: int):
+        """Discovery servers for this sweep (built once per sweep)."""
+        rng = self._rng.substream(f"discovery-{sweep}")
+        count = DISCOVERY_COUNTS[sweep]
+        present = self.present_hosts(sweep)
+        referenced = [h for h in present if h.port != 4840] or present[:5]
+        registry = self._builder.as_registry
+        result = []
+        for index in range(count):
+            asn = GENERIC_AS_BASE + rng.randrange(GENERIC_AS_COUNT)
+            address = registry.allocate_address(asn, rng)
+            # Each discovery server announces endpoints on 1-3 other
+            # hosts; non-default-port servers are over-represented so
+            # follow-references finds them.
+            announced = []
+            targets = rng.sample(
+                referenced, k=min(len(referenced), rng.randrange(1, 3))
+            ) + rng.sample(present, k=1)
+            for target in targets:
+                announced.extend(
+                    build_endpoint_descriptions(
+                        endpoint_url=target.url,
+                        application_uri=target.server.config.application_uri,
+                        product_uri=target.server.config.product_uri,
+                        application_name=target.server.config.application_name,
+                        application_type=ApplicationType.SERVER,
+                        endpoint_configs=target.server.config.endpoint_configs,
+                        token_types=target.server.config.token_types,
+                        certificate_der=(
+                            target.server.config.certificate.raw_der
+                            if target.server.config.certificate
+                            else None
+                        ),
+                    )
+                )
+            config = ServerConfig(
+                application_uri=f"{OPC_FOUNDATION.uri_prefix}:{sweep}:{index}",
+                application_name="UA Local Discovery Server",
+                endpoint_url=f"opc.tcp://{format_ipv4(address)}:4840/",
+                product_uri=OPC_FOUNDATION.product_uri,
+                application_type=ApplicationType.DISCOVERY_SERVER,
+                announced_endpoints=announced,
+            )
+            server = UaServer(config, rng.substream(f"lds-{index}"))
+            result.append((SimHost(address=address, asn=asn), server))
+        return result

@@ -1,0 +1,93 @@
+"""Deterministic, disk-cached RSA key provisioning.
+
+Pure-Python keygen costs ~0.25 s per 1024-bit prime, so generating the
+~800 distinct keys of the full population takes minutes.  Keys are
+deterministic in (study seed, key label, bits) and cached as JSON on
+disk, making every run after the first instant.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, generate_rsa_key
+from repro.util.rng import DeterministicRng
+
+DEFAULT_CACHE_DIR = Path(
+    os.environ.get("REPRO_KEYCACHE", Path(__file__).resolve().parents[3] / ".keycache")
+)
+
+
+class KeyFactory:
+    """Hands out deterministic RSA keys, one per (label, bits)."""
+
+    def __init__(self, seed: int, cache_dir: Path | None = None):
+        self._seed = seed
+        self._cache_dir = Path(cache_dir) if cache_dir else DEFAULT_CACHE_DIR
+        self._memory: dict[tuple[str, int], RsaKeyPair] = {}
+        self._generated = 0
+        self._loaded = 0
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"generated": self._generated, "loaded": self._loaded}
+
+    def key_for(self, label: str, bits: int) -> RsaKeyPair:
+        """Return the key for ``label``; generated at most once ever."""
+        cache_key = (label, bits)
+        if cache_key in self._memory:
+            return self._memory[cache_key]
+        pair = self._load_from_disk(label, bits)
+        if pair is None:
+            rng = DeterministicRng(self._seed, f"rsa-key/{label}/{bits}")
+            pair = generate_rsa_key(bits, rng)
+            self._generated += 1
+            self._store_to_disk(label, bits, pair)
+        else:
+            self._loaded += 1
+        self._memory[cache_key] = pair
+        return pair
+
+    # --- disk cache -----------------------------------------------------------
+
+    def _path_for(self, label: str, bits: int) -> Path:
+        safe = label.replace("/", "_").replace(":", "_")
+        return self._cache_dir / f"seed{self._seed}" / f"{safe}-{bits}.json"
+
+    def _load_from_disk(self, label: str, bits: int) -> RsaKeyPair | None:
+        path = self._path_for(label, bits)
+        if not path.exists():
+            return None
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+            key = RsaPrivateKey(
+                n=int(data["n"], 16),
+                e=int(data["e"], 16),
+                d=int(data["d"], 16),
+                p=int(data["p"], 16),
+                q=int(data["q"], 16),
+            )
+        except (KeyError, ValueError, json.JSONDecodeError):
+            return None
+        if key.bit_length != bits or key.p * key.q != key.n:
+            return None
+        return RsaKeyPair(key)
+
+    def _store_to_disk(self, label: str, bits: int, pair: RsaKeyPair) -> None:
+        path = self._path_for(label, bits)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        key = pair.private
+        payload = {
+            "n": f"{key.n:x}",
+            "e": f"{key.e:x}",
+            "d": f"{key.d:x}",
+            "p": f"{key.p:x}",
+            "q": f"{key.q:x}",
+        }
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)

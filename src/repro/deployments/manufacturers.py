@@ -1,0 +1,134 @@
+"""Manufacturer profiles.
+
+The paper attributes servers to manufacturers by manually clustering
+the ``ApplicationURI`` field (Section 4): Bachmann (406 devices in the
+last measurement), Beckhoff (112), Wago (78), discovery servers mostly
+running the OPC Foundation reference implementation, and a long tail.
+
+Two synthetic profiles model behaviours the paper describes without
+naming the vendor:
+
+* ``AutomataWerk`` — the industrial-control-system manufacturer whose
+  certificate was found identically on 385 hosts across 24 autonomous
+  systems (plus two more certificates on 9 and 6 hosts, §5.3);
+* ``ControlCorp`` — the manufacturer all of whose devices only provide
+  security mode and policy None (Appendix B.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Manufacturer:
+    """One vendor: URI templates plus namespace vocabulary."""
+
+    name: str
+    uri_prefix: str
+    product_uri: str
+    subject_organization: str
+    # Namespace URIs devices of this vendor expose (drives the paper's
+    # production/test classification heuristic, §5.4).
+    namespace_uris: tuple[str, ...]
+    sector: str = "factory automation"
+
+    def application_uri(self, device_index: int) -> str:
+        return f"{self.uri_prefix}:device:{device_index}"
+
+
+BACHMANN = Manufacturer(
+    name="Bachmann",
+    uri_prefix="urn:bachmann:m1",
+    product_uri="urn:bachmann:m1:controller",
+    subject_organization="Bachmann electronic GmbH",
+    namespace_uris=("http://bachmann.info/UA/M1",),
+    sector="energy systems",
+)
+
+BECKHOFF = Manufacturer(
+    name="Beckhoff",
+    uri_prefix="urn:beckhoff:twincat",
+    product_uri="urn:beckhoff:twincat:plc",
+    subject_organization="Beckhoff Automation",
+    namespace_uris=("urn:BeckhoffAutomation:Ua:PLC1",),
+    sector="building automation",
+)
+
+WAGO = Manufacturer(
+    name="Wago",
+    uri_prefix="urn:wago:pfc",
+    product_uri="urn:wago:pfc:controller",
+    subject_organization="WAGO Kontakttechnik",
+    namespace_uris=("http://wago.com/UA/Controller",),
+    sector="process automation",
+)
+
+AUTOMATAWERK = Manufacturer(
+    name="AutomataWerk",
+    uri_prefix="urn:automatawerk:ics",
+    product_uri="urn:automatawerk:ics:gateway",
+    subject_organization="AutomataWerk Industriesysteme GmbH",
+    namespace_uris=("http://automatawerk-industrie.de/UA/Energy",),
+    sector="energy technology and parking guidance",
+)
+
+CONTROLCORP = Manufacturer(
+    name="ControlCorp",
+    uri_prefix="urn:controlcorp:cx",
+    product_uri="urn:controlcorp:cx:plc",
+    subject_organization="ControlCorp Ltd",
+    namespace_uris=("http://controlcorp-automation.io/UA/CX",),
+    sector="factory automation",
+)
+
+OPC_FOUNDATION = Manufacturer(
+    name="OPC Foundation",
+    uri_prefix="urn:opcfoundation:ua:lds",
+    product_uri="urn:opcfoundation:ua:lds",
+    subject_organization="OPC Foundation",
+    namespace_uris=(),
+    sector="discovery",
+)
+
+OTHER = Manufacturer(
+    name="other",
+    uri_prefix="urn:generic:ua-server",
+    product_uri="urn:generic:ua-server:device",
+    subject_organization="Generic Automation",
+    namespace_uris=("http://generic-automation.net/UA/Device",),
+    sector="mixed",
+)
+
+MANUFACTURERS: tuple[Manufacturer, ...] = (
+    BACHMANN,
+    BECKHOFF,
+    WAGO,
+    AUTOMATAWERK,
+    CONTROLCORP,
+    OPC_FOUNDATION,
+    OTHER,
+)
+
+_BY_NAME = {m.name: m for m in MANUFACTURERS}
+
+
+def manufacturer_by_name(name: str) -> Manufacturer:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown manufacturer: {name!r}") from None
+
+
+def classify_application_uri(application_uri: str | None) -> str:
+    """The paper's manual ApplicationURI clustering, §4.
+
+    Maps a scanned ApplicationURI back to a manufacturer name; unknown
+    prefixes land in "other" like the paper's long tail.
+    """
+    if not application_uri:
+        return "other"
+    for manufacturer in MANUFACTURERS:
+        if application_uri.startswith(manufacturer.uri_prefix):
+            return manufacturer.name
+    return "other"

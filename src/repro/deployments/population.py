@@ -1,0 +1,411 @@
+"""Materialize the spec into servers, certificates, and network hosts.
+
+``PopulationBuilder`` is the bridge between the abstract spec and the
+running simulation: it plans autonomous systems (Figure 8b's
+concentrations), mints per-host RSA keys and certificates (sharing
+key+certificate inside reuse groups, §5.3), instantiates a fully
+configured :class:`~repro.server.engine.UaServer` per host, and
+registers everything with a :class:`~repro.netsim.net.SimNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+
+from repro.deployments.addresspaces import (
+    RightsProfile,
+    build_address_space,
+    draw_rights_profile,
+)
+from repro.deployments.keyfactory import KeyFactory
+from repro.deployments.manufacturers import (
+    Manufacturer,
+    manufacturer_by_name,
+    OPC_FOUNDATION,
+)
+from repro.deployments.profiles import CERT_CLASSES, POLICY_GROUPS, CertClass
+from repro.deployments.spec import (
+    AUTH,
+    PopulationSpec,
+    SC,
+    SpecRow,
+)
+from repro.netsim.asn import AsRegistry, AutonomousSystem
+from repro.netsim.net import SimHost, SimNetwork
+from repro.secure.policies import POLICY_NONE
+from repro.server.auth import Authenticator, UserDirectory
+from repro.server.endpoints import EndpointConfig
+from repro.server.engine import ServerBehavior, ServerConfig, UaServer
+from repro.uabin.enums import ApplicationType, MessageSecurityMode, UserTokenType
+from repro.util.ipaddr import CidrBlock, format_ipv4
+from repro.util.rng import DeterministicRng
+from repro.util.simtime import parse_utc
+from repro.x509.builder import CertificateBuilder
+from repro.x509.certificate import Certificate
+from repro.x509.name import DistinguishedName
+
+OPCUA_PORT = 4840
+
+# Autonomous-system plan (Appendix B.1.2): one ISP focused on
+# connecting (I)IoT devices carries a large share of the weak-cert and
+# reuse hosts; two regional ISPs concentrate deprecated policies and
+# anonymous access; the rest spreads over generic networks.
+AS_IIOT = 64600
+AS_REGIONAL_1 = 64610
+AS_REGIONAL_2 = 64611
+GENERIC_AS_BASE = 64700
+GENERIC_AS_COUNT = 45
+
+
+@dataclass
+class BuiltHost:
+    """One materialized deployment plus its ground truth."""
+
+    index: int
+    row: SpecRow
+    address: int
+    port: int
+    asn: int
+    server: UaServer
+    certificate: Certificate
+    key_label: str
+    rights: RightsProfile | None
+    deployed_at: datetime
+    # Set by the timeline when this host renews its certificate.
+    renewal: "object | None" = None
+
+    @property
+    def url(self) -> str:
+        return f"opc.tcp://{format_ipv4(self.address)}:{self.port}/"
+
+
+def build_as_registry() -> AsRegistry:
+    registry = AsRegistry()
+    registry.register(
+        AutonomousSystem(
+            AS_IIOT,
+            "IIoT Connect ISP",
+            [CidrBlock.parse("10.64.0.0/14")],
+            profile="iiot-isp",
+        )
+    )
+    registry.register(
+        AutonomousSystem(
+            AS_REGIONAL_1,
+            "Regional ISP North",
+            [CidrBlock.parse("10.80.0.0/15")],
+            profile="regional-isp",
+        )
+    )
+    registry.register(
+        AutonomousSystem(
+            AS_REGIONAL_2,
+            "Regional ISP South",
+            [CidrBlock.parse("10.82.0.0/15")],
+            profile="regional-isp",
+        )
+    )
+    for offset in range(GENERIC_AS_COUNT):
+        registry.register(
+            AutonomousSystem(
+                GENERIC_AS_BASE + offset,
+                f"Enterprise-{offset:02d}",
+                [CidrBlock.parse(f"10.{100 + offset}.0.0/16")],
+            )
+        )
+    return registry
+
+
+class PopulationBuilder:
+    """Builds all hosts of the latest-measurement population."""
+
+    def __init__(
+        self,
+        spec: PopulationSpec,
+        seed: int = 20200830,
+        key_factory: KeyFactory | None = None,
+        compact_address_spaces: bool = True,
+    ):
+        self._spec = spec
+        self._seed = seed
+        self._rng = DeterministicRng(seed, "population")
+        self._keys = key_factory or KeyFactory(seed)
+        self._registry = build_as_registry()
+        self._reuse_certs: dict[str, tuple[Certificate, object, str]] = {}
+        self._compact = compact_address_spaces
+
+    @property
+    def as_registry(self) -> AsRegistry:
+        return self._registry
+
+    # --- host construction ---------------------------------------------------
+
+    def build_hosts(self) -> list[BuiltHost]:
+        """Materialize every server host of the final population."""
+        hosts = []
+        reference_port_hosts = self._pick_reference_port_hosts()
+        for index, row in self._spec.expand():
+            hosts.append(
+                self._build_one(index, row, 4841 if index in reference_port_hosts else OPCUA_PORT)
+            )
+        return hosts
+
+    def _pick_reference_port_hosts(self) -> set[int]:
+        """~20 servers live on port 4841, found only via references.
+
+        These model Figure 2's "non-default port" hosts that joined the
+        dataset once the scanner started following endpoint references
+        (2020-05-04).  They must be reachable and harmless to overall
+        counts, so accessible/auth-rejected rows are preferred.
+        """
+        rng = self._rng.substream("reference-port")
+        eligible = [
+            index
+            for index, row in self._spec.expand()
+            if row.outcome == AUTH
+            and not row.offers_anonymous
+            and row.reuse_group is None  # keep §5.5's family counts exact
+        ]
+        return set(rng.sample(eligible, k=min(20, len(eligible))))
+
+    def _build_one(self, index: int, row: SpecRow, port: int) -> BuiltHost:
+        rng = self._rng.substream(f"host-{index}")
+        manufacturer = manufacturer_by_name(row.manufacturer)
+        asn = self._asn_for(row, index, rng)
+        address = self._registry.allocate_address(asn, rng)
+        url = f"opc.tcp://{format_ipv4(address)}:{port}/"
+
+        certificate, private_key, key_label = self._certificate_for(
+            index, row, manufacturer, url, rng
+        )
+
+        endpoint_configs = self._endpoint_configs_for(row)
+        rights = None
+        if row.accessible:
+            rights = draw_rights_profile(rng.substream("rights"))
+            # ~10 % of accessible systems expose operator contact data
+            # (the paper could identify contacts for 50 of 493).
+            contact = None
+            if rng.substream("contact").random() < 0.101:
+                contact = (
+                    f"operator-{index}@"
+                    f"{manufacturer.name.lower().replace(' ', '-')}-plant.example.org"
+                )
+            space = build_address_space(
+                row.outcome,
+                manufacturer,
+                rights,
+                rng.substream("space"),
+                contact_email=contact,
+            )
+        elif self._compact:
+            space = None  # non-accessible hosts never expose their space
+        else:
+            space = build_address_space(
+                "inaccessible", manufacturer, draw_rights_profile(
+                    rng.substream("rights")
+                ), rng.substream("space"),
+            )
+
+        directory = UserDirectory()
+        directory.add_user("plant-operator", rng.token_bytes(12).hex())
+        behavior = ServerBehavior(
+            reject_untrusted_client_certs=(row.outcome == SC),
+            faulty_session_config=(
+                row.outcome == AUTH and row.offers_anonymous
+            ),
+        )
+        config = ServerConfig(
+            application_uri=manufacturer.application_uri(index),
+            application_name=f"{manufacturer.name} OPC UA Server",
+            endpoint_url=url,
+            product_uri=manufacturer.product_uri,
+            application_type=ApplicationType.SERVER,
+            certificate=certificate,
+            private_key=private_key,
+            endpoint_configs=endpoint_configs,
+            token_types=list(row.token_combo),
+            authenticator=Authenticator(
+                allowed_token_types=set(row.token_combo), directory=directory
+            ),
+            address_space=space,
+            behavior=behavior,
+            software_version=self._software_version(manufacturer, rng),
+        )
+        server = UaServer(config, rng.substream("server"))
+        return BuiltHost(
+            index=index,
+            row=row,
+            address=address,
+            port=port,
+            asn=asn,
+            server=server,
+            certificate=certificate,
+            key_label=key_label,
+            rights=rights,
+            deployed_at=parse_utc("2020-01-01"),
+        )
+
+    # --- attribute helpers -----------------------------------------------------
+
+    def _asn_for(self, row: SpecRow, index: int, rng: DeterministicRng) -> int:
+        """AS placement implementing Figure 8b's concentrations."""
+        if row.reuse_group == "R1":
+            # 385 devices across exactly 24 ASes, weighted toward the
+            # IIoT ISP (the paper's extreme case).
+            bucket = rng.substream("as").randrange(100)
+            if bucket < 55:
+                return AS_IIOT
+            return GENERIC_AS_BASE + (index % 23)
+        if row.reuse_group == "R2":
+            return (AS_IIOT, *range(GENERIC_AS_BASE, GENERIC_AS_BASE + 7))[index % 8]
+        if row.reuse_group == "R3":
+            return (AS_IIOT, *range(GENERIC_AS_BASE + 7, GENERIC_AS_BASE + 11))[
+                index % 5
+            ]
+        cert = CERT_CLASSES[row.cert_class]
+        if cert.signature_hash != "sha256" and row.policy_group in ("P4", "P4s1"):
+            # Weak-certificate hosts cluster on the IIoT ISP.
+            if rng.substream("as").random() < 0.45:
+                return AS_IIOT
+        group = POLICY_GROUPS[row.policy_group]
+        most = max(group.policies, key=lambda p: p.security_rank)
+        if most.is_deprecated and row.offers_anonymous:
+            # Deprecated + anonymous: the two regional ISPs.
+            return AS_REGIONAL_1 if index % 2 else AS_REGIONAL_2
+        return GENERIC_AS_BASE + rng.substream("as").randrange(GENERIC_AS_COUNT)
+
+    def _endpoint_configs_for(self, row: SpecRow) -> list[EndpointConfig]:
+        group = POLICY_GROUPS[row.policy_group]
+        configs = []
+        for mode in row.mode_set:
+            if mode == MessageSecurityMode.NONE:
+                tokens = None
+                if row.anon_on_secure_only:
+                    tokens = tuple(
+                        t for t in row.token_combo
+                        if t != UserTokenType.ANONYMOUS
+                    ) or (UserTokenType.USERNAME,)
+                configs.append(
+                    EndpointConfig(mode, POLICY_NONE, token_types=tokens)
+                )
+                continue
+            for policy in group.policies:
+                if policy is POLICY_NONE:
+                    continue
+                configs.append(EndpointConfig(mode, policy))
+        return configs
+
+    # Two hosts carry CA-signed certificates (paper §5.2: "99 %
+    # self-signed, 2 CA signed").
+    CA_SIGNED_INDEXES = (7, 8)
+
+    def _certificate_for(
+        self,
+        index: int,
+        row: SpecRow,
+        manufacturer: Manufacturer,
+        url: str,
+        rng: DeterministicRng,
+    ):
+        if row.reuse_group is not None:
+            cached = self._reuse_certs.get(row.reuse_group)
+            if cached is not None:
+                return cached
+        cert_class = CERT_CLASSES[row.cert_class]
+        key_label = row.reuse_group or f"host-{index}"
+        pair = self._keys.key_for(key_label, cert_class.key_bits)
+        not_before = self._not_before_for(cert_class, rng)
+        common_name = (
+            f"{manufacturer.name}-device-{index}"
+            if row.reuse_group is None
+            else f"{manufacturer.name}-image"
+        )
+        builder = (
+            CertificateBuilder()
+            .subject(
+                DistinguishedName.build(
+                    common_name=common_name,
+                    organization=manufacturer.subject_organization,
+                )
+            )
+            .public_key(pair.public)
+            .valid_from(not_before)
+            .valid_for_days(365 * 10)
+            .application_uri(
+                manufacturer.application_uri(index)
+                if row.reuse_group is None
+                else f"{manufacturer.uri_prefix}:image"
+            )
+        )
+        if index in self.CA_SIGNED_INDEXES and row.reuse_group is None:
+            ca_key = self._keys.key_for("study-ca", 2048)
+            certificate = builder.sign_with_ca(
+                ca_key.private,
+                DistinguishedName.build(
+                    common_name="Industrial Device CA",
+                    organization="Industrial CA Services",
+                ),
+                hash_name=cert_class.signature_hash,
+                rng=rng.substream("cert"),
+            )
+        else:
+            certificate = builder.self_sign(
+                pair.private,
+                hash_name=cert_class.signature_hash,
+                rng=rng.substream("cert"),
+            )
+        result = (certificate, pair.private, key_label)
+        if row.reuse_group is not None:
+            self._reuse_certs[row.reuse_group] = result
+        return result
+
+    def _not_before_for(
+        self, cert_class: CertClass, rng: DeterministicRng
+    ) -> datetime:
+        """Certificate creation dates driving §5.5's age analysis.
+
+        Roughly half of the SHA-1 certificates were minted *after* the
+        2017 deprecation of the SHA-1 policies, most of those after
+        2019 — the paper's evidence that insecure deployments continue.
+        """
+        draw = rng.substream("age").random()
+        if cert_class.signature_hash == "sha1":
+            if draw < 0.44:
+                return self._random_date(rng, "2019-01-01", "2020-06-01")
+            if draw < 0.51:
+                return self._random_date(rng, "2017-06-01", "2018-12-31")
+            return self._random_date(rng, "2012-01-01", "2017-05-31")
+        if cert_class.signature_hash == "md5":
+            return self._random_date(rng, "2010-01-01", "2014-12-31")
+        return self._random_date(rng, "2018-01-01", "2020-06-01")
+
+    def _random_date(
+        self, rng: DeterministicRng, start: str, end: str
+    ) -> datetime:
+        start_dt = parse_utc(start)
+        end_dt = parse_utc(end)
+        seconds = int((end_dt - start_dt).total_seconds())
+        return start_dt + timedelta(
+            seconds=rng.substream("date").randrange(max(seconds, 1))
+        )
+
+    def _software_version(
+        self, manufacturer: Manufacturer, rng: DeterministicRng
+    ) -> str:
+        major = rng.randrange(1, 4)
+        minor = rng.randrange(0, 12)
+        patch = rng.randrange(0, 30)
+        return f"{major}.{minor}.{patch}"
+
+
+def install_hosts(network: SimNetwork, hosts: list[BuiltHost]) -> None:
+    """Register built hosts (and their listeners) with the network."""
+    for built in hosts:
+        sim_host = network.host(built.address)
+        if sim_host is None:
+            sim_host = SimHost(address=built.address, asn=built.asn)
+            network.add_host(sim_host)
+        sim_host.listen(built.port, built.server.new_connection)
+        sim_host.tags[f"row:{built.port}"] = built.row.row_id

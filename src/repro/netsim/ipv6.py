@@ -1,0 +1,91 @@
+"""IPv6 support for the simulated Internet (paper future work, §6).
+
+The paper scanned IPv4 only and conjectured that IPv6-reachable
+OPC UA devices are "not configured more securely".  This module adds
+what an IPv6 measurement needs: address parsing/formatting, prefix
+blocks, and *hitlist-based* discovery — sweeping 2**128 addresses is
+impossible, so real IPv6 scans probe curated hitlists (e.g. from DNS,
+certificates, or IPv4-correlated addresses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.blocklist import Blocklist
+from repro.netsim.net import SimNetwork
+from repro.util.ipaddr import MAX_IPV6, format_ipv6, parse_ipv6
+from repro.util.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class Ipv6Block:
+    """An IPv6 prefix, e.g. ``Ipv6Block.parse("2001:db8::/32")``."""
+
+    network: int
+    prefix_len: int
+
+    def __post_init__(self):
+        if not 0 <= self.prefix_len <= 128:
+            raise ValueError(f"invalid prefix length: {self.prefix_len}")
+        if self.network & ~self.mask & MAX_IPV6:
+            raise ValueError("network address has host bits set")
+
+    @classmethod
+    def parse(cls, text: str) -> "Ipv6Block":
+        addr, sep, plen = text.partition("/")
+        if not sep:
+            raise ValueError(f"missing prefix length in {text!r}")
+        return cls(parse_ipv6(addr), int(plen))
+
+    @property
+    def mask(self) -> int:
+        if self.prefix_len == 0:
+            return 0
+        return (MAX_IPV6 << (128 - self.prefix_len)) & MAX_IPV6
+
+    def __contains__(self, address: int) -> bool:
+        return (address & self.mask) == self.network
+
+    def address_at(self, index: int) -> int:
+        if index >> (128 - self.prefix_len):
+            raise IndexError(f"index outside /{self.prefix_len}")
+        return self.network + index
+
+
+@dataclass
+class HitlistScanResult:
+    port: int
+    probed: int = 0
+    excluded: int = 0
+    open_addresses: list[int] = field(default_factory=list)
+
+
+def sweep_hitlist(
+    network: SimNetwork,
+    port: int,
+    hitlist: list[int],
+    rng: DeterministicRng,
+    blocklist: Blocklist | None = None,
+) -> HitlistScanResult:
+    """Probe a curated IPv6 hitlist on ``port``.
+
+    Unlike the IPv4 sweep there is no exhaustive enumeration; coverage
+    is exactly the hitlist's coverage — the structural limitation of
+    IPv6 scanning the paper alludes to.
+    """
+    blocklist = blocklist or Blocklist()
+    result = HitlistScanResult(port=port)
+    seen: set[int] = set()
+    for address in rng.shuffled(hitlist):
+        if address in seen:
+            continue
+        seen.add(address)
+        if address in blocklist:
+            result.excluded += 1
+            continue
+        result.probed += 1
+        if network.syn(address, port):
+            result.open_addresses.append(address)
+    result.open_addresses.sort()
+    return result

@@ -1,0 +1,39 @@
+"""Latency model for the simulated Internet.
+
+Scan duration matters to the study only in aggregate (the paper
+spreads a sweep over ~24 hours and paces traversals at 500 ms per
+request); a simple per-AS base RTT plus jitter reproduces those
+dynamics on the simulated clock without pretending to be ns-accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.rng import DeterministicRng
+
+
+@dataclass
+class LatencyModel:
+    """Round-trip-time model: base per AS, jitter per operation."""
+
+    rng: DeterministicRng
+    default_rtt_s: float = 0.04
+    jitter_fraction: float = 0.3
+    per_asn_rtt: dict[int, float] = field(default_factory=dict)
+
+    def set_asn_rtt(self, asn: int, rtt_s: float) -> None:
+        self.per_asn_rtt[asn] = rtt_s
+
+    def rtt(self, asn: int | None) -> float:
+        base = self.per_asn_rtt.get(asn, self.default_rtt_s)
+        jitter = base * self.jitter_fraction
+        return max(0.001, base + self.rng.uniform(-jitter, jitter))
+
+
+@dataclass
+class ZeroLatency:
+    """Latency model used by unit tests: every exchange is free."""
+
+    def rtt(self, asn: int | None) -> float:
+        return 0.0

@@ -1,0 +1,126 @@
+"""The simulated network core: hosts, listeners, and sockets.
+
+A host registers listeners per TCP port; each listener is a factory
+returning a connection object with a ``receive(bytes) -> bytes``
+method (the shape of :class:`repro.server.engine.ServerConnection`).
+Connecting yields a :class:`SimSocket` whose ``write``/``read`` pair
+models a synchronous request/response exchange and advances the
+simulated clock by the modelled RTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.latency import ZeroLatency
+from repro.util.ipaddr import format_ipv4
+from repro.util.simtime import SimClock
+
+
+class ConnectionRefused(Exception):
+    """No listener on the target port."""
+
+
+class HostDown(Exception):
+    """No host at the target address."""
+
+
+@dataclass
+class SimHost:
+    """One addressable machine."""
+
+    address: int
+    asn: int | None = None
+    listeners: dict[int, object] = field(default_factory=dict)
+    # Tags let the population builder annotate ground truth (never
+    # visible to the scanner).
+    tags: dict[str, object] = field(default_factory=dict)
+
+    def listen(self, port: int, connection_factory) -> None:
+        if port in self.listeners:
+            raise ValueError(
+                f"port {port} already bound on {format_ipv4(self.address)}"
+            )
+        self.listeners[port] = connection_factory
+
+    def close_port(self, port: int) -> None:
+        self.listeners.pop(port, None)
+
+
+class SimSocket:
+    """A connected TCP-ish byte stream with RTT accounting."""
+
+    def __init__(self, connection, clock: SimClock, latency, asn: int | None):
+        self._connection = connection
+        self._clock = clock
+        self._latency = latency
+        self._asn = asn
+        self._inbox = bytearray()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.closed = False
+
+    def write(self, data: bytes) -> None:
+        if self.closed:
+            raise ConnectionRefused("socket is closed")
+        self._clock.advance(self._latency.rtt(self._asn))
+        self.bytes_sent += len(data)
+        response = self._connection.receive(data)
+        self.bytes_received += len(response)
+        self._inbox.extend(response)
+        if getattr(self._connection, "closed", False) and not self._inbox:
+            self.closed = True
+
+    def read(self) -> bytes:
+        out = bytes(self._inbox)
+        self._inbox.clear()
+        return out
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class SimNetwork:
+    """Registry of hosts plus the connect() entry point."""
+
+    def __init__(self, clock: SimClock | None = None, latency=None):
+        self.clock = clock or SimClock()
+        self.latency = latency or ZeroLatency()
+        self._hosts: dict[int, SimHost] = {}
+
+    def add_host(self, host: SimHost) -> SimHost:
+        if host.address in self._hosts:
+            raise ValueError(
+                f"duplicate host address: {format_ipv4(host.address)}"
+            )
+        self._hosts[host.address] = host
+        return host
+
+    def remove_host(self, address: int) -> None:
+        self._hosts.pop(address, None)
+
+    def host(self, address: int) -> SimHost | None:
+        return self._hosts.get(address)
+
+    def hosts(self) -> list[SimHost]:
+        return list(self._hosts.values())
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def syn(self, address: int, port: int) -> bool:
+        """zmap-style probe: is the port open? (no data exchanged)"""
+        host = self._hosts.get(address)
+        return host is not None and port in host.listeners
+
+    def connect(self, address: int, port: int) -> SimSocket:
+        host = self._hosts.get(address)
+        if host is None:
+            raise HostDown(f"no host at {format_ipv4(address)}")
+        factory = host.listeners.get(port)
+        if factory is None:
+            raise ConnectionRefused(
+                f"{format_ipv4(address)}:{port} refused the connection"
+            )
+        connection = factory()
+        return SimSocket(connection, self.clock, self.latency, host.asn)

@@ -1,0 +1,13 @@
+"""Rendering: ASCII tables, bar charts, and paper-vs-measured figures."""
+
+from repro.reporting.tables import render_table
+from repro.reporting.charts import render_bars, render_cdf
+from repro.reporting.figures import Comparison, ExperimentReport
+
+__all__ = [
+    "Comparison",
+    "ExperimentReport",
+    "render_bars",
+    "render_cdf",
+    "render_table",
+]

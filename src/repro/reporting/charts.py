@@ -1,0 +1,39 @@
+"""Plain-text bar charts and CDF sketches for terminal output."""
+
+from __future__ import annotations
+
+
+def render_bars(
+    data: dict[str, int | float], width: int = 50, title: str | None = None
+) -> str:
+    """Horizontal bars scaled to the maximum value."""
+    out = []
+    if title:
+        out.append(title)
+    if not data:
+        return "\n".join(out + ["(no data)"])
+    peak = max(data.values()) or 1
+    label_width = max(len(str(label)) for label in data)
+    for label, value in data.items():
+        bar = "#" * max(1 if value else 0, round(width * value / peak))
+        display = f"{value:.2f}" if isinstance(value, float) else str(value)
+        out.append(f"{str(label).ljust(label_width)} |{bar} {display}")
+    return "\n".join(out)
+
+
+def render_cdf(
+    fractions: list[float],
+    label: str,
+    points: int = 10,
+) -> str:
+    """Sketch a survival curve: host quantile -> node fraction."""
+    if not fractions:
+        return f"{label}: (no data)"
+    values = sorted(fractions, reverse=True)
+    out = [f"{label} (hosts -> share of nodes):"]
+    for step in range(1, points + 1):
+        quantile = step / points
+        index = min(len(values) - 1, max(0, int(quantile * len(values)) - 1))
+        bar = "*" * round(40 * values[index])
+        out.append(f"  {quantile:4.0%} of hosts |{bar} {values[index]:.2f}")
+    return "\n".join(out)

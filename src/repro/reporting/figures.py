@@ -1,0 +1,60 @@
+"""Experiment report objects: paper value vs. measured value."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Comparison:
+    """One metric compared against the paper."""
+
+    metric: str
+    paper: object
+    measured: object
+
+    @property
+    def matches_exactly(self) -> bool:
+        return self.paper == self.measured
+
+    def relative_error(self) -> float | None:
+        try:
+            paper = float(self.paper)
+            measured = float(self.measured)
+        except (TypeError, ValueError):
+            return None
+        if paper == 0:
+            return None if measured == 0 else float("inf")
+        return abs(measured - paper) / abs(paper)
+
+
+@dataclass
+class ExperimentReport:
+    """The output of one experiment regeneration."""
+
+    experiment_id: str
+    title: str
+    comparisons: list[Comparison] = field(default_factory=list)
+    body: str = ""
+
+    def add(self, metric: str, paper, measured) -> None:
+        self.comparisons.append(Comparison(metric, paper, measured))
+
+    def exact_matches(self) -> int:
+        return sum(1 for c in self.comparisons if c.matches_exactly)
+
+    def render(self) -> str:
+        from repro.reporting.tables import render_table
+
+        rows = [
+            [c.metric, c.paper, c.measured, "=" if c.matches_exactly else "~"]
+            for c in self.comparisons
+        ]
+        table = render_table(
+            ["metric", "paper", "measured", ""],
+            rows,
+            title=f"{self.experiment_id}: {self.title}",
+        )
+        if self.body:
+            return f"{table}\n\n{self.body}"
+        return table

@@ -1,0 +1,26 @@
+"""Plain-text table rendering."""
+
+from __future__ import annotations
+
+
+def render_table(
+    headers: list[str], rows: list[list], title: str | None = None
+) -> str:
+    """Render a padded ASCII table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+
+    def line(values):
+        return "  ".join(v.ljust(widths[i]) for i, v in enumerate(values)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)

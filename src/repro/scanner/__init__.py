@@ -1,0 +1,46 @@
+"""The OPC UA scan pipeline (the paper's zgrab2 module, §4).
+
+Stages: the port sweep (:mod:`repro.netsim.tcpscan`) finds open
+TCP/4840 ports; :mod:`repro.scanner.grabber` speaks OPC UA to each
+responder; :mod:`repro.scanner.traversal` walks anonymous-accessible
+address spaces under the paper's rate/time/traffic budgets; and
+:mod:`repro.scanner.campaign` orchestrates weekly measurements
+including the follow-references stage added on 2020-05-04.
+"""
+
+from repro.scanner.records import (
+    CertificateInfo,
+    EndpointRecord,
+    HostRecord,
+    MeasurementSnapshot,
+    NodeSummary,
+    SecureChannelAttempt,
+    SessionAttempt,
+)
+from repro.scanner.limits import TraversalBudget
+from repro.scanner.grabber import grab_host
+from repro.scanner.traversal import traverse_address_space
+from repro.scanner.campaign import ScanCampaign, ScannerIdentity
+from repro.scanner.ethics import (
+    NotificationCampaign,
+    find_contact_addresses,
+    measure_remediation,
+)
+
+__all__ = [
+    "CertificateInfo",
+    "EndpointRecord",
+    "HostRecord",
+    "MeasurementSnapshot",
+    "NodeSummary",
+    "NotificationCampaign",
+    "ScanCampaign",
+    "ScannerIdentity",
+    "SecureChannelAttempt",
+    "SessionAttempt",
+    "TraversalBudget",
+    "find_contact_addresses",
+    "grab_host",
+    "measure_remediation",
+    "traverse_address_space",
+]

@@ -1,0 +1,157 @@
+"""Campaign orchestration: weekly sweeps + follow-references.
+
+A campaign binds the scanner identity (self-signed certificate with
+contact information, as the paper's ethics appendix describes), the
+opt-out blocklist, and the per-host traversal budget; ``run_sweep``
+produces one dated :class:`MeasurementSnapshot`.
+
+From 2020-05-04 on, the paper also connected to host/port combinations
+listed as endpoints on already-scanned servers ("follow references",
+visible in Figure 2); ``follow_references=True`` reproduces that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.client import ClientIdentity
+from repro.netsim.blocklist import Blocklist
+from repro.netsim.net import SimNetwork
+from repro.netsim.tcpscan import sweep_port
+from repro.scanner.grabber import grab_host
+from repro.scanner.limits import TraversalBudget
+from repro.scanner.records import HostRecord, MeasurementSnapshot
+from repro.util.ipaddr import parse_ipv4
+from repro.util.rng import DeterministicRng
+from repro.util.simtime import format_utc
+
+OPCUA_PORT = 4840
+
+
+@dataclass(frozen=True)
+class ScannerIdentity:
+    """The measurement client's identity (paper Appendix A.2)."""
+
+    client_identity: ClientIdentity
+    contact_url: str = "https://scan-research.example.org"
+    reverse_dns: str = "research-scanner.example.org"
+
+
+class ScanCampaign:
+    """Weekly measurement campaign over a simulated Internet."""
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        identity: ScannerIdentity,
+        rng: DeterministicRng,
+        blocklist: Blocklist | None = None,
+        budget: TraversalBudget | None = None,
+        port: int = OPCUA_PORT,
+    ):
+        self._network = network
+        self._identity = identity
+        self._rng = rng
+        self._blocklist = blocklist or Blocklist()
+        self._budget_template = budget or TraversalBudget()
+        self._port = port
+
+    def run_sweep(
+        self,
+        label: str | None = None,
+        follow_references: bool = False,
+        extra_candidates: int = 0,
+        traverse: bool = True,
+    ) -> MeasurementSnapshot:
+        """One full sweep: port scan, grab every responder, follow refs."""
+        date = label or format_utc(self._network.clock.now())[:10]
+        sweep_rng = self._rng.substream(f"sweep-{date}")
+        scan = sweep_port(
+            self._network,
+            self._port,
+            sweep_rng,
+            blocklist=self._blocklist,
+            extra_candidates=extra_candidates,
+        )
+        snapshot = MeasurementSnapshot(
+            date=date,
+            probed=scan.probed,
+            port_open=scan.open_count,
+            excluded=scan.excluded,
+        )
+        grabbed: set[tuple[int, int]] = set()
+        for address in scan.open_addresses:
+            record = self._grab(address, self._port, sweep_rng, False, traverse)
+            snapshot.records.append(record)
+            grabbed.add((address, self._port))
+
+        if follow_references:
+            for target in self._referenced_targets(snapshot.records):
+                if target in grabbed:
+                    continue
+                address, port = target
+                if address in self._blocklist:
+                    continue
+                record = self._grab(address, port, sweep_rng, True, traverse)
+                if record.tcp_open:
+                    snapshot.records.append(record)
+                grabbed.add(target)
+        return snapshot
+
+    def _grab(
+        self,
+        address: int,
+        port: int,
+        rng: DeterministicRng,
+        via_reference: bool,
+        traverse: bool = True,
+    ) -> HostRecord:
+        budget = replace(self._budget_template)
+        return grab_host(
+            self._network,
+            address,
+            port,
+            self._identity.client_identity,
+            rng,
+            budget=budget,
+            via_reference=via_reference,
+            traverse=traverse,
+        )
+
+    def _referenced_targets(self, records) -> list[tuple[int, int]]:
+        """host/port combinations named in scanned endpoint URLs."""
+        targets = []
+        seen = set()
+        for record in records:
+            for endpoint in record.endpoints:
+                parsed = parse_endpoint_url(endpoint.endpoint_url)
+                if parsed is None:
+                    continue
+                if parsed == (record.ip, record.port):
+                    continue
+                if parsed not in seen:
+                    seen.add(parsed)
+                    targets.append(parsed)
+        return targets
+
+
+def parse_endpoint_url(url: str | None) -> tuple[int, int] | None:
+    """Parse ``opc.tcp://a.b.c.d:port/...`` into (address, port)."""
+    if not url or not url.startswith("opc.tcp://"):
+        return None
+    rest = url[len("opc.tcp://") :]
+    host_port = rest.split("/", 1)[0]
+    host, _, port_text = host_port.partition(":")
+    try:
+        address = parse_ipv4(host)
+    except ValueError:
+        return None
+    if not port_text:
+        return address, OPCUA_PORT
+    try:
+        port = int(port_text)
+    except ValueError:
+        return None
+    if not 0 < port < 65536:
+        return None
+    return address, port

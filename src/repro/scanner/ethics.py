@@ -1,0 +1,138 @@
+"""Responsible-disclosure workflow (paper Appendix A).
+
+The authors searched accessible address spaces for operator contact
+information (e.g. nodes containing e-mail addresses), notified the
+operators of 50 systems, and tracked the (sparse) responses: two
+replies, and exactly one system that subsequently implemented access
+control.  This module implements that workflow over scan records:
+
+* :func:`find_contact_addresses` — e-mail discovery in readable node
+  values;
+* :class:`NotificationCampaign` — outreach bookkeeping with
+  per-operator state;
+* :func:`measure_remediation` — compare a later snapshot against the
+  notified set to see who actually fixed their configuration.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.scanner.records import HostRecord, MeasurementSnapshot
+
+_EMAIL_RE = re.compile(
+    r"[a-zA-Z0-9._%+-]+@[a-zA-Z0-9.-]+\.[a-zA-Z]{2,}"
+)
+
+
+def find_contact_addresses(values: list[str]) -> list[str]:
+    """Extract e-mail addresses from readable node values."""
+    found = []
+    for value in values:
+        if not isinstance(value, str):
+            continue
+        for match in _EMAIL_RE.findall(value):
+            if match not in found:
+                found.append(match)
+    return found
+
+
+@dataclass
+class Notification:
+    """One outreach attempt to one operator."""
+
+    ip: int
+    port: int
+    contact: str
+    sent_on: str
+    channel: str = "email"
+    replied: bool = False
+    remediated: bool = False
+
+
+@dataclass
+class NotificationCampaign:
+    """Tracks which operators of accessible systems were notified."""
+
+    notifications: list[Notification] = field(default_factory=list)
+
+    def notify_from_snapshot(
+        self,
+        snapshot: MeasurementSnapshot,
+        contact_values: dict[tuple[int, int], list[str]],
+    ) -> int:
+        """Create notifications for accessible hosts with contacts.
+
+        ``contact_values`` maps (ip, port) to readable string values
+        collected during traversal; only hosts whose values contain an
+        e-mail address can be contacted (the paper reached 50 of 493).
+        """
+        sent = 0
+        already = {(n.ip, n.port) for n in self.notifications}
+        for record in snapshot.records:
+            if not record.anonymous_accessible():
+                continue
+            key = (record.ip, record.port)
+            if key in already:
+                continue
+            contacts = find_contact_addresses(contact_values.get(key, []))
+            if not contacts:
+                continue
+            self.notifications.append(
+                Notification(
+                    ip=record.ip,
+                    port=record.port,
+                    contact=contacts[0],
+                    sent_on=snapshot.date,
+                )
+            )
+            sent += 1
+        return sent
+
+    @property
+    def contacted_hosts(self) -> set[tuple[int, int]]:
+        return {(n.ip, n.port) for n in self.notifications}
+
+    def record_reply(self, ip: int, port: int) -> None:
+        for notification in self.notifications:
+            if (notification.ip, notification.port) == (ip, port):
+                notification.replied = True
+                return
+        raise KeyError(f"no notification for {(ip, port)}")
+
+    @property
+    def reply_count(self) -> int:
+        return sum(1 for n in self.notifications if n.replied)
+
+
+def measure_remediation(
+    campaign: NotificationCampaign, later_snapshot: MeasurementSnapshot
+) -> dict[str, int]:
+    """Did notified operators fix their systems by ``later_snapshot``?
+
+    A system counts as remediated when it is still online but no
+    longer anonymously accessible; offline systems are reported
+    separately (the paper found all but three still online, and one
+    system with access control added).
+    """
+    by_key = {(r.ip, r.port): r for r in later_snapshot.records}
+    remediated = 0
+    still_open = 0
+    offline = 0
+    for notification in campaign.notifications:
+        record = by_key.get((notification.ip, notification.port))
+        if record is None or not record.is_opcua:
+            offline += 1
+            continue
+        if record.anonymous_accessible():
+            still_open += 1
+        else:
+            remediated += 1
+            notification.remediated = True
+    return {
+        "notified": len(campaign.notifications),
+        "remediated": remediated,
+        "still_open": still_open,
+        "offline": offline,
+    }

@@ -1,0 +1,48 @@
+"""Scan budgets (paper Appendix A.2).
+
+The paper paced address-space traversal at 500 ms between requests and
+capped each host at 60 minutes of scan time and 50 MB of outgoing
+traffic.  The budget object tracks all three against the simulated
+clock and the socket's byte counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+
+@dataclass
+class TraversalBudget:
+    inter_request_delay_s: float = 0.5
+    max_scan_seconds: float = 3600.0
+    max_bytes: int = 50 * 1024 * 1024
+
+    started_at: datetime | None = None
+    requests_made: int = 0
+    exhausted_reason: str | None = None
+
+    def start(self, now: datetime) -> None:
+        self.started_at = now
+        self.requests_made = 0
+        self.exhausted_reason = None
+
+    def elapsed_seconds(self, now: datetime) -> float:
+        if self.started_at is None:
+            return 0.0
+        return (now - self.started_at).total_seconds()
+
+    def check(self, now: datetime, bytes_used: int) -> bool:
+        """True while the budget allows another request."""
+        if self.started_at is None:
+            raise RuntimeError("budget not started")
+        if self.elapsed_seconds(now) >= self.max_scan_seconds:
+            self.exhausted_reason = "time"
+            return False
+        if bytes_used >= self.max_bytes:
+            self.exhausted_reason = "traffic"
+            return False
+        return True
+
+    def count_request(self) -> None:
+        self.requests_made += 1

@@ -1,0 +1,172 @@
+"""Budgeted address-space traversal (paper §5.4 / Appendix A.2).
+
+Breadth-first browse from the Objects folder, reading each variable's
+UserAccessLevel and each method's UserExecutable attribute as the
+anonymous user.  The walk never writes and never calls methods,
+matching the paper's ethics constraints; it merely *asks the server*
+what the anonymous user would be allowed to do.
+"""
+
+from __future__ import annotations
+
+from repro.client import UaClient, UaClientError
+from repro.scanner.limits import TraversalBudget
+from repro.scanner.records import NodeSummary
+from repro.server.addressspace import NodeIds
+from repro.uabin.enums import AttributeId, NodeClass
+from repro.util.simtime import SimClock
+
+_SAMPLE_LIMIT = 25
+_READ_BATCH = 20
+
+
+def traverse_address_space(
+    client: UaClient,
+    clock: SimClock,
+    budget: TraversalBudget,
+    socket=None,
+) -> NodeSummary:
+    """Walk the address space; returns the aggregate node summary."""
+    budget.start(clock.now())
+    summary = NodeSummary()
+    bytes_used = lambda: socket.bytes_sent if socket is not None else 0
+
+    visited = set()
+    seen_leaves = set()
+    variables = []
+    methods = []
+    queue = [NodeIds.ObjectsFolder, NodeIds.RootFolder]
+
+    while queue:
+        if not budget.check(clock.now(), bytes_used()):
+            summary.traversal_complete = False
+            summary.budget_exhausted = budget.exhausted_reason
+            break
+        node_id = queue.pop(0)
+        if node_id in visited:
+            continue
+        visited.add(node_id)
+        clock.advance(budget.inter_request_delay_s)
+        budget.count_request()
+        try:
+            results = client.browse([node_id])
+        except UaClientError:
+            summary.traversal_complete = False
+            break
+        for result in results:
+            for reference in result.references or []:
+                target = reference.node_id.node_id
+                if target in visited or target in seen_leaves:
+                    continue
+                name = reference.browse_name.name or ""
+                if reference.node_class == NodeClass.VARIABLE:
+                    # Leaves need no Browse of their own; the reference
+                    # already tells us the class and name.
+                    seen_leaves.add(target)
+                    variables.append((target, name))
+                elif reference.node_class == NodeClass.METHOD:
+                    seen_leaves.add(target)
+                    methods.append((target, name))
+                else:
+                    queue.append(target)
+
+    summary.total_nodes = (
+        len(visited)
+        + len(seen_leaves)
+        + len([n for n in queue if n not in visited])
+    )
+    summary.variables = len(variables)
+    summary.methods = len(methods)
+
+    # Read access attributes in batches.
+    complete, readable_nodes = _collect_access_rights(
+        client, clock, budget, summary, variables, methods, bytes_used
+    )
+    if not complete:
+        summary.traversal_complete = False
+        summary.budget_exhausted = summary.budget_exhausted or budget.exhausted_reason
+        return summary
+    # Sample readable values (the paper manually examined these, e.g.
+    # to identify operators and data sensitivity, §5.4/Appendix A).
+    if not _collect_value_samples(
+        client, clock, budget, summary, readable_nodes, bytes_used
+    ):
+        summary.budget_exhausted = summary.budget_exhausted or budget.exhausted_reason
+    return summary
+
+
+def _collect_access_rights(
+    client, clock, budget, summary, variables, methods, bytes_used
+):
+    readable_nodes = []
+    for offset in range(0, len(variables), _READ_BATCH):
+        if not budget.check(clock.now(), bytes_used()):
+            return False, readable_nodes
+        batch = variables[offset : offset + _READ_BATCH]
+        clock.advance(budget.inter_request_delay_s)
+        budget.count_request()
+        try:
+            values = client.read_attributes(
+                [(node_id, AttributeId.USER_ACCESS_LEVEL) for node_id, _ in batch]
+            )
+        except UaClientError:
+            return False, readable_nodes
+        for (node_id, name), value in zip(batch, values):
+            level = value.value.value if value.value is not None else 0
+            if isinstance(level, int):
+                if level & 0x01:
+                    summary.readable_variables += 1
+                    readable_nodes.append((node_id, name))
+                    _sample(summary.readable_names_sample, name)
+                if level & 0x02:
+                    summary.writable_variables += 1
+                    _sample(summary.writable_names_sample, name)
+
+    for offset in range(0, len(methods), _READ_BATCH):
+        if not budget.check(clock.now(), bytes_used()):
+            return False, readable_nodes
+        batch = methods[offset : offset + _READ_BATCH]
+        clock.advance(budget.inter_request_delay_s)
+        budget.count_request()
+        try:
+            values = client.read_attributes(
+                [(node_id, AttributeId.USER_EXECUTABLE) for node_id, _ in batch]
+            )
+        except UaClientError:
+            return False, readable_nodes
+        for (node_id, name), value in zip(batch, values):
+            executable = value.value.value if value.value is not None else False
+            if executable:
+                summary.executable_methods += 1
+                _sample(summary.executable_names_sample, name)
+    return True, readable_nodes
+
+
+def _collect_value_samples(
+    client, clock, budget, summary, readable_nodes, bytes_used
+) -> bool:
+    """Read a bounded sample of string-typed readable values."""
+    candidates = [
+        (node_id, name)
+        for node_id, name in readable_nodes
+        if name.startswith(("s", "S"))
+    ][:_READ_BATCH]
+    if not candidates:
+        return True
+    if not budget.check(clock.now(), bytes_used()):
+        return False
+    clock.advance(budget.inter_request_delay_s)
+    budget.count_request()
+    try:
+        values = client.read_values([node_id for node_id, _ in candidates])
+    except UaClientError:
+        return False
+    for value in values:
+        if value.value is not None and isinstance(value.value.value, str):
+            summary.value_samples.append(value.value.value)
+    return True
+
+
+def _sample(bucket: list[str], name: str) -> None:
+    if name and len(bucket) < _SAMPLE_LIMIT:
+        bucket.append(name)

@@ -1,0 +1,49 @@
+"""Secure-channel layer: security policies, key derivation, and the
+message protection applied to OPC UA chunks.
+
+This package realizes the paper's Table 1: the six security policies,
+their cryptographic primitives, key-length ranges, and
+deprecated/insecure classification, plus the channel state machines
+that apply them.
+"""
+
+from repro.secure.policies import (
+    POLICY_NONE,
+    POLICY_BASIC128RSA15,
+    POLICY_BASIC256,
+    POLICY_AES128_SHA256_RSAOAEP,
+    POLICY_BASIC256SHA256,
+    POLICY_AES256_SHA256_RSAPSS,
+    ALL_POLICIES,
+    SECURE_POLICIES,
+    DEPRECATED_POLICIES,
+    SecurityPolicy,
+    policy_by_label,
+    policy_by_uri,
+)
+from repro.secure.keysets import SymmetricKeys, derive_channel_keys
+from repro.secure.channel import (
+    ClientSecureChannel,
+    SecureChannelError,
+    ServerSecureChannel,
+)
+
+__all__ = [
+    "ALL_POLICIES",
+    "DEPRECATED_POLICIES",
+    "ClientSecureChannel",
+    "POLICY_AES128_SHA256_RSAOAEP",
+    "POLICY_AES256_SHA256_RSAPSS",
+    "POLICY_BASIC128RSA15",
+    "POLICY_BASIC256",
+    "POLICY_BASIC256SHA256",
+    "POLICY_NONE",
+    "SECURE_POLICIES",
+    "SecureChannelError",
+    "SecurityPolicy",
+    "ServerSecureChannel",
+    "SymmetricKeys",
+    "derive_channel_keys",
+    "policy_by_label",
+    "policy_by_uri",
+]

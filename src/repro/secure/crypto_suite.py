@@ -1,0 +1,144 @@
+"""Per-policy cryptographic operations.
+
+Bridges the abstract algorithm names in :class:`SecurityPolicy` to the
+concrete primitives in :mod:`repro.crypto`: asymmetric operations for
+OpenSecureChannel protection and symmetric operations for session
+traffic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto import pkcs1
+from repro.crypto.aes import AesCbc
+from repro.crypto.hmac_prf import hmac_digest
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.secure.keysets import SymmetricKeys
+from repro.secure.policies import SecurityPolicy
+
+
+class SuiteError(Exception):
+    """Cryptographic operation failed or is unavailable for the policy."""
+
+
+# --- asymmetric operations (OPN protection) ---------------------------------
+
+
+def asym_encrypt(
+    policy: SecurityPolicy, key: RsaPublicKey, plaintext: bytes, rng: random.Random
+) -> bytes:
+    """Encrypt ``plaintext`` block-wise with the receiver's public key."""
+    block = asym_plaintext_block_size(policy, key)
+    out = bytearray()
+    for offset in range(0, len(plaintext), block):
+        chunk = plaintext[offset : offset + block]
+        out.extend(_asym_encrypt_block(policy, key, chunk, rng))
+    return bytes(out)
+
+
+def asym_decrypt(policy: SecurityPolicy, key: RsaPrivateKey, ciphertext: bytes) -> bytes:
+    cipher_block = key.byte_length
+    if len(ciphertext) % cipher_block:
+        raise SuiteError("ciphertext is not a whole number of RSA blocks")
+    out = bytearray()
+    for offset in range(0, len(ciphertext), cipher_block):
+        chunk = ciphertext[offset : offset + cipher_block]
+        out.extend(_asym_decrypt_block(policy, key, chunk))
+    return bytes(out)
+
+
+def asym_plaintext_block_size(policy: SecurityPolicy, key: RsaPublicKey) -> int:
+    if policy.asym_encryption == "rsa15":
+        return pkcs1.pkcs1v15_max_plaintext(key.byte_length)
+    if policy.asym_encryption == "oaep-sha1":
+        return pkcs1.oaep_max_plaintext(key.byte_length, "sha1")
+    if policy.asym_encryption == "oaep-sha256":
+        return pkcs1.oaep_max_plaintext(key.byte_length, "sha256")
+    raise SuiteError(f"policy {policy.name} does not encrypt asymmetrically")
+
+
+def _asym_encrypt_block(
+    policy: SecurityPolicy, key: RsaPublicKey, chunk: bytes, rng: random.Random
+) -> bytes:
+    if policy.asym_encryption == "rsa15":
+        return pkcs1.pkcs1v15_encrypt(key, chunk, rng)
+    if policy.asym_encryption == "oaep-sha1":
+        return pkcs1.oaep_encrypt(key, chunk, rng, hash_name="sha1")
+    if policy.asym_encryption == "oaep-sha256":
+        return pkcs1.oaep_encrypt(key, chunk, rng, hash_name="sha256")
+    raise SuiteError(f"policy {policy.name} does not encrypt asymmetrically")
+
+
+def _asym_decrypt_block(
+    policy: SecurityPolicy, key: RsaPrivateKey, chunk: bytes
+) -> bytes:
+    try:
+        if policy.asym_encryption == "rsa15":
+            return pkcs1.pkcs1v15_decrypt(key, chunk)
+        if policy.asym_encryption == "oaep-sha1":
+            return pkcs1.oaep_decrypt(key, chunk, hash_name="sha1")
+        if policy.asym_encryption == "oaep-sha256":
+            return pkcs1.oaep_decrypt(key, chunk, hash_name="sha256")
+    except pkcs1.CryptoError as exc:
+        raise SuiteError(f"asymmetric decryption failed: {exc}") from exc
+    raise SuiteError(f"policy {policy.name} does not encrypt asymmetrically")
+
+
+def asym_sign(
+    policy: SecurityPolicy, key: RsaPrivateKey, data: bytes, rng: random.Random
+) -> bytes:
+    if policy.asym_signature == "pkcs1-sha1":
+        return pkcs1.pkcs1v15_sign(key, "sha1", data)
+    if policy.asym_signature == "pkcs1-sha256":
+        return pkcs1.pkcs1v15_sign(key, "sha256", data)
+    if policy.asym_signature == "pss-sha256":
+        return pkcs1.pss_sign(key, "sha256", data, rng)
+    raise SuiteError(f"policy {policy.name} does not sign asymmetrically")
+
+
+def asym_verify(
+    policy: SecurityPolicy, key: RsaPublicKey, data: bytes, signature: bytes
+) -> bool:
+    if policy.asym_signature == "pkcs1-sha1":
+        return pkcs1.pkcs1v15_verify(key, "sha1", data, signature)
+    if policy.asym_signature == "pkcs1-sha256":
+        return pkcs1.pkcs1v15_verify(key, "sha256", data, signature)
+    if policy.asym_signature == "pss-sha256":
+        return pkcs1.pss_verify(key, "sha256", data, signature)
+    raise SuiteError(f"policy {policy.name} does not sign asymmetrically")
+
+
+def asym_signature_length(policy: SecurityPolicy, key: RsaPrivateKey | RsaPublicKey) -> int:
+    if policy.asym_signature is None:
+        return 0
+    return key.byte_length
+
+
+# --- symmetric operations (MSG protection) ----------------------------------
+
+
+def sym_sign(policy: SecurityPolicy, keys: SymmetricKeys, data: bytes) -> bytes:
+    if policy.sym_signature_hash is None:
+        raise SuiteError(f"policy {policy.name} does not sign symmetrically")
+    return hmac_digest(policy.sym_signature_hash, keys.signing_key, data)
+
+
+def sym_verify(
+    policy: SecurityPolicy, keys: SymmetricKeys, data: bytes, signature: bytes
+) -> bool:
+    return sym_sign(policy, keys, data) == signature
+
+
+def sym_encrypt(policy: SecurityPolicy, keys: SymmetricKeys, plaintext: bytes) -> bytes:
+    if policy.sym_encryption_key_len == 0:
+        raise SuiteError(f"policy {policy.name} does not encrypt symmetrically")
+    cipher = AesCbc(keys.encryption_key, keys.initialization_vector)
+    return cipher.encrypt(plaintext)
+
+
+def sym_decrypt(policy: SecurityPolicy, keys: SymmetricKeys, ciphertext: bytes) -> bytes:
+    if policy.sym_encryption_key_len == 0:
+        raise SuiteError(f"policy {policy.name} does not encrypt symmetrically")
+    cipher = AesCbc(keys.encryption_key, keys.initialization_vector)
+    return cipher.decrypt(ciphertext)

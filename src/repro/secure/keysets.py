@@ -1,0 +1,61 @@
+"""Derived symmetric key sets for a secure channel (OPC 10000-6 §6.7.5).
+
+After OpenSecureChannel, both sides expand the exchanged nonces with
+P_SHA1/P_SHA256 into two key sets: the client keys protect
+client-to-server traffic, the server keys the reverse direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hmac_prf import p_hash
+from repro.secure.policies import SecurityPolicy
+
+
+@dataclass(frozen=True)
+class SymmetricKeys:
+    """One direction's signing key, encryption key, and IV."""
+
+    signing_key: bytes
+    encryption_key: bytes
+    initialization_vector: bytes
+
+
+def _expand(policy: SecurityPolicy, secret: bytes, seed: bytes) -> SymmetricKeys:
+    total = (
+        policy.sym_signature_key_len
+        + policy.sym_encryption_key_len
+        + policy.sym_block_size
+    )
+    material = p_hash(policy.derivation_hash, secret, seed, total)
+    sig_end = policy.sym_signature_key_len
+    enc_end = sig_end + policy.sym_encryption_key_len
+    return SymmetricKeys(
+        signing_key=material[:sig_end],
+        encryption_key=material[sig_end:enc_end],
+        initialization_vector=material[enc_end:],
+    )
+
+
+def derive_channel_keys(
+    policy: SecurityPolicy, client_nonce: bytes, server_nonce: bytes
+) -> tuple[SymmetricKeys, SymmetricKeys]:
+    """Return ``(client_keys, server_keys)`` for the channel.
+
+    Per spec the client keys are derived with the *server* nonce as
+    secret and the client nonce as seed; server keys use the reverse.
+    """
+    if policy.derivation_hash is None:
+        raise ValueError(f"policy {policy.name} derives no keys")
+    if len(client_nonce) != policy.nonce_length:
+        raise ValueError(
+            f"client nonce must be {policy.nonce_length} bytes for {policy.name}"
+        )
+    if len(server_nonce) != policy.nonce_length:
+        raise ValueError(
+            f"server nonce must be {policy.nonce_length} bytes for {policy.name}"
+        )
+    client_keys = _expand(policy, server_nonce, client_nonce)
+    server_keys = _expand(policy, client_nonce, server_nonce)
+    return client_keys, server_keys

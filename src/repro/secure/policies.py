@@ -1,0 +1,223 @@
+"""The six OPC UA security policies (paper Table 1).
+
+Each policy pins the complete cryptographic suite of a secure channel:
+the asymmetric algorithms used during OpenSecureChannel, the symmetric
+algorithms used for session traffic, the nonce length feeding key
+derivation, and the certificate requirements (signature hash and RSA
+key-length range).  The ``deprecated``/``secure`` flags encode the
+official recommendation the paper assesses servers against: None gives
+no security, Basic128Rsa15 and Basic256 were deprecated in 2017 for
+their SHA-1 dependence, and the three SHA-256 policies are current.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_BASE_URI = "http://opcfoundation.org/UA/SecurityPolicy#"
+
+
+@dataclass(frozen=True)
+class SecurityPolicy:
+    """Cryptographic suite definition for one security policy."""
+
+    name: str
+    uri: str
+    short_label: str  # N / D1 / D2 / S1 / S2 / S3 as in the paper
+    # Asymmetric suite (OpenSecureChannel protection).
+    asym_encryption: str | None  # "rsa15" | "oaep-sha1" | "oaep-sha256"
+    asym_signature: str | None  # "pkcs1-sha1" | "pkcs1-sha256" | "pss-sha256"
+    # Symmetric suite (session traffic protection).
+    sym_signature_hash: str | None  # HMAC hash
+    sym_signature_key_len: int
+    sym_encryption_key_len: int
+    sym_block_size: int
+    derivation_hash: str | None  # P_SHA1 vs P_SHA256
+    nonce_length: int
+    # Certificate requirements.
+    certificate_hash: tuple[str, ...]  # allowed signature hashes
+    min_key_bits: int
+    max_key_bits: int
+    # Recommendation classification.
+    is_deprecated: bool
+    provides_security: bool
+    security_rank: int  # ordering for least/most secure comparisons
+
+    @property
+    def is_secure_and_current(self) -> bool:
+        return self.provides_security and not self.is_deprecated
+
+    @property
+    def signature_length(self) -> int:
+        """Length of the symmetric HMAC signature appended to chunks."""
+        if self.sym_signature_hash == "sha1":
+            return 20
+        if self.sym_signature_hash == "sha256":
+            return 32
+        return 0
+
+    def key_bits_in_range(self, bits: int) -> bool:
+        return self.min_key_bits <= bits <= self.max_key_bits
+
+    def __str__(self) -> str:
+        return self.name
+
+
+POLICY_NONE = SecurityPolicy(
+    name="None",
+    uri=_BASE_URI + "None",
+    short_label="N",
+    asym_encryption=None,
+    asym_signature=None,
+    sym_signature_hash=None,
+    sym_signature_key_len=0,
+    sym_encryption_key_len=0,
+    sym_block_size=0,
+    derivation_hash=None,
+    nonce_length=0,
+    certificate_hash=(),
+    min_key_bits=0,
+    max_key_bits=0,
+    is_deprecated=False,
+    provides_security=False,
+    security_rank=0,
+)
+
+POLICY_BASIC128RSA15 = SecurityPolicy(
+    name="Basic128Rsa15",
+    uri=_BASE_URI + "Basic128Rsa15",
+    short_label="D1",
+    asym_encryption="rsa15",
+    asym_signature="pkcs1-sha1",
+    sym_signature_hash="sha1",
+    sym_signature_key_len=16,
+    sym_encryption_key_len=16,
+    sym_block_size=16,
+    derivation_hash="sha1",
+    nonce_length=16,
+    certificate_hash=("sha1",),
+    min_key_bits=1024,
+    max_key_bits=2048,
+    is_deprecated=True,
+    provides_security=True,
+    security_rank=1,
+)
+
+POLICY_BASIC256 = SecurityPolicy(
+    name="Basic256",
+    uri=_BASE_URI + "Basic256",
+    short_label="D2",
+    asym_encryption="oaep-sha1",
+    asym_signature="pkcs1-sha1",
+    sym_signature_hash="sha1",
+    sym_signature_key_len=24,
+    sym_encryption_key_len=32,
+    sym_block_size=16,
+    derivation_hash="sha1",
+    nonce_length=32,
+    certificate_hash=("sha1", "sha256"),
+    min_key_bits=1024,
+    max_key_bits=2048,
+    is_deprecated=True,
+    provides_security=True,
+    security_rank=2,
+)
+
+POLICY_AES128_SHA256_RSAOAEP = SecurityPolicy(
+    name="Aes128_Sha256_RsaOaep",
+    uri=_BASE_URI + "Aes128_Sha256_RsaOaep",
+    short_label="S1",
+    asym_encryption="oaep-sha1",
+    asym_signature="pkcs1-sha256",
+    sym_signature_hash="sha256",
+    sym_signature_key_len=32,
+    sym_encryption_key_len=16,
+    sym_block_size=16,
+    derivation_hash="sha256",
+    nonce_length=32,
+    certificate_hash=("sha256",),
+    min_key_bits=2048,
+    max_key_bits=4096,
+    is_deprecated=False,
+    provides_security=True,
+    security_rank=3,
+)
+
+POLICY_BASIC256SHA256 = SecurityPolicy(
+    name="Basic256Sha256",
+    uri=_BASE_URI + "Basic256Sha256",
+    short_label="S2",
+    asym_encryption="oaep-sha1",
+    asym_signature="pkcs1-sha256",
+    sym_signature_hash="sha256",
+    sym_signature_key_len=32,
+    sym_encryption_key_len=32,
+    sym_block_size=16,
+    derivation_hash="sha256",
+    nonce_length=32,
+    certificate_hash=("sha256",),
+    min_key_bits=2048,
+    max_key_bits=4096,
+    is_deprecated=False,
+    provides_security=True,
+    security_rank=4,
+)
+
+POLICY_AES256_SHA256_RSAPSS = SecurityPolicy(
+    name="Aes256_Sha256_RsaPss",
+    uri=_BASE_URI + "Aes256_Sha256_RsaPss",
+    short_label="S3",
+    asym_encryption="oaep-sha256",
+    asym_signature="pss-sha256",
+    sym_signature_hash="sha256",
+    sym_signature_key_len=32,
+    sym_encryption_key_len=32,
+    sym_block_size=16,
+    derivation_hash="sha256",
+    nonce_length=32,
+    certificate_hash=("sha256",),
+    min_key_bits=2048,
+    max_key_bits=4096,
+    is_deprecated=False,
+    provides_security=True,
+    security_rank=5,
+)
+
+ALL_POLICIES: tuple[SecurityPolicy, ...] = (
+    POLICY_NONE,
+    POLICY_BASIC128RSA15,
+    POLICY_BASIC256,
+    POLICY_AES128_SHA256_RSAOAEP,
+    POLICY_BASIC256SHA256,
+    POLICY_AES256_SHA256_RSAPSS,
+)
+
+DEPRECATED_POLICIES = (POLICY_BASIC128RSA15, POLICY_BASIC256)
+SECURE_POLICIES = (
+    POLICY_AES128_SHA256_RSAOAEP,
+    POLICY_BASIC256SHA256,
+    POLICY_AES256_SHA256_RSAPSS,
+)
+
+_BY_URI = {policy.uri: policy for policy in ALL_POLICIES}
+_BY_LABEL = {policy.short_label: policy for policy in ALL_POLICIES}
+_BY_NAME = {policy.name: policy for policy in ALL_POLICIES}
+
+
+def policy_by_uri(uri: str | None) -> SecurityPolicy:
+    """Resolve a policy URI; raises KeyError for unknown URIs."""
+    if uri is None:
+        raise KeyError("security policy URI is missing")
+    try:
+        return _BY_URI[uri]
+    except KeyError:
+        raise KeyError(f"unknown security policy URI: {uri!r}") from None
+
+
+def policy_by_label(label: str) -> SecurityPolicy:
+    """Resolve the paper's shorthand (N, D1, D2, S1, S2, S3) or a name."""
+    if label in _BY_LABEL:
+        return _BY_LABEL[label]
+    if label in _BY_NAME:
+        return _BY_NAME[label]
+    raise KeyError(f"unknown security policy label: {label!r}")

@@ -1,0 +1,91 @@
+"""Roles, permissions, and user contexts.
+
+OPC UA servers can enforce access control at single-node granularity
+(paper §2); the study's Figure 7 measures exactly this: which fraction
+of nodes the *anonymous* user may read, write, or execute.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Role(str, enum.Enum):
+    """Principal classes the simulated servers distinguish."""
+
+    ANONYMOUS = "anonymous"
+    OPERATOR = "operator"
+    ADMIN = "admin"
+
+
+@dataclass(frozen=True)
+class Permissions:
+    """Per-node access rules: which roles may read/write/execute.
+
+    The default is the locked-down shape; deployment templates open
+    nodes up (often far too much, which is the paper's point).
+    """
+
+    read: frozenset[Role] = frozenset({Role.OPERATOR, Role.ADMIN})
+    write: frozenset[Role] = frozenset({Role.ADMIN})
+    execute: frozenset[Role] = frozenset({Role.ADMIN})
+
+    @classmethod
+    def open_to_all(cls) -> "Permissions":
+        everyone = frozenset({Role.ANONYMOUS, Role.OPERATOR, Role.ADMIN})
+        return cls(read=everyone, write=everyone, execute=everyone)
+
+    @classmethod
+    def read_only_public(cls) -> "Permissions":
+        everyone = frozenset({Role.ANONYMOUS, Role.OPERATOR, Role.ADMIN})
+        return cls(read=everyone)
+
+    @classmethod
+    def make(
+        cls,
+        read_anonymous: bool = False,
+        write_anonymous: bool = False,
+        execute_anonymous: bool = False,
+    ) -> "Permissions":
+        """Shorthand used by the deployment templates."""
+        authenticated = {Role.OPERATOR, Role.ADMIN}
+        read = set(authenticated)
+        write = {Role.ADMIN, Role.OPERATOR}
+        execute = {Role.ADMIN, Role.OPERATOR}
+        if read_anonymous:
+            read.add(Role.ANONYMOUS)
+        if write_anonymous:
+            write.add(Role.ANONYMOUS)
+        if execute_anonymous:
+            execute.add(Role.ANONYMOUS)
+        return cls(
+            read=frozenset(read),
+            write=frozenset(write),
+            execute=frozenset(execute),
+        )
+
+    def allows_read(self, role: Role) -> bool:
+        return role in self.read
+
+    def allows_write(self, role: Role) -> bool:
+        return role in self.write
+
+    def allows_execute(self, role: Role) -> bool:
+        return role in self.execute
+
+
+@dataclass(frozen=True)
+class UserContext:
+    """The authenticated principal attached to an activated session."""
+
+    role: Role
+    name: str = ""
+
+    @classmethod
+    def anonymous(cls) -> "UserContext":
+        return cls(Role.ANONYMOUS, "anonymous")
+
+    @property
+    def is_anonymous(self) -> bool:
+        return self.role == Role.ANONYMOUS

@@ -1,0 +1,130 @@
+"""Session authentication: the four OPC UA user token types.
+
+Which token types an endpoint advertises — and whether anonymous
+sessions are actually accepted — is the subject of the paper's §5.4
+and Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.server.access import Role, UserContext
+from repro.uabin.enums import UserTokenType
+from repro.uabin.statuscodes import StatusCode, StatusCodes
+from repro.uabin.types_session import (
+    AnonymousIdentityToken,
+    IssuedIdentityToken,
+    UserNameIdentityToken,
+    X509IdentityToken,
+)
+from repro.x509.certificate import CertificateError, parse_certificate
+from repro.x509.fingerprint import sha1_thumbprint
+
+
+class AuthenticationError(Exception):
+    """Raised when session activation must be rejected."""
+
+    def __init__(self, status: StatusCode, message: str = ""):
+        super().__init__(message or status.name)
+        self.status = status
+
+
+@dataclass
+class UserDirectory:
+    """Credential store backing username/certificate/token auth."""
+
+    passwords: dict[str, str] = field(default_factory=dict)
+    roles: dict[str, Role] = field(default_factory=dict)
+    trusted_certificate_thumbprints: set[bytes] = field(default_factory=set)
+    valid_issued_tokens: set[bytes] = field(default_factory=set)
+
+    def add_user(self, name: str, password: str, role: Role = Role.OPERATOR) -> None:
+        self.passwords[name] = password
+        self.roles[name] = role
+
+    def trust_certificate(self, cert_der: bytes) -> None:
+        self.trusted_certificate_thumbprints.add(sha1_thumbprint(cert_der))
+
+    def add_issued_token(self, token: bytes) -> None:
+        self.valid_issued_tokens.add(token)
+
+
+@dataclass
+class Authenticator:
+    """Validates identity tokens against the advertised policies."""
+
+    allowed_token_types: set[UserTokenType] = field(
+        default_factory=lambda: {UserTokenType.ANONYMOUS}
+    )
+    directory: UserDirectory = field(default_factory=UserDirectory)
+
+    def authenticate(self, token) -> UserContext:
+        """Map a decoded identity token to a user context or raise."""
+        if token is None or isinstance(token, AnonymousIdentityToken):
+            return self._authenticate_anonymous()
+        if isinstance(token, UserNameIdentityToken):
+            return self._authenticate_username(token)
+        if isinstance(token, X509IdentityToken):
+            return self._authenticate_certificate(token)
+        if isinstance(token, IssuedIdentityToken):
+            return self._authenticate_issued(token)
+        raise AuthenticationError(
+            StatusCodes.BadIdentityTokenInvalid,
+            f"unsupported token type: {type(token).__name__}",
+        )
+
+    def _authenticate_anonymous(self) -> UserContext:
+        if UserTokenType.ANONYMOUS not in self.allowed_token_types:
+            raise AuthenticationError(
+                StatusCodes.BadIdentityTokenRejected, "anonymous access disabled"
+            )
+        return UserContext.anonymous()
+
+    def _authenticate_username(self, token: UserNameIdentityToken) -> UserContext:
+        if UserTokenType.USERNAME not in self.allowed_token_types:
+            raise AuthenticationError(
+                StatusCodes.BadIdentityTokenRejected, "username auth disabled"
+            )
+        if token.user_name is None or token.password is None:
+            raise AuthenticationError(StatusCodes.BadIdentityTokenInvalid)
+        expected = self.directory.passwords.get(token.user_name)
+        if expected is None or expected.encode("utf-8") != token.password:
+            raise AuthenticationError(
+                StatusCodes.BadUserAccessDenied, "bad credentials"
+            )
+        role = self.directory.roles.get(token.user_name, Role.OPERATOR)
+        return UserContext(role, token.user_name)
+
+    def _authenticate_certificate(self, token: X509IdentityToken) -> UserContext:
+        if UserTokenType.CERTIFICATE not in self.allowed_token_types:
+            raise AuthenticationError(
+                StatusCodes.BadIdentityTokenRejected, "certificate auth disabled"
+            )
+        if not token.certificate_data:
+            raise AuthenticationError(StatusCodes.BadIdentityTokenInvalid)
+        try:
+            parse_certificate(token.certificate_data)
+        except CertificateError as exc:
+            raise AuthenticationError(
+                StatusCodes.BadIdentityTokenInvalid, str(exc)
+            ) from exc
+        thumbprint = sha1_thumbprint(token.certificate_data)
+        if thumbprint not in self.directory.trusted_certificate_thumbprints:
+            raise AuthenticationError(
+                StatusCodes.BadUserAccessDenied, "untrusted user certificate"
+            )
+        return UserContext(Role.OPERATOR, "certificate-user")
+
+    def _authenticate_issued(self, token: IssuedIdentityToken) -> UserContext:
+        if UserTokenType.ISSUED_TOKEN not in self.allowed_token_types:
+            raise AuthenticationError(
+                StatusCodes.BadIdentityTokenRejected, "issued-token auth disabled"
+            )
+        if not token.token_data:
+            raise AuthenticationError(StatusCodes.BadIdentityTokenInvalid)
+        if token.token_data not in self.directory.valid_issued_tokens:
+            raise AuthenticationError(
+                StatusCodes.BadUserAccessDenied, "unknown issued token"
+            )
+        return UserContext(Role.OPERATOR, "token-user")

@@ -1,0 +1,109 @@
+"""Endpoint configuration → EndpointDescription mapping.
+
+A server offers one endpoint per (security mode, security policy)
+combination it supports, each advertising the same set of user token
+policies.  The paper's Figure 3 is the statistics of exactly these
+tuples across the Internet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.secure.policies import POLICY_NONE, SecurityPolicy  # noqa: F401
+from repro.uabin.builtin import LocalizedText
+from repro.uabin.enums import ApplicationType, MessageSecurityMode, UserTokenType
+from repro.uabin.types_common import (
+    ApplicationDescription,
+    EndpointDescription,
+    UserTokenPolicy,
+)
+
+TRANSPORT_PROFILE_BINARY = (
+    "http://opcfoundation.org/UA-Profile/Transport/uatcp-uasc-uabinary"
+)
+
+
+@dataclass(frozen=True)
+class EndpointConfig:
+    """One offered endpoint: mode + policy (+ shared token types).
+
+    ``token_types`` overrides the server-wide token list for this
+    endpoint only — real servers do vary identity tokens per endpoint,
+    and one host in the study's Table 2 advertises anonymous access
+    exclusively on its secure endpoints.
+    """
+
+    security_mode: MessageSecurityMode
+    security_policy: SecurityPolicy
+    token_types: tuple[UserTokenType, ...] | None = None
+
+    def __post_init__(self):
+        none_policy = self.security_policy is POLICY_NONE
+        none_mode = self.security_mode == MessageSecurityMode.NONE
+        if none_policy != none_mode:
+            raise ValueError(
+                "security mode None if and only if security policy None "
+                f"(got {self.security_mode.name}/{self.security_policy.name})"
+            )
+
+    @property
+    def security_level(self) -> int:
+        """Relative strength byte advertised in the description."""
+        if self.security_mode == MessageSecurityMode.NONE:
+            return 0
+        base = self.security_policy.security_rank * 10
+        bonus = 5 if self.security_mode == MessageSecurityMode.SIGN_AND_ENCRYPT else 0
+        return base + bonus
+
+
+def token_policy_for(token_type: UserTokenType) -> UserTokenPolicy:
+    names = {
+        UserTokenType.ANONYMOUS: "anonymous",
+        UserTokenType.USERNAME: "username",
+        UserTokenType.CERTIFICATE: "certificate",
+        UserTokenType.ISSUED_TOKEN: "issued-token",
+    }
+    return UserTokenPolicy(policy_id=names[token_type], token_type=token_type)
+
+
+def build_endpoint_descriptions(
+    endpoint_url: str,
+    application_uri: str,
+    product_uri: str | None,
+    application_name: str,
+    application_type: ApplicationType,
+    endpoint_configs: list[EndpointConfig],
+    token_types: list[UserTokenType],
+    certificate_der: bytes | None,
+) -> list[EndpointDescription]:
+    """Render the endpoint list a GetEndpoints response carries."""
+    server = ApplicationDescription(
+        application_uri=application_uri,
+        product_uri=product_uri,
+        application_name=LocalizedText(application_name),
+        application_type=application_type,
+        discovery_urls=[endpoint_url],
+    )
+    descriptions = []
+    for config in endpoint_configs:
+        effective_tokens = (
+            list(config.token_types)
+            if config.token_types is not None
+            else list(token_types)
+        )
+        descriptions.append(
+            EndpointDescription(
+                endpoint_url=endpoint_url,
+                server=server,
+                server_certificate=certificate_der,
+                security_mode=config.security_mode,
+                security_policy_uri=config.security_policy.uri,
+                user_identity_tokens=[
+                    token_policy_for(t) for t in effective_tokens
+                ],
+                transport_profile_uri=TRANSPORT_PROFILE_BINARY,
+                security_level=config.security_level,
+            )
+        )
+    return descriptions

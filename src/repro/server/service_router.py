@@ -1,0 +1,59 @@
+"""Service dispatch: request structure type → engine handler.
+
+Separating the routing table from the engine keeps the engine's
+handlers individually testable and makes the supported service surface
+explicit.
+"""
+
+from __future__ import annotations
+
+from repro.uabin.types_attribute import ReadRequest, WriteRequest
+from repro.uabin.types_discovery import FindServersRequest, GetEndpointsRequest
+from repro.uabin.types_method import CallRequest
+from repro.uabin.types_query import (
+    RegisterServerRequest,
+    TranslateBrowsePathsRequest,
+)
+from repro.uabin.types_session import (
+    ActivateSessionRequest,
+    CloseSessionRequest,
+    CreateSessionRequest,
+)
+from repro.uabin.types_view import BrowseNextRequest, BrowseRequest
+
+# Requests that may be served without an activated session.
+SESSIONLESS_REQUESTS = (
+    GetEndpointsRequest,
+    FindServersRequest,
+    RegisterServerRequest,
+    CreateSessionRequest,
+    ActivateSessionRequest,
+    CloseSessionRequest,
+)
+
+HANDLER_NAMES = {
+    GetEndpointsRequest: "handle_get_endpoints",
+    FindServersRequest: "handle_find_servers",
+    RegisterServerRequest: "handle_register_server",
+    CreateSessionRequest: "handle_create_session",
+    ActivateSessionRequest: "handle_activate_session",
+    CloseSessionRequest: "handle_close_session",
+    BrowseRequest: "handle_browse",
+    BrowseNextRequest: "handle_browse_next",
+    ReadRequest: "handle_read",
+    WriteRequest: "handle_write",
+    CallRequest: "handle_call",
+    TranslateBrowsePathsRequest: "handle_translate_browse_paths",
+}
+
+
+def requires_session(request) -> bool:
+    return not isinstance(request, SESSIONLESS_REQUESTS)
+
+
+def handler_for(engine, request):
+    """Resolve the engine method serving ``request`` (or None)."""
+    name = HANDLER_NAMES.get(type(request))
+    if name is None:
+        return None
+    return getattr(engine, name)

@@ -1,0 +1,75 @@
+"""Session lifecycle: CreateSession → ActivateSession → (use) → Close."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.server.access import UserContext
+from repro.uabin.nodeid import NodeId
+from repro.uabin.statuscodes import StatusCodes
+
+
+@dataclass
+class Session:
+    session_id: NodeId
+    authentication_token: NodeId
+    name: str
+    timeout_ms: float
+    client_nonce: bytes | None = None
+    server_nonce: bytes = b""
+    activated: bool = False
+    user: UserContext | None = None
+
+    @property
+    def role(self):
+        if self.user is None:
+            raise RuntimeError("session not activated")
+        return self.user.role
+
+
+class SessionManager:
+    """Tracks sessions by their authentication token."""
+
+    def __init__(self, rng: random.Random, max_sessions: int = 100):
+        self._rng = rng
+        self._max_sessions = max_sessions
+        self._by_token: dict[bytes, Session] = {}
+        self._next_numeric = 1
+
+    def __len__(self) -> int:
+        return len(self._by_token)
+
+    def create(self, name: str, timeout_ms: float, client_nonce: bytes | None) -> Session:
+        if len(self._by_token) >= self._max_sessions:
+            from repro.server.auth import AuthenticationError
+
+            raise AuthenticationError(StatusCodes.BadTooManySessions)
+        token_bytes = self._rng.getrandbits(128).to_bytes(16, "big")
+        session = Session(
+            session_id=NodeId(1, self._next_numeric),
+            authentication_token=NodeId(0, token_bytes),
+            name=name,
+            timeout_ms=timeout_ms,
+            client_nonce=client_nonce,
+            server_nonce=self._rng.getrandbits(256).to_bytes(32, "big"),
+        )
+        self._next_numeric += 1
+        self._by_token[token_bytes] = session
+        return session
+
+    def lookup(self, authentication_token: NodeId) -> Session | None:
+        ident = authentication_token.identifier
+        if not isinstance(ident, bytes):
+            return None
+        return self._by_token.get(ident)
+
+    def close(self, session: Session) -> None:
+        ident = session.authentication_token.identifier
+        self._by_token.pop(ident, None)
+
+    def activate(self, session: Session, user: UserContext) -> None:
+        session.activated = True
+        session.user = user
+        # Fresh nonce for each activation, per spec.
+        session.server_nonce = self._rng.getrandbits(256).to_bytes(32, "big")

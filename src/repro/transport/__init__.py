@@ -1,0 +1,36 @@
+"""OPC UA TCP transport (OPC 10000-6 §7): message framing and chunking.
+
+The binary interface on TCP/4840 frames every message with a 3-letter
+type, a chunk marker, and a length; connections start with a
+Hello/Acknowledge exchange.  This layer is deliberately independent of
+the secure-channel crypto — it moves opaque chunks.
+"""
+
+from repro.transport.messages import (
+    AcknowledgeMessage,
+    ErrorMessage,
+    HelloMessage,
+    MessageHeader,
+    MessageType,
+    TransportError,
+)
+from repro.transport.chunks import (
+    ChunkAssembler,
+    ChunkType,
+    split_into_chunks,
+)
+from repro.transport.connection import FrameReader, encode_frame
+
+__all__ = [
+    "AcknowledgeMessage",
+    "ChunkAssembler",
+    "ChunkType",
+    "ErrorMessage",
+    "FrameReader",
+    "HelloMessage",
+    "MessageHeader",
+    "MessageType",
+    "TransportError",
+    "encode_frame",
+    "split_into_chunks",
+]

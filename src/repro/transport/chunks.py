@@ -1,0 +1,83 @@
+"""Chunk splitting and reassembly.
+
+Large service messages are split into chunks, each carried in its own
+transport frame: intermediate chunks are marked ``C``, the last one
+``F``, and ``A`` aborts an in-flight message.  This module handles the
+*plaintext* chunk payloads; security headers/signatures are applied
+per chunk by :mod:`repro.secure.channel` before framing.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.transport.messages import TransportError
+
+
+class ChunkType(str, enum.Enum):
+    INTERMEDIATE = "C"
+    FINAL = "F"
+    ABORT = "A"
+
+
+def split_into_chunks(payload: bytes, max_chunk_body: int) -> list[tuple[str, bytes]]:
+    """Split ``payload`` into (chunk_type, body) pairs.
+
+    ``max_chunk_body`` is the maximum body per chunk after all
+    security overhead has been budgeted by the caller.
+    """
+    if max_chunk_body <= 0:
+        raise ValueError("max_chunk_body must be positive")
+    if not payload:
+        return [(ChunkType.FINAL.value, b"")]
+    chunks = []
+    for offset in range(0, len(payload), max_chunk_body):
+        body = payload[offset : offset + max_chunk_body]
+        is_last = offset + max_chunk_body >= len(payload)
+        marker = ChunkType.FINAL.value if is_last else ChunkType.INTERMEDIATE.value
+        chunks.append((marker, body))
+    return chunks
+
+
+class ChunkAssembler:
+    """Reassembles chunk bodies into complete messages.
+
+    Feed ``(chunk_type, body)`` pairs in arrival order; a completed
+    message is returned when the final chunk arrives.
+    """
+
+    def __init__(self, max_message_size: int = 16 * 1024 * 1024,
+                 max_chunk_count: int = 4096):
+        self._parts: list[bytes] = []
+        self._size = 0
+        self._max_message_size = max_message_size
+        self._max_chunk_count = max_chunk_count
+
+    @property
+    def pending(self) -> bool:
+        return bool(self._parts)
+
+    def feed(self, chunk_type: str, body: bytes) -> bytes | None:
+        """Add one chunk; returns the full message when complete."""
+        if chunk_type == ChunkType.ABORT.value:
+            self._reset()
+            return None
+        if chunk_type not in (ChunkType.FINAL.value, ChunkType.INTERMEDIATE.value):
+            raise TransportError(f"invalid chunk type: {chunk_type!r}")
+        self._parts.append(body)
+        self._size += len(body)
+        if len(self._parts) > self._max_chunk_count:
+            self._reset()
+            raise TransportError("too many chunks in message")
+        if self._size > self._max_message_size:
+            self._reset()
+            raise TransportError("message exceeds size limit")
+        if chunk_type == ChunkType.FINAL.value:
+            message = b"".join(self._parts)
+            self._reset()
+            return message
+        return None
+
+    def _reset(self) -> None:
+        self._parts = []
+        self._size = 0

@@ -1,0 +1,51 @@
+"""Frame encoding and incremental frame parsing over a byte stream."""
+
+from __future__ import annotations
+
+from repro.transport.messages import HEADER_SIZE, MessageHeader, MessageType, TransportError
+
+
+def encode_frame(message_type: MessageType, chunk_type: str, body: bytes) -> bytes:
+    """Wrap a body in the 8-byte transport header."""
+    header = MessageHeader(message_type, chunk_type, HEADER_SIZE + len(body))
+    return header.encode() + body
+
+
+class FrameReader:
+    """Incremental parser turning a byte stream into (header, body) frames.
+
+    Works with partial delivery: feed arbitrary byte slices, pop
+    complete frames as they become available.
+    """
+
+    def __init__(self, max_frame_size: int = 16 * 1024 * 1024):
+        self._buffer = bytearray()
+        self._max_frame_size = max_frame_size
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    def next_frame(self) -> tuple[MessageHeader, bytes] | None:
+        """Pop one complete frame, or None if more bytes are needed."""
+        if len(self._buffer) < HEADER_SIZE:
+            return None
+        header = MessageHeader.decode(bytes(self._buffer[:HEADER_SIZE]))
+        if header.size > self._max_frame_size:
+            raise TransportError(f"frame of {header.size} bytes exceeds limit")
+        if len(self._buffer) < header.size:
+            return None
+        body = bytes(self._buffer[HEADER_SIZE : header.size])
+        del self._buffer[: header.size]
+        return header, body
+
+    def drain_frames(self):
+        """Yield all complete frames currently buffered."""
+        while True:
+            frame = self.next_frame()
+            if frame is None:
+                return
+            yield frame

@@ -1,0 +1,148 @@
+"""UA-TCP connection protocol messages: Hello, Acknowledge, Error."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.uabin.builtin import read_string, write_string
+from repro.util.binary import BinaryReader, BinaryWriter
+
+
+class TransportError(Exception):
+    """Framing violation or transport-level protocol error."""
+
+
+class MessageType(str, enum.Enum):
+    HELLO = "HEL"
+    ACKNOWLEDGE = "ACK"
+    ERROR = "ERR"
+    REVERSE_HELLO = "RHE"
+    OPEN_CHANNEL = "OPN"
+    CLOSE_CHANNEL = "CLO"
+    MESSAGE = "MSG"
+
+
+HEADER_SIZE = 8  # type(3) + chunk(1) + size(4)
+
+DEFAULT_RECEIVE_BUFFER = 65536
+DEFAULT_SEND_BUFFER = 65536
+DEFAULT_MAX_MESSAGE_SIZE = 16 * 1024 * 1024
+DEFAULT_MAX_CHUNK_COUNT = 4096
+PROTOCOL_VERSION = 0
+
+
+@dataclass(frozen=True)
+class MessageHeader:
+    """The 8-byte frame header preceding every transport message."""
+
+    message_type: MessageType
+    chunk_type: str  # 'F' final, 'C' intermediate, 'A' abort
+    size: int  # total frame size including this header
+
+    def encode(self) -> bytes:
+        writer = BinaryWriter()
+        writer.write_bytes(self.message_type.value.encode("ascii"))
+        writer.write_bytes(self.chunk_type.encode("ascii"))
+        writer.write_uint32(self.size)
+        return writer.to_bytes()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "MessageHeader":
+        if len(data) < HEADER_SIZE:
+            raise TransportError("short message header")
+        try:
+            message_type = MessageType(data[0:3].decode("ascii"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise TransportError(f"unknown message type: {data[0:3]!r}") from exc
+        chunk_type = chr(data[3])
+        if chunk_type not in ("F", "C", "A"):
+            raise TransportError(f"invalid chunk type: {chunk_type!r}")
+        size = int.from_bytes(data[4:8], "little")
+        if size < HEADER_SIZE:
+            raise TransportError(f"frame size too small: {size}")
+        return cls(message_type, chunk_type, size)
+
+
+@dataclass(frozen=True)
+class HelloMessage:
+    """Client's first message: buffer negotiation + endpoint URL."""
+
+    protocol_version: int = PROTOCOL_VERSION
+    receive_buffer_size: int = DEFAULT_RECEIVE_BUFFER
+    send_buffer_size: int = DEFAULT_SEND_BUFFER
+    max_message_size: int = DEFAULT_MAX_MESSAGE_SIZE
+    max_chunk_count: int = DEFAULT_MAX_CHUNK_COUNT
+    endpoint_url: str | None = None
+
+    def encode_body(self) -> bytes:
+        writer = BinaryWriter()
+        writer.write_uint32(self.protocol_version)
+        writer.write_uint32(self.receive_buffer_size)
+        writer.write_uint32(self.send_buffer_size)
+        writer.write_uint32(self.max_message_size)
+        writer.write_uint32(self.max_chunk_count)
+        write_string(writer, self.endpoint_url)
+        return writer.to_bytes()
+
+    @classmethod
+    def decode_body(cls, data: bytes) -> "HelloMessage":
+        reader = BinaryReader(data)
+        return cls(
+            protocol_version=reader.read_uint32(),
+            receive_buffer_size=reader.read_uint32(),
+            send_buffer_size=reader.read_uint32(),
+            max_message_size=reader.read_uint32(),
+            max_chunk_count=reader.read_uint32(),
+            endpoint_url=read_string(reader),
+        )
+
+
+@dataclass(frozen=True)
+class AcknowledgeMessage:
+    """Server's reply to Hello."""
+
+    protocol_version: int = PROTOCOL_VERSION
+    receive_buffer_size: int = DEFAULT_RECEIVE_BUFFER
+    send_buffer_size: int = DEFAULT_SEND_BUFFER
+    max_message_size: int = DEFAULT_MAX_MESSAGE_SIZE
+    max_chunk_count: int = DEFAULT_MAX_CHUNK_COUNT
+
+    def encode_body(self) -> bytes:
+        writer = BinaryWriter()
+        writer.write_uint32(self.protocol_version)
+        writer.write_uint32(self.receive_buffer_size)
+        writer.write_uint32(self.send_buffer_size)
+        writer.write_uint32(self.max_message_size)
+        writer.write_uint32(self.max_chunk_count)
+        return writer.to_bytes()
+
+    @classmethod
+    def decode_body(cls, data: bytes) -> "AcknowledgeMessage":
+        reader = BinaryReader(data)
+        return cls(
+            protocol_version=reader.read_uint32(),
+            receive_buffer_size=reader.read_uint32(),
+            send_buffer_size=reader.read_uint32(),
+            max_message_size=reader.read_uint32(),
+            max_chunk_count=reader.read_uint32(),
+        )
+
+
+@dataclass(frozen=True)
+class ErrorMessage:
+    """Fatal transport error; the connection closes afterwards."""
+
+    error_code: int = 0
+    reason: str | None = None
+
+    def encode_body(self) -> bytes:
+        writer = BinaryWriter()
+        writer.write_uint32(self.error_code)
+        write_string(writer, self.reason)
+        return writer.to_bytes()
+
+    @classmethod
+    def decode_body(cls, data: bytes) -> "ErrorMessage":
+        reader = BinaryReader(data)
+        return cls(error_code=reader.read_uint32(), reason=read_string(reader))

@@ -1,0 +1,261 @@
+"""Encode/decode routines for the OPC UA built-in types.
+
+Each built-in type gets a pair of module-level functions plus an entry
+in the :data:`CODECS` table, which the declarative struct machinery
+(:mod:`repro.uabin.structs`) and the Variant encoding use for dispatch.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+from datetime import datetime
+
+from repro.uabin.nodeid import ExpandedNodeId, NodeId
+from repro.uabin.statuscodes import StatusCode, lookup_status
+from repro.util.binary import BinaryReader, BinaryWriter
+from repro.util.simtime import datetime_to_filetime, filetime_to_datetime
+
+# --- simple scalars ---------------------------------------------------------
+
+
+def write_boolean(writer: BinaryWriter, value: bool) -> None:
+    writer.write_uint8(1 if value else 0)
+
+
+def read_boolean(reader: BinaryReader) -> bool:
+    return reader.read_uint8() != 0
+
+
+def write_string(writer: BinaryWriter, value: str | None) -> None:
+    """UTF-8 string with int32 length prefix; -1 encodes null."""
+    if value is None:
+        writer.write_int32(-1)
+        return
+    data = value.encode("utf-8")
+    writer.write_int32(len(data))
+    writer.write_bytes(data)
+
+
+def read_string(reader: BinaryReader) -> str | None:
+    length = reader.read_int32()
+    if length < 0:
+        return None
+    return reader.read_bytes(length).decode("utf-8")
+
+
+def write_bytestring(writer: BinaryWriter, value: bytes | None) -> None:
+    if value is None:
+        writer.write_int32(-1)
+        return
+    writer.write_int32(len(value))
+    writer.write_bytes(value)
+
+
+def read_bytestring(reader: BinaryReader) -> bytes | None:
+    length = reader.read_int32()
+    if length < 0:
+        return None
+    return reader.read_bytes(length)
+
+
+def write_datetime(writer: BinaryWriter, value: datetime | None) -> None:
+    writer.write_int64(0 if value is None else datetime_to_filetime(value))
+
+
+def read_datetime(reader: BinaryReader) -> datetime | None:
+    ticks = reader.read_int64()
+    if ticks == 0:
+        return None
+    return filetime_to_datetime(ticks)
+
+
+def write_guid(writer: BinaryWriter, value: uuid.UUID) -> None:
+    writer.write_bytes(value.bytes_le)
+
+
+def read_guid(reader: BinaryReader) -> uuid.UUID:
+    return uuid.UUID(bytes_le=reader.read_bytes(16))
+
+
+def write_statuscode(writer: BinaryWriter, value: StatusCode | int) -> None:
+    raw = value.value if isinstance(value, StatusCode) else int(value)
+    writer.write_uint32(raw & 0xFFFFFFFF)
+
+
+def read_statuscode(reader: BinaryReader) -> StatusCode:
+    return lookup_status(reader.read_uint32())
+
+
+# --- composite built-ins ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QualifiedName:
+    """Namespace-qualified browse name."""
+
+    namespace_index: int = 0
+    name: str | None = None
+
+    def encode(self, writer: BinaryWriter) -> None:
+        writer.write_uint16(self.namespace_index)
+        write_string(writer, self.name)
+
+    @classmethod
+    def decode(cls, reader: BinaryReader) -> "QualifiedName":
+        return cls(reader.read_uint16(), read_string(reader))
+
+    def to_string(self) -> str:
+        name = self.name or ""
+        return f"{self.namespace_index}:{name}" if self.namespace_index else name
+
+
+@dataclass(frozen=True)
+class LocalizedText:
+    """Human-readable text with optional locale."""
+
+    text: str | None = None
+    locale: str | None = None
+
+    _LOCALE_BIT = 0x01
+    _TEXT_BIT = 0x02
+
+    def encode(self, writer: BinaryWriter) -> None:
+        mask = 0
+        if self.locale is not None:
+            mask |= self._LOCALE_BIT
+        if self.text is not None:
+            mask |= self._TEXT_BIT
+        writer.write_uint8(mask)
+        if self.locale is not None:
+            write_string(writer, self.locale)
+        if self.text is not None:
+            write_string(writer, self.text)
+
+    @classmethod
+    def decode(cls, reader: BinaryReader) -> "LocalizedText":
+        mask = reader.read_uint8()
+        locale = read_string(reader) if mask & cls._LOCALE_BIT else None
+        text = read_string(reader) if mask & cls._TEXT_BIT else None
+        return cls(text=text, locale=locale)
+
+
+@dataclass(frozen=True)
+class DiagnosticInfo:
+    """Diagnostic detail; the study never populates it but must be
+    able to encode/decode the field in every response header."""
+
+    symbolic_id: int | None = None
+    namespace_uri: int | None = None
+    locale: int | None = None
+    localized_text: int | None = None
+    additional_info: str | None = None
+    inner_status: StatusCode | None = None
+    inner_diagnostic: "DiagnosticInfo | None" = None
+
+    def encode(self, writer: BinaryWriter) -> None:
+        mask = 0
+        if self.symbolic_id is not None:
+            mask |= 0x01
+        if self.namespace_uri is not None:
+            mask |= 0x02
+        if self.localized_text is not None:
+            mask |= 0x04
+        if self.locale is not None:
+            mask |= 0x08
+        if self.additional_info is not None:
+            mask |= 0x10
+        if self.inner_status is not None:
+            mask |= 0x20
+        if self.inner_diagnostic is not None:
+            mask |= 0x40
+        writer.write_uint8(mask)
+        if self.symbolic_id is not None:
+            writer.write_int32(self.symbolic_id)
+        if self.namespace_uri is not None:
+            writer.write_int32(self.namespace_uri)
+        if self.localized_text is not None:
+            writer.write_int32(self.localized_text)
+        if self.locale is not None:
+            writer.write_int32(self.locale)
+        if self.additional_info is not None:
+            write_string(writer, self.additional_info)
+        if self.inner_status is not None:
+            write_statuscode(writer, self.inner_status)
+        if self.inner_diagnostic is not None:
+            self.inner_diagnostic.encode(writer)
+
+    @classmethod
+    def decode(cls, reader: BinaryReader) -> "DiagnosticInfo":
+        mask = reader.read_uint8()
+        symbolic_id = reader.read_int32() if mask & 0x01 else None
+        namespace_uri = reader.read_int32() if mask & 0x02 else None
+        localized_text = reader.read_int32() if mask & 0x04 else None
+        locale = reader.read_int32() if mask & 0x08 else None
+        additional_info = read_string(reader) if mask & 0x10 else None
+        inner_status = read_statuscode(reader) if mask & 0x20 else None
+        inner_diagnostic = cls.decode(reader) if mask & 0x40 else None
+        return cls(
+            symbolic_id=symbolic_id,
+            namespace_uri=namespace_uri,
+            locale=locale,
+            localized_text=localized_text,
+            additional_info=additional_info,
+            inner_status=inner_status,
+            inner_diagnostic=inner_diagnostic,
+        )
+
+
+# --- codec table ------------------------------------------------------------
+
+# name -> (write_fn(writer, value), read_fn(reader) -> value)
+CODECS = {
+    "boolean": (write_boolean, read_boolean),
+    "sbyte": (BinaryWriter.write_int8, BinaryReader.read_int8),
+    "byte": (BinaryWriter.write_uint8, BinaryReader.read_uint8),
+    "int16": (BinaryWriter.write_int16, BinaryReader.read_int16),
+    "uint16": (BinaryWriter.write_uint16, BinaryReader.read_uint16),
+    "int32": (BinaryWriter.write_int32, BinaryReader.read_int32),
+    "uint32": (BinaryWriter.write_uint32, BinaryReader.read_uint32),
+    "int64": (BinaryWriter.write_int64, BinaryReader.read_int64),
+    "uint64": (BinaryWriter.write_uint64, BinaryReader.read_uint64),
+    "float": (BinaryWriter.write_float, BinaryReader.read_float),
+    "double": (BinaryWriter.write_double, BinaryReader.read_double),
+    "string": (write_string, read_string),
+    "bytestring": (write_bytestring, read_bytestring),
+    "datetime": (write_datetime, read_datetime),
+    "guid": (write_guid, read_guid),
+    "statuscode": (write_statuscode, read_statuscode),
+    "nodeid": (lambda w, v: v.encode(w), NodeId.decode),
+    "expandednodeid": (lambda w, v: v.encode(w), ExpandedNodeId.decode),
+    "qualifiedname": (lambda w, v: v.encode(w), QualifiedName.decode),
+    "localizedtext": (lambda w, v: v.encode(w), LocalizedText.decode),
+    "diagnosticinfo": (lambda w, v: v.encode(w), DiagnosticInfo.decode),
+}
+
+
+def write_value(writer: BinaryWriter, type_name: str, value) -> None:
+    CODECS[type_name][0](writer, value)
+
+
+def read_value(reader: BinaryReader, type_name: str):
+    return CODECS[type_name][1](reader)
+
+
+def write_array(writer: BinaryWriter, type_name: str, values) -> None:
+    """Length-prefixed array; None encodes as length -1."""
+    if values is None:
+        writer.write_int32(-1)
+        return
+    writer.write_int32(len(values))
+    encode = CODECS[type_name][0]
+    for value in values:
+        encode(writer, value)
+
+
+def read_array(reader: BinaryReader, type_name: str):
+    length = reader.read_int32()
+    if length < 0:
+        return None
+    decode = CODECS[type_name][1]
+    return [decode(reader) for _ in range(length)]

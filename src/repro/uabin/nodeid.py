@@ -1,0 +1,207 @@
+"""NodeId and ExpandedNodeId with all six binary encodings.
+
+OPC UA addresses every node by a NodeId: a namespace index plus an
+identifier that is numeric, string, GUID, or opaque bytes.  The binary
+encoding selects the most compact of six formats via the first byte.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+
+from repro.util.binary import BinaryReader, BinaryWriter
+
+# Encoding bytes (OPC 10000-6 §5.2.2.9).
+_TWO_BYTE = 0x00
+_FOUR_BYTE = 0x01
+_NUMERIC = 0x02
+_STRING = 0x03
+_GUID = 0x04
+_BYTESTRING = 0x05
+_NAMESPACE_URI_FLAG = 0x80
+_SERVER_INDEX_FLAG = 0x40
+
+
+@dataclass(frozen=True)
+class NodeId:
+    """A node identifier: ``NodeId(namespace, identifier)``.
+
+    The identifier type is inferred from the Python type: int for
+    numeric, str for string, :class:`uuid.UUID` for GUID, bytes for
+    opaque identifiers.
+    """
+
+    namespace: int = 0
+    identifier: int | str | uuid.UUID | bytes = 0
+
+    def __post_init__(self):
+        if not 0 <= self.namespace <= 0xFFFF:
+            raise ValueError(f"namespace index out of range: {self.namespace}")
+        if isinstance(self.identifier, int) and not 0 <= self.identifier <= 0xFFFFFFFF:
+            raise ValueError(f"numeric identifier out of range: {self.identifier}")
+
+    @property
+    def is_null(self) -> bool:
+        return self.namespace == 0 and self.identifier in (0, "", b"")
+
+    def to_string(self) -> str:
+        """Render in the ``ns=1;i=42`` textual convention."""
+        prefix = f"ns={self.namespace};" if self.namespace else ""
+        if isinstance(self.identifier, int):
+            return f"{prefix}i={self.identifier}"
+        if isinstance(self.identifier, str):
+            return f"{prefix}s={self.identifier}"
+        if isinstance(self.identifier, uuid.UUID):
+            return f"{prefix}g={self.identifier}"
+        return f"{prefix}b={self.identifier.hex()}"
+
+    @classmethod
+    def from_string(cls, text: str) -> "NodeId":
+        namespace = 0
+        rest = text
+        if text.startswith("ns="):
+            ns_part, _, rest = text.partition(";")
+            namespace = int(ns_part[3:])
+        kind, _, value = rest.partition("=")
+        if kind == "i":
+            return cls(namespace, int(value))
+        if kind == "s":
+            return cls(namespace, value)
+        if kind == "g":
+            return cls(namespace, uuid.UUID(value))
+        if kind == "b":
+            return cls(namespace, bytes.fromhex(value))
+        raise ValueError(f"unparseable NodeId: {text!r}")
+
+    # --- binary encoding -----------------------------------------------------
+
+    def encode(self, writer: BinaryWriter) -> None:
+        ident = self.identifier
+        if isinstance(ident, int):
+            if self.namespace == 0 and ident <= 0xFF:
+                writer.write_uint8(_TWO_BYTE)
+                writer.write_uint8(ident)
+            elif self.namespace <= 0xFF and ident <= 0xFFFF:
+                writer.write_uint8(_FOUR_BYTE)
+                writer.write_uint8(self.namespace)
+                writer.write_uint16(ident)
+            else:
+                writer.write_uint8(_NUMERIC)
+                writer.write_uint16(self.namespace)
+                writer.write_uint32(ident)
+        elif isinstance(ident, str):
+            writer.write_uint8(_STRING)
+            writer.write_uint16(self.namespace)
+            _write_string(writer, ident)
+        elif isinstance(ident, uuid.UUID):
+            writer.write_uint8(_GUID)
+            writer.write_uint16(self.namespace)
+            writer.write_bytes(ident.bytes_le)
+        elif isinstance(ident, bytes):
+            writer.write_uint8(_BYTESTRING)
+            writer.write_uint16(self.namespace)
+            _write_bytestring(writer, ident)
+        else:
+            raise TypeError(f"unsupported identifier type: {type(ident).__name__}")
+
+    @classmethod
+    def decode(cls, reader: BinaryReader) -> "NodeId":
+        node_id, _, _ = _decode_nodeid_with_flags(reader)
+        return node_id
+
+    def to_bytes(self) -> bytes:
+        writer = BinaryWriter()
+        self.encode(writer)
+        return writer.to_bytes()
+
+
+@dataclass(frozen=True)
+class ExpandedNodeId:
+    """NodeId plus optional namespace URI and server index."""
+
+    node_id: NodeId = NodeId()
+    namespace_uri: str | None = None
+    server_index: int = 0
+
+    def encode(self, writer: BinaryWriter) -> None:
+        inner = BinaryWriter()
+        self.node_id.encode(inner)
+        data = bytearray(inner.to_bytes())
+        if self.namespace_uri is not None:
+            data[0] |= _NAMESPACE_URI_FLAG
+        if self.server_index:
+            data[0] |= _SERVER_INDEX_FLAG
+        writer.write_bytes(bytes(data))
+        if self.namespace_uri is not None:
+            _write_string(writer, self.namespace_uri)
+        if self.server_index:
+            writer.write_uint32(self.server_index)
+
+    @classmethod
+    def decode(cls, reader: BinaryReader) -> "ExpandedNodeId":
+        node_id, has_uri, has_server = _decode_nodeid_with_flags(reader)
+        namespace_uri = _read_string(reader) if has_uri else None
+        server_index = reader.read_uint32() if has_server else 0
+        return cls(node_id, namespace_uri, server_index)
+
+
+def _decode_nodeid_with_flags(reader: BinaryReader) -> tuple[NodeId, bool, bool]:
+    encoding = reader.read_uint8()
+    has_uri = bool(encoding & _NAMESPACE_URI_FLAG)
+    has_server = bool(encoding & _SERVER_INDEX_FLAG)
+    kind = encoding & 0x3F
+    if kind == _TWO_BYTE:
+        return NodeId(0, reader.read_uint8()), has_uri, has_server
+    if kind == _FOUR_BYTE:
+        ns = reader.read_uint8()
+        return NodeId(ns, reader.read_uint16()), has_uri, has_server
+    if kind == _NUMERIC:
+        ns = reader.read_uint16()
+        return NodeId(ns, reader.read_uint32()), has_uri, has_server
+    if kind == _STRING:
+        ns = reader.read_uint16()
+        return NodeId(ns, _read_string(reader) or ""), has_uri, has_server
+    if kind == _GUID:
+        ns = reader.read_uint16()
+        guid = uuid.UUID(bytes_le=reader.read_bytes(16))
+        return NodeId(ns, guid), has_uri, has_server
+    if kind == _BYTESTRING:
+        ns = reader.read_uint16()
+        return NodeId(ns, _read_bytestring(reader) or b""), has_uri, has_server
+    raise ValueError(f"invalid NodeId encoding byte: 0x{encoding:02x}")
+
+
+# Local copies of string helpers to avoid a circular import with
+# builtin.py (which imports NodeId).
+
+
+def _write_string(writer: BinaryWriter, value: str | None) -> None:
+    if value is None:
+        writer.write_int32(-1)
+        return
+    data = value.encode("utf-8")
+    writer.write_int32(len(data))
+    writer.write_bytes(data)
+
+
+def _read_string(reader: BinaryReader) -> str | None:
+    length = reader.read_int32()
+    if length < 0:
+        return None
+    return reader.read_bytes(length).decode("utf-8")
+
+
+def _write_bytestring(writer: BinaryWriter, value: bytes | None) -> None:
+    if value is None:
+        writer.write_int32(-1)
+        return
+    writer.write_int32(len(value))
+    writer.write_bytes(value)
+
+
+def _read_bytestring(reader: BinaryReader) -> bytes | None:
+    length = reader.read_int32()
+    if length < 0:
+        return None
+    return reader.read_bytes(length)

@@ -1,0 +1,210 @@
+"""Declarative codec for OPC UA service structures.
+
+Every service message derives from :class:`UaStruct` and declares a
+``_fields_`` table mapping attribute names to type specs:
+
+* a string — one of the built-in codec names of
+  :mod:`repro.uabin.builtin`, or the specials ``"variant"``,
+  ``"datavalue"``, ``"extensionobject"``;
+* a :class:`UaStruct` subclass — nested structure;
+* an :class:`enum.IntEnum`/:class:`enum.IntFlag` subclass — encoded as
+  Int32 (the OPC UA enum wire type);
+* ``("array", spec)`` — length-prefixed array of any of the above.
+
+The table *is* the wire format, which keeps each message definition
+next to its fields and makes encode/decode impossible to drift apart.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from repro.uabin import builtin
+from repro.uabin.nodeid import NodeId
+from repro.uabin.statuscodes import StatusCode, StatusCodes
+from repro.uabin.variant import DataValue, Variant
+from repro.util.binary import BinaryReader, BinaryWriter, NotEnoughData
+
+
+class DecodingError(Exception):
+    """Raised when a message cannot be decoded."""
+
+
+@dataclass(frozen=True)
+class ExtensionObject:
+    """A value wrapped with its binary-encoding NodeId.
+
+    ``encoding`` 0 means no body, 1 a binary ByteString body, 2 an XML
+    body (never produced here but tolerated on decode).
+    """
+
+    type_id: NodeId = field(default_factory=NodeId)
+    body: bytes | None = None
+    encoding: int = 0
+
+    def encode(self, writer: BinaryWriter) -> None:
+        self.type_id.encode(writer)
+        if self.body is None:
+            writer.write_uint8(0)
+        else:
+            writer.write_uint8(self.encoding or 1)
+            builtin.write_bytestring(writer, self.body)
+
+    @classmethod
+    def decode(cls, reader: BinaryReader) -> "ExtensionObject":
+        type_id = NodeId.decode(reader)
+        encoding = reader.read_uint8()
+        if encoding == 0:
+            return cls(type_id, None, 0)
+        if encoding in (1, 2):
+            return cls(type_id, builtin.read_bytestring(reader), encoding)
+        raise DecodingError(f"invalid ExtensionObject encoding: {encoding}")
+
+    @classmethod
+    def null(cls) -> "ExtensionObject":
+        return cls(NodeId(0, 0), None, 0)
+
+
+def _encode_field(writer: BinaryWriter, spec, value) -> None:
+    if isinstance(spec, tuple) and spec[0] == "array":
+        if value is None:
+            writer.write_int32(-1)
+            return
+        writer.write_int32(len(value))
+        for item in value:
+            _encode_field(writer, spec[1], item)
+        return
+    if isinstance(spec, str):
+        if spec == "variant":
+            (value if value is not None else Variant()).encode(writer)
+        elif spec == "datavalue":
+            (value if value is not None else DataValue()).encode(writer)
+        elif spec == "extensionobject":
+            (value if value is not None else ExtensionObject.null()).encode(writer)
+        else:
+            builtin.write_value(writer, spec, value)
+        return
+    if isinstance(spec, type) and issubclass(spec, UaStruct):
+        if value is None:
+            value = spec()
+        value.encode(writer)
+        return
+    if isinstance(spec, type) and issubclass(spec, enum.IntEnum | enum.IntFlag):
+        writer.write_int32(int(value))
+        return
+    raise TypeError(f"unsupported field spec: {spec!r}")
+
+
+def _decode_field(reader: BinaryReader, spec):
+    if isinstance(spec, tuple) and spec[0] == "array":
+        length = reader.read_int32()
+        if length < 0:
+            return None
+        if length > reader.remaining:
+            raise DecodingError(f"array length {length} exceeds message size")
+        return [_decode_field(reader, spec[1]) for _ in range(length)]
+    if isinstance(spec, str):
+        if spec == "variant":
+            return Variant.decode(reader)
+        if spec == "datavalue":
+            return DataValue.decode(reader)
+        if spec == "extensionobject":
+            return ExtensionObject.decode(reader)
+        return builtin.read_value(reader, spec)
+    if isinstance(spec, type) and issubclass(spec, UaStruct):
+        return spec.decode(reader)
+    if isinstance(spec, type) and issubclass(spec, enum.IntEnum | enum.IntFlag):
+        return spec(reader.read_int32())
+    raise TypeError(f"unsupported field spec: {spec!r}")
+
+
+class UaStruct:
+    """Base class for declaratively encoded structures."""
+
+    _fields_: list[tuple[str, object]] = []
+
+    def encode(self, writer: BinaryWriter) -> None:
+        for name, spec in self._fields_:
+            _encode_field(writer, spec, getattr(self, name))
+
+    @classmethod
+    def decode(cls, reader: BinaryReader):
+        values = {}
+        try:
+            for name, spec in cls._fields_:
+                values[name] = _decode_field(reader, spec)
+        except (NotEnoughData, ValueError) as exc:
+            raise DecodingError(
+                f"cannot decode {cls.__name__}.{name}: {exc}"
+            ) from exc
+        return cls(**values)
+
+    def to_bytes(self) -> bytes:
+        writer = BinaryWriter()
+        self.encode(writer)
+        return writer.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes):
+        reader = BinaryReader(data)
+        value = cls.decode(reader)
+        return value
+
+
+def encode_struct(value: UaStruct) -> bytes:
+    return value.to_bytes()
+
+
+def decode_struct(cls: type[UaStruct], data: bytes) -> UaStruct:
+    return cls.from_bytes(data)
+
+
+# --- request/response headers (used by every service) -----------------------
+
+
+@dataclass
+class RequestHeader(UaStruct):
+    """Common header carried by every service request."""
+
+    authentication_token: NodeId = field(default_factory=NodeId)
+    timestamp: datetime | None = None
+    request_handle: int = 0
+    return_diagnostics: int = 0
+    audit_entry_id: str | None = None
+    timeout_hint: int = 0
+    additional_header: ExtensionObject = field(default_factory=ExtensionObject.null)
+
+    _fields_ = [
+        ("authentication_token", "nodeid"),
+        ("timestamp", "datetime"),
+        ("request_handle", "uint32"),
+        ("return_diagnostics", "uint32"),
+        ("audit_entry_id", "string"),
+        ("timeout_hint", "uint32"),
+        ("additional_header", "extensionobject"),
+    ]
+
+
+@dataclass
+class ResponseHeader(UaStruct):
+    """Common header carried by every service response."""
+
+    timestamp: datetime | None = None
+    request_handle: int = 0
+    service_result: StatusCode = field(default_factory=lambda: StatusCodes.Good)
+    service_diagnostics: builtin.DiagnosticInfo = field(
+        default_factory=builtin.DiagnosticInfo
+    )
+    string_table: list[str] | None = None
+    additional_header: ExtensionObject = field(default_factory=ExtensionObject.null)
+
+    _fields_ = [
+        ("timestamp", "datetime"),
+        ("request_handle", "uint32"),
+        ("service_result", "statuscode"),
+        ("service_diagnostics", "diagnosticinfo"),
+        ("string_table", ("array", "string")),
+        ("additional_header", "extensionobject"),
+    ]

@@ -1,0 +1,72 @@
+"""Secure-channel service set: OpenSecureChannel / CloseSecureChannel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from repro.uabin.enums import MessageSecurityMode, SecurityTokenRequestType
+from repro.uabin.structs import RequestHeader, ResponseHeader, UaStruct
+
+
+@dataclass
+class ChannelSecurityToken(UaStruct):
+    channel_id: int = 0
+    token_id: int = 0
+    created_at: datetime | None = None
+    revised_lifetime: int = 0
+
+    _fields_ = [
+        ("channel_id", "uint32"),
+        ("token_id", "uint32"),
+        ("created_at", "datetime"),
+        ("revised_lifetime", "uint32"),
+    ]
+
+
+@dataclass
+class OpenSecureChannelRequest(UaStruct):
+    request_header: RequestHeader = field(default_factory=RequestHeader)
+    client_protocol_version: int = 0
+    request_type: SecurityTokenRequestType = SecurityTokenRequestType.ISSUE
+    security_mode: MessageSecurityMode = MessageSecurityMode.NONE
+    client_nonce: bytes | None = None
+    requested_lifetime: int = 3_600_000
+
+    _fields_ = [
+        ("request_header", RequestHeader),
+        ("client_protocol_version", "uint32"),
+        ("request_type", SecurityTokenRequestType),
+        ("security_mode", MessageSecurityMode),
+        ("client_nonce", "bytestring"),
+        ("requested_lifetime", "uint32"),
+    ]
+
+
+@dataclass
+class OpenSecureChannelResponse(UaStruct):
+    response_header: ResponseHeader = field(default_factory=ResponseHeader)
+    server_protocol_version: int = 0
+    security_token: ChannelSecurityToken = field(default_factory=ChannelSecurityToken)
+    server_nonce: bytes | None = None
+
+    _fields_ = [
+        ("response_header", ResponseHeader),
+        ("server_protocol_version", "uint32"),
+        ("security_token", ChannelSecurityToken),
+        ("server_nonce", "bytestring"),
+    ]
+
+
+@dataclass
+class CloseSecureChannelRequest(UaStruct):
+    request_header: RequestHeader = field(default_factory=RequestHeader)
+
+    _fields_ = [("request_header", RequestHeader)]
+
+
+@dataclass
+class CloseSecureChannelResponse(UaStruct):
+    response_header: ResponseHeader = field(default_factory=ResponseHeader)
+
+    _fields_ = [("response_header", ResponseHeader)]

@@ -1,0 +1,66 @@
+"""Discovery service set: GetEndpoints and FindServers.
+
+GetEndpoints is the first protocol message the scanner sends to every
+responsive host; it requires no security and returns the endpoint
+descriptions (including the server certificate) that drive the whole
+analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.uabin.structs import RequestHeader, ResponseHeader, UaStruct
+from repro.uabin.types_common import ApplicationDescription, EndpointDescription
+
+
+@dataclass
+class GetEndpointsRequest(UaStruct):
+    request_header: RequestHeader = field(default_factory=RequestHeader)
+    endpoint_url: str | None = None
+    locale_ids: list[str] | None = None
+    profile_uris: list[str] | None = None
+
+    _fields_ = [
+        ("request_header", RequestHeader),
+        ("endpoint_url", "string"),
+        ("locale_ids", ("array", "string")),
+        ("profile_uris", ("array", "string")),
+    ]
+
+
+@dataclass
+class GetEndpointsResponse(UaStruct):
+    response_header: ResponseHeader = field(default_factory=ResponseHeader)
+    endpoints: list[EndpointDescription] | None = None
+
+    _fields_ = [
+        ("response_header", ResponseHeader),
+        ("endpoints", ("array", EndpointDescription)),
+    ]
+
+
+@dataclass
+class FindServersRequest(UaStruct):
+    request_header: RequestHeader = field(default_factory=RequestHeader)
+    endpoint_url: str | None = None
+    locale_ids: list[str] | None = None
+    server_uris: list[str] | None = None
+
+    _fields_ = [
+        ("request_header", RequestHeader),
+        ("endpoint_url", "string"),
+        ("locale_ids", ("array", "string")),
+        ("server_uris", ("array", "string")),
+    ]
+
+
+@dataclass
+class FindServersResponse(UaStruct):
+    response_header: ResponseHeader = field(default_factory=ResponseHeader)
+    servers: list[ApplicationDescription] | None = None
+
+    _fields_ = [
+        ("response_header", ResponseHeader),
+        ("servers", ("array", ApplicationDescription)),
+    ]

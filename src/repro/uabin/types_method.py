@@ -1,0 +1,78 @@
+"""Method service set: Call.
+
+The access-rights analysis (paper Figure 7) checks which methods the
+anonymous user may *execute*; the scanner determines executability
+from the UserExecutable attribute and never actually calls methods on
+scanned systems, mirroring the paper's ethics stance.  The Call
+service is nevertheless fully implemented and exercised in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.uabin.nodeid import NodeId
+from repro.uabin.statuscodes import StatusCode, StatusCodes
+from repro.uabin.structs import RequestHeader, ResponseHeader, UaStruct
+from repro.uabin.variant import Variant
+
+
+@dataclass
+class CallMethodRequest(UaStruct):
+    object_id: NodeId = field(default_factory=NodeId)
+    method_id: NodeId = field(default_factory=NodeId)
+    input_arguments: list[Variant] | None = None
+
+    _fields_ = [
+        ("object_id", "nodeid"),
+        ("method_id", "nodeid"),
+        ("input_arguments", ("array", "variant")),
+    ]
+
+
+@dataclass
+class CallMethodResult(UaStruct):
+    status_code: StatusCode = field(default_factory=lambda: StatusCodes.Good)
+    input_argument_results: list[StatusCode] | None = None
+    input_argument_diagnostic_infos: list | None = None
+    output_arguments: list[Variant] | None = None
+
+    _fields_ = [
+        ("status_code", "statuscode"),
+        ("input_argument_results", ("array", "statuscode")),
+        ("input_argument_diagnostic_infos", ("array", "diagnosticinfo")),
+        ("output_arguments", ("array", "variant")),
+    ]
+
+
+@dataclass
+class CallRequest(UaStruct):
+    request_header: RequestHeader = field(default_factory=RequestHeader)
+    methods_to_call: list[CallMethodRequest] | None = None
+
+    _fields_ = [
+        ("request_header", RequestHeader),
+        ("methods_to_call", ("array", CallMethodRequest)),
+    ]
+
+
+@dataclass
+class CallResponse(UaStruct):
+    response_header: ResponseHeader = field(default_factory=ResponseHeader)
+    results: list[CallMethodResult] | None = None
+    diagnostic_infos: list | None = None
+
+    _fields_ = [
+        ("response_header", ResponseHeader),
+        ("results", ("array", CallMethodResult)),
+        ("diagnostic_infos", ("array", "diagnosticinfo")),
+    ]
+
+
+@dataclass
+class ServiceFault(UaStruct):
+    """Generic failure response; the status lives in the header."""
+
+    response_header: ResponseHeader = field(default_factory=ResponseHeader)
+
+    _fields_ = [("response_header", ResponseHeader)]

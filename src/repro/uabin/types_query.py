@@ -1,0 +1,140 @@
+"""TranslateBrowsePathsToNodeIds and RegisterServer services.
+
+TranslateBrowsePaths resolves human-readable browse paths ("Objects →
+Plant → rSetFillLevel") to NodeIds — the lookup clients use when node
+identifiers are not known a priori.  RegisterServer is how servers
+announce themselves to a Local Discovery Server; the study's discovery
+servers (42 % of reachable hosts) exist because of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.uabin.builtin import LocalizedText, QualifiedName
+from repro.uabin.enums import ApplicationType
+from repro.uabin.nodeid import ExpandedNodeId, NodeId
+from repro.uabin.statuscodes import StatusCode, StatusCodes
+from repro.uabin.structs import RequestHeader, ResponseHeader, UaStruct
+
+
+@dataclass
+class RelativePathElement(UaStruct):
+    reference_type_id: NodeId = field(default_factory=NodeId)
+    is_inverse: bool = False
+    include_subtypes: bool = True
+    target_name: QualifiedName = field(default_factory=QualifiedName)
+
+    _fields_ = [
+        ("reference_type_id", "nodeid"),
+        ("is_inverse", "boolean"),
+        ("include_subtypes", "boolean"),
+        ("target_name", "qualifiedname"),
+    ]
+
+
+@dataclass
+class RelativePath(UaStruct):
+    elements: list[RelativePathElement] | None = None
+
+    _fields_ = [("elements", ("array", RelativePathElement))]
+
+
+@dataclass
+class BrowsePath(UaStruct):
+    starting_node: NodeId = field(default_factory=NodeId)
+    relative_path: RelativePath = field(default_factory=RelativePath)
+
+    _fields_ = [
+        ("starting_node", "nodeid"),
+        ("relative_path", RelativePath),
+    ]
+
+
+@dataclass
+class BrowsePathTarget(UaStruct):
+    target_id: ExpandedNodeId = field(default_factory=ExpandedNodeId)
+    remaining_path_index: int = 0xFFFFFFFF
+
+    _fields_ = [
+        ("target_id", "expandednodeid"),
+        ("remaining_path_index", "uint32"),
+    ]
+
+
+@dataclass
+class BrowsePathResult(UaStruct):
+    status_code: StatusCode = field(default_factory=lambda: StatusCodes.Good)
+    targets: list[BrowsePathTarget] | None = None
+
+    _fields_ = [
+        ("status_code", "statuscode"),
+        ("targets", ("array", BrowsePathTarget)),
+    ]
+
+
+@dataclass
+class TranslateBrowsePathsRequest(UaStruct):
+    request_header: RequestHeader = field(default_factory=RequestHeader)
+    browse_paths: list[BrowsePath] | None = None
+
+    _fields_ = [
+        ("request_header", RequestHeader),
+        ("browse_paths", ("array", BrowsePath)),
+    ]
+
+
+@dataclass
+class TranslateBrowsePathsResponse(UaStruct):
+    response_header: ResponseHeader = field(default_factory=ResponseHeader)
+    results: list[BrowsePathResult] | None = None
+    diagnostic_infos: list | None = None
+
+    _fields_ = [
+        ("response_header", ResponseHeader),
+        ("results", ("array", BrowsePathResult)),
+        ("diagnostic_infos", ("array", "diagnosticinfo")),
+    ]
+
+
+@dataclass
+class RegisteredServer(UaStruct):
+    """A server's announcement of itself to a discovery server."""
+
+    server_uri: str | None = None
+    product_uri: str | None = None
+    server_names: list[LocalizedText] | None = None
+    server_type: ApplicationType = ApplicationType.SERVER
+    gateway_server_uri: str | None = None
+    discovery_urls: list[str] | None = None
+    semaphore_file_path: str | None = None
+    is_online: bool = True
+
+    _fields_ = [
+        ("server_uri", "string"),
+        ("product_uri", "string"),
+        ("server_names", ("array", "localizedtext")),
+        ("server_type", ApplicationType),
+        ("gateway_server_uri", "string"),
+        ("discovery_urls", ("array", "string")),
+        ("semaphore_file_path", "string"),
+        ("is_online", "boolean"),
+    ]
+
+
+@dataclass
+class RegisterServerRequest(UaStruct):
+    request_header: RequestHeader = field(default_factory=RequestHeader)
+    server: RegisteredServer = field(default_factory=RegisteredServer)
+
+    _fields_ = [
+        ("request_header", RequestHeader),
+        ("server", RegisteredServer),
+    ]
+
+
+@dataclass
+class RegisterServerResponse(UaStruct):
+    response_header: ResponseHeader = field(default_factory=ResponseHeader)
+
+    _fields_ = [("response_header", ResponseHeader)]

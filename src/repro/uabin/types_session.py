@@ -1,0 +1,177 @@
+"""Session service set: CreateSession / ActivateSession / CloseSession
+plus the four user identity token structures.
+
+The identity tokens are the subject of the paper's Table 2: which
+combinations of anonymous / username / certificate / issued-token
+authentication servers advertise, and whether anonymous sessions are
+actually accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.uabin.nodeid import NodeId
+from repro.uabin.statuscodes import StatusCode
+from repro.uabin.structs import RequestHeader, ResponseHeader, UaStruct
+from repro.uabin.types_common import (
+    ApplicationDescription,
+    EndpointDescription,
+    SignatureData,
+    SignedSoftwareCertificate,
+)
+
+
+@dataclass
+class CreateSessionRequest(UaStruct):
+    request_header: RequestHeader = field(default_factory=RequestHeader)
+    client_description: ApplicationDescription = field(
+        default_factory=ApplicationDescription
+    )
+    server_uri: str | None = None
+    endpoint_url: str | None = None
+    session_name: str | None = None
+    client_nonce: bytes | None = None
+    client_certificate: bytes | None = None
+    requested_session_timeout: float = 3_600_000.0
+    max_response_message_size: int = 0
+
+    _fields_ = [
+        ("request_header", RequestHeader),
+        ("client_description", ApplicationDescription),
+        ("server_uri", "string"),
+        ("endpoint_url", "string"),
+        ("session_name", "string"),
+        ("client_nonce", "bytestring"),
+        ("client_certificate", "bytestring"),
+        ("requested_session_timeout", "double"),
+        ("max_response_message_size", "uint32"),
+    ]
+
+
+@dataclass
+class CreateSessionResponse(UaStruct):
+    response_header: ResponseHeader = field(default_factory=ResponseHeader)
+    session_id: NodeId = field(default_factory=NodeId)
+    authentication_token: NodeId = field(default_factory=NodeId)
+    revised_session_timeout: float = 0.0
+    server_nonce: bytes | None = None
+    server_certificate: bytes | None = None
+    server_endpoints: list[EndpointDescription] | None = None
+    server_software_certificates: list[SignedSoftwareCertificate] | None = None
+    server_signature: SignatureData = field(default_factory=SignatureData)
+    max_request_message_size: int = 0
+
+    _fields_ = [
+        ("response_header", ResponseHeader),
+        ("session_id", "nodeid"),
+        ("authentication_token", "nodeid"),
+        ("revised_session_timeout", "double"),
+        ("server_nonce", "bytestring"),
+        ("server_certificate", "bytestring"),
+        ("server_endpoints", ("array", EndpointDescription)),
+        ("server_software_certificates", ("array", SignedSoftwareCertificate)),
+        ("server_signature", SignatureData),
+        ("max_request_message_size", "uint32"),
+    ]
+
+
+@dataclass
+class ActivateSessionRequest(UaStruct):
+    request_header: RequestHeader = field(default_factory=RequestHeader)
+    client_signature: SignatureData = field(default_factory=SignatureData)
+    client_software_certificates: list[SignedSoftwareCertificate] | None = None
+    locale_ids: list[str] | None = None
+    user_identity_token: object = None  # ExtensionObject
+    user_token_signature: SignatureData = field(default_factory=SignatureData)
+
+    _fields_ = [
+        ("request_header", RequestHeader),
+        ("client_signature", SignatureData),
+        ("client_software_certificates", ("array", SignedSoftwareCertificate)),
+        ("locale_ids", ("array", "string")),
+        ("user_identity_token", "extensionobject"),
+        ("user_token_signature", SignatureData),
+    ]
+
+
+@dataclass
+class ActivateSessionResponse(UaStruct):
+    response_header: ResponseHeader = field(default_factory=ResponseHeader)
+    server_nonce: bytes | None = None
+    results: list[StatusCode] | None = None
+    diagnostic_infos: list | None = None
+
+    _fields_ = [
+        ("response_header", ResponseHeader),
+        ("server_nonce", "bytestring"),
+        ("results", ("array", "statuscode")),
+        ("diagnostic_infos", ("array", "diagnosticinfo")),
+    ]
+
+
+@dataclass
+class CloseSessionRequest(UaStruct):
+    request_header: RequestHeader = field(default_factory=RequestHeader)
+    delete_subscriptions: bool = True
+
+    _fields_ = [
+        ("request_header", RequestHeader),
+        ("delete_subscriptions", "boolean"),
+    ]
+
+
+@dataclass
+class CloseSessionResponse(UaStruct):
+    response_header: ResponseHeader = field(default_factory=ResponseHeader)
+
+    _fields_ = [("response_header", ResponseHeader)]
+
+
+# --- user identity tokens ---------------------------------------------------
+
+
+@dataclass
+class AnonymousIdentityToken(UaStruct):
+    policy_id: str | None = None
+
+    _fields_ = [("policy_id", "string")]
+
+
+@dataclass
+class UserNameIdentityToken(UaStruct):
+    policy_id: str | None = None
+    user_name: str | None = None
+    password: bytes | None = None
+    encryption_algorithm: str | None = None
+
+    _fields_ = [
+        ("policy_id", "string"),
+        ("user_name", "string"),
+        ("password", "bytestring"),
+        ("encryption_algorithm", "string"),
+    ]
+
+
+@dataclass
+class X509IdentityToken(UaStruct):
+    policy_id: str | None = None
+    certificate_data: bytes | None = None
+
+    _fields_ = [
+        ("policy_id", "string"),
+        ("certificate_data", "bytestring"),
+    ]
+
+
+@dataclass
+class IssuedIdentityToken(UaStruct):
+    policy_id: str | None = None
+    token_data: bytes | None = None
+    encryption_algorithm: str | None = None
+
+    _fields_ = [
+        ("policy_id", "string"),
+        ("token_data", "bytestring"),
+        ("encryption_algorithm", "string"),
+    ]

@@ -1,0 +1,206 @@
+"""Variant and DataValue encodings.
+
+A Variant is OPC UA's tagged union: one byte selects the built-in
+type, bit 7 marks arrays.  DataValue wraps a Variant with status code
+and timestamps; the Read service returns one per attribute and the
+scanner's address-space traversal consumes them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from datetime import datetime
+
+from repro.uabin import builtin
+from repro.uabin.statuscodes import StatusCode
+from repro.util.binary import BinaryReader, BinaryWriter
+
+
+class VariantType(enum.IntEnum):
+    NULL = 0
+    BOOLEAN = 1
+    SBYTE = 2
+    BYTE = 3
+    INT16 = 4
+    UINT16 = 5
+    INT32 = 6
+    UINT32 = 7
+    INT64 = 8
+    UINT64 = 9
+    FLOAT = 10
+    DOUBLE = 11
+    STRING = 12
+    DATETIME = 13
+    GUID = 14
+    BYTESTRING = 15
+    XMLELEMENT = 16
+    NODEID = 17
+    EXPANDEDNODEID = 18
+    STATUSCODE = 19
+    QUALIFIEDNAME = 20
+    LOCALIZEDTEXT = 21
+    EXTENSIONOBJECT = 22
+    DATAVALUE = 23
+    VARIANT = 24
+    DIAGNOSTICINFO = 25
+
+
+_CODEC_NAMES = {
+    VariantType.BOOLEAN: "boolean",
+    VariantType.SBYTE: "sbyte",
+    VariantType.BYTE: "byte",
+    VariantType.INT16: "int16",
+    VariantType.UINT16: "uint16",
+    VariantType.INT32: "int32",
+    VariantType.UINT32: "uint32",
+    VariantType.INT64: "int64",
+    VariantType.UINT64: "uint64",
+    VariantType.FLOAT: "float",
+    VariantType.DOUBLE: "double",
+    VariantType.STRING: "string",
+    VariantType.DATETIME: "datetime",
+    VariantType.GUID: "guid",
+    VariantType.BYTESTRING: "bytestring",
+    VariantType.XMLELEMENT: "string",
+    VariantType.NODEID: "nodeid",
+    VariantType.EXPANDEDNODEID: "expandednodeid",
+    VariantType.STATUSCODE: "statuscode",
+    VariantType.QUALIFIEDNAME: "qualifiedname",
+    VariantType.LOCALIZEDTEXT: "localizedtext",
+    VariantType.DIAGNOSTICINFO: "diagnosticinfo",
+}
+
+_ARRAY_BIT = 0x80
+_DIMENSIONS_BIT = 0x40
+
+
+def infer_variant_type(value) -> VariantType:
+    """Best-effort mapping from a Python value to a variant type."""
+    from repro.uabin.nodeid import ExpandedNodeId, NodeId
+
+    if value is None:
+        return VariantType.NULL
+    if isinstance(value, bool):
+        return VariantType.BOOLEAN
+    if isinstance(value, int):
+        return VariantType.INT64
+    if isinstance(value, float):
+        return VariantType.DOUBLE
+    if isinstance(value, str):
+        return VariantType.STRING
+    if isinstance(value, bytes):
+        return VariantType.BYTESTRING
+    if isinstance(value, datetime):
+        return VariantType.DATETIME
+    if isinstance(value, StatusCode):
+        return VariantType.STATUSCODE
+    if isinstance(value, builtin.QualifiedName):
+        return VariantType.QUALIFIEDNAME
+    if isinstance(value, builtin.LocalizedText):
+        return VariantType.LOCALIZEDTEXT
+    if isinstance(value, ExpandedNodeId):
+        return VariantType.EXPANDEDNODEID
+    if isinstance(value, NodeId):
+        return VariantType.NODEID
+    raise TypeError(f"cannot infer variant type for {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class Variant:
+    """A typed value; ``value`` is a list when ``is_array`` is true."""
+
+    value: object = None
+    variant_type: VariantType | None = None
+    is_array: bool = False
+
+    def resolved_type(self) -> VariantType:
+        if self.variant_type is not None:
+            return self.variant_type
+        if self.is_array:
+            sample = self.value[0] if self.value else None
+            return infer_variant_type(sample)
+        return infer_variant_type(self.value)
+
+    def encode(self, writer: BinaryWriter) -> None:
+        vtype = self.resolved_type()
+        if vtype == VariantType.NULL:
+            writer.write_uint8(0)
+            return
+        mask = int(vtype)
+        if self.is_array:
+            mask |= _ARRAY_BIT
+        writer.write_uint8(mask)
+        codec = _CODEC_NAMES[vtype]
+        if self.is_array:
+            builtin.write_array(writer, codec, self.value)
+        else:
+            builtin.write_value(writer, codec, self.value)
+
+    @classmethod
+    def decode(cls, reader: BinaryReader) -> "Variant":
+        mask = reader.read_uint8()
+        if mask == 0:
+            return cls(None, VariantType.NULL)
+        vtype = VariantType(mask & 0x3F)
+        is_array = bool(mask & _ARRAY_BIT)
+        codec = _CODEC_NAMES.get(vtype)
+        if codec is None:
+            raise ValueError(f"unsupported variant type: {vtype!r}")
+        if is_array:
+            value = builtin.read_array(reader, codec)
+        else:
+            value = builtin.read_value(reader, codec)
+        if mask & _DIMENSIONS_BIT:
+            builtin.read_array(reader, "int32")  # dimensions, ignored
+        return cls(value, vtype, is_array)
+
+
+@dataclass(frozen=True)
+class DataValue:
+    """Variant plus quality and timestamps (OPC 10000-6 §5.2.2.17)."""
+
+    value: Variant | None = None
+    status: StatusCode | None = None
+    source_timestamp: datetime | None = None
+    server_timestamp: datetime | None = None
+
+    _VALUE_BIT = 0x01
+    _STATUS_BIT = 0x02
+    _SOURCE_TS_BIT = 0x04
+    _SERVER_TS_BIT = 0x08
+
+    def encode(self, writer: BinaryWriter) -> None:
+        mask = 0
+        if self.value is not None:
+            mask |= self._VALUE_BIT
+        if self.status is not None:
+            mask |= self._STATUS_BIT
+        if self.source_timestamp is not None:
+            mask |= self._SOURCE_TS_BIT
+        if self.server_timestamp is not None:
+            mask |= self._SERVER_TS_BIT
+        writer.write_uint8(mask)
+        if self.value is not None:
+            self.value.encode(writer)
+        if self.status is not None:
+            builtin.write_statuscode(writer, self.status)
+        if self.source_timestamp is not None:
+            builtin.write_datetime(writer, self.source_timestamp)
+        if self.server_timestamp is not None:
+            builtin.write_datetime(writer, self.server_timestamp)
+
+    @classmethod
+    def decode(cls, reader: BinaryReader) -> "DataValue":
+        mask = reader.read_uint8()
+        value = Variant.decode(reader) if mask & cls._VALUE_BIT else None
+        status = (
+            builtin.read_statuscode(reader) if mask & cls._STATUS_BIT else None
+        )
+        source_ts = (
+            builtin.read_datetime(reader) if mask & cls._SOURCE_TS_BIT else None
+        )
+        server_ts = (
+            builtin.read_datetime(reader) if mask & cls._SERVER_TS_BIT else None
+        )
+        return cls(value, status, source_ts, server_ts)

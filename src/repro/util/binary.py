@@ -1,0 +1,141 @@
+"""Little-endian binary reader/writer used by the OPC UA codec.
+
+OPC UA's binary encoding (OPC 10000-6) is little-endian throughout, so
+the reader/writer default to little-endian and expose the fixed-width
+primitives the encoding needs.  DER encoding (big-endian lengths) uses
+its own routines in :mod:`repro.asn1.der` and does not share this class.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+class NotEnoughData(Exception):
+    """Raised when a read runs past the end of the buffer."""
+
+
+class BinaryReader:
+    """Sequential reader over an immutable byte buffer."""
+
+    def __init__(self, data: bytes, offset: int = 0):
+        self._data = data
+        self._pos = offset
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._data)
+
+    def peek(self, count: int) -> bytes:
+        if self.remaining < count:
+            raise NotEnoughData(
+                f"peek of {count} bytes with only {self.remaining} remaining"
+            )
+        return self._data[self._pos : self._pos + count]
+
+    def read_bytes(self, count: int) -> bytes:
+        if count < 0:
+            raise ValueError("negative read length")
+        if self.remaining < count:
+            raise NotEnoughData(
+                f"read of {count} bytes with only {self.remaining} remaining"
+            )
+        out = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return out
+
+    def skip(self, count: int) -> None:
+        self.read_bytes(count)
+
+    def _unpack(self, fmt: str, size: int):
+        return struct.unpack_from(fmt, self.read_bytes(size))[0]
+
+    def read_uint8(self) -> int:
+        return self._unpack("<B", 1)
+
+    def read_int8(self) -> int:
+        return self._unpack("<b", 1)
+
+    def read_uint16(self) -> int:
+        return self._unpack("<H", 2)
+
+    def read_int16(self) -> int:
+        return self._unpack("<h", 2)
+
+    def read_uint32(self) -> int:
+        return self._unpack("<I", 4)
+
+    def read_int32(self) -> int:
+        return self._unpack("<i", 4)
+
+    def read_uint64(self) -> int:
+        return self._unpack("<Q", 8)
+
+    def read_int64(self) -> int:
+        return self._unpack("<q", 8)
+
+    def read_float(self) -> float:
+        return self._unpack("<f", 4)
+
+    def read_double(self) -> float:
+        return self._unpack("<d", 8)
+
+
+class BinaryWriter:
+    """Append-only little-endian byte buffer."""
+
+    def __init__(self):
+        self._chunks: list[bytes] = []
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def to_bytes(self) -> bytes:
+        if len(self._chunks) > 1:
+            self._chunks = [b"".join(self._chunks)]
+        return self._chunks[0] if self._chunks else b""
+
+    def write_bytes(self, data: bytes) -> None:
+        self._chunks.append(bytes(data))
+        self._length += len(data)
+
+    def _pack(self, fmt: str, value) -> None:
+        self.write_bytes(struct.pack(fmt, value))
+
+    def write_uint8(self, value: int) -> None:
+        self._pack("<B", value)
+
+    def write_int8(self, value: int) -> None:
+        self._pack("<b", value)
+
+    def write_uint16(self, value: int) -> None:
+        self._pack("<H", value)
+
+    def write_int16(self, value: int) -> None:
+        self._pack("<h", value)
+
+    def write_uint32(self, value: int) -> None:
+        self._pack("<I", value)
+
+    def write_int32(self, value: int) -> None:
+        self._pack("<i", value)
+
+    def write_uint64(self, value: int) -> None:
+        self._pack("<Q", value)
+
+    def write_int64(self, value: int) -> None:
+        self._pack("<q", value)
+
+    def write_float(self, value: float) -> None:
+        self._pack("<f", value)
+
+    def write_double(self, value: float) -> None:
+        self._pack("<d", value)

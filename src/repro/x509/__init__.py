@@ -1,0 +1,29 @@
+"""Minimal X.509 v3 PKI in pure Python.
+
+Exactly the certificate profile OPC UA application instance
+certificates use: RSA keys, MD5/SHA-1/SHA-256-with-RSA signatures,
+subject alternative name carrying the ApplicationURI, and the usual
+key-usage extensions.  The paper's §5.2 analysis is driven entirely by
+fields recovered by :func:`parse_certificate`.
+"""
+
+from repro.x509.name import DistinguishedName
+from repro.x509.certificate import (
+    Certificate,
+    CertificateError,
+    parse_certificate,
+)
+from repro.x509.builder import CertificateBuilder
+from repro.x509.verify import verify_certificate_signature, verify_validity
+from repro.x509.fingerprint import sha1_thumbprint
+
+__all__ = [
+    "Certificate",
+    "CertificateBuilder",
+    "CertificateError",
+    "DistinguishedName",
+    "parse_certificate",
+    "sha1_thumbprint",
+    "verify_certificate_signature",
+    "verify_validity",
+]

@@ -1,0 +1,22 @@
+"""Certificate thumbprints.
+
+OPC UA identifies certificates by the SHA-1 digest of their DER bytes
+(the ``receiverCertificateThumbprint`` of the asymmetric security
+header); the reuse analysis of paper §5.3 groups hosts by the same
+digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.x509.certificate import Certificate
+
+
+def sha1_thumbprint(certificate: Certificate | bytes) -> bytes:
+    raw = certificate if isinstance(certificate, bytes) else certificate.raw_der
+    return hashlib.sha1(raw).digest()
+
+
+def thumbprint_hex(certificate: Certificate | bytes) -> str:
+    return sha1_thumbprint(certificate).hex()

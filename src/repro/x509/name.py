@@ -1,0 +1,117 @@
+"""X.501 distinguished names (the RDNSequence subset RFC 5280 uses)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asn1 import der
+from repro.asn1 import oids
+
+_ATTR_ORDER = [
+    oids.COUNTRY,
+    oids.STATE,
+    oids.LOCALITY,
+    oids.ORGANIZATION,
+    oids.ORG_UNIT,
+    oids.COMMON_NAME,
+]
+
+_SHORT_NAMES = {
+    oids.COMMON_NAME: "CN",
+    oids.COUNTRY: "C",
+    oids.LOCALITY: "L",
+    oids.STATE: "ST",
+    oids.ORGANIZATION: "O",
+    oids.ORG_UNIT: "OU",
+}
+_SHORT_TO_OID = {short: oid for oid, short in _SHORT_NAMES.items()}
+
+
+@dataclass(frozen=True)
+class DistinguishedName:
+    """An ordered set of (attribute OID, value) pairs."""
+
+    attributes: tuple[tuple[str, str], ...] = ()
+
+    @classmethod
+    def build(
+        cls,
+        common_name: str | None = None,
+        organization: str | None = None,
+        org_unit: str | None = None,
+        country: str | None = None,
+        locality: str | None = None,
+        state: str | None = None,
+    ) -> "DistinguishedName":
+        values = {
+            oids.COUNTRY: country,
+            oids.STATE: state,
+            oids.LOCALITY: locality,
+            oids.ORGANIZATION: organization,
+            oids.ORG_UNIT: org_unit,
+            oids.COMMON_NAME: common_name,
+        }
+        attrs = tuple(
+            (oid, value) for oid in _ATTR_ORDER if (value := values[oid]) is not None
+        )
+        return cls(attrs)
+
+    @classmethod
+    def parse_rfc4514(cls, text: str) -> "DistinguishedName":
+        """Parse ``CN=x,O=y`` style strings (no escaping support)."""
+        attrs = []
+        for part in text.split(","):
+            short, sep, value = part.strip().partition("=")
+            if not sep:
+                raise ValueError(f"malformed RDN: {part!r}")
+            oid = _SHORT_TO_OID.get(short.strip().upper())
+            if oid is None:
+                raise ValueError(f"unknown attribute: {short!r}")
+            attrs.append((oid, value))
+        return cls(tuple(attrs))
+
+    def get(self, oid: str) -> str | None:
+        for attr_oid, value in self.attributes:
+            if attr_oid == oid:
+                return value
+        return None
+
+    @property
+    def common_name(self) -> str | None:
+        return self.get(oids.COMMON_NAME)
+
+    @property
+    def organization(self) -> str | None:
+        return self.get(oids.ORGANIZATION)
+
+    def rfc4514(self) -> str:
+        return ",".join(
+            f"{_SHORT_NAMES.get(oid, oid)}={value}" for oid, value in self.attributes
+        )
+
+    def __str__(self) -> str:
+        return self.rfc4514()
+
+    # --- DER mapping --------------------------------------------------------
+
+    def to_der_value(self) -> der.Sequence:
+        rdns = []
+        for oid, value in self.attributes:
+            if oid == oids.COUNTRY:
+                text: object = der.PrintableString(value)
+            else:
+                text = der.Utf8String(value)
+            attribute = der.Sequence([der.ObjectIdentifier(oid), text])
+            rdns.append(der.SetOf([attribute]))
+        return der.Sequence(rdns)
+
+    @classmethod
+    def from_der_value(cls, value: der.Sequence) -> "DistinguishedName":
+        attrs = []
+        for rdn in value:
+            if not isinstance(rdn, der.SetOf):
+                raise ValueError("RDN must be a SET")
+            for attribute in rdn:
+                oid, text = attribute[0], attribute[1]
+                attrs.append((oid.dotted, getattr(text, "text", str(text))))
+        return cls(tuple(attrs))

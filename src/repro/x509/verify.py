@@ -1,0 +1,30 @@
+"""Certificate signature and validity verification."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from repro.crypto.pkcs1 import pkcs1v15_verify
+from repro.crypto.rsa import RsaPublicKey
+from repro.x509.certificate import Certificate
+
+
+def verify_certificate_signature(
+    certificate: Certificate, signer_key: RsaPublicKey | None = None
+) -> bool:
+    """Check the certificate's signature.
+
+    Without an explicit ``signer_key`` the certificate is treated as
+    self-signed and verified against its own embedded key — the common
+    case in the study, where 99 % of served certificates were
+    self-signed.
+    """
+    key = signer_key or certificate.public_key
+    return pkcs1v15_verify(
+        key, certificate.signature_hash, certificate.tbs_der, certificate.signature
+    )
+
+
+def verify_validity(certificate: Certificate, at: datetime) -> bool:
+    """Check that ``at`` falls inside the certificate validity window."""
+    return certificate.not_before <= at <= certificate.not_after

@@ -1,0 +1,39 @@
+"""Unit tests for the IPv6 comparison analysis."""
+
+from repro.analysis.ipv6 import Ipv6Comparison, compare_address_families
+from tests.analysis.test_analysis_units import make_record
+
+
+class TestIpv6Comparison:
+    def test_not_more_secure_when_rates_match(self):
+        comparison = Ipv6Comparison(
+            ipv4_servers=1000,
+            ipv4_deficient_fraction=0.92,
+            ipv6_servers=200,
+            ipv6_deficient_fraction=0.91,
+            hitlist_size=250,
+            hitlist_hits=200,
+        )
+        assert not comparison.configured_more_securely
+
+    def test_more_secure_when_clearly_lower(self):
+        comparison = Ipv6Comparison(
+            ipv4_servers=1000,
+            ipv4_deficient_fraction=0.92,
+            ipv6_servers=200,
+            ipv6_deficient_fraction=0.70,
+            hitlist_size=250,
+            hitlist_hits=200,
+        )
+        assert comparison.configured_more_securely
+
+    def test_compare_uses_deficit_analysis(self):
+        ipv4 = [make_record(ip=i) for i in range(4)]  # none-only = deficient
+        ipv6 = [make_record(ip=100 + i) for i in range(2)]
+        comparison = compare_address_families(ipv4, ipv6, hitlist_size=10)
+        assert comparison.ipv4_servers == 4
+        assert comparison.ipv6_servers == 2
+        assert comparison.ipv4_deficient_fraction == 1.0
+        assert comparison.ipv6_deficient_fraction == 1.0
+        assert comparison.hitlist_size == 10
+        assert not comparison.configured_more_securely

@@ -1,0 +1,37 @@
+"""Shared fixtures.
+
+Key material is expensive to generate in pure Python, so a handful of
+RSA keys at the sizes the tests need are created once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.rsa import generate_rsa_key
+from repro.util.rng import DeterministicRng
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return DeterministicRng(20200830, "tests")
+
+
+@pytest.fixture(scope="session")
+def rsa_512(rng):
+    return generate_rsa_key(512, rng.substream("rsa-512"))
+
+
+@pytest.fixture(scope="session")
+def rsa_768(rng):
+    return generate_rsa_key(768, rng.substream("rsa-768"))
+
+
+@pytest.fixture(scope="session")
+def rsa_1024(rng):
+    return generate_rsa_key(1024, rng.substream("rsa-1024"))
+
+
+@pytest.fixture(scope="session")
+def rsa_2048(rng):
+    return generate_rsa_key(2048, rng.substream("rsa-2048"))

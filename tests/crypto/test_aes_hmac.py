@@ -1,0 +1,135 @@
+import hashlib
+import hmac as std_hmac
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.aes import AesCbc, AesCipher
+from repro.crypto.hashes import get_hash, hash_bytes
+from repro.crypto.hmac_prf import hmac_digest, p_hash
+
+
+class TestAesKnownAnswers:
+    """FIPS-197 appendix test vectors."""
+
+    def test_aes128_fips_vector(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plain = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AesCipher(key).encrypt_block(plain) == expected
+
+    def test_aes192_fips_vector(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+        plain = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+        assert AesCipher(key).encrypt_block(plain) == expected
+
+    def test_aes256_fips_vector(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f"
+            "101112131415161718191a1b1c1d1e1f"
+        )
+        plain = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+        assert AesCipher(key).encrypt_block(plain) == expected
+
+    def test_decrypt_inverts_fips_vector(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        cipher = AesCipher(key)
+        ct = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert cipher.decrypt_block(ct) == bytes.fromhex(
+            "00112233445566778899aabbccddeeff"
+        )
+
+    def test_invalid_key_length_rejected(self):
+        with pytest.raises(ValueError):
+            AesCipher(b"short")
+
+    def test_invalid_block_rejected(self):
+        with pytest.raises(ValueError):
+            AesCipher(b"k" * 16).encrypt_block(b"x" * 15)
+
+
+class TestAesCbc:
+    def test_round_trip(self):
+        cbc = AesCbc(b"k" * 16, b"i" * 16)
+        plaintext = b"0123456789abcdef" * 4
+        assert AesCbc(b"k" * 16, b"i" * 16).decrypt(cbc.encrypt(plaintext)) == plaintext
+
+    def test_unaligned_input_rejected(self):
+        with pytest.raises(ValueError):
+            AesCbc(b"k" * 16, b"i" * 16).encrypt(b"short")
+
+    def test_bad_iv_rejected(self):
+        with pytest.raises(ValueError):
+            AesCbc(b"k" * 16, b"iv")
+
+    def test_iv_affects_ciphertext(self):
+        plaintext = b"0123456789abcdef"
+        a = AesCbc(b"k" * 16, b"\x00" * 16).encrypt(plaintext)
+        b = AesCbc(b"k" * 16, b"\x01" + b"\x00" * 15).encrypt(plaintext)
+        assert a != b
+
+    def test_cross_validation_with_cryptography(self):
+        from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
+
+        key, iv = b"K" * 32, b"I" * 16
+        plaintext = b"cross validation" * 2
+        ours = AesCbc(key, iv).encrypt(plaintext)
+        enc = Cipher(algorithms.AES(key), modes.CBC(iv)).encryptor()
+        theirs = enc.update(plaintext) + enc.finalize()
+        assert ours == theirs
+
+    @given(st.binary(min_size=16, max_size=64).filter(lambda b: len(b) % 16 == 0))
+    def test_round_trip_property(self, plaintext):
+        key, iv = b"p" * 16, b"q" * 16
+        ct = AesCbc(key, iv).encrypt(plaintext)
+        assert AesCbc(key, iv).decrypt(ct) == plaintext
+        assert ct != plaintext
+
+
+class TestHashes:
+    def test_registry_lookup(self):
+        assert get_hash("sha256").digest_size == 32
+        assert get_hash("SHA1").digest_size == 20
+        assert get_hash("md5").digest_size == 16
+
+    def test_unknown_hash_rejected(self):
+        with pytest.raises(ValueError):
+            get_hash("sha512")
+
+    def test_digest_matches_hashlib(self):
+        assert hash_bytes("sha256", b"x") == hashlib.sha256(b"x").digest()
+
+    def test_strength_ordering(self):
+        assert get_hash("md5").strength_rank < get_hash("sha1").strength_rank
+        assert get_hash("sha1").strength_rank < get_hash("sha256").strength_rank
+
+
+class TestHmacAndPHash:
+    def test_hmac_matches_stdlib(self):
+        ours = hmac_digest("sha256", b"key", b"data")
+        theirs = std_hmac.new(b"key", b"data", "sha256").digest()
+        assert ours == theirs
+
+    def test_p_hash_deterministic(self):
+        a = p_hash("sha256", b"secret", b"seed", 64)
+        b = p_hash("sha256", b"secret", b"seed", 64)
+        assert a == b
+
+    def test_p_hash_length(self):
+        for length in (0, 1, 31, 32, 33, 100):
+            assert len(p_hash("sha1", b"s", b"x", length)) == length
+
+    def test_p_hash_prefix_property(self):
+        # P_hash output for a shorter length is a prefix of a longer one.
+        long = p_hash("sha256", b"secret", b"seed", 96)
+        short = p_hash("sha256", b"secret", b"seed", 48)
+        assert long[:48] == short
+
+    def test_p_hash_secret_sensitivity(self):
+        assert p_hash("sha256", b"a", b"seed", 32) != p_hash("sha256", b"b", b"seed", 32)
+
+    def test_p_hash_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            p_hash("sha256", b"s", b"x", -1)

@@ -1,0 +1,178 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import pkcs1
+from repro.util.rng import DeterministicRng
+
+
+@pytest.fixture()
+def pad_rng():
+    return DeterministicRng(42, "padding")
+
+
+class TestPkcs1V15Signatures:
+    def test_sign_verify(self, rsa_1024, pad_rng):
+        sig = pkcs1.pkcs1v15_sign(rsa_1024.private, "sha256", b"hello")
+        assert pkcs1.pkcs1v15_verify(rsa_1024.public, "sha256", b"hello", sig)
+
+    def test_verify_rejects_other_message(self, rsa_1024):
+        sig = pkcs1.pkcs1v15_sign(rsa_1024.private, "sha256", b"hello")
+        assert not pkcs1.pkcs1v15_verify(rsa_1024.public, "sha256", b"bye", sig)
+
+    def test_verify_rejects_other_hash(self, rsa_1024):
+        sig = pkcs1.pkcs1v15_sign(rsa_1024.private, "sha256", b"hello")
+        assert not pkcs1.pkcs1v15_verify(rsa_1024.public, "sha1", b"hello", sig)
+
+    def test_verify_rejects_bitflip(self, rsa_1024):
+        sig = bytearray(pkcs1.pkcs1v15_sign(rsa_1024.private, "sha256", b"hello"))
+        sig[10] ^= 0x01
+        assert not pkcs1.pkcs1v15_verify(rsa_1024.public, "sha256", b"hello", bytes(sig))
+
+    def test_verify_rejects_wrong_length(self, rsa_1024):
+        assert not pkcs1.pkcs1v15_verify(rsa_1024.public, "sha256", b"hello", b"short")
+
+    @pytest.mark.parametrize("hash_name", ["md5", "sha1", "sha256"])
+    def test_all_hashes(self, rsa_1024, hash_name):
+        sig = pkcs1.pkcs1v15_sign(rsa_1024.private, hash_name, b"data")
+        assert pkcs1.pkcs1v15_verify(rsa_1024.public, hash_name, b"data", sig)
+
+    def test_cross_validation_with_cryptography(self, rsa_1024):
+        from cryptography.hazmat.primitives import hashes as c_hashes
+        from cryptography.hazmat.primitives.asymmetric import (
+            padding as c_padding,
+            rsa as c_rsa,
+        )
+
+        sig = pkcs1.pkcs1v15_sign(rsa_1024.private, "sha256", b"oracle check")
+        pub = c_rsa.RSAPublicNumbers(
+            rsa_1024.private.e, rsa_1024.private.n
+        ).public_key()
+        pub.verify(sig, b"oracle check", c_padding.PKCS1v15(), c_hashes.SHA256())
+
+
+class TestPkcs1V15Encryption:
+    def test_round_trip(self, rsa_1024, pad_rng):
+        ct = pkcs1.pkcs1v15_encrypt(rsa_1024.public, b"secret", pad_rng)
+        assert pkcs1.pkcs1v15_decrypt(rsa_1024.private, ct) == b"secret"
+
+    def test_ciphertext_randomized(self, rsa_1024, pad_rng):
+        a = pkcs1.pkcs1v15_encrypt(rsa_1024.public, b"secret", pad_rng)
+        b = pkcs1.pkcs1v15_encrypt(rsa_1024.public, b"secret", pad_rng)
+        assert a != b
+
+    def test_message_too_long_rejected(self, rsa_1024, pad_rng):
+        with pytest.raises(pkcs1.CryptoError):
+            pkcs1.pkcs1v15_encrypt(rsa_1024.public, b"x" * 200, pad_rng)
+
+    def test_max_plaintext_boundary(self, rsa_1024, pad_rng):
+        limit = pkcs1.pkcs1v15_max_plaintext(rsa_1024.public.byte_length)
+        ct = pkcs1.pkcs1v15_encrypt(rsa_1024.public, b"x" * limit, pad_rng)
+        assert pkcs1.pkcs1v15_decrypt(rsa_1024.private, ct) == b"x" * limit
+
+    def test_tampered_ciphertext_rejected(self, rsa_1024, pad_rng):
+        ct = bytearray(pkcs1.pkcs1v15_encrypt(rsa_1024.public, b"secret", pad_rng))
+        ct[0] ^= 0x80
+        with pytest.raises((pkcs1.CryptoError, ValueError)):
+            pkcs1.pkcs1v15_decrypt(rsa_1024.private, bytes(ct))
+
+
+class TestOaep:
+    def test_round_trip(self, rsa_1024, pad_rng):
+        ct = pkcs1.oaep_encrypt(rsa_1024.public, b"secret", pad_rng)
+        assert pkcs1.oaep_decrypt(rsa_1024.private, ct) == b"secret"
+
+    def test_sha256_mgf(self, rsa_1024, pad_rng):
+        ct = pkcs1.oaep_encrypt(rsa_1024.public, b"s", pad_rng, hash_name="sha256")
+        assert pkcs1.oaep_decrypt(rsa_1024.private, ct, hash_name="sha256") == b"s"
+
+    def test_empty_message(self, rsa_1024, pad_rng):
+        ct = pkcs1.oaep_encrypt(rsa_1024.public, b"", pad_rng)
+        assert pkcs1.oaep_decrypt(rsa_1024.private, ct) == b""
+
+    def test_label_mismatch_rejected(self, rsa_1024, pad_rng):
+        ct = pkcs1.oaep_encrypt(rsa_1024.public, b"secret", pad_rng, label=b"a")
+        with pytest.raises(pkcs1.CryptoError):
+            pkcs1.oaep_decrypt(rsa_1024.private, ct, label=b"b")
+
+    def test_too_long_rejected(self, rsa_1024, pad_rng):
+        limit = pkcs1.oaep_max_plaintext(rsa_1024.public.byte_length)
+        with pytest.raises(pkcs1.CryptoError):
+            pkcs1.oaep_encrypt(rsa_1024.public, b"x" * (limit + 1), pad_rng)
+
+    def test_cross_validation_with_cryptography(self, rsa_1024, pad_rng):
+        from cryptography.hazmat.primitives import hashes as c_hashes
+        from cryptography.hazmat.primitives.asymmetric import (
+            padding as c_padding,
+            rsa as c_rsa,
+        )
+
+        key = rsa_1024.private
+        pub = c_rsa.RSAPublicNumbers(key.e, key.n).public_key()
+        ct = pub.encrypt(
+            b"oracle oaep",
+            c_padding.OAEP(
+                mgf=c_padding.MGF1(algorithm=c_hashes.SHA1()),
+                algorithm=c_hashes.SHA1(),
+                label=None,
+            ),
+        )
+        assert pkcs1.oaep_decrypt(key, ct) == b"oracle oaep"
+
+
+class TestPss:
+    def test_sign_verify(self, rsa_1024, pad_rng):
+        sig = pkcs1.pss_sign(rsa_1024.private, "sha256", b"msg", pad_rng)
+        assert pkcs1.pss_verify(rsa_1024.public, "sha256", b"msg", sig)
+
+    def test_verify_rejects_other_message(self, rsa_1024, pad_rng):
+        sig = pkcs1.pss_sign(rsa_1024.private, "sha256", b"msg", pad_rng)
+        assert not pkcs1.pss_verify(rsa_1024.public, "sha256", b"other", sig)
+
+    def test_signatures_randomized(self, rsa_1024, pad_rng):
+        a = pkcs1.pss_sign(rsa_1024.private, "sha256", b"msg", pad_rng)
+        b = pkcs1.pss_sign(rsa_1024.private, "sha256", b"msg", pad_rng)
+        assert a != b
+        assert pkcs1.pss_verify(rsa_1024.public, "sha256", b"msg", a)
+        assert pkcs1.pss_verify(rsa_1024.public, "sha256", b"msg", b)
+
+    def test_cross_validation_with_cryptography(self, rsa_1024, pad_rng):
+        from cryptography.hazmat.primitives import hashes as c_hashes
+        from cryptography.hazmat.primitives.asymmetric import (
+            padding as c_padding,
+            rsa as c_rsa,
+        )
+
+        sig = pkcs1.pss_sign(rsa_1024.private, "sha256", b"oracle pss", pad_rng)
+        pub = c_rsa.RSAPublicNumbers(
+            rsa_1024.private.e, rsa_1024.private.n
+        ).public_key()
+        pub.verify(
+            sig,
+            b"oracle pss",
+            c_padding.PSS(
+                mgf=c_padding.MGF1(c_hashes.SHA256()),
+                salt_length=c_hashes.SHA256().digest_size,
+            ),
+            c_hashes.SHA256(),
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(max_size=50))
+def test_oaep_round_trip_property(message):
+    # Session fixtures are unavailable inside @given; use a small cached key.
+    key = _cached_key()
+    rng = DeterministicRng(7, "oaep-prop")
+    ct = pkcs1.oaep_encrypt(key.public, message, rng)
+    assert pkcs1.oaep_decrypt(key.private, ct) == message
+
+
+_KEY_CACHE = []
+
+
+def _cached_key():
+    if not _KEY_CACHE:
+        from repro.crypto.rsa import generate_rsa_key
+
+        _KEY_CACHE.append(generate_rsa_key(768, DeterministicRng(9, "prop-key")))
+    return _KEY_CACHE[0]

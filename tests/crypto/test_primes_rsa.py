@@ -1,0 +1,106 @@
+import math
+
+import pytest
+
+from repro.crypto.primes import SMALL_PRIMES, generate_prime, is_probable_prime
+from repro.crypto.rsa import generate_rsa_key
+from repro.util.rng import DeterministicRng
+
+
+class TestPrimality:
+    def test_small_primes_recognized(self):
+        for p in (2, 3, 5, 7, 11, 97, 7919):
+            assert is_probable_prime(p)
+
+    def test_small_composites_rejected(self):
+        for c in (0, 1, 4, 9, 91, 7917):
+            assert not is_probable_prime(c)
+
+    def test_carmichael_number_rejected(self):
+        assert not is_probable_prime(561)
+        assert not is_probable_prime(41041)
+
+    def test_large_known_prime(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert is_probable_prime(2**127 - 1)
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime((2**127 - 1) * 7)
+
+    def test_sieve_contents(self):
+        assert SMALL_PRIMES[:5] == [2, 3, 5, 7, 11]
+        assert all(is_probable_prime(p) for p in SMALL_PRIMES[:50])
+
+
+class TestGeneratePrime:
+    def test_bit_length_exact(self):
+        rng = DeterministicRng(1, "p")
+        for bits in (64, 128, 256):
+            p = generate_prime(bits, rng)
+            assert p.bit_length() == bits
+
+    def test_top_two_bits_set(self):
+        rng = DeterministicRng(2, "p")
+        p = generate_prime(128, rng)
+        assert p >> 126 == 0b11
+
+    def test_deterministic(self):
+        a = generate_prime(96, DeterministicRng(3, "p"))
+        b = generate_prime(96, DeterministicRng(3, "p"))
+        assert a == b
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_prime(4, DeterministicRng(1, "p"))
+
+
+class TestRsaKeys:
+    def test_modulus_exact_bits(self, rsa_512):
+        assert rsa_512.private.n.bit_length() == 512
+
+    def test_primes_multiply_to_modulus(self, rsa_512):
+        key = rsa_512.private
+        assert key.p * key.q == key.n
+
+    def test_encrypt_decrypt_inverse(self, rsa_512):
+        key = rsa_512.private
+        message = 0x1234567890ABCDEF
+        assert key.raw_decrypt(key.public_key().raw_encrypt(message)) == message
+
+    def test_sign_verify_inverse(self, rsa_512):
+        key = rsa_512.private
+        message = 98765432123456789
+        assert key.public_key().raw_verify(key.raw_sign(message)) == message
+
+    def test_crt_matches_plain_exponentiation(self, rsa_512):
+        key = rsa_512.private
+        c = 31337
+        assert key.raw_decrypt(c) == pow(c, key.d, key.n)
+
+    def test_out_of_range_rejected(self, rsa_512):
+        with pytest.raises(ValueError):
+            rsa_512.private.raw_decrypt(rsa_512.private.n)
+        with pytest.raises(ValueError):
+            rsa_512.public.raw_encrypt(-1)
+
+    def test_odd_bits_rejected(self):
+        with pytest.raises(ValueError):
+            generate_rsa_key(513, DeterministicRng(1, "k"))
+
+    def test_public_exponent_coprime(self, rsa_512):
+        key = rsa_512.private
+        assert math.gcd(key.e, (key.p - 1) * (key.q - 1)) == 1
+
+    def test_distinct_keys_share_no_primes(self, rsa_512, rsa_768):
+        assert math.gcd(rsa_512.private.n, rsa_768.private.n) == 1
+
+
+class TestCrossValidation:
+    """Validate our RSA against the `cryptography` package (oracle only)."""
+
+    def test_key_loads_in_cryptography(self, rsa_512):
+        from cryptography.hazmat.primitives.asymmetric import rsa as c_rsa
+
+        key = rsa_512.private
+        pub = c_rsa.RSAPublicNumbers(key.e, key.n).public_key()
+        assert pub.key_size == 512

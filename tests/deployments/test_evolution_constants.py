@@ -1,0 +1,72 @@
+"""Pure consistency checks on the study timeline constants."""
+
+from repro.deployments.evolution import (
+    DISCOVERY_COUNTS,
+    RENEWAL_DOWNGRADES,
+    RENEWAL_TOTAL,
+    RENEWAL_UPGRADES,
+    RENEWALS_WITH_SOFTWARE_UPDATE,
+    REUSE_COUNTS,
+    SERVER_COUNTS,
+    SWEEP_DATES,
+)
+from repro.util.simtime import parse_utc
+
+
+class TestSweepDates:
+    def test_eight_sweeps(self):
+        assert len(SWEEP_DATES) == 8
+
+    def test_paper_endpoints(self):
+        assert SWEEP_DATES[0] == "2020-02-09"
+        assert SWEEP_DATES[3] == "2020-05-04"  # follow-references start
+        assert SWEEP_DATES[-1] == "2020-08-30"
+
+    def test_strictly_increasing(self):
+        moments = [parse_utc(d) for d in SWEEP_DATES]
+        assert moments == sorted(moments)
+        assert len(set(moments)) == len(moments)
+
+
+class TestCounts:
+    def test_all_series_cover_every_sweep(self):
+        assert len(SERVER_COUNTS) == len(SWEEP_DATES)
+        assert len(REUSE_COUNTS) == len(SWEEP_DATES)
+        assert len(DISCOVERY_COUNTS) == len(SWEEP_DATES)
+
+    def test_reuse_growth_matches_paper(self):
+        assert REUSE_COUNTS[0] == 263  # paper: 263 devices on 2020-02-09
+        assert REUSE_COUNTS[-1] == 400  # 385 + 9 + 6 at the end
+        assert list(REUSE_COUNTS) == sorted(REUSE_COUNTS)
+
+    def test_server_counts_consistent_with_reuse(self):
+        # 714 stable non-reuse hosts plus the reuse roll-out.
+        for servers, reuse in zip(SERVER_COUNTS, REUSE_COUNTS):
+            assert servers == 714 + reuse
+        assert SERVER_COUNTS[-1] == 1114
+
+    def test_totals_within_paper_range(self):
+        # Measured totals subtract the 20 non-default-port hosts before
+        # follow-references starts (sweeps 0-2).
+        for sweep, (servers, discovery) in enumerate(
+            zip(SERVER_COUNTS, DISCOVERY_COUNTS)
+        ):
+            found = servers - (20 if sweep < 3 else 0)
+            total = found + discovery
+            assert 1761 <= total <= 2069, (sweep, total)
+
+    def test_final_discovery_share_42_percent(self):
+        total = SERVER_COUNTS[-1] + DISCOVERY_COUNTS[-1]
+        assert round(DISCOVERY_COUNTS[-1] / total, 2) == 0.42
+
+
+class TestRenewalPlanConstants:
+    def test_renewal_split(self):
+        assert RENEWAL_TOTAL == 84
+        assert RENEWAL_UPGRADES == 7
+        assert RENEWAL_DOWNGRADES == 1
+        assert RENEWALS_WITH_SOFTWARE_UPDATE == 9
+        assert (
+            RENEWAL_UPGRADES + RENEWAL_DOWNGRADES + RENEWALS_WITH_SOFTWARE_UPDATE
+            <= RENEWAL_TOTAL
+        )

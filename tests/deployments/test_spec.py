@@ -1,0 +1,161 @@
+"""The population spec must encode the paper's numbers exactly."""
+
+import pytest
+
+from repro.deployments.profiles import (
+    CERT_CLASSES,
+    POLICY_GROUPS,
+)
+from repro.deployments.spec import (
+    AUTH,
+    PAPER_TOTALS,
+    SC,
+    build_default_spec,
+    spec_row_is_deficient,
+)
+from repro.secure.policies import POLICY_NONE
+from repro.uabin.enums import MessageSecurityMode, UserTokenType
+
+N = MessageSecurityMode.NONE
+S = MessageSecurityMode.SIGN
+SE = MessageSecurityMode.SIGN_AND_ENCRYPT
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return build_default_spec()
+
+
+class TestSpecTotals:
+    def test_validates(self, spec):
+        spec.validate()  # raises on any drift
+
+    def test_server_count(self, spec):
+        assert spec.total_servers == 1114
+
+    def test_deficient_is_92_percent(self, spec):
+        assert spec.deficient_count() == 1025
+        assert round(spec.deficient_count() / spec.total_servers, 2) == 0.92
+
+
+class TestFigure3Marginals:
+    @pytest.mark.parametrize(
+        "mode,supported,least,most",
+        [(N, 1035, 1035, 270), (S, 588, 28, 1), (SE, 843, 51, 843)],
+    )
+    def test_modes(self, spec, mode, supported, least, most):
+        assert spec.mode_supported(mode) == supported
+        assert spec.mode_least(mode) == least
+        assert spec.mode_most(mode) == most
+
+    @pytest.mark.parametrize(
+        "label,supported,least,most",
+        [
+            ("N", 1035, 1035, 270),
+            ("D1", 715, 13, 24),
+            ("D2", 762, 50, 256),
+            ("S1", 10, 0, 0),
+            ("S2", 564, 16, 556),
+            ("S3", 8, 0, 8),
+        ],
+    )
+    def test_policies(self, spec, label, supported, least, most):
+        assert spec.policy_supported(label) == supported
+        assert spec.policy_least(label) == least
+        assert spec.policy_most(label) == most
+
+    def test_deprecated_union(self, spec):
+        d1 = {"P1", "P2", "P4", "P4s1", "Q1"}
+        union = spec.count_where(
+            lambda r: r.policy_group in d1
+            or r.policy_group in {"P3", "P8", "Q2"}
+        )
+        assert union == 786
+
+
+class TestTable2:
+    def test_accessible_columns(self, spec):
+        assert spec.count_where(lambda r: r.accessible) == 493
+        assert spec.count_where(
+            lambda r: r.outcome == "accessible-production"
+        ) == 295
+        assert spec.count_where(lambda r: r.outcome == "accessible-test") == 42
+        assert spec.count_where(
+            lambda r: r.outcome == "accessible-unclassified"
+        ) == 156
+
+    def test_rejection_columns(self, spec):
+        assert spec.count_where(lambda r: r.outcome == AUTH) == 541
+        assert spec.count_where(lambda r: r.outcome == SC) == 80
+
+    def test_anonymous_counts(self, spec):
+        assert spec.count_where(lambda r: r.offers_anonymous) == 572
+        channel_ok_anon = spec.count_where(
+            lambda r: r.offers_anonymous and r.outcome != SC
+        )
+        assert channel_ok_anon == 563
+
+    def test_forced_secure_accessible(self, spec):
+        forced = spec.count_where(
+            lambda r: r.accessible and N not in r.mode_set
+        )
+        assert forced == PAPER_TOTALS["forced_secure_accessible"] == 71
+
+
+class TestCertificates:
+    def test_md5_hosts_exist(self, spec):
+        assert spec.count_where(lambda r: r.cert_class == "md5-1024") == 7
+
+    def test_4096_bit_hosts(self, spec):
+        assert spec.count_where(lambda r: r.cert_class == "sha256-4096") == 5
+
+    def test_reuse_groups(self, spec):
+        assert spec.reuse_group_size("R1") == 385
+        assert spec.reuse_group_size("R2") == 9
+        assert spec.reuse_group_size("R3") == 6
+        assert spec.reuse_group_size("R4") == 5
+
+    def test_reuse_only_deficit_hosts(self, spec):
+        """R4's five hosts are deficient *only* through reuse (§5.3)."""
+        for row in spec.rows:
+            if row.reuse_group != "R4":
+                continue
+            assert spec_row_is_deficient(row)
+            without_reuse = type(row)(
+                **{
+                    **row.__dict__,
+                    "reuse_group": None,
+                    "row_id": row.row_id + "-clone",
+                }
+            )
+            assert not spec_row_is_deficient(without_reuse)
+
+
+class TestStructuralConsistency:
+    def test_sc_rejected_hosts_have_secure_endpoints(self, spec):
+        for row in spec.rows:
+            if row.outcome == SC:
+                assert any(m != N for m in row.mode_set), row.row_id
+
+    def test_accessible_rows_offer_anonymous(self, spec):
+        for row in spec.rows:
+            if row.accessible:
+                assert row.offers_anonymous, row.row_id
+
+    def test_policy_group_mode_consistency(self, spec):
+        """Policy None <=> mode None (OPC UA invariant)."""
+        for row in spec.rows:
+            group = POLICY_GROUPS[row.policy_group]
+            assert (POLICY_NONE in group.policies) == (N in row.mode_set), (
+                row.row_id
+            )
+
+    def test_anon_secure_only_host_is_unique(self, spec):
+        rows = [r for r in spec.rows if r.anon_on_secure_only]
+        assert len(rows) == 1
+        assert rows[0].count == 1
+        assert rows[0].outcome == SC
+
+    def test_cert_classes_are_known(self, spec):
+        for row in spec.rows:
+            assert row.cert_class in CERT_CLASSES

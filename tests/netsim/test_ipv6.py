@@ -1,0 +1,142 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.blocklist import Blocklist
+from repro.netsim.ipv6 import (
+    Ipv6Block,
+    format_ipv6,
+    parse_ipv6,
+    sweep_hitlist,
+)
+from repro.netsim.net import SimHost, SimNetwork
+from repro.util.rng import DeterministicRng
+from repro.util.simtime import SimClock, parse_utc
+
+
+class TestParseFormat:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("::", 0),
+            ("::1", 1),
+            ("2001:db8::", 0x20010DB8 << 96),
+            (
+                "2001:db8::1:2",
+                (0x20010DB8 << 96) | (1 << 16) | 2,
+            ),
+            (
+                "1:2:3:4:5:6:7:8",
+                (1 << 112) | (2 << 96) | (3 << 80) | (4 << 64)
+                | (5 << 48) | (6 << 32) | (7 << 16) | 8,
+            ),
+        ],
+    )
+    def test_parse(self, text, value):
+        assert parse_ipv6(text) == value
+
+    @pytest.mark.parametrize(
+        "bad", ["", ":::", "1::2::3", "12345::", "g::", "1:2:3"]
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_ipv6(bad)
+
+    def test_format_compresses(self):
+        assert format_ipv6(1) == "::1"
+        assert format_ipv6(0) == "::"
+        assert format_ipv6(0x20010DB8 << 96) == "2001:db8::"
+
+    def test_format_longest_run(self):
+        value = parse_ipv6("1:0:0:2:0:0:0:3")
+        assert format_ipv6(value) == "1:0:0:2::3"
+
+    def test_format_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ipv6(2**128)
+
+    @given(st.integers(min_value=0, max_value=2**128 - 1))
+    def test_round_trip(self, value):
+        assert parse_ipv6(format_ipv6(value)) == value
+
+
+class TestIpv6Block:
+    def test_membership(self):
+        block = Ipv6Block.parse("2001:db8::/32")
+        assert parse_ipv6("2001:db8::42") in block
+        assert parse_ipv6("2001:db9::") not in block
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Ipv6Block(parse_ipv6("2001:db8::1"), 32)
+
+    def test_address_at(self):
+        block = Ipv6Block.parse("2001:db8::/64")
+        assert block.address_at(5) == parse_ipv6("2001:db8::5")
+        with pytest.raises(IndexError):
+            block.address_at(2**64)
+
+
+class TestHitlistSweep:
+    class Echo:
+        closed = False
+
+        def receive(self, data):
+            return data
+
+    def make_network(self):
+        network = SimNetwork(SimClock(parse_utc("2020-08-30")))
+        host = SimHost(address=parse_ipv6("2001:db8::10"), asn=64700)
+        host.listen(4840, self.Echo)
+        network.add_host(host)
+        return network
+
+    def test_finds_host_on_hitlist(self):
+        network = self.make_network()
+        hitlist = [parse_ipv6("2001:db8::10"), parse_ipv6("2001:db8::99")]
+        result = sweep_hitlist(network, 4840, hitlist, DeterministicRng(1, "h"))
+        assert result.open_addresses == [parse_ipv6("2001:db8::10")]
+        assert result.probed == 2
+
+    def test_misses_host_not_on_hitlist(self):
+        network = self.make_network()
+        result = sweep_hitlist(
+            network, 4840, [parse_ipv6("2001:db8::99")], DeterministicRng(1, "h")
+        )
+        assert result.open_addresses == []
+
+    def test_blocklist_respected(self):
+        network = self.make_network()
+        blocklist = Blocklist()
+        blocklist.add_raw_range(
+            parse_ipv6("2001:db8::"), parse_ipv6("2001:db8::ffff")
+        )
+        result = sweep_hitlist(
+            network,
+            4840,
+            [parse_ipv6("2001:db8::10")],
+            DeterministicRng(1, "h"),
+            blocklist,
+        )
+        assert result.excluded == 1
+        assert result.open_addresses == []
+
+
+class TestDualStack:
+    def test_ipv6_hosts_serve_same_config(self, rsa_2048):
+        from repro.deployments.dualstack import enable_ipv6
+        from repro.deployments.population import PopulationBuilder, install_hosts
+        from repro.deployments.spec import PopulationSpec, build_default_spec
+
+        spec = build_default_spec()
+        mini = PopulationSpec(rows=spec.rows[:3])
+        builder = PopulationBuilder(mini, seed=20200830)
+        hosts = builder.build_hosts()
+        network = SimNetwork(SimClock(parse_utc("2020-08-30")))
+        install_hosts(network, hosts)
+        plan = enable_ipv6(
+            hosts, network, DeterministicRng(2, "v6"), fraction=0.5
+        )
+        assert plan.host_count > 0
+        # The IPv6 listener answers with the identical server.
+        some_index, address = next(iter(plan.addresses.items()))
+        assert network.syn(address, 4840)

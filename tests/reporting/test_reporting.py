@@ -1,0 +1,72 @@
+from repro.reporting.charts import render_bars, render_cdf
+from repro.reporting.figures import Comparison, ExperimentReport
+from repro.reporting.tables import render_table
+
+
+class TestTables:
+    def test_basic_table(self):
+        text = render_table(["a", "bb"], [[1, 2], [30, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "30" in lines[3]
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_column_padding_accommodates_data(self):
+        text = render_table(["h"], [["wide-value"]])
+        header, underline, row = text.splitlines()
+        assert len(underline) >= len("wide-value")
+
+    def test_empty_rows(self):
+        text = render_table(["h1", "h2"], [])
+        assert "h1" in text
+
+
+class TestCharts:
+    def test_bars_scale_to_peak(self):
+        text = render_bars({"a": 10, "b": 5}, width=10)
+        a_line, b_line = text.splitlines()
+        assert a_line.count("#") == 10
+        assert b_line.count("#") == 5
+
+    def test_bars_empty(self):
+        assert "(no data)" in render_bars({})
+
+    def test_bars_zero_value(self):
+        text = render_bars({"a": 0, "b": 1})
+        assert "a |" in text
+
+    def test_cdf_output(self):
+        text = render_cdf([1.0, 0.9, 0.2], "readable", points=4)
+        assert text.startswith("readable")
+        assert "100%" in text
+
+    def test_cdf_empty(self):
+        assert "(no data)" in render_cdf([], "x")
+
+
+class TestExperimentReport:
+    def test_exact_match_counting(self):
+        report = ExperimentReport("x", "t")
+        report.add("m1", 1, 1)
+        report.add("m2", 1, 2)
+        assert report.exact_matches() == 1
+
+    def test_render_contains_marks(self):
+        report = ExperimentReport("x", "t")
+        report.add("good", 5, 5)
+        report.add("off", 5, 6)
+        text = report.render()
+        assert "x: t" in text
+        assert "=" in text and "~" in text
+
+    def test_relative_error(self):
+        assert Comparison("m", 100, 105).relative_error() == 0.05
+        assert Comparison("m", "a", "a").relative_error() is None
+        assert Comparison("m", 0, 0).relative_error() is None
+
+    def test_body_appended(self):
+        report = ExperimentReport("x", "t", body="chart here")
+        assert report.render().endswith("chart here")

@@ -1,0 +1,169 @@
+"""Responsible-disclosure workflow tests (paper Appendix A)."""
+
+import pytest
+
+from repro.scanner.ethics import (
+    NotificationCampaign,
+    find_contact_addresses,
+    measure_remediation,
+)
+from repro.scanner.records import (
+    EndpointRecord,
+    HostRecord,
+    MeasurementSnapshot,
+    SessionAttempt,
+)
+from repro.uabin.enums import MessageSecurityMode, UserTokenType
+
+
+def accessible_record(ip, accessible=True):
+    return HostRecord(
+        ip=ip,
+        port=4840,
+        asn=1,
+        timestamp="2020-08-30T00:00:00",
+        tcp_open=True,
+        is_opcua=True,
+        endpoints=[
+            EndpointRecord(
+                endpoint_url=None,
+                security_mode=int(MessageSecurityMode.NONE),
+                security_policy_uri="http://opcfoundation.org/UA/SecurityPolicy#None",
+                token_types=[int(UserTokenType.ANONYMOUS)],
+            )
+        ],
+        session=SessionAttempt(attempted=True, success=accessible),
+    )
+
+
+class TestContactDiscovery:
+    def test_finds_email(self):
+        values = ["maintenance contact: ops@water-plant.example.org"]
+        assert find_contact_addresses(values) == ["ops@water-plant.example.org"]
+
+    def test_multiple_and_dedup(self):
+        values = ["a@x.org and b@y.de", "a@x.org again"]
+        assert find_contact_addresses(values) == ["a@x.org", "b@y.de"]
+
+    def test_no_email(self):
+        assert find_contact_addresses(["m3InflowPerHour=5", ""]) == []
+
+    def test_non_string_values_ignored(self):
+        assert find_contact_addresses([42, None, "x@y.io"]) == ["x@y.io"]
+
+
+class TestNotificationCampaign:
+    def make_snapshot(self):
+        return MeasurementSnapshot(
+            date="2020-04-05",
+            records=[
+                accessible_record(1),
+                accessible_record(2),
+                accessible_record(3, accessible=False),
+            ],
+        )
+
+    def test_notifies_only_hosts_with_contacts(self):
+        campaign = NotificationCampaign()
+        sent = campaign.notify_from_snapshot(
+            self.make_snapshot(),
+            {(1, 4840): ["ops@plant.example"], (2, 4840): ["no contact here"]},
+        )
+        assert sent == 1
+        assert campaign.contacted_hosts == {(1, 4840)}
+
+    def test_inaccessible_hosts_never_contacted(self):
+        campaign = NotificationCampaign()
+        campaign.notify_from_snapshot(
+            self.make_snapshot(), {(3, 4840): ["admin@x.org"]}
+        )
+        assert campaign.contacted_hosts == set()
+
+    def test_no_duplicate_notifications(self):
+        campaign = NotificationCampaign()
+        contacts = {(1, 4840): ["ops@plant.example"]}
+        campaign.notify_from_snapshot(self.make_snapshot(), contacts)
+        again = campaign.notify_from_snapshot(self.make_snapshot(), contacts)
+        assert again == 0
+        assert len(campaign.notifications) == 1
+
+    def test_reply_tracking(self):
+        campaign = NotificationCampaign()
+        campaign.notify_from_snapshot(
+            self.make_snapshot(), {(1, 4840): ["ops@plant.example"]}
+        )
+        campaign.record_reply(1, 4840)
+        assert campaign.reply_count == 1
+        with pytest.raises(KeyError):
+            campaign.record_reply(99, 4840)
+
+
+class TestRemediation:
+    def test_measures_fix_still_open_and_offline(self):
+        campaign = NotificationCampaign()
+        first = MeasurementSnapshot(
+            date="2020-04-05",
+            records=[accessible_record(i) for i in (1, 2, 3)],
+        )
+        campaign.notify_from_snapshot(
+            first,
+            {
+                (1, 4840): ["a@x.org"],
+                (2, 4840): ["b@x.org"],
+                (3, 4840): ["c@x.org"],
+            },
+        )
+        later = MeasurementSnapshot(
+            date="2020-08-30",
+            records=[
+                accessible_record(1, accessible=False),  # fixed
+                accessible_record(2, accessible=True),  # still open
+                # host 3 vanished -> offline
+            ],
+        )
+        outcome = measure_remediation(campaign, later)
+        assert outcome == {
+            "notified": 3,
+            "remediated": 1,
+            "still_open": 1,
+            "offline": 1,
+        }
+        assert campaign.notifications[0].remediated
+
+
+class TestEndToEndContactDiscovery:
+    """Contacts planted by the generator are found by the traversal."""
+
+    def test_contacts_discoverable_in_mini_population(self):
+        from repro.deployments.population import PopulationBuilder, install_hosts
+        from repro.deployments.spec import PopulationSpec, build_default_spec
+        from repro.netsim.net import SimNetwork
+        from repro.core.study import Study, StudyConfig
+        from repro.scanner.campaign import ScanCampaign
+        from repro.util.simtime import SimClock, parse_utc
+
+        spec = build_default_spec()
+        mini = PopulationSpec(rows=spec.rows[:3])  # 60 accessible hosts
+        builder = PopulationBuilder(mini, seed=20200830)
+        hosts = builder.build_hosts()
+        network = SimNetwork(SimClock(parse_utc("2020-08-30")))
+        install_hosts(network, hosts)
+        study = Study(StudyConfig(seed=20200830))
+        campaign_scan = ScanCampaign(
+            network, study.scanner_identity(), study._rng.substream("ethics")
+        )
+        snapshot = campaign_scan.run_sweep(label="2020-08-30")
+
+        contact_values = {
+            (r.ip, r.port): (r.nodes.value_samples if r.nodes else [])
+            for r in snapshot.records
+        }
+        campaign = NotificationCampaign()
+        sent = campaign.notify_from_snapshot(snapshot, contact_values)
+        with_contact = sum(
+            1
+            for values in contact_values.values()
+            if find_contact_addresses(values)
+        )
+        assert sent == with_contact
+        assert sent >= 1  # ~10% of 60 hosts carry contact data

@@ -1,0 +1,261 @@
+"""Scanner tests against real servers on the simulated network."""
+
+import pytest
+
+from repro.client import ClientIdentity
+from repro.netsim.net import SimHost, SimNetwork
+from repro.scanner.campaign import ScanCampaign, ScannerIdentity, parse_endpoint_url
+from repro.scanner.grabber import grab_host
+from repro.scanner.limits import TraversalBudget
+from repro.scanner.records import HostRecord
+from repro.secure.policies import POLICY_BASIC256SHA256, POLICY_NONE
+from repro.server import EndpointConfig, ServerBehavior
+from repro.uabin.enums import MessageSecurityMode, UserTokenType
+from repro.util.ipaddr import parse_ipv4
+from repro.util.rng import DeterministicRng
+from repro.util.simtime import SimClock, parse_utc
+from repro.util.simtime import parse_utc as ts
+from repro.x509.builder import make_self_signed
+
+from tests.server.helpers import build_server
+
+
+class JunkService:
+    """A non-OPC UA service squatting on TCP/4840."""
+
+    closed = False
+
+    def receive(self, data: bytes) -> bytes:
+        return b"HTTP/1.0 400 Bad Request\r\n\r\n"
+
+
+class SilentService:
+    closed = True
+
+    def receive(self, data: bytes) -> bytes:
+        return b""
+
+
+@pytest.fixture()
+def scan_rng():
+    return DeterministicRng(31337, "scanner-tests")
+
+
+@pytest.fixture()
+def scanner_identity(scan_rng, rsa_1024):
+    certificate = make_self_signed(
+        rsa_1024,
+        common_name="research-scanner",
+        application_uri="urn:repro:scanner",
+        not_before=parse_utc("2020-01-01"),
+        hash_name="sha256",
+        rng=scan_rng.substream("scanner-cert"),
+    )
+    return ClientIdentity(
+        application_uri="urn:repro:scanner",
+        application_name="Research Scanner (contact: research@example.org)",
+        certificate=certificate,
+        private_key=rsa_1024.private,
+    )
+
+
+@pytest.fixture()
+def network(scan_rng, rsa_2048):
+    net = SimNetwork(SimClock(parse_utc("2020-08-30")))
+
+    def add_server(ip_text, server):
+        host = SimHost(address=parse_ipv4(ip_text), asn=64500)
+        host.listen(4840, server.new_connection)
+        net.add_host(host)
+        return host
+
+    add_server("10.0.0.1", build_server(scan_rng.substream("open"), rsa_2048))
+    strict = build_server(
+        scan_rng.substream("strict"),
+        rsa_2048,
+        endpoint_configs=[
+            EndpointConfig(
+                MessageSecurityMode.SIGN_AND_ENCRYPT, POLICY_BASIC256SHA256
+            )
+        ],
+        token_types=[UserTokenType.USERNAME],
+        behavior=ServerBehavior(reject_untrusted_client_certs=True),
+    )
+    add_server("10.0.0.2", strict)
+
+    junk_host = SimHost(address=parse_ipv4("10.0.0.3"), asn=64500)
+    junk_host.listen(4840, JunkService)
+    net.add_host(junk_host)
+
+    silent_host = SimHost(address=parse_ipv4("10.0.0.4"), asn=64500)
+    silent_host.listen(4840, SilentService)
+    net.add_host(silent_host)
+    return net
+
+
+class TestGrab:
+    def test_open_server_fully_scanned(self, network, scanner_identity, scan_rng):
+        record = grab_host(
+            network,
+            parse_ipv4("10.0.0.1"),
+            4840,
+            scanner_identity,
+            scan_rng,
+            budget=TraversalBudget(),
+        )
+        assert record.tcp_open
+        assert record.is_opcua
+        assert len(record.endpoints) == 3
+        assert record.certificate is not None
+        assert record.certificate.key_bits == 2048
+        assert record.secure_channel.success
+        assert record.session.success
+        assert record.nodes is not None
+        assert record.nodes.variables >= 3
+        assert record.software_version == "3.10.1"
+        assert "urn:repro:tests:demo" in record.namespaces
+
+    def test_open_server_rights_counts(self, network, scanner_identity, scan_rng):
+        record = grab_host(
+            network, parse_ipv4("10.0.0.1"), 4840, scanner_identity, scan_rng
+        )
+        nodes = record.nodes
+        assert nodes.readable_variables >= 2  # inflow + fill level (+ props)
+        assert nodes.writable_variables == 1  # rSetFillLevel
+        assert nodes.executable_methods == 1  # AddEndpoint
+        assert "rSetFillLevel" in nodes.writable_names_sample
+
+    def test_strict_server_secure_channel_rejected(
+        self, network, scanner_identity, scan_rng
+    ):
+        record = grab_host(
+            network, parse_ipv4("10.0.0.2"), 4840, scanner_identity, scan_rng
+        )
+        assert record.is_opcua
+        assert record.secure_channel is not None
+        assert not record.secure_channel.success
+        assert not record.offers_anonymous()
+        assert not record.anonymous_accessible()
+
+    def test_junk_service_not_opcua(self, network, scanner_identity, scan_rng):
+        record = grab_host(
+            network, parse_ipv4("10.0.0.3"), 4840, scanner_identity, scan_rng
+        )
+        assert record.tcp_open
+        assert not record.is_opcua
+
+    def test_silent_service_not_opcua(self, network, scanner_identity, scan_rng):
+        record = grab_host(
+            network, parse_ipv4("10.0.0.4"), 4840, scanner_identity, scan_rng
+        )
+        assert record.tcp_open
+        assert not record.is_opcua
+
+    def test_no_host(self, network, scanner_identity, scan_rng):
+        record = grab_host(
+            network, parse_ipv4("10.0.0.99"), 4840, scanner_identity, scan_rng
+        )
+        assert not record.tcp_open
+
+    def test_record_json_round_trip(self, network, scanner_identity, scan_rng):
+        record = grab_host(
+            network, parse_ipv4("10.0.0.1"), 4840, scanner_identity, scan_rng
+        )
+        clone = HostRecord.from_json_dict(record.to_json_dict())
+        assert clone == record
+
+
+class TestCampaign:
+    def test_sweep_classifies_all_hosts(
+        self, network, scanner_identity, scan_rng
+    ):
+        campaign = ScanCampaign(
+            network,
+            ScannerIdentity(scanner_identity),
+            scan_rng.substream("campaign"),
+        )
+        snapshot = campaign.run_sweep(label="2020-08-30")
+        assert snapshot.port_open == 4
+        assert len(snapshot.reachable()) == 2
+        assert snapshot.date == "2020-08-30"
+
+    def test_follow_references_discovers_hidden_host(
+        self, network, scanner_identity, scan_rng, rsa_2048
+    ):
+        # A discovery server announces an endpoint on a non-default port.
+        from repro.server import ServerConfig, UaServer
+        from repro.uabin.enums import ApplicationType
+        from repro.server.endpoints import build_endpoint_descriptions
+
+        hidden = build_server(scan_rng.substream("hidden"), rsa_2048)
+        hidden_host = SimHost(address=parse_ipv4("10.0.0.10"), asn=64501)
+        hidden_host.listen(4841, hidden.new_connection)
+        network.add_host(hidden_host)
+
+        announced = build_endpoint_descriptions(
+            endpoint_url="opc.tcp://10.0.0.10:4841/",
+            application_uri="urn:repro:tests:hidden",
+            product_uri=None,
+            application_name="Hidden Server",
+            application_type=ApplicationType.SERVER,
+            endpoint_configs=hidden.config.endpoint_configs,
+            token_types=hidden.config.token_types,
+            certificate_der=hidden.config.certificate.raw_der,
+        )
+        discovery_config = ServerConfig(
+            application_uri="urn:repro:tests:lds",
+            application_name="Discovery Server",
+            endpoint_url="opc.tcp://10.0.0.9:4840/",
+            application_type=ApplicationType.DISCOVERY_SERVER,
+            announced_endpoints=announced,
+        )
+        discovery = UaServer(discovery_config, scan_rng.substream("lds"))
+        lds_host = SimHost(address=parse_ipv4("10.0.0.9"), asn=64501)
+        lds_host.listen(4840, discovery.new_connection)
+        network.add_host(lds_host)
+
+        campaign = ScanCampaign(
+            network,
+            ScannerIdentity(scanner_identity),
+            scan_rng.substream("campaign2"),
+        )
+        without = campaign.run_sweep(label="a", follow_references=False)
+        assert not any(r.via_reference for r in without.records)
+
+        with_refs = campaign.run_sweep(label="b", follow_references=True)
+        referenced = [r for r in with_refs.records if r.via_reference]
+        assert len(referenced) == 1
+        assert referenced[0].port == 4841
+        assert referenced[0].is_opcua
+
+    def test_blocklist_respected(self, network, scanner_identity, scan_rng):
+        from repro.netsim.blocklist import Blocklist
+
+        blocklist = Blocklist()
+        blocklist.add("10.0.0.1/32")
+        campaign = ScanCampaign(
+            network,
+            ScannerIdentity(scanner_identity),
+            scan_rng.substream("campaign3"),
+            blocklist=blocklist,
+        )
+        snapshot = campaign.run_sweep()
+        assert snapshot.excluded == 1
+        assert all(r.ip != parse_ipv4("10.0.0.1") for r in snapshot.records)
+
+
+class TestEndpointUrlParsing:
+    @pytest.mark.parametrize(
+        "url,expected",
+        [
+            ("opc.tcp://10.0.0.1:4840/", (parse_ipv4("10.0.0.1"), 4840)),
+            ("opc.tcp://10.0.0.1:4841/path", (parse_ipv4("10.0.0.1"), 4841)),
+            ("opc.tcp://10.0.0.1/", (parse_ipv4("10.0.0.1"), 4840)),
+            ("http://10.0.0.1/", None),
+            ("opc.tcp://not-an-ip:4840/", None),
+            ("opc.tcp://10.0.0.1:99999/", None),
+            (None, None),
+        ],
+    )
+    def test_parse(self, url, expected):
+        assert parse_endpoint_url(url) == expected

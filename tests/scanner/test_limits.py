@@ -1,0 +1,88 @@
+"""Traversal budget tests (paper Appendix A.2: 500 ms / 60 min / 50 MB)."""
+
+import pytest
+
+from repro.scanner.limits import TraversalBudget
+from repro.util.simtime import parse_utc
+
+
+class TestTraversalBudget:
+    def test_defaults_match_paper(self):
+        budget = TraversalBudget()
+        assert budget.inter_request_delay_s == 0.5
+        assert budget.max_scan_seconds == 3600.0
+        assert budget.max_bytes == 50 * 1024 * 1024
+
+    def test_check_requires_start(self):
+        with pytest.raises(RuntimeError):
+            TraversalBudget().check(parse_utc("2020-01-01"), 0)
+
+    def test_allows_within_budget(self):
+        budget = TraversalBudget()
+        start = parse_utc("2020-01-01")
+        budget.start(start)
+        assert budget.check(start, 0)
+        assert budget.exhausted_reason is None
+
+    def test_time_limit(self):
+        budget = TraversalBudget(max_scan_seconds=60)
+        start = parse_utc("2020-01-01")
+        budget.start(start)
+        later = parse_utc("2020-01-01T00:01:00")
+        assert not budget.check(later, 0)
+        assert budget.exhausted_reason == "time"
+
+    def test_traffic_limit(self):
+        budget = TraversalBudget(max_bytes=1000)
+        start = parse_utc("2020-01-01")
+        budget.start(start)
+        assert not budget.check(start, 1000)
+        assert budget.exhausted_reason == "traffic"
+
+    def test_request_counter(self):
+        budget = TraversalBudget()
+        budget.start(parse_utc("2020-01-01"))
+        budget.count_request()
+        budget.count_request()
+        assert budget.requests_made == 2
+
+    def test_restart_resets(self):
+        budget = TraversalBudget(max_bytes=10)
+        budget.start(parse_utc("2020-01-01"))
+        budget.check(parse_utc("2020-01-01"), 100)
+        assert budget.exhausted_reason == "traffic"
+        budget.start(parse_utc("2020-02-01"))
+        assert budget.exhausted_reason is None
+        assert budget.requests_made == 0
+
+    def test_elapsed(self):
+        budget = TraversalBudget()
+        budget.start(parse_utc("2020-01-01"))
+        assert budget.elapsed_seconds(parse_utc("2020-01-01T00:00:30")) == 30.0
+
+
+class TestBudgetEnforcementDuringTraversal:
+    """A tiny traversal must stop when the simulated budget runs out."""
+
+    def test_time_budget_stops_traversal(self, rsa_2048):
+        from repro.util.rng import DeterministicRng
+        from tests.server.helpers import build_client, build_server
+
+        rng = DeterministicRng(4242, "budget-test")
+        server = build_server(rng, rsa_2048)
+        client = build_client(server, rng, rsa_2048)
+        client.hello()
+        client.open_secure_channel()
+        client.create_session()
+        client.activate_session()
+
+        from repro.scanner.limits import TraversalBudget
+        from repro.scanner.traversal import traverse_address_space
+        from repro.util.simtime import SimClock, parse_utc
+
+        clock = SimClock(parse_utc("2020-08-30"))
+        # Budget allows only a couple of 0.5 s-paced requests.
+        budget = TraversalBudget(max_scan_seconds=1.2)
+        summary = traverse_address_space(client, clock, budget)
+        assert not summary.traversal_complete
+        assert summary.budget_exhausted == "time"

@@ -1,0 +1,119 @@
+import pytest
+
+from repro.secure.keysets import derive_channel_keys
+from repro.secure.policies import (
+    ALL_POLICIES,
+    DEPRECATED_POLICIES,
+    POLICY_BASIC128RSA15,
+    POLICY_BASIC256,
+    POLICY_BASIC256SHA256,
+    POLICY_NONE,
+    SECURE_POLICIES,
+    policy_by_label,
+    policy_by_uri,
+)
+
+
+class TestPolicyTable:
+    """The policy registry must match the paper's Table 1."""
+
+    def test_six_policies(self):
+        assert len(ALL_POLICIES) == 6
+
+    def test_labels(self):
+        assert [p.short_label for p in ALL_POLICIES] == [
+            "N", "D1", "D2", "S1", "S2", "S3",
+        ]
+
+    def test_deprecated_set(self):
+        assert {p.short_label for p in DEPRECATED_POLICIES} == {"D1", "D2"}
+
+    def test_secure_set(self):
+        assert {p.short_label for p in SECURE_POLICIES} == {"S1", "S2", "S3"}
+
+    def test_none_provides_no_security(self):
+        assert not POLICY_NONE.provides_security
+        assert not POLICY_NONE.is_secure_and_current
+
+    def test_deprecated_use_sha1_certificates(self):
+        assert POLICY_BASIC128RSA15.certificate_hash == ("sha1",)
+        assert "sha1" in POLICY_BASIC256.certificate_hash
+
+    def test_key_ranges_match_table1(self):
+        assert (POLICY_BASIC128RSA15.min_key_bits,
+                POLICY_BASIC128RSA15.max_key_bits) == (1024, 2048)
+        assert (POLICY_BASIC256SHA256.min_key_bits,
+                POLICY_BASIC256SHA256.max_key_bits) == (2048, 4096)
+
+    def test_security_rank_strictly_increasing(self):
+        ranks = [p.security_rank for p in ALL_POLICIES]
+        assert ranks == sorted(ranks)
+        assert len(set(ranks)) == len(ranks)
+
+    def test_uri_lookup(self):
+        for policy in ALL_POLICIES:
+            assert policy_by_uri(policy.uri) is policy
+
+    def test_uri_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            policy_by_uri("http://example.com/bogus")
+        with pytest.raises(KeyError):
+            policy_by_uri(None)
+
+    def test_label_lookup(self):
+        assert policy_by_label("S2") is POLICY_BASIC256SHA256
+        assert policy_by_label("Basic256Sha256") is POLICY_BASIC256SHA256
+        with pytest.raises(KeyError):
+            policy_by_label("S9")
+
+    def test_key_bits_in_range(self):
+        assert POLICY_BASIC256SHA256.key_bits_in_range(2048)
+        assert POLICY_BASIC256SHA256.key_bits_in_range(4096)
+        assert not POLICY_BASIC256SHA256.key_bits_in_range(1024)
+
+    def test_signature_lengths(self):
+        assert POLICY_BASIC128RSA15.signature_length == 20
+        assert POLICY_BASIC256SHA256.signature_length == 32
+        assert POLICY_NONE.signature_length == 0
+
+
+class TestKeyDerivation:
+    @pytest.mark.parametrize("policy", [p for p in ALL_POLICIES if p is not POLICY_NONE])
+    def test_key_lengths(self, policy):
+        client_nonce = b"\x01" * policy.nonce_length
+        server_nonce = b"\x02" * policy.nonce_length
+        client_keys, server_keys = derive_channel_keys(
+            policy, client_nonce, server_nonce
+        )
+        for keys in (client_keys, server_keys):
+            assert len(keys.signing_key) == policy.sym_signature_key_len
+            assert len(keys.encryption_key) == policy.sym_encryption_key_len
+            assert len(keys.initialization_vector) == policy.sym_block_size
+
+    def test_directions_differ(self):
+        policy = POLICY_BASIC256SHA256
+        client_keys, server_keys = derive_channel_keys(
+            policy, b"\x01" * 32, b"\x02" * 32
+        )
+        assert client_keys.signing_key != server_keys.signing_key
+        assert client_keys.encryption_key != server_keys.encryption_key
+
+    def test_deterministic(self):
+        policy = POLICY_BASIC256SHA256
+        a = derive_channel_keys(policy, b"\x01" * 32, b"\x02" * 32)
+        b = derive_channel_keys(policy, b"\x01" * 32, b"\x02" * 32)
+        assert a == b
+
+    def test_nonce_sensitivity(self):
+        policy = POLICY_BASIC256SHA256
+        a, _ = derive_channel_keys(policy, b"\x01" * 32, b"\x02" * 32)
+        b, _ = derive_channel_keys(policy, b"\x03" * 32, b"\x02" * 32)
+        assert a.signing_key != b.signing_key
+
+    def test_wrong_nonce_length_rejected(self):
+        with pytest.raises(ValueError):
+            derive_channel_keys(POLICY_BASIC256SHA256, b"\x01" * 16, b"\x02" * 32)
+
+    def test_none_policy_rejected(self):
+        with pytest.raises(ValueError):
+            derive_channel_keys(POLICY_NONE, b"", b"")

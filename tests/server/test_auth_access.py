@@ -1,0 +1,175 @@
+"""Unit tests for authentication, permissions, and sessions."""
+
+import pytest
+
+from repro.server.access import Permissions, Role, UserContext
+from repro.server.auth import AuthenticationError, Authenticator, UserDirectory
+from repro.server.session import SessionManager
+from repro.uabin.enums import UserTokenType
+from repro.uabin.nodeid import NodeId
+from repro.uabin.statuscodes import StatusCodes
+from repro.uabin.types_session import (
+    AnonymousIdentityToken,
+    IssuedIdentityToken,
+    UserNameIdentityToken,
+    X509IdentityToken,
+)
+from repro.util.rng import DeterministicRng
+
+
+class TestPermissions:
+    def test_default_locked_down(self):
+        perms = Permissions()
+        assert not perms.allows_read(Role.ANONYMOUS)
+        assert perms.allows_read(Role.OPERATOR)
+        assert not perms.allows_write(Role.OPERATOR)
+        assert perms.allows_write(Role.ADMIN)
+
+    def test_open_to_all(self):
+        perms = Permissions.open_to_all()
+        assert perms.allows_write(Role.ANONYMOUS)
+        assert perms.allows_execute(Role.ANONYMOUS)
+
+    def test_make_flags(self):
+        perms = Permissions.make(read_anonymous=True)
+        assert perms.allows_read(Role.ANONYMOUS)
+        assert not perms.allows_write(Role.ANONYMOUS)
+
+    def test_read_only_public(self):
+        perms = Permissions.read_only_public()
+        assert perms.allows_read(Role.ANONYMOUS)
+        assert not perms.allows_write(Role.ANONYMOUS)
+
+
+class TestAuthenticator:
+    def make_auth(self, *types):
+        directory = UserDirectory()
+        directory.add_user("op", "pw", Role.OPERATOR)
+        directory.add_issued_token(b"valid-token")
+        return Authenticator(allowed_token_types=set(types), directory=directory)
+
+    def test_anonymous_allowed(self):
+        auth = self.make_auth(UserTokenType.ANONYMOUS)
+        user = auth.authenticate(AnonymousIdentityToken("anon"))
+        assert user.is_anonymous
+
+    def test_none_token_means_anonymous(self):
+        auth = self.make_auth(UserTokenType.ANONYMOUS)
+        assert auth.authenticate(None).is_anonymous
+
+    def test_anonymous_rejected_when_disabled(self):
+        auth = self.make_auth(UserTokenType.USERNAME)
+        with pytest.raises(AuthenticationError) as excinfo:
+            auth.authenticate(AnonymousIdentityToken("anon"))
+        assert excinfo.value.status == StatusCodes.BadIdentityTokenRejected
+
+    def test_username_valid(self):
+        auth = self.make_auth(UserTokenType.USERNAME)
+        user = auth.authenticate(
+            UserNameIdentityToken("u", "op", b"pw", None)
+        )
+        assert user.role == Role.OPERATOR
+        assert user.name == "op"
+
+    def test_username_wrong_password(self):
+        auth = self.make_auth(UserTokenType.USERNAME)
+        with pytest.raises(AuthenticationError) as excinfo:
+            auth.authenticate(UserNameIdentityToken("u", "op", b"no", None))
+        assert excinfo.value.status == StatusCodes.BadUserAccessDenied
+
+    def test_username_missing_fields(self):
+        auth = self.make_auth(UserTokenType.USERNAME)
+        with pytest.raises(AuthenticationError) as excinfo:
+            auth.authenticate(UserNameIdentityToken("u", None, None, None))
+        assert excinfo.value.status == StatusCodes.BadIdentityTokenInvalid
+
+    def test_certificate_trusted(self, rsa_768):
+        from repro.util.simtime import parse_utc
+        from repro.x509.builder import make_self_signed
+
+        rng = DeterministicRng(5, "auth-cert")
+        cert = make_self_signed(
+            rsa_768, "user", "urn:user", parse_utc("2020-01-01"), "sha256", rng
+        )
+        auth = self.make_auth(UserTokenType.CERTIFICATE)
+        auth.directory.trust_certificate(cert.raw_der)
+        user = auth.authenticate(X509IdentityToken("c", cert.raw_der))
+        assert user.role == Role.OPERATOR
+
+    def test_certificate_untrusted(self, rsa_768):
+        from repro.util.simtime import parse_utc
+        from repro.x509.builder import make_self_signed
+
+        rng = DeterministicRng(6, "auth-cert2")
+        cert = make_self_signed(
+            rsa_768, "user", "urn:user", parse_utc("2020-01-01"), "sha256", rng
+        )
+        auth = self.make_auth(UserTokenType.CERTIFICATE)
+        with pytest.raises(AuthenticationError) as excinfo:
+            auth.authenticate(X509IdentityToken("c", cert.raw_der))
+        assert excinfo.value.status == StatusCodes.BadUserAccessDenied
+
+    def test_certificate_garbage_rejected(self):
+        auth = self.make_auth(UserTokenType.CERTIFICATE)
+        with pytest.raises(AuthenticationError) as excinfo:
+            auth.authenticate(X509IdentityToken("c", b"not-a-cert"))
+        assert excinfo.value.status == StatusCodes.BadIdentityTokenInvalid
+
+    def test_issued_token_valid(self):
+        auth = self.make_auth(UserTokenType.ISSUED_TOKEN)
+        user = auth.authenticate(IssuedIdentityToken("t", b"valid-token", None))
+        assert user.role == Role.OPERATOR
+
+    def test_issued_token_unknown(self):
+        auth = self.make_auth(UserTokenType.ISSUED_TOKEN)
+        with pytest.raises(AuthenticationError):
+            auth.authenticate(IssuedIdentityToken("t", b"forged", None))
+
+
+class TestSessionManager:
+    def make_manager(self, max_sessions=100):
+        return SessionManager(DeterministicRng(9, "sessions"), max_sessions)
+
+    def test_create_and_lookup(self):
+        manager = self.make_manager()
+        session = manager.create("s", 60000.0, b"nonce")
+        assert manager.lookup(session.authentication_token) is session
+
+    def test_lookup_unknown_token(self):
+        manager = self.make_manager()
+        assert manager.lookup(NodeId(0, b"nope")) is None
+        assert manager.lookup(NodeId(0, 42)) is None
+
+    def test_activate(self):
+        manager = self.make_manager()
+        session = manager.create("s", 60000.0, None)
+        assert not session.activated
+        manager.activate(session, UserContext.anonymous())
+        assert session.activated
+        assert session.user.is_anonymous
+
+    def test_activation_rotates_nonce(self):
+        manager = self.make_manager()
+        session = manager.create("s", 60000.0, None)
+        before = session.server_nonce
+        manager.activate(session, UserContext.anonymous())
+        assert session.server_nonce != before
+
+    def test_close_removes(self):
+        manager = self.make_manager()
+        session = manager.create("s", 60000.0, None)
+        manager.close(session)
+        assert manager.lookup(session.authentication_token) is None
+
+    def test_session_limit(self):
+        manager = self.make_manager(max_sessions=2)
+        manager.create("a", 1.0, None)
+        manager.create("b", 1.0, None)
+        with pytest.raises(AuthenticationError) as excinfo:
+            manager.create("c", 1.0, None)
+        assert excinfo.value.status == StatusCodes.BadTooManySessions
+
+    def test_session_ids_unique(self):
+        manager = self.make_manager()
+        ids = {manager.create(f"s{i}", 1.0, None).session_id for i in range(10)}
+        assert len(ids) == 10

@@ -1,0 +1,139 @@
+"""TranslateBrowsePathsToNodeIds and RegisterServer tests."""
+
+import pytest
+
+from repro.client import ServiceFaultError
+from repro.server.addressspace import NodeIds
+from repro.server.engine import ServerConfig, UaServer
+from repro.uabin.builtin import LocalizedText
+from repro.uabin.enums import ApplicationType
+from repro.uabin.nodeid import NodeId
+from repro.uabin.types_query import RegisteredServer
+from repro.util.rng import DeterministicRng
+
+from tests.server.helpers import build_client, build_server
+
+DEMO_NS = 1
+
+
+@pytest.fixture()
+def qrng():
+    return DeterministicRng(808, "query-tests")
+
+
+@pytest.fixture()
+def active_client(qrng, rsa_2048, rsa_1024):
+    server = build_server(qrng, rsa_2048)
+    client = build_client(server, qrng.substream("c"), rsa_1024)
+    client.hello()
+    client.open_secure_channel()
+    client.create_session()
+    client.activate_session()
+    return client
+
+
+class TestTranslateBrowsePaths:
+    def test_resolve_variable_path(self, active_client):
+        node_id = active_client.translate_browse_path(
+            NodeIds.ObjectsFolder,
+            (DEMO_NS, "Plant"),
+            (DEMO_NS, "m3InflowPerHour"),
+        )
+        assert node_id == NodeId(DEMO_NS, "Plant/m3InflowPerHour")
+
+    def test_resolve_single_hop(self, active_client):
+        node_id = active_client.translate_browse_path(
+            NodeIds.RootFolder, (0, "Objects")
+        )
+        assert node_id == NodeIds.ObjectsFolder
+
+    def test_wrong_name_not_found(self, active_client):
+        node_id = active_client.translate_browse_path(
+            NodeIds.ObjectsFolder, (DEMO_NS, "NoSuchDevice")
+        )
+        assert node_id is None
+
+    def test_wrong_namespace_not_found(self, active_client):
+        node_id = active_client.translate_browse_path(
+            NodeIds.ObjectsFolder, (3, "Plant")
+        )
+        assert node_id is None
+
+    def test_unknown_starting_node(self, active_client):
+        node_id = active_client.translate_browse_path(
+            NodeId(9, 999999), (DEMO_NS, "Plant")
+        )
+        assert node_id is None
+
+    def test_empty_path_rejected(self, active_client):
+        node_id = active_client.translate_browse_path(NodeIds.ObjectsFolder)
+        assert node_id is None
+
+    def test_resolved_node_readable(self, active_client):
+        node_id = active_client.translate_browse_path(
+            NodeIds.ObjectsFolder,
+            (DEMO_NS, "Plant"),
+            (DEMO_NS, "rSetFillLevel"),
+        )
+        values = active_client.read_values([node_id])
+        assert values[0].status.is_good
+
+
+class TestRegisterServer:
+    def make_discovery(self, qrng):
+        config = ServerConfig(
+            application_uri="urn:test:lds",
+            application_name="Test LDS",
+            endpoint_url="opc.tcp://10.0.0.250:4840/",
+            application_type=ApplicationType.DISCOVERY_SERVER,
+        )
+        return UaServer(config, qrng.substream("lds"))
+
+    def registration(self, uri="urn:test:registered"):
+        return RegisteredServer(
+            server_uri=uri,
+            product_uri="urn:test:product",
+            server_names=[LocalizedText("Registered Server")],
+            discovery_urls=["opc.tcp://10.0.0.9:4840/"],
+        )
+
+    def test_register_and_find(self, qrng, rsa_1024):
+        discovery = self.make_discovery(qrng)
+        client = build_client(discovery, qrng.substream("c"), rsa_1024)
+        client.hello()
+        client.open_secure_channel()
+        client.register_server(self.registration())
+        servers = client.find_servers()
+        uris = {s.application_uri for s in servers}
+        assert "urn:test:registered" in uris
+        assert "urn:test:lds" in uris  # the LDS itself
+
+    def test_unregister_via_offline(self, qrng, rsa_1024):
+        discovery = self.make_discovery(qrng)
+        client = build_client(discovery, qrng.substream("c"), rsa_1024)
+        client.hello()
+        client.open_secure_channel()
+        client.register_server(self.registration())
+        offline = self.registration()
+        offline.is_online = False
+        client.register_server(offline)
+        servers = client.find_servers()
+        assert "urn:test:registered" not in {
+            s.application_uri for s in servers
+        }
+
+    def test_normal_server_rejects_registration(self, qrng, rsa_2048, rsa_1024):
+        server = build_server(qrng, rsa_2048)
+        client = build_client(server, qrng.substream("c"), rsa_1024)
+        client.hello()
+        client.open_secure_channel()
+        with pytest.raises(ServiceFaultError):
+            client.register_server(self.registration())
+
+    def test_invalid_registration_rejected(self, qrng, rsa_1024):
+        discovery = self.make_discovery(qrng)
+        client = build_client(discovery, qrng.substream("c"), rsa_1024)
+        client.hello()
+        client.open_secure_channel()
+        with pytest.raises(ServiceFaultError):
+            client.register_server(RegisteredServer(server_uri=None))

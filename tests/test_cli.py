@@ -1,0 +1,43 @@
+"""CLI tests (cheap commands only; `study` is covered by benchmarks)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_study_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.command == "study"
+        assert args.seed == 20200830
+
+    def test_experiment_validates_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_experiment_accepts_known_id(self):
+        args = build_parser().parse_args(["experiment", "fig3", "--seed", "7"])
+        assert args.experiment_id == "fig3"
+        assert args.seed == 7
+
+    def test_dataset_needs_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dataset"])
+
+
+class TestCheapCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "ipv6" in out
+
+    def test_policies(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "Basic256Sha256" in out
+        assert "deprecated" in out

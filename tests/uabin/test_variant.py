@@ -1,0 +1,116 @@
+from datetime import datetime, timezone
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.uabin.builtin import LocalizedText, QualifiedName
+from repro.uabin.nodeid import NodeId
+from repro.uabin.statuscodes import StatusCodes
+from repro.uabin.variant import DataValue, Variant, VariantType
+from repro.util.binary import BinaryReader, BinaryWriter
+
+
+def round_trip(value):
+    w = BinaryWriter()
+    value.encode(w)
+    r = BinaryReader(w.to_bytes())
+    out = type(value).decode(r)
+    assert r.at_end()
+    return out
+
+
+class TestVariantScalars:
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            Variant(True, VariantType.BOOLEAN),
+            Variant(42, VariantType.INT32),
+            Variant(42, VariantType.UINT64),
+            Variant(1.5, VariantType.DOUBLE),
+            Variant("m3InflowPerHour", VariantType.STRING),
+            Variant(b"\x01", VariantType.BYTESTRING),
+            Variant(NodeId(2, 5), VariantType.NODEID),
+            Variant(StatusCodes.Good, VariantType.STATUSCODE),
+            Variant(QualifiedName(1, "n"), VariantType.QUALIFIEDNAME),
+            Variant(LocalizedText("t"), VariantType.LOCALIZEDTEXT),
+            Variant(
+                datetime(2020, 5, 4, tzinfo=timezone.utc), VariantType.DATETIME
+            ),
+        ],
+    )
+    def test_round_trip(self, variant):
+        assert round_trip(variant) == variant
+
+    def test_null_variant(self):
+        v = Variant()
+        w = BinaryWriter()
+        v.encode(w)
+        assert w.to_bytes() == b"\x00"
+        assert round_trip(v).value is None
+
+    def test_type_inference_int(self):
+        assert Variant(5).resolved_type() == VariantType.INT64
+
+    def test_type_inference_bool_before_int(self):
+        assert Variant(True).resolved_type() == VariantType.BOOLEAN
+
+    def test_type_inference_string(self):
+        assert Variant("x").resolved_type() == VariantType.STRING
+
+    def test_type_inference_float(self):
+        assert Variant(0.5).resolved_type() == VariantType.DOUBLE
+
+    def test_inference_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            Variant(object()).resolved_type()
+
+
+class TestVariantArrays:
+    def test_int_array(self):
+        v = Variant([1, 2, 3], VariantType.INT32, is_array=True)
+        out = round_trip(v)
+        assert out.value == [1, 2, 3]
+        assert out.is_array
+
+    def test_string_array_with_nulls(self):
+        v = Variant(["a", None, "c"], VariantType.STRING, is_array=True)
+        assert round_trip(v).value == ["a", None, "c"]
+
+    def test_array_bit_set(self):
+        v = Variant([1], VariantType.INT32, is_array=True)
+        w = BinaryWriter()
+        v.encode(w)
+        assert w.to_bytes()[0] & 0x80
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=20))
+    def test_double_array_property(self, values):
+        v = Variant(values, VariantType.DOUBLE, is_array=True)
+        assert round_trip(v).value == values
+
+
+class TestDataValue:
+    def test_empty(self):
+        assert round_trip(DataValue()) == DataValue()
+
+    def test_value_only(self):
+        dv = DataValue(value=Variant(7, VariantType.INT32))
+        assert round_trip(dv) == dv
+
+    def test_status_only(self):
+        dv = DataValue(status=StatusCodes.BadNotReadable)
+        assert round_trip(dv) == dv
+
+    def test_full(self):
+        moment = datetime(2020, 8, 30, tzinfo=timezone.utc)
+        dv = DataValue(
+            value=Variant("v", VariantType.STRING),
+            status=StatusCodes.Good,
+            source_timestamp=moment,
+            server_timestamp=moment,
+        )
+        assert round_trip(dv) == dv
+
+    def test_mask_byte_minimal(self):
+        w = BinaryWriter()
+        DataValue().encode(w)
+        assert w.to_bytes() == b"\x00"

@@ -1,0 +1,49 @@
+from hypothesis import given, strategies as st
+import pytest
+
+from repro.util.ipaddr import (
+    MAX_IPV4,
+    MAX_IPV6,
+    format_address,
+    format_endpoint_host,
+    format_ipv6,
+    parse_ipv6,
+)
+
+
+class TestFormatAddress:
+    def test_small_values_are_ipv4(self):
+        assert format_address(0x0A000001) == "10.0.0.1"
+
+    def test_large_values_are_ipv6(self):
+        assert format_address(MAX_IPV4 + 1) == "::1:0:0"
+
+    def test_boundary(self):
+        assert format_address(MAX_IPV4) == "255.255.255.255"
+
+    def test_endpoint_host_brackets_ipv6(self):
+        value = parse_ipv6("2001:db8::7")
+        assert format_endpoint_host(value) == "[2001:db8::7]"
+        assert format_endpoint_host(0x0A000001) == "10.0.0.1"
+
+    def test_endpoint_host_in_url(self):
+        value = parse_ipv6("2001:db8::7")
+        url = f"opc.tcp://{format_endpoint_host(value)}:4840/"
+        assert url == "opc.tcp://[2001:db8::7]:4840/"
+
+
+class TestIpv6Canonical:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("2001:0db8:0000:0000:0000:0000:0000:0001", "2001:db8::1"),
+            ("0:0:0:0:0:0:0:0", "::"),
+            ("fe80:0:0:0:1:0:0:1", "fe80::1:0:0:1"),
+        ],
+    )
+    def test_compression(self, text, expected):
+        assert format_ipv6(parse_ipv6(text)) == expected
+
+    @given(st.integers(min_value=0, max_value=MAX_IPV6))
+    def test_round_trip(self, value):
+        assert parse_ipv6(format_ipv6(value)) == value

@@ -1,0 +1,107 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.binary import BinaryReader, BinaryWriter, NotEnoughData
+
+
+class TestBinaryWriter:
+    def test_empty_writer_yields_empty_bytes(self):
+        assert BinaryWriter().to_bytes() == b""
+
+    def test_write_bytes_appends(self):
+        w = BinaryWriter()
+        w.write_bytes(b"ab")
+        w.write_bytes(b"cd")
+        assert w.to_bytes() == b"abcd"
+
+    def test_len_tracks_written_bytes(self):
+        w = BinaryWriter()
+        w.write_uint32(1)
+        w.write_uint16(2)
+        assert len(w) == 6
+
+    def test_little_endian_uint32(self):
+        w = BinaryWriter()
+        w.write_uint32(0x01020304)
+        assert w.to_bytes() == b"\x04\x03\x02\x01"
+
+    def test_signed_negative_int32(self):
+        w = BinaryWriter()
+        w.write_int32(-1)
+        assert w.to_bytes() == b"\xff\xff\xff\xff"
+
+    def test_uint8_range_check(self):
+        w = BinaryWriter()
+        with pytest.raises(Exception):
+            w.write_uint8(256)
+
+    def test_double_round_trip(self):
+        w = BinaryWriter()
+        w.write_double(1.5)
+        assert BinaryReader(w.to_bytes()).read_double() == 1.5
+
+
+class TestBinaryReader:
+    def test_read_past_end_raises(self):
+        r = BinaryReader(b"ab")
+        with pytest.raises(NotEnoughData):
+            r.read_bytes(3)
+
+    def test_read_past_end_preserves_position(self):
+        r = BinaryReader(b"ab")
+        with pytest.raises(NotEnoughData):
+            r.read_uint32()
+        assert r.position == 0
+
+    def test_peek_does_not_advance(self):
+        r = BinaryReader(b"abcd")
+        assert r.peek(2) == b"ab"
+        assert r.position == 0
+
+    def test_negative_read_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryReader(b"abcd").read_bytes(-1)
+
+    def test_at_end(self):
+        r = BinaryReader(b"a")
+        assert not r.at_end()
+        r.read_uint8()
+        assert r.at_end()
+
+    def test_skip(self):
+        r = BinaryReader(b"abcd")
+        r.skip(2)
+        assert r.read_bytes(2) == b"cd"
+
+    def test_offset_start(self):
+        r = BinaryReader(b"abcd", offset=2)
+        assert r.read_bytes(2) == b"cd"
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_uint64_round_trip(value):
+    w = BinaryWriter()
+    w.write_uint64(value)
+    assert BinaryReader(w.to_bytes()).read_uint64() == value
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_int32_round_trip(value):
+    w = BinaryWriter()
+    w.write_int32(value)
+    assert BinaryReader(w.to_bytes()).read_int32() == value
+
+
+@given(st.binary(max_size=64), st.binary(max_size=64))
+def test_concatenation_order(first, second):
+    w = BinaryWriter()
+    w.write_bytes(first)
+    w.write_bytes(second)
+    assert w.to_bytes() == first + second
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_float_round_trip(value):
+    w = BinaryWriter()
+    w.write_float(value)
+    assert BinaryReader(w.to_bytes()).read_float() == value

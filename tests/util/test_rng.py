@@ -1,0 +1,49 @@
+from repro.util.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(1, "x")
+        b = DeterministicRng(1, "x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_namespace_different_stream(self):
+        a = DeterministicRng(1, "x")
+        b = DeterministicRng(1, "y")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_different_seed_different_stream(self):
+        a = DeterministicRng(1, "x")
+        b = DeterministicRng(2, "x")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_substream_independent_of_parent_draws(self):
+        parent_a = DeterministicRng(7, "root")
+        parent_b = DeterministicRng(7, "root")
+        parent_a.random()  # extra draw must not affect substream
+        sub_a = parent_a.substream("child")
+        sub_b = parent_b.substream("child")
+        assert sub_a.random() == sub_b.random()
+
+    def test_substream_namespace_path(self):
+        rng = DeterministicRng(7, "root").substream("a").substream("b")
+        assert rng.namespace == "root/a/b"
+
+
+class TestHelpers:
+    def test_token_bytes_length(self):
+        rng = DeterministicRng(3)
+        assert len(rng.token_bytes(32)) == 32
+
+    def test_token_bytes_zero(self):
+        assert DeterministicRng(3).token_bytes(0) == b""
+
+    def test_token_bytes_deterministic(self):
+        assert DeterministicRng(3).token_bytes(16) == DeterministicRng(3).token_bytes(16)
+
+    def test_shuffled_preserves_input(self):
+        rng = DeterministicRng(3)
+        items = [1, 2, 3, 4, 5]
+        out = rng.shuffled(items)
+        assert items == [1, 2, 3, 4, 5]
+        assert sorted(out) == items

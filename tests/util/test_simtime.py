@@ -1,0 +1,65 @@
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.util.simtime import (
+    SimClock,
+    datetime_to_filetime,
+    filetime_to_datetime,
+    format_utc,
+    parse_utc,
+)
+
+
+class TestParseFormat:
+    def test_parse_date_only(self):
+        moment = parse_utc("2020-08-30")
+        assert moment == datetime(2020, 8, 30, tzinfo=timezone.utc)
+
+    def test_parse_with_time(self):
+        moment = parse_utc("2020-08-30T12:30:00")
+        assert moment.hour == 12
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_utc("yesterday")
+
+    def test_format_round_trip(self):
+        text = "2020-05-04T01:02:03"
+        assert format_utc(parse_utc(text)) == text
+
+
+class TestFiletime:
+    def test_unix_epoch(self):
+        epoch = datetime(1970, 1, 1, tzinfo=timezone.utc)
+        assert datetime_to_filetime(epoch) == 116444736000000000
+
+    def test_round_trip(self):
+        moment = datetime(2020, 8, 30, 13, 37, 21, tzinfo=timezone.utc)
+        assert filetime_to_datetime(datetime_to_filetime(moment)) == moment
+
+    def test_ordering_preserved(self):
+        a = parse_utc("2020-02-09")
+        b = parse_utc("2020-08-30")
+        assert datetime_to_filetime(a) < datetime_to_filetime(b)
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock(parse_utc("2020-02-09"))
+        clock.advance(3600)
+        assert clock.now() == parse_utc("2020-02-09T01:00:00")
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock(parse_utc("2020-02-09"))
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_set_to_backwards_rejected(self):
+        clock = SimClock(parse_utc("2020-02-09"))
+        with pytest.raises(ValueError):
+            clock.set_to(parse_utc("2020-01-01"))
+
+    def test_naive_datetime_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(datetime(2020, 1, 1))
