@@ -8,6 +8,15 @@ replicating the paper on their own scan data would run repeatedly.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
+# Pin the RSA key cache to the committed one before repro imports, so
+# CI and fresh clones never regenerate 2048-bit keys.
+os.environ.setdefault(
+    "REPRO_KEYCACHE", str(Path(__file__).resolve().parents[1] / ".keycache")
+)
+
 import pytest
 
 from repro.core.study import default_study_result

@@ -1,0 +1,95 @@
+"""Benchmark-regression report: run the bench suite, emit BENCH_sweep.json.
+
+Usage::
+
+    python benchmarks/report.py                  # full bench suite
+    python benchmarks/report.py -k fig2          # subset, pytest -k syntax
+    python benchmarks/report.py -o out.json      # alternate output path
+
+Runs ``pytest benchmarks`` with an in-process plugin that records the
+call-phase duration and outcome of every benchmark test, merges the
+sweep-engine throughput metrics that ``test_bench_sweep.py`` writes as
+a side file, and saves everything as one JSON document.  CI's ``full``
+job uploads the file as an artifact, giving every main-branch commit a
+comparable per-figure timing record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SWEEP_METRICS = REPO_ROOT / "benchmarks" / ".sweep_metrics.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_sweep.json"
+
+
+class _DurationRecorder:
+    """Pytest plugin: nodeid -> {seconds, outcome} for call phases."""
+
+    def __init__(self) -> None:
+        self.results: dict[str, dict] = {}
+
+    def pytest_runtest_logreport(self, report) -> None:
+        if report.when != "call":
+            return
+        self.results[report.nodeid] = {
+            "seconds": round(report.duration, 3),
+            "outcome": report.outcome,
+        }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-k", default=None, help="pytest -k selection")
+    parser.add_argument(
+        "-o", "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"output JSON path (default: {DEFAULT_OUTPUT.name})",
+    )
+    args = parser.parse_args(argv)
+
+    # `python -m pytest` puts the CWD on sys.path; pytest.main() does
+    # not, so add the repo root (for `benchmarks.conftest` imports)
+    # and src/ (for `repro`) explicitly.
+    for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+    import pytest
+
+    # Drop any side file from a previous run: sweep metrics must come
+    # from this run or be reported as absent, never stale.
+    SWEEP_METRICS.unlink(missing_ok=True)
+
+    pytest_args = [str(REPO_ROOT / "benchmarks"), "-q", "--benchmark-disable"]
+    if args.k:
+        pytest_args += ["-k", args.k]
+
+    recorder = _DurationRecorder()
+    exit_code = pytest.main(pytest_args, plugins=[recorder])
+
+    sweep = None
+    if SWEEP_METRICS.exists():
+        try:
+            sweep = json.loads(SWEEP_METRICS.read_text())
+        except json.JSONDecodeError:
+            sweep = None
+
+    payload = {
+        "suite": "benchmarks",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "pytest_exit_code": int(exit_code),
+        "figures": dict(sorted(recorder.results.items())),
+        "sweep_engine": sweep,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output} ({len(recorder.results)} benchmark timings)")
+    return int(exit_code)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Scan-engine benchmark: serial vs. parallel sweep throughput.
+
+Times the final (2020-08-30) sweep — port scan, per-host grab,
+follow-references — once per executor backend against an identically
+re-assembled network, asserts the resulting snapshots are
+byte-identical, and records hosts-per-second throughput to
+``benchmarks/.sweep_metrics.json`` for ``benchmarks/report.py`` to
+fold into ``BENCH_sweep.json``.
+
+The threaded backend mostly overlaps scheduling (the simulation is
+pure Python, so the GIL serializes it); the fork-based process backend
+is the one that scales with cores.  The ≥2× speedup assertion
+therefore targets the process backend and only on machines with at
+least four CPUs (set ``REPRO_BENCH_STRICT=1`` to enforce it there).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.study import Study, StudyConfig
+from repro.scanner.campaign import ScanCampaign
+from repro.scanner.executor import build_executor
+
+SEED = 20200830
+FINAL_SWEEP = 7
+BACKENDS = (("serial", 1), ("thread", 4), ("process", 4))
+METRICS_PATH = Path(__file__).resolve().parent / ".sweep_metrics.json"
+
+
+def _snapshot_json(snapshot) -> str:
+    return json.dumps(
+        [r.to_json_dict() for r in snapshot.records], sort_keys=True
+    )
+
+
+def _run_final_sweep(study_result, executor_name: str, workers: int):
+    """Re-assemble the last sweep's Internet and scan it once."""
+    network = study_result.timeline.network_for_sweep(FINAL_SWEEP)
+    study = Study(StudyConfig(seed=SEED))
+    campaign = ScanCampaign(
+        network,
+        study.scanner_identity(),
+        study._rng.substream("bench-sweep"),
+        executor=build_executor(executor_name, workers),
+    )
+    start = time.perf_counter()
+    snapshot = campaign.run_sweep(
+        label="2020-08-30", follow_references=True, traverse=False
+    )
+    elapsed = time.perf_counter() - start
+    return snapshot, elapsed
+
+
+def test_bench_sweep_throughput(study_result):
+    metrics = {"cpu_count": os.cpu_count(), "backends": {}}
+    reference_json = None
+    serial_seconds = None
+
+    for name, workers in BACKENDS:
+        snapshot, elapsed = _run_final_sweep(study_result, name, workers)
+        payload = _snapshot_json(snapshot)
+        if reference_json is None:
+            reference_json = payload
+            serial_seconds = elapsed
+        else:
+            assert payload == reference_json, (
+                f"{name} backend diverged from the serial reference"
+            )
+        hosts = len(snapshot.records)
+        metrics["backends"][f"{name}x{workers}"] = {
+            "seconds": round(elapsed, 3),
+            "hosts": hosts,
+            "hosts_per_second": round(hosts / elapsed, 1),
+            "speedup_vs_serial": round(serial_seconds / elapsed, 2),
+        }
+        print(
+            f"[sweep] {name}x{workers}: {hosts} hosts in {elapsed:.2f}s "
+            f"({hosts / elapsed:.0f} hosts/s, "
+            f"{serial_seconds / elapsed:.2f}x serial)"
+        )
+
+    METRICS_PATH.write_text(json.dumps(metrics, indent=2))
+
+    if os.environ.get("REPRO_BENCH_STRICT") and (os.cpu_count() or 1) >= 4:
+        speedup = metrics["backends"]["processx4"]["speedup_vs_serial"]
+        assert speedup >= 2.0, f"process pool only {speedup}x serial"
+
+
+def test_bench_parallel_study_identical(study_result):
+    """Acceptance: a full 8-sweep study with 4 workers is byte-identical
+    to the serial reference (the session-cached ``study_result``).
+
+    Uses the process backend deliberately: it is the backend whose
+    worker-side state never propagates back to the parent, so the
+    cross-sweep interactions (renewals, reseeding, discovery fleets)
+    are the riskiest there — and on a multi-core runner it is also the
+    fastest way to run the second study.
+    """
+    parallel = Study(
+        StudyConfig(seed=SEED, executor="process", workers=4)
+    ).run()
+    assert len(parallel.snapshots) == len(study_result.snapshots)
+    for serial_snap, parallel_snap in zip(
+        study_result.snapshots, parallel.snapshots
+    ):
+        assert parallel_snap.date == serial_snap.date
+        assert parallel_snap.probed == serial_snap.probed
+        assert parallel_snap.port_open == serial_snap.port_open
+        assert parallel_snap.excluded == serial_snap.excluded
+        assert _snapshot_json(parallel_snap) == _snapshot_json(serial_snap)

@@ -19,6 +19,7 @@ import sys
 
 from repro.core.experiments import EXPERIMENTS, run_experiment
 from repro.core.study import Study, StudyConfig, default_study_result
+from repro.scanner.executor import EXECUTOR_NAMES, resolve_executor
 
 
 def _add_seed(parser: argparse.ArgumentParser) -> None:
@@ -28,6 +29,33 @@ def _add_seed(parser: argparse.ArgumentParser) -> None:
         default=20200830,
         help="study seed (default: 20200830, the paper's last sweep date)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "scan workers per sweep (default: 1 for --executor serial, "
+            "all CPUs for thread/process; >1 alone implies --executor "
+            "process)"
+        ),
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_NAMES,
+        default=None,
+        help=(
+            "scan backend: serial (default), thread, or process "
+            "(results are identical; only wall-clock time changes)"
+        ),
+    )
+
+
+def _study_result(args):
+    try:
+        executor, workers = resolve_executor(args.executor, args.workers)
+    except ValueError as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    return default_study_result(args.seed, executor, workers)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,7 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_study(args) -> int:
-    result = default_study_result(args.seed)
+    result = _study_result(args)
     exact = total = 0
     for experiment_id in EXPERIMENTS:
         report = run_experiment(experiment_id, result)
@@ -74,7 +102,7 @@ def cmd_study(args) -> int:
 
 
 def cmd_experiment(args) -> int:
-    result = default_study_result(args.seed)
+    result = _study_result(args)
     report = run_experiment(args.experiment_id, result)
     print(report.render())
     return 0
@@ -91,7 +119,7 @@ def cmd_dataset(args) -> int:
     from repro.dataset import AnonymizationMap, anonymize_snapshot
     from repro.dataset.io import write_snapshots
 
-    result = default_study_result(args.seed)
+    result = _study_result(args)
     mapping = AnonymizationMap()
     released = [
         anonymize_snapshot(snapshot, mapping) for snapshot in result.snapshots

@@ -16,6 +16,11 @@ class StudyConfig:
     ``traverse_all_sweeps`` enables the address-space traversal on
     every sweep instead of only the last (Figure 7 uses the latest
     measurement, so the default keeps weekly sweeps fast).
+
+    ``executor``/``workers`` select the scan backend (see
+    :mod:`repro.scanner.executor`): ``serial`` (the default),
+    ``thread``, or ``process``.  Snapshots are bit-identical across
+    backends; only wall-clock time changes.
     """
 
     seed: int = 20200830
@@ -23,3 +28,5 @@ class StudyConfig:
     traverse_all_sweeps: bool = False
     follow_references_from_sweep: int = 3  # 2020-05-04, as in the paper
     extra_sweep_candidates: int = 500  # random empty addresses probed
+    executor: str = "serial"
+    workers: int = 1

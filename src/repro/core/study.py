@@ -20,9 +20,9 @@ from repro.deployments.evolution import SWEEP_DATES, StudyTimeline
 from repro.deployments.keyfactory import KeyFactory
 from repro.deployments.population import BuiltHost, PopulationBuilder
 from repro.deployments.spec import PopulationSpec, build_default_spec
-from repro.crypto.rsa import generate_rsa_key
 from repro.netsim.net import SimHost, SimNetwork
 from repro.scanner.campaign import ScanCampaign, ScannerIdentity
+from repro.scanner.executor import build_executor
 from repro.scanner.records import MeasurementSnapshot
 from repro.util.rng import DeterministicRng
 from repro.util.simtime import parse_utc
@@ -62,12 +62,19 @@ class Study:
     def __init__(self, config: StudyConfig | None = None):
         self.config = config or StudyConfig()
         self._rng = DeterministicRng(self.config.seed, "study")
+        self._key_factory = KeyFactory(self.config.seed)
 
     def scanner_identity(self) -> ScannerIdentity:
         """The research scanner's identity (contact info included,
         following the paper's ethics appendix)."""
         rng = self._rng.substream("scanner")
-        keys = generate_rsa_key(2048, rng.substream("key"))
+        # Same derivation the seed used inline (namespace
+        # "study/scanner/key"), now routed through the shared key
+        # factory so the disk cache — committed for CI — serves it and
+        # forked scan workers inherit it in memory.
+        keys = self._key_factory.key_for_namespace(
+            rng.substream("key").namespace, 2048
+        )
         certificate = make_self_signed(
             keys,
             common_name="research-scanner",
@@ -90,7 +97,7 @@ class Study:
     def run(self) -> StudyResult:
         spec = build_default_spec()
         builder = PopulationBuilder(
-            spec, seed=self.config.seed, key_factory=KeyFactory(self.config.seed)
+            spec, seed=self.config.seed, key_factory=self._key_factory
         )
         hosts = builder.build_hosts()
         timeline = StudyTimeline(builder, hosts, seed=self.config.seed)
@@ -98,6 +105,7 @@ class Study:
         result = StudyResult(
             config=self.config, spec=spec, hosts=hosts, timeline=timeline
         )
+        executor = build_executor(self.config.executor, self.config.workers)
 
         for sweep_index, date in enumerate(SWEEP_DATES):
             network = timeline.network_for_sweep(sweep_index)
@@ -106,6 +114,7 @@ class Study:
                 network,
                 identity,
                 self._rng.substream(f"campaign-{sweep_index}"),
+                executor=executor,
             )
             is_last = sweep_index == len(SWEEP_DATES) - 1
             snapshot = campaign.run_sweep(
@@ -138,8 +147,17 @@ class Study:
 _RESULT_CACHE: dict[int, StudyResult] = {}
 
 
-def default_study_result(seed: int = 20200830) -> StudyResult:
-    """The cached full-study result shared by tests/benchmarks/examples."""
+def default_study_result(
+    seed: int = 20200830, executor: str = "serial", workers: int = 1
+) -> StudyResult:
+    """The cached full-study result shared by tests/benchmarks/examples.
+
+    The cache is keyed by seed alone: snapshots are bit-identical
+    across executor backends, so whichever backend computes the result
+    first serves every later caller.
+    """
     if seed not in _RESULT_CACHE:
-        _RESULT_CACHE[seed] = Study(StudyConfig(seed=seed)).run()
+        _RESULT_CACHE[seed] = Study(
+            StudyConfig(seed=seed, executor=executor, workers=workers)
+        ).run()
     return _RESULT_CACHE[seed]

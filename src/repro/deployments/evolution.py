@@ -109,7 +109,10 @@ class StudyTimeline:
         self._rng = DeterministicRng(seed, "timeline")
         self._presence = self._plan_presence()
         self.renewals = self._plan_renewals()
-        self._discovery_cache: dict[int, list[ServerConfig]] = {}
+        # sweep -> [(address, asn, ServerConfig)] for the discovery fleet
+        self._discovery_cache: dict[
+            int, list[tuple[int, int | None, ServerConfig]]
+        ] = {}
 
     # --- presence ---------------------------------------------------------------
 
@@ -258,6 +261,13 @@ class StudyTimeline:
         network = SimNetwork(SimClock(date))
         for host in self.present_hosts(sweep):
             self._apply_renewal_state(host, sweep)
+            # Re-key connection randomness per (sweep, host): responses
+            # then depend only on the sweep index, never on how many
+            # connections previous sweeps opened — required for the
+            # parallel scan backends to match serial runs exactly.
+            host.server.reseed(
+                self._rng.substream(f"sweep-{sweep}/server-{host.index}")
+            )
             sim_host = network.host(host.address)
             if sim_host is None:
                 sim_host = SimHost(address=host.address, asn=host.asn)
@@ -295,7 +305,31 @@ class StudyTimeline:
     # --- discovery fleet -------------------------------------------------------------
 
     def _discovery_hosts(self, sweep: int):
-        """Discovery servers for this sweep (built once per sweep)."""
+        """Discovery servers for this sweep.
+
+        The specs (addresses, announced endpoints) are built once per
+        sweep and cached — address allocation draws from the shared AS
+        registry, so rebuilding would hand the fleet new addresses on
+        every call.  Server instances are created fresh per assembly
+        from pure per-index RNG substreams, which makes
+        ``network_for_sweep`` idempotent: benchmarks re-assemble the
+        same sweep once per executor backend and must get an identical
+        Internet each time.
+        """
+        specs = self._discovery_cache.get(sweep)
+        if specs is None:
+            specs = self._build_discovery_specs(sweep)
+            self._discovery_cache[sweep] = specs
+        rng = self._rng.substream(f"discovery-{sweep}")
+        return [
+            (
+                SimHost(address=address, asn=asn),
+                UaServer(config, rng.substream(f"lds-{index}")),
+            )
+            for index, (address, asn, config) in enumerate(specs)
+        ]
+
+    def _build_discovery_specs(self, sweep: int):
         rng = self._rng.substream(f"discovery-{sweep}")
         count = DISCOVERY_COUNTS[sweep]
         present = self.present_hosts(sweep)
@@ -337,6 +371,5 @@ class StudyTimeline:
                 application_type=ApplicationType.DISCOVERY_SERVER,
                 announced_endpoints=announced,
             )
-            server = UaServer(config, rng.substream(f"lds-{index}"))
-            result.append((SimHost(address=address, asn=asn), server))
+            result.append((address, asn, config))
         return result

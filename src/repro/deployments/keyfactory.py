@@ -36,12 +36,26 @@ class KeyFactory:
 
     def key_for(self, label: str, bits: int) -> RsaKeyPair:
         """Return the key for ``label``; generated at most once ever."""
+        return self._provide(label, f"rsa-key/{label}/{bits}", bits)
+
+    def key_for_namespace(self, namespace: str, bits: int) -> RsaKeyPair:
+        """A disk-cached key drawn from an explicit RNG namespace.
+
+        Callers that historically generated keys inline (e.g. the
+        study's scanner identity) route through here: the key is
+        bit-identical to ``generate_rsa_key(bits,
+        DeterministicRng(seed, namespace))`` but cached like every
+        population key, so no worker or CI run ever regenerates it.
+        """
+        return self._provide(namespace, namespace, bits)
+
+    def _provide(self, label: str, namespace: str, bits: int) -> RsaKeyPair:
         cache_key = (label, bits)
         if cache_key in self._memory:
             return self._memory[cache_key]
         pair = self._load_from_disk(label, bits)
         if pair is None:
-            rng = DeterministicRng(self._seed, f"rsa-key/{label}/{bits}")
+            rng = DeterministicRng(self._seed, namespace)
             pair = generate_rsa_key(bits, rng)
             self._generated += 1
             self._store_to_disk(label, bits, pair)

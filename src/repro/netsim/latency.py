@@ -8,6 +8,7 @@ dynamics on the simulated clock without pretending to be ns-accurate.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from repro.util.rng import DeterministicRng
@@ -30,6 +31,30 @@ class LatencyModel:
         jitter = base * self.jitter_fraction
         return max(0.001, base + self.rng.uniform(-jitter, jitter))
 
+    def fork(self, label: str) -> "LatencyModel":
+        """An independent jitter stream for one scan task.
+
+        Keyed substreams keep parallel grabs deterministic: each task
+        draws its jitter from ``(seed, label)`` instead of racing on a
+        single shared generator.
+        """
+        substream = getattr(self.rng, "substream", None)
+        if substream is not None:
+            rng = substream(label)
+        else:
+            # Plain random.Random parent: derive a fresh generator from
+            # (current parent state, label).  Reading the state does
+            # not mutate it, so forks stay deterministic per label —
+            # never hand back the shared mutable parent, which
+            # concurrent tasks would interleave on nondeterministically.
+            rng = random.Random(str((self.rng.getstate(), label)))
+        return LatencyModel(
+            rng=rng,
+            default_rtt_s=self.default_rtt_s,
+            jitter_fraction=self.jitter_fraction,
+            per_asn_rtt=self.per_asn_rtt,
+        )
+
 
 @dataclass
 class ZeroLatency:
@@ -37,3 +62,6 @@ class ZeroLatency:
 
     def rtt(self, asn: int | None) -> float:
         return 0.0
+
+    def fork(self, label: str) -> "ZeroLatency":
+        return self  # stateless: every view can share it

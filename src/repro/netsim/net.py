@@ -114,6 +114,9 @@ class SimNetwork:
         return host is not None and port in host.listeners
 
     def connect(self, address: int, port: int) -> SimSocket:
+        return self._make_socket(address, port, self.clock, self.latency)
+
+    def _make_socket(self, address, port, clock, latency) -> SimSocket:
         host = self._hosts.get(address)
         if host is None:
             raise HostDown(f"no host at {format_ipv4(address)}")
@@ -123,4 +126,43 @@ class SimNetwork:
                 f"{format_ipv4(address)}:{port} refused the connection"
             )
         connection = factory()
-        return SimSocket(connection, self.clock, self.latency, host.asn)
+        return SimSocket(connection, clock, latency, host.asn)
+
+    def task_view(self, label: str) -> "NetworkView":
+        """A per-task facade with isolated clock and latency stream.
+
+        Parallel grabs must not race on the shared sweep clock (the
+        traversal paces itself by advancing it), so each scan task gets
+        a view whose clock starts at the current sweep time and whose
+        latency jitter draws from a substream keyed by ``label``.  The
+        serial executor uses the same views, which is what makes all
+        backends bit-identical.
+        """
+        latency = self.latency
+        fork = getattr(latency, "fork", None)
+        if fork is not None:
+            latency = fork(label)
+        return NetworkView(self, SimClock(self.clock.now()), latency)
+
+
+class NetworkView:
+    """Shares a :class:`SimNetwork`'s hosts, owns its own clock."""
+
+    def __init__(self, network: SimNetwork, clock: SimClock, latency):
+        self._network = network
+        self.clock = clock
+        self.latency = latency
+
+    def host(self, address: int) -> SimHost | None:
+        return self._network.host(address)
+
+    def hosts(self) -> list[SimHost]:
+        return self._network.hosts()
+
+    def syn(self, address: int, port: int) -> bool:
+        return self._network.syn(address, port)
+
+    def connect(self, address: int, port: int) -> SimSocket:
+        return self._network._make_socket(
+            address, port, self.clock, self.latency
+        )

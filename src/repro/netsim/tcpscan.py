@@ -10,10 +10,16 @@ zmap → zgrab2 pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.netsim.blocklist import Blocklist
 from repro.netsim.net import SimNetwork
 from repro.util.rng import DeterministicRng
+
+#: Candidates are handed to the prober in fixed-size batches — the
+#: shape zmap's send thread uses, and what lets a pipelined campaign
+#: start grabbing while later batches are still being probed.
+DEFAULT_BATCH_SIZE = 256
 
 
 @dataclass
@@ -30,12 +36,79 @@ class PortScanResult:
         return len(self.open_addresses)
 
 
+def candidate_batches(
+    network: SimNetwork,
+    port: int,
+    rng: DeterministicRng,
+    extra_candidates: int = 0,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[list[int]]:
+    """Yield deduplicated probe candidates in zmap permutation order.
+
+    The permutation (and therefore every downstream scan artifact) is a
+    pure function of the sweep RNG: registered hosts first, then
+    ``extra_candidates`` random draws, shuffled once.  Batching changes
+    only the granularity at which the prober consumes the stream.
+    """
+    candidates = [host.address for host in network.hosts()]
+    probe_rng = rng.substream(f"sweep-{port}")
+    for _ in range(extra_candidates):
+        candidates.append(probe_rng.randrange(2**32))
+    # zmap randomizes probe order over the whole space.
+    candidates = probe_rng.shuffled(candidates)
+
+    seen: set[int] = set()
+    batch: list[int] = []
+    for address in candidates:
+        if address in seen:
+            continue
+        seen.add(address)
+        batch.append(address)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def probe_candidates(
+    network: SimNetwork,
+    port: int,
+    rng: DeterministicRng,
+    blocklist: Blocklist | None = None,
+    extra_candidates: int = 0,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[tuple[int, str]]:
+    """Probe the candidate stream, yielding ``(address, status)``.
+
+    ``status`` is ``"excluded"`` (blocklisted, never probed),
+    ``"open"``, or ``"closed"``.  This is the single source of truth
+    for sweep accounting: :func:`sweep_port` aggregates it into a
+    :class:`PortScanResult`, and the campaign engine feeds the
+    ``"open"`` addresses straight into its grab pipeline as they
+    appear.
+    """
+    blocklist = blocklist or Blocklist()
+    for batch in candidate_batches(
+        network, port, rng, extra_candidates=extra_candidates,
+        batch_size=batch_size,
+    ):
+        for address in batch:
+            if address in blocklist:
+                yield address, "excluded"
+            elif network.syn(address, port):
+                yield address, "open"
+            else:
+                yield address, "closed"
+
+
 def sweep_port(
     network: SimNetwork,
     port: int,
     rng: DeterministicRng,
     blocklist: Blocklist | None = None,
     extra_candidates: int = 0,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> PortScanResult:
     """Probe every simulated host (plus noise candidates) on ``port``.
 
@@ -45,25 +118,16 @@ def sweep_port(
     the "nothing there" path like the real sweep's overwhelming
     majority of probes).
     """
-    blocklist = blocklist or Blocklist()
-    candidates = [host.address for host in network.hosts()]
-    probe_rng = rng.substream(f"sweep-{port}")
-    for _ in range(extra_candidates):
-        candidates.append(probe_rng.randrange(2**32))
-    # zmap randomizes probe order over the whole space.
-    candidates = probe_rng.shuffled(candidates)
-
     result = PortScanResult(port=port)
-    seen: set[int] = set()
-    for address in candidates:
-        if address in seen:
-            continue
-        seen.add(address)
-        if address in blocklist:
+    for address, status in probe_candidates(
+        network, port, rng, blocklist=blocklist,
+        extra_candidates=extra_candidates, batch_size=batch_size,
+    ):
+        if status == "excluded":
             result.excluded += 1
             continue
         result.probed += 1
-        if network.syn(address, port):
+        if status == "open":
             result.open_addresses.append(address)
     result.open_addresses.sort()
     return result

@@ -8,6 +8,25 @@ produces one dated :class:`MeasurementSnapshot`.
 From 2020-05-04 on, the paper also connected to host/port combinations
 listed as endpoints on already-scanned servers ("follow references",
 visible in Figure 2); ``follow_references=True`` reproduces that.
+
+Grabs run through a pluggable :class:`~repro.scanner.executor.ScanExecutor`
+(serial, thread pool, or fork-based process pool).  Three invariants
+make every backend produce byte-identical snapshots:
+
+* each grab derives its RNG purely from ``(seed, date, address,
+  port)`` — the sweep substream's namespace embeds the date, and
+  :func:`~repro.scanner.grabber.grab_host` derives per-connection
+  substreams keyed by address and port;
+* each grab runs against a per-task :class:`~repro.netsim.net.NetworkView`
+  whose clock starts at sweep time, so no task observes another task's
+  traversal pacing;
+* the first wave's task keys are all registered before any
+  follow-reference expansion runs (the executor exhausts the initial
+  stream before draining results), so a referenced endpoint that is
+  also an open first-wave host is always classified as first-wave;
+* records are assembled canonically — the first wave sorted by
+  address, follow-reference records sorted by ``(address, port)`` —
+  regardless of completion order.
 """
 
 from __future__ import annotations
@@ -17,7 +36,12 @@ from dataclasses import dataclass, replace
 from repro.client import ClientIdentity
 from repro.netsim.blocklist import Blocklist
 from repro.netsim.net import SimNetwork
-from repro.netsim.tcpscan import sweep_port
+from repro.netsim.tcpscan import probe_candidates
+from repro.scanner.executor import (
+    GrabTask,
+    ScanExecutor,
+    SerialScanExecutor,
+)
 from repro.scanner.grabber import grab_host
 from repro.scanner.limits import TraversalBudget
 from repro.scanner.records import HostRecord, MeasurementSnapshot
@@ -48,6 +72,7 @@ class ScanCampaign:
         blocklist: Blocklist | None = None,
         budget: TraversalBudget | None = None,
         port: int = OPCUA_PORT,
+        executor: ScanExecutor | None = None,
     ):
         self._network = network
         self._identity = identity
@@ -55,6 +80,7 @@ class ScanCampaign:
         self._blocklist = blocklist or Blocklist()
         self._budget_template = budget or TraversalBudget()
         self._port = port
+        self._executor = executor or SerialScanExecutor()
 
     def run_sweep(
         self,
@@ -66,55 +92,83 @@ class ScanCampaign:
         """One full sweep: port scan, grab every responder, follow refs."""
         date = label or format_utc(self._network.clock.now())[:10]
         sweep_rng = self._rng.substream(f"sweep-{date}")
-        scan = sweep_port(
-            self._network,
-            self._port,
-            sweep_rng,
-            blocklist=self._blocklist,
-            extra_candidates=extra_candidates,
-        )
-        snapshot = MeasurementSnapshot(
-            date=date,
-            probed=scan.probed,
-            port_open=scan.open_count,
-            excluded=scan.excluded,
-        )
-        grabbed: set[tuple[int, int]] = set()
-        for address in scan.open_addresses:
-            record = self._grab(address, self._port, sweep_rng, False, traverse)
-            snapshot.records.append(record)
-            grabbed.add((address, self._port))
+        counters = {"probed": 0, "excluded": 0, "open": 0}
 
-        if follow_references:
-            for target in self._referenced_targets(snapshot.records):
-                if target in grabbed:
+        def wave_tasks():
+            # zmap→zgrab2 pipelining: pooled executors submit each open
+            # address as the prober finds it, so grabbing overlaps the
+            # rest of the port sweep.  (Follow-reference expansion only
+            # starts after this generator is exhausted, so the
+            # via_reference/first-wave split never depends on timing.)
+            for address, status in probe_candidates(
+                self._network,
+                self._port,
+                sweep_rng,
+                blocklist=self._blocklist,
+                extra_candidates=extra_candidates,
+            ):
+                if status == "excluded":
+                    counters["excluded"] += 1
                     continue
-                address, port = target
+                counters["probed"] += 1
+                if status == "open":
+                    counters["open"] += 1
+                    yield GrabTask(address, self._port)
+
+        def grab(task: GrabTask) -> HostRecord:
+            return self._grab(task, sweep_rng, traverse)
+
+        def expand(task: GrabTask, record: HostRecord) -> list[GrabTask]:
+            # One level of following, from first-wave records only —
+            # the endpoints a referenced server advertises are not
+            # followed further (matching the paper's methodology).
+            if not follow_references or task.via_reference:
+                return []
+            out = []
+            for address, port in self._referenced_targets([record]):
                 if address in self._blocklist:
                     continue
-                record = self._grab(address, port, sweep_rng, True, traverse)
-                if record.tcp_open:
-                    snapshot.records.append(record)
-                grabbed.add(target)
+                out.append(GrabTask(address, port, via_reference=True))
+            return out
+
+        completed = self._executor.run(wave_tasks(), grab, expand)
+        snapshot = MeasurementSnapshot(
+            date=date,
+            probed=counters["probed"],
+            port_open=counters["open"],
+            excluded=counters["excluded"],
+        )
+
+        primary = sorted(
+            (pair for pair in completed if not pair[0].via_reference),
+            key=lambda pair: pair[0].key,
+        )
+        referenced = sorted(
+            (pair for pair in completed if pair[0].via_reference),
+            key=lambda pair: pair[0].key,
+        )
+        snapshot.records.extend(record for _, record in primary)
+        snapshot.records.extend(
+            record for _, record in referenced if record.tcp_open
+        )
         return snapshot
 
     def _grab(
         self,
-        address: int,
-        port: int,
+        task: GrabTask,
         rng: DeterministicRng,
-        via_reference: bool,
         traverse: bool = True,
     ) -> HostRecord:
         budget = replace(self._budget_template)
+        view = self._network.task_view(f"task-{task.address}-{task.port}")
         return grab_host(
-            self._network,
-            address,
-            port,
+            view,
+            task.address,
+            task.port,
             self._identity.client_identity,
             rng,
             budget=budget,
-            via_reference=via_reference,
+            via_reference=task.via_reference,
             traverse=traverse,
         )
 

@@ -1,0 +1,327 @@
+"""Pluggable scan-execution backends for the campaign engine.
+
+The paper's infrastructure ran zmap and zgrab2 as a pipeline: while
+the port sweep was still emitting open addresses, protocol grabs were
+already running, and endpoints referenced by already-grabbed servers
+were fed back into the grab queue.  This module reproduces that shape
+with three interchangeable backends:
+
+* :class:`SerialScanExecutor` — one grab at a time (the seed
+  behaviour, and the reference for determinism checks);
+* :class:`ThreadScanExecutor` — a thread pool (overlaps grabs; bounded
+  by the GIL for pure-Python work but exercises the identical
+  scheduling path);
+* :class:`ProcessScanExecutor` — a fork-based process pool (true
+  multi-core throughput on POSIX; workers inherit the simulated
+  network and the in-memory RSA keycache through fork, so nothing is
+  re-generated per worker).
+
+Determinism is structural, not accidental: results are keyed by
+``(address, port)`` and re-ordered canonically by the campaign, every
+grab derives its RNG from a pure ``(seed, date, address, port)``
+substream, and each grab runs against a per-task network view with its
+own clock, so the three backends produce byte-identical
+:class:`~repro.scanner.records.MeasurementSnapshot` sequences.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Tuple
+
+#: Default bound on the in-flight result stream.  Workers block once
+#: this many grabs are waiting for the coordinator, which keeps memory
+#: flat on very large sweeps (backpressure, like a fixed kernel socket
+#: buffer between zmap and zgrab2).
+DEFAULT_QUEUE_SIZE = 64
+
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class GrabTask:
+    """One host/port the engine owes a grab."""
+
+    address: int
+    port: int
+    via_reference: bool = False
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.address, self.port)
+
+
+GrabFn = Callable[[GrabTask], object]
+ExpandFn = Callable[[GrabTask, object], Iterable[GrabTask]]
+ResultList = List[Tuple[GrabTask, object]]
+
+
+class ScanExecutorError(RuntimeError):
+    """A worker failed; carries the original task for diagnostics."""
+
+    def __init__(self, task: GrabTask, cause: BaseException):
+        super().__init__(
+            f"grab failed for {task.address}:{task.port}: {cause!r}"
+        )
+        self.task = task
+        self.cause = cause
+
+
+class ScanExecutor(ABC):
+    """Fan ``grab`` out over a task stream, feeding back discoveries.
+
+    ``run`` owns deduplication: every task key enters the pipeline at
+    most once, whether it arrived with the initial stream or from
+    ``expand``.  Completion order is backend-specific; callers
+    re-order results canonically.
+    """
+
+    name: str = "abstract"
+    workers: int = 1
+
+    @abstractmethod
+    def run(
+        self, tasks: Iterable[GrabTask], grab: GrabFn, expand: ExpandFn
+    ) -> ResultList:
+        """Grab every task (plus everything ``expand`` discovers)."""
+
+
+class SerialScanExecutor(ScanExecutor):
+    """FIFO, one grab at a time — the determinism reference."""
+
+    name = "serial"
+
+    def run(self, tasks, grab, expand) -> ResultList:
+        results: ResultList = []
+        seen: set[tuple[int, int]] = set()
+        pending: list[GrabTask] = []
+        for task in tasks:
+            if task.key not in seen:
+                seen.add(task.key)
+                pending.append(task)
+        cursor = 0
+        while cursor < len(pending):
+            task = pending[cursor]
+            cursor += 1
+            record = grab(task)
+            results.append((task, record))
+            for new_task in expand(task, record):
+                if new_task.key not in seen:
+                    seen.add(new_task.key)
+                    pending.append(new_task)
+        return results
+
+
+class _PooledScanExecutor(ScanExecutor):
+    """Shared coordinator for the thread and process backends.
+
+    The coordinator submits the initial task stream (so grabbing
+    starts while the port sweep is still yielding), then drains a
+    bounded result queue, expanding each finished grab into newly
+    discovered tasks until the pipeline runs dry.
+    """
+
+    def __init__(self, workers: int, queue_size: int = DEFAULT_QUEUE_SIZE):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.queue_size = queue_size
+
+    def run(self, tasks, grab, expand) -> ResultList:
+        results: ResultList = []
+        seen: set[tuple[int, int]] = set()
+        results_q: queue.Queue = queue.Queue(maxsize=self.queue_size)
+        state = {"pending": 0}
+
+        with self._pool(grab, results_q) as submit:
+            def enqueue(task: GrabTask) -> None:
+                if task.key in seen:
+                    return
+                seen.add(task.key)
+                state["pending"] += 1
+                submit(task)
+
+            try:
+                for task in tasks:
+                    enqueue(task)
+                while state["pending"]:
+                    task, record, error = results_q.get()
+                    state["pending"] -= 1
+                    if error is not None:
+                        raise ScanExecutorError(task, error)
+                    results.append((task, record))
+                    for new_task in expand(task, record):
+                        enqueue(new_task)
+            except BaseException:
+                # Drain every outstanding result so pool shutdown (run
+                # by the context exit) cannot deadlock on workers
+                # blocked at the bounded queue.  Safe to block: both
+                # backends guarantee one queue put per submitted task
+                # (thread workers always put; process futures fire
+                # their relay callback even on cancellation or a
+                # broken pool).
+                while state["pending"]:
+                    results_q.get()
+                    state["pending"] -= 1
+                raise
+        return results
+
+    def _pool(self, grab, results_q):
+        raise NotImplementedError
+
+
+class ThreadScanExecutor(_PooledScanExecutor):
+    """Thread-pool backend with a bounded result stream."""
+
+    name = "thread"
+
+    def _pool(self, grab, results_q):
+        executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="scan-grab"
+        )
+
+        def worker(task: GrabTask) -> None:
+            try:
+                record, error = grab(task), None
+            except BaseException as exc:  # surfaced by the coordinator
+                record, error = None, exc
+            results_q.put((task, record, error))
+
+        class _Ctx:
+            def __enter__(self_inner):
+                return lambda task: executor.submit(worker, task)
+
+            def __exit__(self_inner, *exc_info):
+                executor.shutdown(wait=True)
+                return False
+
+        return _Ctx()
+
+
+# The grab closure is installed module-globally right before the pool
+# forks, so worker processes inherit it without pickling (closures over
+# the simulated network are not picklable; tasks and records are).
+# _PROCESS_LOCK serializes process-pool runs within one parent process:
+# the global is per-process, so overlapping runs would otherwise fork
+# workers against the wrong sweep's closure.
+_PROCESS_GRAB: GrabFn | None = None
+_PROCESS_LOCK = threading.Lock()
+
+
+def _process_worker(task: GrabTask):
+    try:
+        return task, _PROCESS_GRAB(task), None
+    except BaseException as exc:
+        return task, None, exc
+
+
+class ProcessScanExecutor(_PooledScanExecutor):
+    """Fork-based process pool: real parallelism for CPU-bound grabs.
+
+    Workers inherit the whole simulated Internet (hosts, servers, RSA
+    keys) via fork, grab independently, and ship ``HostRecord``s back
+    through pickling.  Server-side state mutated inside a worker stays
+    in that worker — safe because per-sweep server RNG re-seeding makes
+    each sweep's responses independent of earlier connection history.
+    """
+
+    name = "process"
+
+    def _pool(self, grab, results_q):
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "process executor requires the 'fork' start method; "
+                "use the 'thread' or 'serial' backend on this platform"
+            )
+        parent = self
+
+        class _Ctx:
+            def __enter__(self_inner):
+                global _PROCESS_GRAB
+                _PROCESS_LOCK.acquire()
+                _PROCESS_GRAB = grab  # inherited by the fork below
+                self_inner.pool = ProcessPoolExecutor(
+                    max_workers=parent.workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                )
+
+                def submit(task: GrabTask) -> None:
+                    future = self_inner.pool.submit(_process_worker, task)
+
+                    def relay(fut, task=task):
+                        try:
+                            results_q.put(fut.result())
+                        except BaseException as exc:
+                            # Covers BrokenProcessPool: a worker dying
+                            # abnormally fails the sweep instead of
+                            # hanging the coordinator.
+                            results_q.put((task, None, exc))
+
+                    future.add_done_callback(relay)
+
+                return submit
+
+            def __exit__(self_inner, *exc_info):
+                global _PROCESS_GRAB
+                try:
+                    self_inner.pool.shutdown(wait=True, cancel_futures=True)
+                finally:
+                    _PROCESS_GRAB = None
+                    _PROCESS_LOCK.release()
+                return False
+
+        return _Ctx()
+
+
+def build_executor(name: str = "serial", workers: int = 1) -> ScanExecutor:
+    """Instantiate a backend by name (``serial``/``thread``/``process``).
+
+    ``workers == 1`` always yields the serial backend — a pool of one
+    only adds scheduling overhead and the outputs are identical by
+    construction.
+    """
+    if name not in EXECUTOR_NAMES:
+        raise ValueError(
+            f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"
+        )
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if name == "serial" or workers == 1:
+        return SerialScanExecutor()
+    if name == "thread":
+        return ThreadScanExecutor(workers)
+    return ProcessScanExecutor(workers)
+
+
+def resolve_executor(
+    name: str | None, workers: int | None
+) -> tuple[str, int]:
+    """Fill in backend/worker-count defaults so neither flag is ignored.
+
+    Asking for parallelism picks a real backend, and picking a real
+    backend gets real parallelism:
+
+    * neither given → serial, one worker;
+    * ``workers`` > 1 alone → the ``process`` backend (the one that
+      actually scales with cores);
+    * a pooled backend alone → one worker per CPU.
+    """
+    if name is not None and name not in EXECUTOR_NAMES:
+        raise ValueError(
+            f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"
+        )
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
+    if name is None:
+        name = "process" if (workers or 1) > 1 else "serial"
+    if workers is None:
+        workers = 1 if name == "serial" else (os.cpu_count() or 1)
+    return name, workers

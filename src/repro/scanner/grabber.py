@@ -24,7 +24,7 @@ from repro.client import (
     UaClient,
     UaClientError,
 )
-from repro.netsim.net import ConnectionRefused, HostDown, SimNetwork
+from repro.netsim.net import ConnectionRefused, HostDown, NetworkView, SimNetwork
 from repro.scanner.limits import TraversalBudget
 from repro.scanner.records import (
     CertificateInfo,
@@ -43,7 +43,7 @@ from repro.util.simtime import format_utc
 
 
 def grab_host(
-    network: SimNetwork,
+    network: SimNetwork | NetworkView,
     address: int,
     port: int,
     identity: ClientIdentity,
@@ -52,7 +52,16 @@ def grab_host(
     via_reference: bool = False,
     traverse: bool = True,
 ) -> HostRecord:
-    """Run the full grab sequence against one host/port."""
+    """Run the full grab sequence against one host/port.
+
+    ``network`` may be the shared :class:`SimNetwork` or a per-task
+    :class:`NetworkView`; the campaign engine passes views so parallel
+    grabs never race on the sweep clock.  All randomness comes from
+    pure substreams of ``rng`` keyed by address and port (and, through
+    the sweep stream's namespace, the sweep date), so the record is a
+    function of ``(seed, date, address, port)`` alone — never of grab
+    ordering.
+    """
     host = network.host(address)
     record = HostRecord(
         ip=address,

@@ -158,6 +158,20 @@ class UaServer:
     def new_connection(self) -> "ServerConnection":
         return ServerConnection(self)
 
+    def reseed(self, rng: random.Random) -> None:
+        """Re-key per-connection randomness (nonces, session tokens).
+
+        The study timeline calls this when assembling each sweep's
+        network, making every sweep's server responses a pure function
+        of the sweep index rather than of how many connections earlier
+        sweeps happened to open — the property that lets process-pool
+        scan workers (whose state changes never propagate back) stay
+        bit-identical to serial runs.
+        """
+        self._rng = rng
+        self.sessions = SessionManager(rng)
+        self._next_channel_id = 1
+
     def allocate_channel_id(self) -> int:
         channel_id = self._next_channel_id
         self._next_channel_id += 1

@@ -1,10 +1,23 @@
 """Shared fixtures.
 
 Key material is expensive to generate in pure Python, so a handful of
-RSA keys at the sizes the tests need are created once per session.
+RSA keys at the sizes the tests need are created once per session, and
+the population's 2048-bit keys always come from the committed
+``.keycache/seed20200830/`` — pinned below so CI (whose working
+directory or environment may differ) never spends minutes regenerating
+them.
 """
 
 from __future__ import annotations
+
+import os
+from pathlib import Path
+
+# Must happen before any repro import: the key factory reads
+# REPRO_KEYCACHE at module import time.
+os.environ.setdefault(
+    "REPRO_KEYCACHE", str(Path(__file__).resolve().parents[1] / ".keycache")
+)
 
 import pytest
 

@@ -1,0 +1,141 @@
+"""Executor backends: scheduling semantics and cross-backend determinism."""
+
+import json
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.deployments.population import PopulationBuilder, install_hosts
+from repro.deployments.spec import PopulationSpec, build_default_spec
+from repro.netsim.net import SimNetwork
+from repro.scanner.campaign import ScanCampaign
+from repro.scanner.executor import (
+    GrabTask,
+    ProcessScanExecutor,
+    ScanExecutorError,
+    SerialScanExecutor,
+    ThreadScanExecutor,
+    build_executor,
+    resolve_executor,
+)
+from repro.util.simtime import SimClock, parse_utc
+
+SEED = 20200830  # align with the committed key cache
+
+
+def _echo_grab(task):
+    return f"record-{task.address}:{task.port}"
+
+
+def _no_expand(task, record):
+    return []
+
+
+class TestSchedulingSemantics:
+    @pytest.mark.parametrize(
+        "executor",
+        [SerialScanExecutor(), ThreadScanExecutor(4), ProcessScanExecutor(2)],
+        ids=["serial", "thread", "process"],
+    )
+    def test_every_task_grabbed_once(self, executor):
+        tasks = [GrabTask(n, 4840) for n in (3, 1, 2, 1, 3)]  # dupes collapse
+        results = executor.run(tasks, _echo_grab, _no_expand)
+        assert sorted(t.key for t, _ in results) == [(1, 4840), (2, 4840), (3, 4840)]
+        assert all(r == f"record-{t.address}:{t.port}" for t, r in results)
+
+    @pytest.mark.parametrize(
+        "executor",
+        [SerialScanExecutor(), ThreadScanExecutor(4)],
+        ids=["serial", "thread"],
+    )
+    def test_expand_feeds_pipeline_transitively(self, executor):
+        # 1 -> 2 -> 3: tasks discovered from results are grabbed too,
+        # and re-discovering an in-flight key never double-grabs.
+        def expand(task, record):
+            if task.address < 3:
+                return [GrabTask(task.address + 1, 4840), GrabTask(1, 4840)]
+            return []
+
+        results = executor.run([GrabTask(1, 4840)], _echo_grab, expand)
+        assert sorted(t.address for t, _ in results) == [1, 2, 3]
+
+    def test_worker_errors_surface(self):
+        def failing_grab(task):
+            raise ValueError("boom")
+
+        executor = ThreadScanExecutor(2)
+        with pytest.raises(ScanExecutorError) as info:
+            executor.run([GrabTask(1, 4840)], failing_grab, _no_expand)
+        assert isinstance(info.value.cause, ValueError)
+
+    def test_build_executor(self):
+        assert build_executor("serial").name == "serial"
+        assert build_executor("thread", 4).workers == 4
+        assert build_executor("process", 2).name == "process"
+        # One worker never justifies pool overhead.
+        assert build_executor("thread", 1).name == "serial"
+        with pytest.raises(ValueError):
+            build_executor("quantum")
+        with pytest.raises(ValueError):
+            build_executor("thread", 0)
+
+    def test_resolve_executor_defaults(self):
+        import os
+
+        cpus = os.cpu_count() or 1
+        assert resolve_executor(None, None) == ("serial", 1)
+        # Asking for workers alone picks the backend that scales.
+        assert resolve_executor(None, 8) == ("process", 8)
+        # Picking a pooled backend alone gets real parallelism.
+        assert resolve_executor("process", None) == ("process", cpus)
+        assert resolve_executor("thread", None) == ("thread", cpus)
+        assert resolve_executor("serial", None) == ("serial", 1)
+        assert resolve_executor("thread", 2) == ("thread", 2)
+        with pytest.raises(ValueError):
+            resolve_executor("quantum", None)
+        with pytest.raises(ValueError):
+            resolve_executor(None, 0)
+
+
+def _mini_sweep(executor_name, workers):
+    """One follow-references sweep over a reduced population."""
+    spec = build_default_spec()
+    mini = PopulationSpec(rows=spec.rows[:7])
+    builder = PopulationBuilder(mini, seed=SEED)
+    hosts = builder.build_hosts()
+    network = SimNetwork(SimClock(parse_utc("2020-08-30")))
+    install_hosts(network, hosts)
+    study = Study(StudyConfig(seed=SEED))
+    campaign = ScanCampaign(
+        network,
+        study.scanner_identity(),
+        study._rng.substream("mini"),
+        executor=build_executor(executor_name, workers),
+    )
+    return campaign.run_sweep(label="2020-08-30", follow_references=True)
+
+
+def _canonical(snapshot) -> str:
+    payload = {
+        "date": snapshot.date,
+        "probed": snapshot.probed,
+        "port_open": snapshot.port_open,
+        "excluded": snapshot.excluded,
+        "records": [r.to_json_dict() for r in snapshot.records],
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.mark.slow
+class TestBackendDeterminism:
+    """Serial is the reference; every backend must match it byte-for-byte."""
+
+    def test_thread_pool_matches_serial(self):
+        assert _canonical(_mini_sweep("thread", 4)) == _canonical(
+            _mini_sweep("serial", 1)
+        )
+
+    def test_process_pool_matches_serial(self):
+        assert _canonical(_mini_sweep("process", 4)) == _canonical(
+            _mini_sweep("serial", 1)
+        )

@@ -255,6 +255,24 @@ class TestEndpointUrlParsing:
             ("opc.tcp://not-an-ip:4840/", None),
             ("opc.tcp://10.0.0.1:99999/", None),
             (None, None),
+            # No port falls back to the IANA-registered 4840; so does a
+            # dangling colon (empty port text).
+            ("opc.tcp://10.0.0.1", (parse_ipv4("10.0.0.1"), 4840)),
+            ("opc.tcp://10.0.0.1:/", (parse_ipv4("10.0.0.1"), 4840)),
+            # Port 0 and 65536 are outside the valid TCP range.
+            ("opc.tcp://10.0.0.1:0/", None),
+            ("opc.tcp://10.0.0.1:65536/", None),
+            ("opc.tcp://10.0.0.1:65535/", (parse_ipv4("10.0.0.1"), 65535)),
+            ("opc.tcp://10.0.0.1:-1/", None),
+            ("opc.tcp://10.0.0.1:4840x/", None),
+            # Non-IPv4 hosts (names, IPv6 literals, empties) are skipped:
+            # the simulated sweep only targets the IPv4 space.
+            ("opc.tcp://server.example.com:4840/", None),
+            ("opc.tcp://[2001:db8::1]:4840/", None),
+            ("opc.tcp://:4840/", None),
+            ("opc.tcp:///path", None),
+            ("", None),
+            ("opc.tcp://10.0.0.256:4840/", None),
         ],
     )
     def test_parse(self, url, expected):

@@ -8,6 +8,8 @@ build → network install → sweep → grab → analysis.
 
 import pytest
 
+pytestmark = pytest.mark.slow  # builds a population and runs a sweep
+
 from repro.analysis.access import analyze_access_control
 from repro.analysis.deficits import analyze_deficits
 from repro.analysis.modes import analyze_security_modes
