@@ -78,6 +78,33 @@ def main(argv: list[str] | None = None) -> int:
         except json.JSONDecodeError:
             sweep = None
 
+    # Headline probe-throughput metric: addresses/second per backend
+    # for the SYN stage alone, plus whether any parallel backend beat
+    # serial on this machine (expected false on 1-2 core runners).
+    probe_throughput = None
+    if sweep and isinstance(sweep.get("probe"), dict):
+        probe = sweep["probe"]
+        rates = {
+            backend: stats.get("addresses_per_second")
+            for backend, stats in probe.items()
+        }
+        serial_rate = next(
+            (rate for backend, rate in rates.items()
+             if backend.startswith("serial")),
+            None,
+        )
+        probe_throughput = {
+            "addresses_per_second": rates,
+            "parallel_beats_serial": bool(
+                serial_rate
+                and any(
+                    rate > serial_rate
+                    for backend, rate in rates.items()
+                    if not backend.startswith("serial") and rate
+                )
+            ),
+        }
+
     payload = {
         "suite": "benchmarks",
         "python": platform.python_version(),
@@ -85,6 +112,7 @@ def main(argv: list[str] | None = None) -> int:
         "pytest_exit_code": int(exit_code),
         "figures": dict(sorted(recorder.results.items())),
         "sweep_engine": sweep,
+        "probe_throughput": probe_throughput,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output} ({len(recorder.results)} benchmark timings)")

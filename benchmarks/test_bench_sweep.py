@@ -1,17 +1,20 @@
-"""Scan-engine benchmark: serial vs. parallel sweep throughput.
+"""Scan-engine benchmark: serial vs. parallel sweep + probe throughput.
 
 Times the final (2020-08-30) sweep — port scan, per-host grab,
 follow-references — once per executor backend against an identically
 re-assembled network, asserts the resulting snapshots are
 byte-identical, and records hosts-per-second throughput to
 ``benchmarks/.sweep_metrics.json`` for ``benchmarks/report.py`` to
-fold into ``BENCH_sweep.json``.
+fold into ``BENCH_sweep.json``.  A second, probe-dominated benchmark
+(a wide sweep of a port almost nobody listens on) isolates the SYN
+stage the executor now also fans out, and reports addresses/second.
 
 The threaded backend mostly overlaps scheduling (the simulation is
-pure Python, so the GIL serializes it); the fork-based process backend
-is the one that scales with cores.  The ≥2× speedup assertion
-therefore targets the process backend and only on machines with at
-least four CPUs (set ``REPRO_BENCH_STRICT=1`` to enforce it there).
+pure Python, so the GIL serializes it), and the async backend runs its
+coroutines on one loop thread; the fork-based process backend is the
+one that scales with cores.  The ≥2× speedup assertion therefore
+targets the process backend and only on machines with at least four
+CPUs (set ``REPRO_BENCH_STRICT=1`` to enforce it there).
 """
 
 from __future__ import annotations
@@ -27,14 +30,35 @@ from repro.scanner.executor import build_executor
 
 SEED = 20200830
 FINAL_SWEEP = 7
-BACKENDS = (("serial", 1), ("thread", 4), ("process", 4))
+BACKENDS = (("serial", 1), ("thread", 4), ("process", 4), ("async", 8))
 METRICS_PATH = Path(__file__).resolve().parent / ".sweep_metrics.json"
+
+# Probe benchmark shape: a port with (nearly) no listeners, many empty
+# candidates, and coarse batches so per-task work dwarfs pool overhead.
+PROBE_PORT = 9999
+PROBE_EXTRA_CANDIDATES = 20_000
+PROBE_BATCH_SIZE = 1024
 
 
 def _snapshot_json(snapshot) -> str:
-    return json.dumps(
-        [r.to_json_dict() for r in snapshot.records], sort_keys=True
-    )
+    return json.dumps(snapshot.to_json_dict(), sort_keys=True)
+
+
+def _update_metrics(section: str, data: dict) -> None:
+    """Merge one section into the shared side file (report.py input).
+
+    Both benchmarks in this module write it; merging keeps whichever
+    ran (``-k`` selections included) without clobbering the other.
+    """
+    merged = {}
+    if METRICS_PATH.exists():
+        try:
+            merged = json.loads(METRICS_PATH.read_text())
+        except json.JSONDecodeError:
+            merged = {}
+    merged["cpu_count"] = os.cpu_count()
+    merged[section] = data
+    METRICS_PATH.write_text(json.dumps(merged, indent=2))
 
 
 def _run_final_sweep(study_result, executor_name: str, workers: int):
@@ -56,7 +80,7 @@ def _run_final_sweep(study_result, executor_name: str, workers: int):
 
 
 def test_bench_sweep_throughput(study_result):
-    metrics = {"cpu_count": os.cpu_count(), "backends": {}}
+    metrics = {}
     reference_json = None
     serial_seconds = None
 
@@ -71,7 +95,7 @@ def test_bench_sweep_throughput(study_result):
                 f"{name} backend diverged from the serial reference"
             )
         hosts = len(snapshot.records)
-        metrics["backends"][f"{name}x{workers}"] = {
+        metrics[f"{name}x{workers}"] = {
             "seconds": round(elapsed, 3),
             "hosts": hosts,
             "hosts_per_second": round(hosts / elapsed, 1),
@@ -83,11 +107,71 @@ def test_bench_sweep_throughput(study_result):
             f"{serial_seconds / elapsed:.2f}x serial)"
         )
 
-    METRICS_PATH.write_text(json.dumps(metrics, indent=2))
+    _update_metrics("backends", metrics)
 
     if os.environ.get("REPRO_BENCH_STRICT") and (os.cpu_count() or 1) >= 4:
-        speedup = metrics["backends"]["processx4"]["speedup_vs_serial"]
+        speedup = metrics["processx4"]["speedup_vs_serial"]
         assert speedup >= 2.0, f"process pool only {speedup}x serial"
+
+
+def _run_probe_sweep(study_result, executor_name: str, workers: int):
+    """Probe ``PROBE_PORT`` across the final network plus 20k empties.
+
+    Almost nothing listens there, so grab work is negligible and the
+    measurement isolates stage-0 batch fan-out.
+    """
+    network = study_result.timeline.network_for_sweep(FINAL_SWEEP)
+    study = Study(StudyConfig(seed=SEED))
+    campaign = ScanCampaign(
+        network,
+        study.scanner_identity(),
+        study._rng.substream("bench-probe"),
+        port=PROBE_PORT,
+        executor=build_executor(executor_name, workers),
+    )
+    start = time.perf_counter()
+    snapshot = campaign.run_sweep(
+        label="2020-08-30",
+        traverse=False,
+        extra_candidates=PROBE_EXTRA_CANDIDATES,
+        batch_size=PROBE_BATCH_SIZE,
+    )
+    elapsed = time.perf_counter() - start
+    return snapshot, elapsed
+
+
+def test_bench_probe_throughput(study_result):
+    metrics = {}
+    reference = None
+    serial_seconds = None
+
+    for name, workers in BACKENDS:
+        snapshot, elapsed = _run_probe_sweep(study_result, name, workers)
+        accounting = (snapshot.probed, snapshot.port_open, snapshot.excluded)
+        if reference is None:
+            reference, serial_seconds = accounting, elapsed
+        else:
+            assert accounting == reference, (
+                f"{name} probe accounting diverged from serial"
+            )
+        addresses = snapshot.probed + snapshot.excluded
+        metrics[f"{name}x{workers}"] = {
+            "seconds": round(elapsed, 3),
+            "addresses": addresses,
+            "addresses_per_second": round(addresses / elapsed, 1),
+            "speedup_vs_serial": round(serial_seconds / elapsed, 2),
+        }
+        print(
+            f"[probe] {name}x{workers}: {addresses} addresses in "
+            f"{elapsed:.2f}s ({addresses / elapsed:.0f} addr/s, "
+            f"{serial_seconds / elapsed:.2f}x serial)"
+        )
+
+    _update_metrics("probe", metrics)
+
+    if os.environ.get("REPRO_BENCH_STRICT") and (os.cpu_count() or 1) >= 4:
+        speedup = metrics["processx4"]["speedup_vs_serial"]
+        assert speedup >= 1.5, f"parallel probing only {speedup}x serial"
 
 
 def test_bench_parallel_study_identical(study_result):

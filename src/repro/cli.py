@@ -35,8 +35,8 @@ def _add_seed(parser: argparse.ArgumentParser) -> None:
         default=None,
         help=(
             "scan workers per sweep (default: 1 for --executor serial, "
-            "all CPUs for thread/process; >1 alone implies --executor "
-            "process)"
+            "all CPUs for thread/process, 32 in-flight coroutines for "
+            "async; >1 alone implies --executor process)"
         ),
     )
     parser.add_argument(
@@ -44,7 +44,7 @@ def _add_seed(parser: argparse.ArgumentParser) -> None:
         choices=EXECUTOR_NAMES,
         default=None,
         help=(
-            "scan backend: serial (default), thread, or process "
+            "scan backend: serial (default), thread, process, or async "
             "(results are identical; only wall-clock time changes)"
         ),
     )

@@ -19,8 +19,18 @@ class StudyConfig:
 
     ``executor``/``workers`` select the scan backend (see
     :mod:`repro.scanner.executor`): ``serial`` (the default),
-    ``thread``, or ``process``.  Snapshots are bit-identical across
-    backends; only wall-clock time changes.
+    ``thread``, ``process``, or ``async``.  Snapshots are
+    bit-identical across backends; only wall-clock time changes.
+
+    ``probe_batch_size`` sets how many candidate addresses each SYN
+    probe batch (one executor task) covers; ``None`` uses
+    :data:`repro.netsim.tcpscan.DEFAULT_BATCH_SIZE`.  Granularity
+    only — never affects snapshot bytes.
+
+    ``discovery_scale`` shrinks the weekly discovery-server fleet
+    proportionally (1.0 = the paper's counts).  Reduced-population
+    studies — the golden-digest tests scan a handful of spec rows —
+    use it so the fleet does not dwarf the servers under test.
     """
 
     seed: int = 20200830
@@ -30,3 +40,5 @@ class StudyConfig:
     extra_sweep_candidates: int = 500  # random empty addresses probed
     executor: str = "serial"
     workers: int = 1
+    probe_batch_size: int | None = None
+    discovery_scale: float = 1.0

@@ -1,0 +1,102 @@
+"""Golden-digest plumbing: canonical JSON and SHA-256 for snapshots.
+
+The reproduction's central guarantee is that a study is a pure
+function of its seed — across executor backends, probe batch sizes,
+and refactors.  This module pins that guarantee down to a hash:
+
+* :func:`snapshot_digest` — SHA-256 over one snapshot's canonical
+  JSON (:meth:`~repro.scanner.records.MeasurementSnapshot.to_json_dict`
+  serialized with sorted keys and compact separators);
+* :func:`study_digests` / :func:`study_digest` — per-sweep digests and
+  the digest of the whole sweep sequence;
+* :func:`tiny_spec` / :func:`tiny_study_config` / :func:`run_tiny_study`
+  — the reduced study the golden fixtures are computed from: a handful
+  of spec rows, a scaled-down discovery fleet, and a deliberately
+  small probe batch size so even the tiny candidate stream spans many
+  stage-0 batches.  Small enough for the CI fast tier, yet it
+  exercises every pipeline stage (batched SYN sweep, grabs,
+  follow-references, renewals, traversal on the final sweep).
+
+``tests/golden/`` commits the digests; regenerate with
+``python tests/golden/regenerate.py`` after an *intentional*
+determinism change and explain the change in the PR.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.core.config import StudyConfig
+from repro.core.study import Study, StudyResult
+from repro.deployments.spec import PopulationSpec, build_default_spec
+from repro.scanner.records import MeasurementSnapshot
+
+#: Spec rows the tiny study scans.  The first eight rows cover three
+#: policy groups, reuse families, and both accessible and inaccessible
+#: outcomes (127 servers) — enough population structure for renewals
+#: and follow-references to occur.
+TINY_SPEC_ROWS = 8
+
+#: Probe batch size for the tiny study: small enough that every sweep
+#: spans multiple stage-0 batches, so parallel backends genuinely
+#: exercise the batched sweep path.
+TINY_BATCH_SIZE = 16
+
+
+def canonical_json(payload) -> str:
+    """Stable serialization: sorted keys, compact separators."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def snapshot_digest(snapshot: MeasurementSnapshot) -> str:
+    return hashlib.sha256(
+        canonical_json(snapshot.to_json_dict()).encode("utf-8")
+    ).hexdigest()
+
+
+def study_digests(result: StudyResult) -> dict[str, str]:
+    """``{sweep date: digest}`` for every snapshot, in sweep order."""
+    return {s.date: snapshot_digest(s) for s in result.snapshots}
+
+
+def study_digest(result: StudyResult) -> str:
+    """One digest over the whole study (the sweep digests, in order)."""
+    material = canonical_json(
+        [[s.date, snapshot_digest(s)] for s in result.snapshots]
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def tiny_spec(rows: int = TINY_SPEC_ROWS) -> PopulationSpec:
+    """The first ``rows`` archetype rows of the default population."""
+    return PopulationSpec(rows=build_default_spec().rows[:rows])
+
+
+def tiny_study_config(
+    executor: str = "serial", workers: int = 1, seed: int = 20200830
+) -> StudyConfig:
+    """The golden fixtures' configuration.
+
+    Any change here invalidates the committed digests — treat it like
+    a schema change and regenerate them in the same commit.
+    """
+    return StudyConfig(
+        seed=seed,
+        noise_hosts=6,
+        extra_sweep_candidates=48,
+        executor=executor,
+        workers=workers,
+        probe_batch_size=TINY_BATCH_SIZE,
+        discovery_scale=0.01,
+    )
+
+
+def run_tiny_study(
+    executor: str = "serial", workers: int = 1, seed: int = 20200830
+) -> StudyResult:
+    """Run the reduced eight-sweep study the golden digests pin."""
+    return Study(
+        tiny_study_config(executor=executor, workers=workers, seed=seed),
+        spec=tiny_spec(),
+    ).run()

@@ -16,7 +16,11 @@ from dataclasses import dataclass, field
 
 from repro.client import ClientIdentity
 from repro.core.config import StudyConfig
-from repro.deployments.evolution import SWEEP_DATES, StudyTimeline
+from repro.deployments.evolution import (
+    DISCOVERY_COUNTS,
+    SWEEP_DATES,
+    StudyTimeline,
+)
 from repro.deployments.keyfactory import KeyFactory
 from repro.deployments.population import BuiltHost, PopulationBuilder
 from repro.deployments.spec import PopulationSpec, build_default_spec
@@ -57,10 +61,21 @@ class StudyResult:
 
 
 class Study:
-    """One reproducible end-to-end study run."""
+    """One reproducible end-to-end study run.
 
-    def __init__(self, config: StudyConfig | None = None):
+    ``spec`` overrides the population (default:
+    :func:`~repro.deployments.spec.build_default_spec`).  The golden
+    test harness passes a tiny row subset so a full eight-sweep study
+    finishes in seconds while exercising every pipeline stage.
+    """
+
+    def __init__(
+        self,
+        config: StudyConfig | None = None,
+        spec: PopulationSpec | None = None,
+    ):
         self.config = config or StudyConfig()
+        self._spec = spec
         self._rng = DeterministicRng(self.config.seed, "study")
         self._key_factory = KeyFactory(self.config.seed)
 
@@ -95,12 +110,17 @@ class Study:
         return ScannerIdentity(identity)
 
     def run(self) -> StudyResult:
-        spec = build_default_spec()
+        spec = self._spec or build_default_spec()
         builder = PopulationBuilder(
             spec, seed=self.config.seed, key_factory=self._key_factory
         )
         hosts = builder.build_hosts()
-        timeline = StudyTimeline(builder, hosts, seed=self.config.seed)
+        timeline = StudyTimeline(
+            builder,
+            hosts,
+            seed=self.config.seed,
+            discovery_counts=self._discovery_counts(),
+        )
         identity = self.scanner_identity()
         result = StudyResult(
             config=self.config, spec=spec, hosts=hosts, timeline=timeline
@@ -124,9 +144,21 @@ class Study:
                 ),
                 extra_candidates=self.config.extra_sweep_candidates,
                 traverse=self.config.traverse_all_sweeps or is_last,
+                batch_size=self.config.probe_batch_size,
             )
             result.snapshots.append(snapshot)
         return result
+
+    def _discovery_counts(self) -> tuple[int, ...] | None:
+        """Weekly discovery-fleet sizes, scaled by the config.
+
+        ``None`` (scale 1.0) keeps the timeline's paper-accurate
+        defaults — and keeps full-study RNG draws untouched.
+        """
+        scale = self.config.discovery_scale
+        if scale == 1.0:
+            return None
+        return tuple(max(1, round(count * scale)) for count in DISCOVERY_COUNTS)
 
     def _add_noise_hosts(self, network: SimNetwork, sweep_index: int) -> None:
         """Non-OPC UA responders on 4840 (exercises the 0.5 ‰ path)."""

@@ -102,10 +102,18 @@ class StudyTimeline:
         builder: PopulationBuilder,
         hosts: list[BuiltHost],
         seed: int = 20200830,
+        discovery_counts: tuple[int, ...] | None = None,
     ):
         self._builder = builder
         self._hosts = hosts
         self._by_index = {h.index: h for h in hosts}
+        # Per-sweep discovery-fleet sizes; overriding (e.g. the golden
+        # harness's scaled-down fleet) never perturbs other substreams.
+        self.discovery_counts = (
+            tuple(discovery_counts)
+            if discovery_counts is not None
+            else DISCOVERY_COUNTS
+        )
         self._rng = DeterministicRng(seed, "timeline")
         self._presence = self._plan_presence()
         self.renewals = self._plan_renewals()
@@ -174,8 +182,18 @@ class StudyTimeline:
             if self._by_index[i].certificate.signature_hash == "sha1"
             and self._by_index[i].row.reuse_group is None
         ]
-        upgrades = rng.sample(sha256_hosts, RENEWAL_UPGRADES)
-        downgrades = rng.sample(sha1_hosts, RENEWAL_DOWNGRADES)
+        # Clamp every draw to the available pool: on the full default
+        # population the clamps all resolve to the paper's constants
+        # (identical sample() calls, identical draws); on reduced
+        # populations — the golden harness scans a handful of spec
+        # rows — the renewal storyline degrades gracefully instead of
+        # raising on an over-sized sample.
+        upgrades = rng.sample(
+            sha256_hosts, min(RENEWAL_UPGRADES, len(sha256_hosts))
+        )
+        downgrades = rng.sample(
+            sha1_hosts, min(RENEWAL_DOWNGRADES, len(sha1_hosts))
+        )
         taken = set(upgrades) | set(downgrades)
         # Software-update renewals must land on accessible hosts: the
         # SoftwareVersion field is only readable through the anonymous
@@ -188,18 +206,21 @@ class StudyTimeline:
             and i not in taken
         ]
         software_updaters = rng.sample(
-            accessible_pool, RENEWALS_WITH_SOFTWARE_UPDATE
+            accessible_pool,
+            min(RENEWALS_WITH_SOFTWARE_UPDATE, len(accessible_pool)),
         )
         taken |= set(software_updaters)
         remaining_pool = [
             i for i in sha1_hosts + sha256_hosts if i not in taken
         ]
-        same_hash = rng.sample(
-            remaining_pool,
+        same_hash_budget = (
             RENEWAL_TOTAL
-            - RENEWAL_UPGRADES
-            - RENEWAL_DOWNGRADES
-            - RENEWALS_WITH_SOFTWARE_UPDATE,
+            - len(upgrades)
+            - len(downgrades)
+            - len(software_updaters)
+        )
+        same_hash = rng.sample(
+            remaining_pool, min(same_hash_budget, len(remaining_pool))
         )
         events = []
         chosen = upgrades + downgrades + software_updaters + same_hash
@@ -331,7 +352,7 @@ class StudyTimeline:
 
     def _build_discovery_specs(self, sweep: int):
         rng = self._rng.substream(f"discovery-{sweep}")
-        count = DISCOVERY_COUNTS[sweep]
+        count = self.discovery_counts[sweep]
         present = self.present_hosts(sweep)
         referenced = [h for h in present if h.port != 4840] or present[:5]
         registry = self._builder.as_registry

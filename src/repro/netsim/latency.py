@@ -31,6 +31,16 @@ class LatencyModel:
         jitter = base * self.jitter_fraction
         return max(0.001, base + self.rng.uniform(-jitter, jitter))
 
+    def syn_rtt(self, asn: int | None) -> float:
+        """Round trip for a bare SYN/SYN-ACK probe: base RTT, no jitter.
+
+        SYN pacing only ever advances a probe batch's private clock —
+        it is never recorded — so drawing jitter would burn one RNG
+        call per probed address (the sweep probes orders of magnitude
+        more addresses than it grabs) for timing nobody observes.
+        """
+        return self.per_asn_rtt.get(asn, self.default_rtt_s)
+
     def fork(self, label: str) -> "LatencyModel":
         """An independent jitter stream for one scan task.
 
@@ -61,6 +71,9 @@ class ZeroLatency:
     """Latency model used by unit tests: every exchange is free."""
 
     def rtt(self, asn: int | None) -> float:
+        return 0.0
+
+    def syn_rtt(self, asn: int | None) -> float:
         return 0.0
 
     def fork(self, label: str) -> "ZeroLatency":

@@ -162,6 +162,20 @@ class NetworkView:
     def syn(self, address: int, port: int) -> bool:
         return self._network.syn(address, port)
 
+    def probe(self, address: int, port: int) -> bool:
+        """SYN probe with pacing: advances this view's clock by one
+        (jitter-free) round trip before reporting the port state.
+
+        The campaign's batched sweep probes on per-batch views, so the
+        pacing models zmap's send rate on the simulated clock without
+        touching the shared sweep clock — probe timing never reaches a
+        :class:`~repro.scanner.records.HostRecord`.
+        """
+        host = self._network.host(address)
+        pace = getattr(self.latency, "syn_rtt", self.latency.rtt)
+        self.clock.advance(pace(host.asn if host is not None else None))
+        return host is not None and port in host.listeners
+
     def connect(self, address: int, port: int) -> SimSocket:
         return self._network._make_socket(
             address, port, self.clock, self.latency

@@ -49,6 +49,15 @@ def candidate_batches(
     pure function of the sweep RNG: registered hosts first, then
     ``extra_candidates`` random draws, shuffled once.  Batching changes
     only the granularity at which the prober consumes the stream.
+
+    The blocklist is deliberately **not** consulted here: like zmap's
+    shard permutation, candidate generation is blocklist-agnostic, and
+    exclusion happens at probe time (``probe_candidates``, or the
+    campaign's per-batch workers).  Extra candidates drawn from the
+    full 2**32 space may therefore land on excluded addresses — they
+    count as ``excluded``, never ``probed``, and the totals are
+    identical whether the stream is probed serially or batch-parallel
+    (pinned by ``tests/netsim/test_tcpscan_properties.py``).
     """
     candidates = [host.address for host in network.hosts()]
     probe_rng = rng.substream(f"sweep-{port}")

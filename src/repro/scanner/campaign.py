@@ -9,21 +9,28 @@ From 2020-05-04 on, the paper also connected to host/port combinations
 listed as endpoints on already-scanned servers ("follow references",
 visible in Figure 2); ``follow_references=True`` reproduces that.
 
-Grabs run through a pluggable :class:`~repro.scanner.executor.ScanExecutor`
-(serial, thread pool, or fork-based process pool).  Three invariants
-make every backend produce byte-identical snapshots:
+The whole sweep — SYN probing *and* protocol grabbing — runs through a
+pluggable :class:`~repro.scanner.executor.ScanExecutor` (serial,
+thread pool, fork-based process pool, or asyncio event loop).  The
+candidate permutation is cut into :class:`ProbeBatchTask`s (stage 0);
+each batch is probed on its own network view, its open addresses
+expand into :class:`GrabTask`s (stage 1) that start grabbing while
+later batches are still probing, and follow-reference grabs (stage 2)
+feed back through the same bounded queue.  Four invariants make every
+backend produce byte-identical snapshots:
 
 * each grab derives its RNG purely from ``(seed, date, address,
   port)`` — the sweep substream's namespace embeds the date, and
   :func:`~repro.scanner.grabber.grab_host` derives per-connection
   substreams keyed by address and port;
-* each grab runs against a per-task :class:`~repro.netsim.net.NetworkView`
-  whose clock starts at sweep time, so no task observes another task's
-  traversal pacing;
+* each probe batch and each grab runs against a per-task
+  :class:`~repro.netsim.net.NetworkView` whose clock starts at sweep
+  time, so no task observes another task's pacing;
 * the first wave's task keys are all registered before any
-  follow-reference expansion runs (the executor exhausts the initial
-  stream before draining results), so a referenced endpoint that is
-  also an open first-wave host is always classified as first-wave;
+  follow-reference task is, because the executor defers stage-2
+  registration until the last probe batch has expanded — so a
+  referenced endpoint that is also an open first-wave host is always
+  classified as first-wave, regardless of completion timing;
 * records are assembled canonically — the first wave sorted by
   address, follow-reference records sorted by ``(address, port)`` —
   regardless of completion order.
@@ -36,9 +43,10 @@ from dataclasses import dataclass, replace
 from repro.client import ClientIdentity
 from repro.netsim.blocklist import Blocklist
 from repro.netsim.net import SimNetwork
-from repro.netsim.tcpscan import probe_candidates
+from repro.netsim.tcpscan import DEFAULT_BATCH_SIZE, candidate_batches
 from repro.scanner.executor import (
     GrabTask,
+    ProbeBatchTask,
     ScanExecutor,
     SerialScanExecutor,
 )
@@ -50,6 +58,20 @@ from repro.util.rng import DeterministicRng
 from repro.util.simtime import format_utc
 
 OPCUA_PORT = 4840
+
+
+@dataclass(frozen=True)
+class ProbeBatchOutcome:
+    """What one SYN batch learned (stage-0 task result).
+
+    Crosses the worker/coordinator boundary (pickled by the process
+    backend), so it carries plain data only.  ``open_addresses``
+    preserves permutation order within the batch.
+    """
+
+    probed: int
+    excluded: int
+    open_addresses: tuple[int, ...]
 
 
 @dataclass(frozen=True)
@@ -88,37 +110,57 @@ class ScanCampaign:
         follow_references: bool = False,
         extra_candidates: int = 0,
         traverse: bool = True,
+        batch_size: int | None = None,
     ) -> MeasurementSnapshot:
-        """One full sweep: port scan, grab every responder, follow refs."""
+        """One full sweep: port scan, grab every responder, follow refs.
+
+        ``batch_size`` sets the SYN-batch granularity (default:
+        :data:`~repro.netsim.tcpscan.DEFAULT_BATCH_SIZE`).  It changes
+        only how the candidate permutation is cut into executor tasks,
+        never the snapshot bytes.
+        """
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         date = label or format_utc(self._network.clock.now())[:10]
         sweep_rng = self._rng.substream(f"sweep-{date}")
         counters = {"probed": 0, "excluded": 0, "open": 0}
 
-        def wave_tasks():
-            # zmap→zgrab2 pipelining: pooled executors submit each open
-            # address as the prober finds it, so grabbing overlaps the
-            # rest of the port sweep.  (Follow-reference expansion only
-            # starts after this generator is exhausted, so the
-            # via_reference/first-wave split never depends on timing.)
-            for address, status in probe_candidates(
+        def sweep_tasks():
+            # zmap→zgrab2 pipelining, both stages through the executor:
+            # every fixed-size slice of the candidate permutation is a
+            # stage-0 probe task, and pooled backends start grabbing a
+            # batch's open addresses while later batches are still
+            # probing.
+            batches = candidate_batches(
                 self._network,
                 self._port,
                 sweep_rng,
-                blocklist=self._blocklist,
                 extra_candidates=extra_candidates,
-            ):
-                if status == "excluded":
-                    counters["excluded"] += 1
-                    continue
-                counters["probed"] += 1
-                if status == "open":
-                    counters["open"] += 1
-                    yield GrabTask(address, self._port)
+                batch_size=(
+                    batch_size if batch_size is not None
+                    else DEFAULT_BATCH_SIZE
+                ),
+            )
+            for index, batch in enumerate(batches):
+                yield ProbeBatchTask(index, self._port, tuple(batch))
 
-        def grab(task: GrabTask) -> HostRecord:
+        def perform(task):
+            if isinstance(task, ProbeBatchTask):
+                return self._probe_batch(task, date)
             return self._grab(task, sweep_rng, traverse)
 
-        def expand(task: GrabTask, record: HostRecord) -> list[GrabTask]:
+        def expand(task, record):
+            if isinstance(task, ProbeBatchTask):
+                # Accounting happens here, on the coordinator, so the
+                # counters never race and totals are sums — identical
+                # whatever order batches complete in.
+                counters["probed"] += record.probed
+                counters["excluded"] += record.excluded
+                counters["open"] += len(record.open_addresses)
+                return [
+                    GrabTask(address, self._port)
+                    for address in record.open_addresses
+                ]
             # One level of following, from first-wave records only —
             # the endpoints a referenced server advertises are not
             # followed further (matching the paper's methodology).
@@ -131,7 +173,7 @@ class ScanCampaign:
                 out.append(GrabTask(address, port, via_reference=True))
             return out
 
-        completed = self._executor.run(wave_tasks(), grab, expand)
+        completed = self._executor.run(sweep_tasks(), perform, expand)
         snapshot = MeasurementSnapshot(
             date=date,
             probed=counters["probed"],
@@ -139,12 +181,15 @@ class ScanCampaign:
             excluded=counters["excluded"],
         )
 
+        grabbed = [
+            pair for pair in completed if isinstance(pair[0], GrabTask)
+        ]
         primary = sorted(
-            (pair for pair in completed if not pair[0].via_reference),
+            (pair for pair in grabbed if not pair[0].via_reference),
             key=lambda pair: pair[0].key,
         )
         referenced = sorted(
-            (pair for pair in completed if pair[0].via_reference),
+            (pair for pair in grabbed if pair[0].via_reference),
             key=lambda pair: pair[0].key,
         )
         snapshot.records.extend(record for _, record in primary)
@@ -152,6 +197,32 @@ class ScanCampaign:
             record for _, record in referenced if record.tcp_open
         )
         return snapshot
+
+    def _probe_batch(
+        self, task: ProbeBatchTask, date: str
+    ) -> ProbeBatchOutcome:
+        """SYN-probe one batch (runs inside executor workers).
+
+        The blocklist is consulted at probe time — candidate
+        generation deliberately does not filter (zmap's shard
+        permutation is blocklist-agnostic too), so excluded accounting
+        is identical whether the stream is probed serially or batched
+        across workers.  The per-(sweep, batch) view keeps SYN pacing
+        off the shared clock and off other batches' latency streams.
+        """
+        view = self._network.task_view(f"probe-{date}-{task.index}")
+        opens: list[int] = []
+        probed = excluded = 0
+        for address in task.addresses:
+            if address in self._blocklist:
+                excluded += 1
+                continue
+            probed += 1
+            if view.probe(address, task.port):
+                opens.append(address)
+        return ProbeBatchOutcome(
+            probed=probed, excluded=excluded, open_addresses=tuple(opens)
+        )
 
     def _grab(
         self,

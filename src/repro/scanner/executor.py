@@ -4,23 +4,36 @@ The paper's infrastructure ran zmap and zgrab2 as a pipeline: while
 the port sweep was still emitting open addresses, protocol grabs were
 already running, and endpoints referenced by already-grabbed servers
 were fed back into the grab queue.  This module reproduces that shape
-with three interchangeable backends:
+with four interchangeable backends:
 
-* :class:`SerialScanExecutor` — one grab at a time (the seed
+* :class:`SerialScanExecutor` — one task at a time (the seed
   behaviour, and the reference for determinism checks);
-* :class:`ThreadScanExecutor` — a thread pool (overlaps grabs; bounded
+* :class:`ThreadScanExecutor` — a thread pool (overlaps tasks; bounded
   by the GIL for pure-Python work but exercises the identical
   scheduling path);
 * :class:`ProcessScanExecutor` — a fork-based process pool (true
   multi-core throughput on POSIX; workers inherit the simulated
   network and the in-memory RSA keycache through fork, so nothing is
-  re-generated per worker).
+  re-generated per worker);
+* :class:`AsyncScanExecutor` — an asyncio event loop (one OS thread,
+  bounded coroutine concurrency; the right shape for latency-bound
+  non-simulated targets where a thread or process per in-flight
+  connection wastes memory).
+
+Tasks come in pipeline *stages*: the SYN sweep itself runs as
+stage-0 :class:`ProbeBatchTask`s, the protocol grabs they discover are
+stage 1, and follow-reference grabs are stage 2.  The coordinator
+defers stage-2 task registration until every stage-0 batch has
+completed and expanded, so whether an address is classified as
+first-wave or via-reference never depends on completion timing — the
+structural invariant that keeps all backends byte-identical now that
+probing and grabbing overlap end-to-end.
 
 Determinism is structural, not accidental: results are keyed by
 ``(address, port)`` and re-ordered canonically by the campaign, every
 grab derives its RNG from a pure ``(seed, date, address, port)``
 substream, and each grab runs against a per-task network view with its
-own clock, so the three backends produce byte-identical
+own clock, so all backends produce byte-identical
 :class:`~repro.scanner.records.MeasurementSnapshot` sequences.
 """
 
@@ -40,7 +53,32 @@ from typing import Callable, Iterable, List, Tuple
 #: buffer between zmap and zgrab2).
 DEFAULT_QUEUE_SIZE = 64
 
-EXECUTOR_NAMES = ("serial", "thread", "process")
+EXECUTOR_NAMES = ("serial", "thread", "process", "async")
+
+#: Default in-flight coroutine bound for the async backend.  CPU count
+#: is the wrong yardstick for an event loop — concurrency is limited by
+#: how many connections may be awaiting a response, not by cores.
+DEFAULT_ASYNC_CONCURRENCY = 32
+
+
+@dataclass(frozen=True)
+class ProbeBatchTask:
+    """One SYN-sweep batch: probe ``addresses`` on ``port``.
+
+    Stage 0 of the pipeline.  The campaign probes each batch on its own
+    :class:`~repro.netsim.net.NetworkView` (per-(sweep, batch) latency
+    substream), so batches are independent and safe to fan out.
+    """
+
+    index: int
+    port: int
+    addresses: tuple[int, ...]
+
+    stage = 0
+
+    @property
+    def key(self) -> tuple[str, int, int]:
+        return ("probe", self.port, self.index)
 
 
 @dataclass(frozen=True)
@@ -52,8 +90,16 @@ class GrabTask:
     via_reference: bool = False
 
     @property
+    def stage(self) -> int:
+        return 2 if self.via_reference else 1
+
+    @property
     def key(self) -> tuple[int, int]:
         return (self.address, self.port)
+
+
+def _stage(task) -> int:
+    return getattr(task, "stage", 1)
 
 
 GrabFn = Callable[[GrabTask], object]
@@ -92,14 +138,20 @@ class ScanExecutor(ABC):
 
 
 class SerialScanExecutor(ScanExecutor):
-    """FIFO, one grab at a time — the determinism reference."""
+    """FIFO, one task at a time — the determinism reference.
+
+    FIFO order alone satisfies the stage invariant: every stage-0
+    probe batch precedes (and therefore expands before) the grabs it
+    discovers, so all first-wave keys are registered before the first
+    grab — let alone its follow-reference expansion — ever runs.
+    """
 
     name = "serial"
 
     def run(self, tasks, grab, expand) -> ResultList:
         results: ResultList = []
-        seen: set[tuple[int, int]] = set()
-        pending: list[GrabTask] = []
+        seen: set = set()
+        pending: list = []
         for task in tasks:
             if task.key not in seen:
                 seen.add(task.key)
@@ -118,12 +170,16 @@ class SerialScanExecutor(ScanExecutor):
 
 
 class _PooledScanExecutor(ScanExecutor):
-    """Shared coordinator for the thread and process backends.
+    """Shared coordinator for the thread, process, and async backends.
 
     The coordinator submits the initial task stream (so grabbing
-    starts while the port sweep is still yielding), then drains a
-    bounded result queue, expanding each finished grab into newly
-    discovered tasks until the pipeline runs dry.
+    starts while the port sweep is still probing), then drains a
+    bounded result queue, expanding each finished task into newly
+    discovered ones until the pipeline runs dry.  It also enforces the
+    stage invariant: follow-reference (stage-2) tasks are deferred
+    while stage-0 probe batches are in flight, so key registration
+    order — and with it first-wave classification — matches the serial
+    reference regardless of completion timing.
     """
 
     def __init__(self, workers: int, queue_size: int = DEFAULT_QUEUE_SIZE):
@@ -134,16 +190,29 @@ class _PooledScanExecutor(ScanExecutor):
 
     def run(self, tasks, grab, expand) -> ResultList:
         results: ResultList = []
-        seen: set[tuple[int, int]] = set()
+        seen: set = set()
         results_q: queue.Queue = queue.Queue(maxsize=self.queue_size)
-        state = {"pending": 0}
+        state = {"pending": 0, "sweeping": 0}
+        # Stage-2 (follow-reference) tasks discovered while stage-0
+        # probe batches are still in flight.  Registering them
+        # immediately would let a fast via-reference discovery claim an
+        # (address, port) key that a still-probing batch is about to
+        # classify as first-wave — a race the serial backend can never
+        # lose.  Deferring registration until the sweep is fully
+        # expanded makes the classification timing-independent.
+        deferred: list = []
 
         with self._pool(grab, results_q) as submit:
-            def enqueue(task: GrabTask) -> None:
+            def enqueue(task) -> None:
                 if task.key in seen:
+                    return
+                if _stage(task) >= 2 and state["sweeping"]:
+                    deferred.append(task)
                     return
                 seen.add(task.key)
                 state["pending"] += 1
+                if _stage(task) == 0:
+                    state["sweeping"] += 1
                 submit(task)
 
             try:
@@ -154,17 +223,26 @@ class _PooledScanExecutor(ScanExecutor):
                     state["pending"] -= 1
                     if error is not None:
                         raise ScanExecutorError(task, error)
+                    if _stage(task) == 0:
+                        state["sweeping"] -= 1
                     results.append((task, record))
                     for new_task in expand(task, record):
                         enqueue(new_task)
+                    if deferred and not state["sweeping"]:
+                        # The final probe batch just expanded: every
+                        # first-wave key is now registered, so the held
+                        # follow-reference tasks can safely dedup.
+                        flush, deferred = deferred, []
+                        for held_task in flush:
+                            enqueue(held_task)
             except BaseException:
                 # Drain every outstanding result so pool shutdown (run
                 # by the context exit) cannot deadlock on workers
-                # blocked at the bounded queue.  Safe to block: both
-                # backends guarantee one queue put per submitted task
-                # (thread workers always put; process futures fire
-                # their relay callback even on cancellation or a
-                # broken pool).
+                # blocked at the bounded queue.  Safe to block: every
+                # backend guarantees one queue put per submitted task
+                # (thread workers and async coroutines always put;
+                # process futures fire their relay callback even on
+                # cancellation or a broken pool).
                 while state["pending"]:
                     results_q.get()
                     state["pending"] -= 1
@@ -281,12 +359,77 @@ class ProcessScanExecutor(_PooledScanExecutor):
         return _Ctx()
 
 
-def build_executor(name: str = "serial", workers: int = 1) -> ScanExecutor:
-    """Instantiate a backend by name (``serial``/``thread``/``process``).
+class AsyncScanExecutor(_PooledScanExecutor):
+    """Asyncio backend: one event-loop thread, bounded coroutine fan-out.
 
-    ``workers == 1`` always yields the serial backend — a pool of one
-    only adds scheduling overhead and the outputs are identical by
-    construction.
+    Every submitted task becomes a coroutine gated by a semaphore of
+    ``workers`` concurrent slots.  ``grab`` may be a plain callable
+    (the simulated network is synchronous, so CPU work serializes on
+    the loop — correctness-identical, no parallel speedup) or return
+    an awaitable, which the loop awaits — the shape a real
+    latency-bound scan wants: thousands of in-flight connections on
+    one OS thread instead of a thread or fork per connection.
+    """
+
+    name = "async"
+
+    def _pool(self, grab, results_q):
+        import asyncio
+        import inspect
+
+        parent = self
+
+        class _Ctx:
+            def __enter__(self_inner):
+                self_inner.loop = asyncio.new_event_loop()
+                self_inner.thread = threading.Thread(
+                    target=self_inner.loop.run_forever,
+                    name="scan-async-loop",
+                    daemon=True,
+                )
+                self_inner.thread.start()
+                semaphore = asyncio.Semaphore(parent.workers)
+
+                async def worker(task) -> None:
+                    async with semaphore:
+                        try:
+                            record = grab(task)
+                            if inspect.isawaitable(record):
+                                record = await record
+                            payload = (task, record, None)
+                        except BaseException as exc:
+                            payload = (task, None, exc)
+                    # queue.Queue is thread-safe, so putting from the
+                    # loop thread is fine.  A full queue blocks the
+                    # loop — acceptable backpressure: the coordinator
+                    # is always draining, so the put always completes.
+                    results_q.put(payload)
+
+                def submit(task) -> None:
+                    asyncio.run_coroutine_threadsafe(
+                        worker(task), self_inner.loop
+                    )
+
+                return submit
+
+            def __exit__(self_inner, *exc_info):
+                # The coordinator only exits after draining one result
+                # per submitted task, and each worker's final step runs
+                # put-then-return atomically — every coroutine is done.
+                self_inner.loop.call_soon_threadsafe(self_inner.loop.stop)
+                self_inner.thread.join()
+                self_inner.loop.close()
+                return False
+
+        return _Ctx()
+
+
+def build_executor(name: str = "serial", workers: int = 1) -> ScanExecutor:
+    """Instantiate a backend by name (:data:`EXECUTOR_NAMES`).
+
+    ``workers == 1`` always yields the serial backend — a pool (or
+    event loop) of one only adds scheduling overhead and the outputs
+    are identical by construction.
     """
     if name not in EXECUTOR_NAMES:
         raise ValueError(
@@ -298,6 +441,8 @@ def build_executor(name: str = "serial", workers: int = 1) -> ScanExecutor:
         return SerialScanExecutor()
     if name == "thread":
         return ThreadScanExecutor(workers)
+    if name == "async":
+        return AsyncScanExecutor(workers)
     return ProcessScanExecutor(workers)
 
 
@@ -312,7 +457,10 @@ def resolve_executor(
     * neither given → serial, one worker;
     * ``workers`` > 1 alone → the ``process`` backend (the one that
       actually scales with cores);
-    * a pooled backend alone → one worker per CPU.
+    * ``thread``/``process`` alone → one worker per CPU;
+    * ``async`` alone → :data:`DEFAULT_ASYNC_CONCURRENCY` in-flight
+      coroutines (an event loop is bounded by outstanding latency,
+      not cores).
     """
     if name is not None and name not in EXECUTOR_NAMES:
         raise ValueError(
@@ -323,5 +471,10 @@ def resolve_executor(
     if name is None:
         name = "process" if (workers or 1) > 1 else "serial"
     if workers is None:
-        workers = 1 if name == "serial" else (os.cpu_count() or 1)
+        if name == "serial":
+            workers = 1
+        elif name == "async":
+            workers = DEFAULT_ASYNC_CONCURRENCY
+        else:
+            workers = os.cpu_count() or 1
     return name, workers

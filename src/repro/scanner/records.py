@@ -240,3 +240,15 @@ class MeasurementSnapshot:
 
     def date_dt(self) -> datetime:
         return parse_utc(self.date)
+
+    def to_json_dict(self) -> dict:
+        """Canonical JSON form: counters plus every record, in the
+        engine's canonical record order.  The golden-digest tests and
+        the cross-backend benchmarks hash exactly this."""
+        return {
+            "date": self.date,
+            "probed": self.probed,
+            "port_open": self.port_open,
+            "excluded": self.excluded,
+            "records": [record.to_json_dict() for record in self.records],
+        }

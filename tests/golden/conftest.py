@@ -1,0 +1,27 @@
+"""Golden-harness fixtures: one serial tiny study per session.
+
+The serial run is both the committed-digest subject and the reference
+every parallel backend is compared against, so it is computed once and
+shared.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.golden import run_tiny_study
+
+DIGEST_PATH = Path(__file__).resolve().parent / "tiny_study.digest.json"
+
+
+@pytest.fixture(scope="session")
+def committed_digests() -> dict:
+    return json.loads(DIGEST_PATH.read_text())
+
+
+@pytest.fixture(scope="session")
+def serial_tiny_result():
+    return run_tiny_study("serial", 1)

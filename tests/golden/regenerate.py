@@ -1,0 +1,62 @@
+"""Regenerate the committed golden digests (serial reference run).
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Only run this after an *intentional* determinism change (new record
+field, RNG re-keying, population change) and commit the refreshed
+``tiny_study.digest.json`` together with the change that explains it.
+A diff here without an explanation is exactly the regression the
+golden tests exist to catch.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DIGEST_PATH = Path(__file__).resolve().parent / "tiny_study.digest.json"
+
+for entry in (str(REPO_ROOT / "src"),):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+import os
+
+os.environ.setdefault("REPRO_KEYCACHE", str(REPO_ROOT / ".keycache"))
+
+from repro.core.golden import (  # noqa: E402
+    TINY_BATCH_SIZE,
+    TINY_SPEC_ROWS,
+    run_tiny_study,
+    study_digest,
+    study_digests,
+    tiny_spec,
+)
+
+
+def main() -> int:
+    result = run_tiny_study()
+    payload = {
+        "_comment": (
+            "Golden digests of the tiny-spec serial study. Regenerate "
+            "with: PYTHONPATH=src python tests/golden/regenerate.py"
+        ),
+        "seed": result.config.seed,
+        "spec_rows": TINY_SPEC_ROWS,
+        "servers": tiny_spec().total_servers,
+        "probe_batch_size": TINY_BATCH_SIZE,
+        "digest": study_digest(result),
+        "per_sweep": study_digests(result),
+    }
+    DIGEST_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {DIGEST_PATH}")
+    print(f"study digest: {payload['digest']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Golden-snapshot regression: the serial tiny study is pinned by hash.
+
+Any accidental determinism break — RNG re-keying, record schema drift,
+candidate-order change, clock leakage between tasks — lands here as a
+digest mismatch in the CI fast tier, instead of surfacing twenty
+minutes into the full-study benchmark on main.
+
+If the mismatch is *intentional*, regenerate via
+``PYTHONPATH=src python tests/golden/regenerate.py`` and justify the
+refreshed digests in the same PR.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.golden import (
+    snapshot_digest,
+    study_digest,
+    study_digests,
+    tiny_study_config,
+)
+
+pytestmark = pytest.mark.golden
+
+
+def test_serial_tiny_study_matches_committed_digest(
+    serial_tiny_result, committed_digests
+):
+    per_sweep = study_digests(serial_tiny_result)
+    # Compare sweep-by-sweep first: a single diverging sweep narrows
+    # the regression to one date's pipeline instead of "something
+    # changed somewhere in eight sweeps".
+    assert per_sweep == committed_digests["per_sweep"]
+    assert study_digest(serial_tiny_result) == committed_digests["digest"]
+
+
+def test_digest_config_still_matches_committed_metadata(committed_digests):
+    """The digest is only meaningful for the exact pinned config."""
+    config = tiny_study_config()
+    assert committed_digests["seed"] == config.seed
+    assert committed_digests["probe_batch_size"] == config.probe_batch_size
+
+
+def test_snapshot_digest_is_order_sensitive(serial_tiny_result):
+    """The digest must notice record-order changes, not just content —
+    canonical ordering is part of the cross-backend contract."""
+    snapshot = serial_tiny_result.final_snapshot
+    reference = snapshot_digest(snapshot)
+    snapshot.records.reverse()
+    try:
+        assert snapshot_digest(snapshot) != reference
+    finally:
+        snapshot.records.reverse()
+    assert snapshot_digest(snapshot) == reference

@@ -10,7 +10,10 @@ from repro.deployments.spec import PopulationSpec, build_default_spec
 from repro.netsim.net import SimNetwork
 from repro.scanner.campaign import ScanCampaign
 from repro.scanner.executor import (
+    DEFAULT_ASYNC_CONCURRENCY,
+    AsyncScanExecutor,
     GrabTask,
+    ProbeBatchTask,
     ProcessScanExecutor,
     ScanExecutorError,
     SerialScanExecutor,
@@ -34,8 +37,13 @@ def _no_expand(task, record):
 class TestSchedulingSemantics:
     @pytest.mark.parametrize(
         "executor",
-        [SerialScanExecutor(), ThreadScanExecutor(4), ProcessScanExecutor(2)],
-        ids=["serial", "thread", "process"],
+        [
+            SerialScanExecutor(),
+            ThreadScanExecutor(4),
+            ProcessScanExecutor(2),
+            AsyncScanExecutor(4),
+        ],
+        ids=["serial", "thread", "process", "async"],
     )
     def test_every_task_grabbed_once(self, executor):
         tasks = [GrabTask(n, 4840) for n in (3, 1, 2, 1, 3)]  # dupes collapse
@@ -45,8 +53,8 @@ class TestSchedulingSemantics:
 
     @pytest.mark.parametrize(
         "executor",
-        [SerialScanExecutor(), ThreadScanExecutor(4)],
-        ids=["serial", "thread"],
+        [SerialScanExecutor(), ThreadScanExecutor(4), AsyncScanExecutor(4)],
+        ids=["serial", "thread", "async"],
     )
     def test_expand_feeds_pipeline_transitively(self, executor):
         # 1 -> 2 -> 3: tasks discovered from results are grabbed too,
@@ -59,21 +67,48 @@ class TestSchedulingSemantics:
         results = executor.run([GrabTask(1, 4840)], _echo_grab, expand)
         assert sorted(t.address for t, _ in results) == [1, 2, 3]
 
-    def test_worker_errors_surface(self):
+    @pytest.mark.parametrize(
+        "executor",
+        [ThreadScanExecutor(2), AsyncScanExecutor(2)],
+        ids=["thread", "async"],
+    )
+    def test_worker_errors_surface(self, executor):
         def failing_grab(task):
             raise ValueError("boom")
 
-        executor = ThreadScanExecutor(2)
         with pytest.raises(ScanExecutorError) as info:
             executor.run([GrabTask(1, 4840)], failing_grab, _no_expand)
         assert isinstance(info.value.cause, ValueError)
+
+    def test_async_awaits_coroutine_grabs(self):
+        """A grab returning an awaitable is awaited on the loop — the
+        contract a real latency-bound (non-simulated) grabber uses."""
+
+        async def async_grab(task):
+            import asyncio
+
+            await asyncio.sleep(0)
+            return f"record-{task.address}:{task.port}"
+
+        results = AsyncScanExecutor(4).run(
+            [GrabTask(n, 4840) for n in (1, 2, 3)],
+            async_grab,
+            _no_expand,
+        )
+        assert sorted(r for _, r in results) == [
+            "record-1:4840",
+            "record-2:4840",
+            "record-3:4840",
+        ]
 
     def test_build_executor(self):
         assert build_executor("serial").name == "serial"
         assert build_executor("thread", 4).workers == 4
         assert build_executor("process", 2).name == "process"
+        assert build_executor("async", 4).name == "async"
         # One worker never justifies pool overhead.
         assert build_executor("thread", 1).name == "serial"
+        assert build_executor("async", 1).name == "serial"
         with pytest.raises(ValueError):
             build_executor("quantum")
         with pytest.raises(ValueError):
@@ -91,10 +126,97 @@ class TestSchedulingSemantics:
         assert resolve_executor("thread", None) == ("thread", cpus)
         assert resolve_executor("serial", None) == ("serial", 1)
         assert resolve_executor("thread", 2) == ("thread", 2)
+        # The event loop's default is in-flight connections, not cores.
+        assert resolve_executor("async", None) == (
+            "async",
+            DEFAULT_ASYNC_CONCURRENCY,
+        )
+        assert resolve_executor("async", 16) == ("async", 16)
         with pytest.raises(ValueError):
             resolve_executor("quantum", None)
         with pytest.raises(ValueError):
             resolve_executor(None, 0)
+
+
+class TestSweepStaging:
+    """Stage-0 probe batches + deferred stage-2 registration."""
+
+    @pytest.mark.parametrize(
+        "executor",
+        [
+            SerialScanExecutor(),
+            ThreadScanExecutor(4),
+            AsyncScanExecutor(4),
+        ],
+        ids=["serial", "thread", "async"],
+    )
+    def test_probe_batches_expand_into_grabs(self, executor):
+        batches = [
+            ProbeBatchTask(0, 4840, (1, 2)),
+            ProbeBatchTask(1, 4840, (3,)),
+        ]
+
+        def perform(task):
+            if isinstance(task, ProbeBatchTask):
+                return list(task.addresses)  # every address is "open"
+            return _echo_grab(task)
+
+        def expand(task, record):
+            if isinstance(task, ProbeBatchTask):
+                return [GrabTask(address, task.port) for address in record]
+            return []
+
+        results = executor.run(batches, perform, expand)
+        grabs = sorted(
+            t.address for t, _ in results if isinstance(t, GrabTask)
+        )
+        probes = [t for t, _ in results if isinstance(t, ProbeBatchTask)]
+        assert grabs == [1, 2, 3]
+        assert len(probes) == 2
+
+    @pytest.mark.parametrize(
+        "executor",
+        [ThreadScanExecutor(4), AsyncScanExecutor(4)],
+        ids=["thread", "async"],
+    )
+    def test_via_reference_never_steals_first_wave_keys(self, executor):
+        """A fast follow-reference discovery must not claim an address
+        a still-running probe batch is about to report as first-wave.
+
+        Batch 1 is forced slow; meanwhile the grab of address 1 (from
+        fast batch 0) discovers address 3 via reference.  Address 3 is
+        also open in slow batch 1 — the executor must hold the
+        via-reference task back and classify 3 as first-wave, exactly
+        as the serial reference does.
+        """
+        import time
+
+        batches = [
+            ProbeBatchTask(0, 4840, (1,)),
+            ProbeBatchTask(1, 4840, (3,)),
+        ]
+
+        def perform(task):
+            if isinstance(task, ProbeBatchTask):
+                if task.index == 1:
+                    time.sleep(0.25)
+                return list(task.addresses)
+            return _echo_grab(task)
+
+        def expand(task, record):
+            if isinstance(task, ProbeBatchTask):
+                return [GrabTask(address, task.port) for address in record]
+            if task.address == 1 and not task.via_reference:
+                return [GrabTask(3, 4840, via_reference=True)]
+            return []
+
+        results = executor.run(batches, perform, expand)
+        classified = {
+            t.address: t.via_reference
+            for t, _ in results
+            if isinstance(t, GrabTask)
+        }
+        assert classified == {1: False, 3: False}
 
 
 def _mini_sweep(executor_name, workers):
@@ -137,5 +259,10 @@ class TestBackendDeterminism:
 
     def test_process_pool_matches_serial(self):
         assert _canonical(_mini_sweep("process", 4)) == _canonical(
+            _mini_sweep("serial", 1)
+        )
+
+    def test_async_loop_matches_serial(self):
+        assert _canonical(_mini_sweep("async", 8)) == _canonical(
             _mini_sweep("serial", 1)
         )
