@@ -1,0 +1,153 @@
+"""Bench-regression diff: BENCH_sweep.json vs. the committed baseline.
+
+Usage::
+
+    python benchmarks/compare.py                      # compare, warn >15%
+    python benchmarks/compare.py --threshold 0.10
+    python benchmarks/compare.py --strict             # exit 1 on regression
+    python benchmarks/compare.py --write-baseline     # refresh baseline
+
+Compares the two headline throughput sections of a bench report —
+``grab_throughput`` (hosts/second through the full grab pipeline) and
+``probe_throughput`` (addresses/second through the SYN stage) — per
+executor backend against ``BENCH_baseline.json``.  A backend running
+more than ``--threshold`` (default 15 %) slower than baseline prints
+a GitHub ``::warning::`` annotation; the exit code stays 0 unless
+``--strict`` is given, because absolute throughput is machine-
+dependent and CI runners vary — the warning is a tripwire, not a
+gate.  Faster-than-baseline results are reported too, so a stale
+baseline is visible.
+
+``--write-baseline`` extracts the throughput sections of the current
+report into the baseline file; commit the result to move the bar.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_REPORT = REPO_ROOT / "BENCH_sweep.json"
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_baseline.json"
+
+SECTIONS = ("grab_throughput", "probe_throughput")
+RATE_KEYS = {
+    "grab_throughput": "hosts_per_second",
+    "probe_throughput": "addresses_per_second",
+}
+
+
+def extract_rates(report: dict) -> dict[str, dict[str, float]]:
+    """``{section: {backend: rate}}`` from a BENCH_sweep.json payload."""
+    rates: dict[str, dict[str, float]] = {}
+    for section in SECTIONS:
+        block = report.get(section)
+        if not isinstance(block, dict):
+            continue
+        per_backend = block.get(RATE_KEYS[section])
+        if not isinstance(per_backend, dict):
+            continue
+        rates[section] = {
+            backend: float(rate)
+            for backend, rate in per_backend.items()
+            if isinstance(rate, (int, float))
+        }
+    return rates
+
+
+def compare(
+    current: dict[str, dict[str, float]],
+    baseline: dict[str, dict[str, float]],
+    threshold: float,
+) -> list[str]:
+    """Regression messages, one per backend slower than baseline."""
+    regressions = []
+    for section, base_rates in baseline.items():
+        for backend, base_rate in base_rates.items():
+            rate = current.get(section, {}).get(backend)
+            if rate is None:
+                print(
+                    f"[compare] {section}/{backend}: "
+                    "missing from current report"
+                )
+                continue
+            change = (rate - base_rate) / base_rate if base_rate else 0.0
+            print(
+                f"[compare] {section}/{backend}: {rate:.1f}/s "
+                f"vs. baseline {base_rate:.1f}/s ({change:+.1%})"
+            )
+            if change < -threshold:
+                regressions.append(
+                    f"{section}/{backend} regressed {-change:.1%} "
+                    f"({base_rate:.1f} -> {rate:.1f} per second)"
+                )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--report", type=Path, default=DEFAULT_REPORT,
+        help=f"bench report to check (default: {DEFAULT_REPORT.name})",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help=f"committed baseline (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="relative slowdown that triggers a warning (default: 0.15)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any backend regresses past the threshold",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from the current report and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.report.exists():
+        print(f"[compare] no report at {args.report}; nothing to compare")
+        return 0
+    current = extract_rates(json.loads(args.report.read_text()))
+
+    if args.write_baseline:
+        payload = {
+            "_comment": (
+                "Throughput baseline for benchmarks/compare.py. Refresh "
+                "with: python benchmarks/compare.py --write-baseline"
+            ),
+            **current,
+        }
+        args.baseline.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"[compare] wrote {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(
+            f"[compare] no baseline at {args.baseline}; run with "
+            "--write-baseline to create one"
+        )
+        return 0
+    baseline = {
+        section: rates
+        for section, rates in json.loads(args.baseline.read_text()).items()
+        if section in SECTIONS
+    }
+
+    regressions = compare(current, baseline, args.threshold)
+    for message in regressions:
+        # GitHub Actions renders ::warning:: as an inline annotation.
+        print(f"::warning title=bench regression::{message}")
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,9 +17,9 @@ os.environ.setdefault(
     "REPRO_KEYCACHE", str(Path(__file__).resolve().parents[1] / ".keycache")
 )
 
-import pytest
+import pytest  # noqa: E402
 
-from repro.core.study import default_study_result
+from repro.core.study import default_study_result  # noqa: E402
 
 
 @pytest.fixture(scope="session")

@@ -27,6 +27,35 @@ SWEEP_METRICS = REPO_ROOT / "benchmarks" / ".sweep_metrics.json"
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_sweep.json"
 
 
+def _throughput_section(
+    sweep: dict | None, section: str, rate_key: str
+) -> dict | None:
+    """``{rate_key: {backend: rate}, parallel_beats_serial: bool}``."""
+    if not sweep or not isinstance(sweep.get(section), dict):
+        return None
+    rates = {
+        backend: stats.get(rate_key)
+        for backend, stats in sweep[section].items()
+        if isinstance(stats, dict)
+    }
+    serial_rate = next(
+        (rate for backend, rate in rates.items()
+         if backend.startswith("serial")),
+        None,
+    )
+    return {
+        rate_key: rates,
+        "parallel_beats_serial": bool(
+            serial_rate
+            and any(
+                rate > serial_rate
+                for backend, rate in rates.items()
+                if not backend.startswith("serial") and rate
+            )
+        ),
+    }
+
+
 class _DurationRecorder:
     """Pytest plugin: nodeid -> {seconds, outcome} for call phases."""
 
@@ -78,32 +107,17 @@ def main(argv: list[str] | None = None) -> int:
         except json.JSONDecodeError:
             sweep = None
 
-    # Headline probe-throughput metric: addresses/second per backend
-    # for the SYN stage alone, plus whether any parallel backend beat
-    # serial on this machine (expected false on 1-2 core runners).
-    probe_throughput = None
-    if sweep and isinstance(sweep.get("probe"), dict):
-        probe = sweep["probe"]
-        rates = {
-            backend: stats.get("addresses_per_second")
-            for backend, stats in probe.items()
-        }
-        serial_rate = next(
-            (rate for backend, rate in rates.items()
-             if backend.startswith("serial")),
-            None,
-        )
-        probe_throughput = {
-            "addresses_per_second": rates,
-            "parallel_beats_serial": bool(
-                serial_rate
-                and any(
-                    rate > serial_rate
-                    for backend, rate in rates.items()
-                    if not backend.startswith("serial") and rate
-                )
-            ),
-        }
+    # Headline throughput metrics per backend: grab (full pipeline,
+    # hosts/second) and probe (SYN stage alone, addresses/second),
+    # plus whether any parallel backend beat serial on this machine
+    # (expected false on 1-2 core runners).  benchmarks/compare.py
+    # diffs exactly these two sections against BENCH_baseline.json.
+    grab_throughput = _throughput_section(
+        sweep, "backends", "hosts_per_second"
+    )
+    probe_throughput = _throughput_section(
+        sweep, "probe", "addresses_per_second"
+    )
 
     payload = {
         "suite": "benchmarks",
@@ -112,6 +126,7 @@ def main(argv: list[str] | None = None) -> int:
         "pytest_exit_code": int(exit_code),
         "figures": dict(sorted(recorder.results.items())),
         "sweep_engine": sweep,
+        "grab_throughput": grab_throughput,
         "probe_throughput": probe_throughput,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")

@@ -17,7 +17,6 @@ from repro.netsim.net import SimNetwork
 from repro.scanner.campaign import ScanCampaign
 from repro.scanner.ethics import (
     NotificationCampaign,
-    find_contact_addresses,
     measure_remediation,
 )
 from repro.server.auth import Authenticator

@@ -28,9 +28,21 @@ from repro.analysis.longitudinal import (
 )
 from repro.analysis.breakdown import DeficitBreakdown, analyze_deficit_breakdown
 from repro.analysis.deficits import DeficitSummary, analyze_deficits
+from repro.analysis.pipeline import (
+    ANALYSES,
+    ANALYSIS_NAMES,
+    AnalysisContext,
+    AnalysisReport,
+    run_analyses,
+)
 
 __all__ = [
+    "ANALYSES",
+    "ANALYSIS_NAMES",
     "AccessAnalysis",
+    "AnalysisContext",
+    "AnalysisReport",
+    "run_analyses",
     "CertificateConformance",
     "DeficitBreakdown",
     "DeficitSummary",

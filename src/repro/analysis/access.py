@@ -11,10 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.deployments.addresspaces import (
-    FREEOPCUA_EXAMPLE_NAMESPACE,
-    IEC61131_NAMESPACE,
-)
 from repro.scanner.records import HostRecord
 from repro.server.addressspace import STANDARD_NAMESPACE
 from repro.uabin.enums import UserTokenType

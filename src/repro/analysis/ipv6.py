@@ -14,6 +14,10 @@ from dataclasses import dataclass
 from repro.analysis.deficits import analyze_deficits
 from repro.scanner.records import HostRecord
 
+#: Share of the population assumed dual-stack in the sampled variant
+#: (matches the fraction the netsim experiment enables IPv6 on).
+DUAL_STACK_FRACTION = 0.2
+
 
 @dataclass
 class Ipv6Comparison:
@@ -31,6 +35,34 @@ class Ipv6Comparison:
             self.ipv6_deficient_fraction
             < self.ipv4_deficient_fraction - 0.05
         )
+
+
+def analyze_dual_stack_sample(
+    records: list[HostRecord],
+    seed: int,
+    fraction: float = DUAL_STACK_FRACTION,
+) -> Ipv6Comparison:
+    """Wire-data-only variant of the IPv6 comparison.
+
+    The full ``ipv6`` *experiment* rebuilds the simulated network,
+    enables IPv6 on a fifth of the population, and actually scans a
+    hitlist.  This registry task reproduces the paper's §6 conjecture
+    check from the scan records alone — the dual-stack subset is drawn
+    per-host from a pure ``(seed, ip, port)`` substream, standing in
+    for hitlist coverage, and a dual-stack host's configuration is by
+    definition identical on both families (it is the same server).
+    Pure over the snapshot data, so it can run from a study store with
+    no network at all.
+    """
+    from repro.util.rng import DeterministicRng
+
+    rng = DeterministicRng(seed, "analysis/ipv6-sample")
+    sampled = [
+        record
+        for record in records
+        if rng.substream(f"{record.ip}:{record.port}").random() < fraction
+    ]
+    return compare_address_families(records, sampled, hitlist_size=len(sampled))
 
 
 def compare_address_families(

@@ -8,7 +8,7 @@ carrying extensions we do not model still round-trip byte-exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import datetime, timezone
 
 

@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro.cli study                 # run all sweeps + experiments
+    python -m repro.cli study --store .study-store --scan-only
+    python -m repro.cli analyze --store .study-store
     python -m repro.cli experiment fig3       # one experiment
     python -m repro.cli list                  # known experiments
     python -m repro.cli dataset out.jsonl     # anonymized dataset release
@@ -10,16 +12,29 @@ Usage::
 
 The full study builds ~1900 hosts and scans them eight times; the
 first invocation also generates the RSA key cache (several minutes).
+With ``--store DIR`` (or ``REPRO_STUDY_STORE=DIR``), the sweeps are
+persisted content-addressed under DIR and every later invocation —
+``study``, ``experiment``, ``dataset``, ``analyze`` — loads them in
+well under a second instead of re-scanning.  ``analyze`` never scans:
+it runs the analysis registry straight off a stored study.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.experiments import EXPERIMENTS, run_experiment
-from repro.core.study import Study, StudyConfig, default_study_result
+from repro.core.study import StudyConfig, default_study_result
 from repro.scanner.executor import EXECUTOR_NAMES, resolve_executor
+
+# Mirrors repro.analysis.pipeline.ANALYSIS_NAMES (pinned by a CLI
+# test) so building the parser never imports the analysis stack.
+ANALYZE_CHOICES = (
+    "modes", "policies", "certs", "reuse", "access",
+    "rights", "deficits", "breakdown", "longitudinal", "ipv6",
+)
 
 
 def _add_seed(parser: argparse.ArgumentParser) -> None:
@@ -48,14 +63,46 @@ def _add_seed(parser: argparse.ArgumentParser) -> None:
             "(results are identical; only wall-clock time changes)"
         ),
     )
+    _add_store(parser)
+
+
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help=(
+            "study store directory (default: $REPRO_STUDY_STORE if set); "
+            "studies are persisted there content-addressed and loaded "
+            "instead of re-scanned"
+        ),
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="ignore any configured study store and always scan",
+    )
+
+
+def _resolve_store(args):
+    from repro.dataset.store import default_store
+
+    if getattr(args, "no_store", False):
+        return None
+    return default_store(args.store)
+
+
+def _executor(args) -> tuple[str, int]:
+    try:
+        return resolve_executor(args.executor, args.workers)
+    except ValueError as exc:
+        raise SystemExit(f"repro: error: {exc}")
 
 
 def _study_result(args):
-    try:
-        executor, workers = resolve_executor(args.executor, args.workers)
-    except ValueError as exc:
-        raise SystemExit(f"repro: error: {exc}")
-    return default_study_result(args.seed, executor, workers)
+    executor, workers = _executor(args)
+    store = _resolve_store(args)
+    return default_study_result(args.seed, executor, workers, store=store)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,6 +116,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     study = commands.add_parser("study", help="run the full study")
     _add_seed(study)
+    study.add_argument(
+        "--scan-only",
+        action="store_true",
+        help=(
+            "run (or load) the sweeps and print their digests without "
+            "regenerating the experiments — the store-building mode CI "
+            "uses before fanning analyses out from the store"
+        ),
+    )
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one table/figure"
@@ -77,6 +133,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed(experiment)
 
     commands.add_parser("list", help="list known experiments")
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="run the analysis registry from a stored study (no scan)",
+    )
+    _add_seed(analyze)
+    analyze.add_argument(
+        "--analysis",
+        action="append",
+        choices=ANALYZE_CHOICES,
+        metavar="NAME",
+        help=(
+            "run only this analysis (repeatable; default: all of "
+            + ", ".join(ANALYZE_CHOICES)
+            + ")"
+        ),
+    )
+    analyze.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the canonical JSON report to PATH",
+    )
 
     dataset = commands.add_parser(
         "dataset", help="write the anonymized dataset release"
@@ -90,6 +169,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_study(args) -> int:
     result = _study_result(args)
+    if args.scan_only:
+        from repro.core.golden import study_digest, study_digests
+
+        for date, digest in study_digests(result).items():
+            print(f"{date}  {digest}")
+        print(f"study digest: {study_digest(result)}")
+        records = sum(len(s.records) for s in result.snapshots)
+        print(f"{len(result.snapshots)} sweeps / {records} records")
+        return 0
     exact = total = 0
     for experiment_id in EXPERIMENTS:
         report = run_experiment(experiment_id, result)
@@ -112,6 +200,47 @@ def cmd_list(args) -> int:
     for experiment_id, function in EXPERIMENTS.items():
         summary = (function.__doc__ or "").strip().splitlines()[0]
         print(f"{experiment_id:<12} {summary}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Analyses from a persisted store — never scans."""
+    from repro.analysis.pipeline import run_analyses
+    from repro.deployments.spec import build_default_spec
+    from repro.reporting.summary import render_analysis_report
+
+    store = _resolve_store(args)
+    if store is None:
+        raise SystemExit(
+            "repro: error: analyze needs a study store; pass --store DIR "
+            "or set REPRO_STUDY_STORE"
+        )
+    config = StudyConfig(seed=args.seed)
+    spec = build_default_spec()
+    snapshots = store.load(config, spec)
+    if snapshots is None:
+        raise SystemExit(
+            f"repro: error: no stored study for seed {args.seed} under "
+            f"{store.root}; build one with "
+            f"`repro study --store {store.root} --scan-only`"
+        )
+    executor, workers = _executor(args)
+    report = run_analyses(
+        snapshots,
+        spec,
+        seed=args.seed,
+        executor=executor,
+        workers=workers,
+        names=tuple(args.analysis) if args.analysis else None,
+    )
+    print(render_analysis_report(report))
+    if args.json:
+        payload = report.to_json_dict()
+        payload["digest"] = report.digest()
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -162,6 +291,7 @@ _COMMANDS = {
     "study": cmd_study,
     "experiment": cmd_experiment,
     "list": cmd_list,
+    "analyze": cmd_analyze,
     "dataset": cmd_dataset,
     "policies": cmd_policies,
 }

@@ -27,7 +27,6 @@ from repro.transport.connection import FrameReader, encode_frame
 from repro.transport.messages import (
     AcknowledgeMessage,
     ErrorMessage,
-    HEADER_SIZE,
     HelloMessage,
     MessageType,
 )

@@ -5,19 +5,15 @@ returns an :class:`~repro.reporting.figures.ExperimentReport` whose
 comparisons put the paper's published value next to the measured one.
 The benchmark harness (benchmarks/) calls these, so ``pytest
 benchmarks/ --benchmark-only`` regenerates every table and figure.
+
+Analysis inputs come through ``result.analysis(name)`` — the memoized
+view of the :mod:`repro.analysis.pipeline` registry — so experiments
+sharing a pass (``fig2``/``sec55`` both need the longitudinal walk)
+compute it once, and a pipeline run pre-fills everything.
 """
 
 from __future__ import annotations
 
-from repro.analysis.access import analyze_access_control
-from repro.analysis.breakdown import analyze_deficit_breakdown
-from repro.analysis.certs import analyze_certificate_conformance
-from repro.analysis.deficits import analyze_deficits
-from repro.analysis.longitudinal import analyze_longitudinal
-from repro.analysis.modes import analyze_security_modes
-from repro.analysis.policies import analyze_security_policies
-from repro.analysis.reuse import analyze_certificate_reuse
-from repro.analysis.rights import analyze_access_rights
 from repro.core.study import StudyResult
 from repro.deployments.spec import (
     A,
@@ -67,7 +63,7 @@ def table1(result: StudyResult) -> ExperimentReport:
 
 def fig2(result: StudyResult) -> ExperimentReport:
     """Figure 2 — hosts over time by manufacturer."""
-    longitudinal = analyze_longitudinal(result.snapshots)
+    longitudinal = result.analysis("longitudinal")
     report = ExperimentReport("fig2", "Hosts over time (Figure 2)")
     totals = [s.total_reachable for s in longitudinal.sweeps]
     report.add("measurements", 8, len(longitudinal.sweeps))
@@ -99,9 +95,8 @@ def fig2(result: StudyResult) -> ExperimentReport:
 
 def fig3(result: StudyResult) -> ExperimentReport:
     """Figure 3 — security modes and policies."""
-    servers = result.final_servers()
-    modes = analyze_security_modes(servers)
-    policies = analyze_security_policies(servers)
+    modes = result.analysis("modes")
+    policies = result.analysis("policies")
     report = ExperimentReport("fig3", "Modes and policies (Figure 3)")
     for label, paper in (("N", 1035), ("S", 588), ("S&E", 843)):
         report.add(f"mode {label} supported", paper, modes.supported[label])
@@ -136,8 +131,7 @@ def fig3(result: StudyResult) -> ExperimentReport:
 
 def fig4(result: StudyResult) -> ExperimentReport:
     """Figure 4 — certificates vs. announced policies."""
-    servers = result.final_servers()
-    conformance = analyze_certificate_conformance(servers)
+    conformance = result.analysis("certs")
     report = ExperimentReport("fig4", "Certificate conformance (Figure 4)")
     s2 = conformance.buckets["S2"]
     d1 = conformance.buckets["D1"]
@@ -164,8 +158,7 @@ def fig4(result: StudyResult) -> ExperimentReport:
 
 def fig5(result: StudyResult) -> ExperimentReport:
     """Figure 5 — certificate reuse across hosts and ASes."""
-    servers = result.final_servers()
-    reuse = analyze_certificate_reuse(servers)
+    reuse = result.analysis("reuse")
     report = ExperimentReport("fig5", "Certificate reuse (Figure 5)")
     report.add("certificates on >= 3 hosts", 9, len(reuse.reused_on_3plus))
     largest = reuse.largest_group
@@ -188,8 +181,7 @@ def fig5(result: StudyResult) -> ExperimentReport:
 
 def fig6_table2(result: StudyResult) -> ExperimentReport:
     """Figure 6 / Table 2 — authentication and accessibility."""
-    servers = result.final_servers()
-    access = analyze_access_control(servers)
+    access = result.analysis("access")
     report = ExperimentReport(
         "fig6-table2", "Authentication & accessibility (Figure 6, Table 2)"
     )
@@ -250,8 +242,7 @@ def fig6_table2(result: StudyResult) -> ExperimentReport:
 
 def fig7(result: StudyResult) -> ExperimentReport:
     """Figure 7 — anonymous access rights CDFs."""
-    servers = result.final_servers()
-    rights = analyze_access_rights(servers)
+    rights = result.analysis("rights")
     report = ExperimentReport("fig7", "Access rights of anonymous users (Figure 7)")
     report.add("hosts analyzed", 493, rights.hosts_analyzed)
     # The paper reads three anchors off the CDFs; per-host profiles are
@@ -289,8 +280,7 @@ def fig7(result: StudyResult) -> ExperimentReport:
 
 def fig8(result: StudyResult) -> ExperimentReport:
     """Figure 8 — deficits by manufacturer and autonomous system."""
-    servers = result.final_servers()
-    breakdown = analyze_deficit_breakdown(servers)
+    breakdown = result.analysis("breakdown")
     report = ExperimentReport("fig8", "Deficit breakdown (Figure 8)")
     report.add("none-only hosts", 270, breakdown.class_total("none-only"))
     report.add(
@@ -332,8 +322,7 @@ def fig8(result: StudyResult) -> ExperimentReport:
 
 def sec52_sec54(result: StudyResult) -> ExperimentReport:
     """§5.2/§5.4 takeaways — aggregate deficit shares."""
-    servers = result.final_servers()
-    deficits = analyze_deficits(servers)
+    deficits = result.analysis("deficits")
     report = ExperimentReport("deficits", "Aggregate deficits (§5.2, §5.4)")
     report.add("servers", 1114, deficits.total_servers)
     report.add("no security at all (24 %)", 270, deficits.none_only)
@@ -349,7 +338,7 @@ def sec52_sec54(result: StudyResult) -> ExperimentReport:
 
 def sec55(result: StudyResult) -> ExperimentReport:
     """§5.5 — longitudinal statistics."""
-    longitudinal = analyze_longitudinal(result.snapshots)
+    longitudinal = result.analysis("longitudinal")
     report = ExperimentReport("sec55", "Longitudinal development (§5.5)")
     report.add(
         "avg deficient fraction ~92 %",

@@ -55,17 +55,24 @@ def snapshot_digest(snapshot: MeasurementSnapshot) -> str:
     ).hexdigest()
 
 
-def study_digests(result: StudyResult) -> dict[str, str]:
+def sweep_digests(snapshots: list[MeasurementSnapshot]) -> dict[str, str]:
     """``{sweep date: digest}`` for every snapshot, in sweep order."""
-    return {s.date: snapshot_digest(s) for s in result.snapshots}
+    return {s.date: snapshot_digest(s) for s in snapshots}
+
+
+def combined_digest(per_sweep: dict[str, str]) -> str:
+    """One digest over a whole sweep sequence (date → digest, in order)."""
+    material = canonical_json(list(map(list, per_sweep.items())))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def study_digests(result: StudyResult) -> dict[str, str]:
+    return sweep_digests(result.snapshots)
 
 
 def study_digest(result: StudyResult) -> str:
     """One digest over the whole study (the sweep digests, in order)."""
-    material = canonical_json(
-        [[s.date, snapshot_digest(s)] for s in result.snapshots]
-    )
-    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+    return combined_digest(study_digests(result))
 
 
 def tiny_spec(rows: int = TINY_SPEC_ROWS) -> PopulationSpec:

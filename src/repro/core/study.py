@@ -12,9 +12,12 @@ The pipeline mirrors the paper's §4 methodology:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.client import ClientIdentity
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
+    from repro.dataset.store import StudyStore
 from repro.core.config import StudyConfig
 from repro.deployments.evolution import (
     DISCOVERY_COUNTS,
@@ -42,15 +45,37 @@ class JunkTcpService:
         return b"HTTP/1.0 400 Bad Request\r\nConnection: close\r\n\r\n"
 
 
-@dataclass
 class StudyResult:
-    """Everything a downstream analysis or benchmark needs."""
+    """Everything a downstream analysis or benchmark needs.
 
-    config: StudyConfig
-    spec: PopulationSpec
-    hosts: list[BuiltHost]
-    timeline: StudyTimeline
-    snapshots: list[MeasurementSnapshot] = field(default_factory=list)
+    A result is either *live* (``Study.run`` scanned and handed over
+    the population and timeline it built) or *stored* (snapshots
+    loaded from a :class:`~repro.dataset.store.StudyStore`, no ground
+    truth attached).  The analyses never notice the difference — they
+    only read snapshots.  The few consumers that do need the simulated
+    environment (the IPv6 extension experiment, the sweep benchmarks)
+    get it through the lazy ``hosts``/``timeline`` properties, which
+    rebuild it deterministically from ``(config, spec)`` on first
+    access: ``network_for_sweep`` re-assembles a freshly re-seeded
+    Internet on every call even on a live result, so a rebuilt
+    environment is indistinguishable from the original.
+    """
+
+    def __init__(
+        self,
+        config: StudyConfig,
+        spec: PopulationSpec,
+        hosts: list[BuiltHost] | None = None,
+        timeline: StudyTimeline | None = None,
+        snapshots: list[MeasurementSnapshot] | None = None,
+    ):
+        self.config = config
+        self.spec = spec
+        self.snapshots: list[MeasurementSnapshot] = snapshots or []
+        self._hosts = hosts
+        self._timeline = timeline
+        self._analyses: dict[str, object] = {}
+        self._analysis_context = None
 
     @property
     def final_snapshot(self) -> MeasurementSnapshot:
@@ -58,6 +83,70 @@ class StudyResult:
 
     def final_servers(self):
         return self.final_snapshot.servers()
+
+    # --- simulated environment (lazy for store-loaded results) -----------
+
+    @property
+    def hosts(self) -> list[BuiltHost]:
+        if self._hosts is None:
+            self._materialize()
+        return self._hosts
+
+    @property
+    def timeline(self) -> StudyTimeline:
+        if self._timeline is None:
+            self._materialize()
+        return self._timeline
+
+    def _materialize(self) -> None:
+        self._hosts, self._timeline = Study(
+            self.config, spec=self.spec
+        ).build_environment(self.spec, warm_sweeps=len(self.snapshots))
+
+    # --- shared analyses --------------------------------------------------
+
+    def analysis(self, name: str):
+        """One registered analysis of this study's snapshots, memoized.
+
+        Every experiment pulls its inputs through here, so a quantity
+        two figures share (the longitudinal pass, the deficit flags)
+        is computed once per study — and a pipeline run
+        (:meth:`run_analyses`) pre-fills the same cache.
+        """
+        if name not in self._analyses:
+            from repro.analysis.pipeline import ANALYSES, AnalysisContext
+
+            # One context per result: its final_servers cache is
+            # shared across all per-name calls.
+            if self._analysis_context is None:
+                self._analysis_context = AnalysisContext(
+                    snapshots=self.snapshots,
+                    spec=self.spec,
+                    seed=self.config.seed,
+                )
+            self._analyses[name] = ANALYSES[name](self._analysis_context)
+        return self._analyses[name]
+
+    def run_analyses(
+        self,
+        executor: str = "serial",
+        workers: int = 1,
+        names: tuple[str, ...] | None = None,
+    ):
+        """Fan the analysis registry out over an executor backend and
+        cache every result on this study."""
+        from repro.analysis.pipeline import run_analyses
+
+        report = run_analyses(
+            self.snapshots,
+            self.spec,
+            seed=self.config.seed,
+            executor=executor,
+            workers=workers,
+            names=names,
+        )
+        self._analyses.update(report.results)
+        return report
 
 
 class Study:
@@ -109,8 +198,23 @@ class Study:
         )
         return ScannerIdentity(identity)
 
-    def run(self) -> StudyResult:
-        spec = self._spec or build_default_spec()
+    def build_environment(
+        self, spec: PopulationSpec | None = None, warm_sweeps: int = 0
+    ) -> tuple[list[BuiltHost], StudyTimeline]:
+        """Build the ground-truth population and timeline.
+
+        ``spec`` should be the spec the caller already resolved (so
+        the population is built from the *same object* the store key
+        and the result carry); ``None`` resolves it here.
+        ``warm_sweeps`` replays the discovery-fleet allocations for
+        that many sweeps in order.  A live run never needs it (the
+        sweeps warm the caches as they execute); rebuilding the
+        environment for a *stored* result does, because discovery
+        addresses draw from a shared registry whose allocation order
+        must match the original run's sweep order.
+        """
+        if spec is None:
+            spec = self._spec or build_default_spec()
         builder = PopulationBuilder(
             spec, seed=self.config.seed, key_factory=self._key_factory
         )
@@ -121,6 +225,24 @@ class Study:
             seed=self.config.seed,
             discovery_counts=self._discovery_counts(),
         )
+        timeline.warm_discovery_allocations(warm_sweeps)
+        return hosts, timeline
+
+    def run(self, store: "StudyStore | None" = None) -> StudyResult:
+        """Run the eight sweeps — or load them from ``store``.
+
+        With a store, a hit returns the persisted (digest-validated)
+        snapshots without building a single host; a miss scans as
+        usual and persists the snapshots before returning.
+        """
+        spec = self._spec or build_default_spec()
+        if store is not None:
+            stored = store.load(self.config, spec)
+            if stored is not None:
+                return StudyResult(
+                    config=self.config, spec=spec, snapshots=stored
+                )
+        hosts, timeline = self.build_environment(spec)
         identity = self.scanner_identity()
         result = StudyResult(
             config=self.config, spec=spec, hosts=hosts, timeline=timeline
@@ -147,6 +269,8 @@ class Study:
                 batch_size=self.config.probe_batch_size,
             )
             result.snapshots.append(snapshot)
+        if store is not None:
+            store.save(self.config, spec, result.snapshots)
         return result
 
     def _discovery_counts(self) -> tuple[int, ...] | None:
@@ -180,16 +304,33 @@ _RESULT_CACHE: dict[int, StudyResult] = {}
 
 
 def default_study_result(
-    seed: int = 20200830, executor: str = "serial", workers: int = 1
+    seed: int = 20200830,
+    executor: str = "serial",
+    workers: int = 1,
+    store: "StudyStore | None | bool" = True,
 ) -> StudyResult:
     """The cached full-study result shared by tests/benchmarks/examples.
 
-    The cache is keyed by seed alone: snapshots are bit-identical
-    across executor backends, so whichever backend computes the result
-    first serves every later caller.
+    The in-memory cache is keyed by seed alone: snapshots are
+    bit-identical across executor backends, so whichever backend
+    computes the result first serves every later caller.
+
+    ``store`` layers on-disk persistence underneath: ``True`` (the
+    default) uses the ambient store named by ``REPRO_STUDY_STORE`` if
+    any, ``False``/``None`` disables persistence, and an explicit
+    :class:`~repro.dataset.store.StudyStore` pins a directory.  CI's
+    full tier sets the environment variable once and every consumer —
+    tier-1 tests, ``repro analyze``, the benchmark suite — reuses the
+    single stored scan.
     """
     if seed not in _RESULT_CACHE:
+        if store is True:
+            from repro.dataset.store import default_store
+
+            store = default_store()
+        elif store is False:
+            store = None
         _RESULT_CACHE[seed] = Study(
             StudyConfig(seed=seed, executor=executor, workers=workers)
-        ).run()
+        ).run(store=store or None)
     return _RESULT_CACHE[seed]

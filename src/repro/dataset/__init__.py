@@ -8,11 +8,28 @@ newline-delimited JSON.
 """
 
 from repro.dataset.anonymize import AnonymizationMap, anonymize_snapshot
-from repro.dataset.io import read_snapshots, write_snapshots
+from repro.dataset.io import (
+    DatasetFormatError,
+    iter_snapshots,
+    read_snapshots,
+    write_snapshots,
+)
+from repro.dataset.store import (
+    StoreIntegrityError,
+    StudyStore,
+    default_store,
+    study_key,
+)
 
 __all__ = [
     "AnonymizationMap",
+    "DatasetFormatError",
+    "StoreIntegrityError",
+    "StudyStore",
     "anonymize_snapshot",
+    "default_store",
+    "iter_snapshots",
     "read_snapshots",
+    "study_key",
     "write_snapshots",
 ]

@@ -1,53 +1,159 @@
 """Newline-delimited JSON dataset files.
 
 Layout: one header line per snapshot (``{"snapshot": date, ...}``)
-followed by one line per host record.
+followed by one line per host record.  The header's ``records`` field
+declares how many record lines follow, which lets the reader detect
+truncated files — a partially written dataset (interrupted run, bad
+copy) fails loudly instead of silently shrinking a sweep.
+
+Files whose name ends in ``.gz`` are transparently gzip-compressed on
+both ends.  :func:`iter_snapshots` is the streaming reader: it yields
+one fully populated snapshot at a time, so a consumer that only needs
+one sweep (or wants to process sweeps incrementally) never holds the
+whole study in memory.  :func:`read_snapshots` remains the eager
+convenience wrapper.
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 from pathlib import Path
+from typing import Iterator, TextIO
 
 from repro.scanner.records import HostRecord, MeasurementSnapshot
 
 
-def write_snapshots(path: str | Path, snapshots: list[MeasurementSnapshot]) -> None:
+class DatasetFormatError(ValueError):
+    """A dataset file violates the JSONL snapshot layout."""
+
+
+def _open_read(path: Path) -> TextIO:
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, encoding="utf-8")
+
+
+def _decompressed_lines(path: Path, handle: TextIO) -> Iterator[str]:
+    """Iterate lines, mapping decompression failures to format errors.
+
+    A byte-truncated or corrupted ``.gz`` file surfaces as
+    ``EOFError``/``BadGzipFile``/``zlib.error`` mid-iteration; callers
+    are promised :class:`DatasetFormatError` for every malformed-file
+    shape, so wrap them here.
+    """
+    import zlib
+
+    iterator = iter(handle)
+    while True:
+        try:
+            line = next(iterator)
+        except StopIteration:
+            return
+        except (EOFError, gzip.BadGzipFile, zlib.error) as exc:
+            raise DatasetFormatError(
+                f"{path}: corrupted or truncated compressed data: {exc}"
+            ) from None
+        yield line
+
+
+def write_snapshots(
+    path: str | Path, snapshots: list[MeasurementSnapshot]
+) -> None:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w") as handle:
-        for snapshot in snapshots:
-            header = {
-                "snapshot": snapshot.date,
-                "probed": snapshot.probed,
-                "port_open": snapshot.port_open,
-                "excluded": snapshot.excluded,
-                "records": len(snapshot.records),
-            }
-            handle.write(json.dumps(header) + "\n")
-            for record in snapshot.records:
-                handle.write(json.dumps(record.to_json_dict()) + "\n")
+    if path.suffix == ".gz":
+        # filename="" and mtime=0 keep the gzip header free of
+        # environment detail: the compressed bytes are a pure function
+        # of the content, so stored files are byte-reproducible.
+        with open(path, "wb") as binary:
+            with gzip.GzipFile(
+                fileobj=binary, mode="wb", filename="", mtime=0
+            ) as raw:
+                with io.TextIOWrapper(raw, encoding="utf-8") as handle:
+                    _write_lines(handle, snapshots)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            _write_lines(handle, snapshots)
 
 
-def read_snapshots(path: str | Path) -> list[MeasurementSnapshot]:
-    snapshots: list[MeasurementSnapshot] = []
+def _write_lines(
+    handle: TextIO, snapshots: list[MeasurementSnapshot]
+) -> None:
+    for snapshot in snapshots:
+        header = {
+            "snapshot": snapshot.date,
+            "probed": snapshot.probed,
+            "port_open": snapshot.port_open,
+            "excluded": snapshot.excluded,
+            "records": len(snapshot.records),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for record in snapshot.records:
+            handle.write(json.dumps(record.to_json_dict()) + "\n")
+
+
+def iter_snapshots(path: str | Path) -> Iterator[MeasurementSnapshot]:
+    """Stream snapshots one at a time, validating record counts.
+
+    Each snapshot is yielded only once all the record lines its header
+    declared have been read, so a truncated tail raises
+    :class:`DatasetFormatError` instead of yielding a short snapshot.
+    """
+    path = Path(path)
     current: MeasurementSnapshot | None = None
     remaining = 0
-    with open(path) as handle:
-        for line in handle:
-            data = json.loads(line)
+    with _open_read(path) as handle:
+        for number, line in enumerate(_decompressed_lines(path, handle), 1):
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DatasetFormatError(
+                    f"{path}:{number}: not valid JSON "
+                    f"(truncated write?): {exc}"
+                ) from None
             if "snapshot" in data:
+                if remaining:
+                    raise DatasetFormatError(
+                        f"{path}:{number}: snapshot {current.date!r} "
+                        f"declared {len(current.records) + remaining} "
+                        f"records but only {len(current.records)} "
+                        "precede the next header"
+                    )
+                if current is not None:
+                    yield current
                 current = MeasurementSnapshot(
                     date=data["snapshot"],
                     probed=data.get("probed", 0),
                     port_open=data.get("port_open", 0),
                     excluded=data.get("excluded", 0),
                 )
-                snapshots.append(current)
                 remaining = data.get("records", 0)
             else:
                 if current is None:
-                    raise ValueError("record line before snapshot header")
+                    raise DatasetFormatError(
+                        f"{path}:{number}: record line before any "
+                        "snapshot header"
+                    )
+                if remaining <= 0:
+                    raise DatasetFormatError(
+                        f"{path}:{number}: snapshot {current.date!r} "
+                        "has more record lines than its header declared"
+                    )
                 current.records.append(HostRecord.from_json_dict(data))
                 remaining -= 1
-    return snapshots
+    if remaining:
+        raise DatasetFormatError(
+            f"{path}: truncated file: snapshot {current.date!r} declared "
+            f"{len(current.records) + remaining} records but the file "
+            f"ends after {len(current.records)}"
+        )
+    if current is not None:
+        yield current
+
+
+def read_snapshots(path: str | Path) -> list[MeasurementSnapshot]:
+    return list(iter_snapshots(path))

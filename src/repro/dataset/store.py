@@ -1,0 +1,255 @@
+"""Content-addressed, versioned on-disk store for study results.
+
+Running the full eight-sweep study costs minutes; every one of the
+paper's analyses consumes nothing but the resulting snapshot sequence.
+The store decouples the two: ``Study.run(store=...)`` writes the
+snapshots once, and any later invocation — another experiment, the
+benchmark suite, ``repro analyze``, a CI job — loads them instead of
+re-scanning.
+
+Entries are *content-addressed*: the key is a SHA-256 digest over
+
+* the result-affecting :class:`~repro.core.config.StudyConfig` fields
+  (``executor``/``workers``/``probe_batch_size`` are excluded — they
+  change wall-clock time, never snapshot bytes, so a study scanned
+  with the process backend serves serial callers and vice versa);
+* every row of the :class:`~repro.deployments.spec.PopulationSpec`;
+* :data:`SCHEMA_VERSION`, bumped whenever the record schema or the
+  scan semantics change — old entries then simply stop matching
+  instead of being misread.
+
+Each entry persists its golden digests (per-sweep and whole-study,
+the same SHA-256s ``tests/golden`` pins) in ``meta.json``, and
+:meth:`StudyStore.load` recomputes them from the decoded snapshots —
+a corrupted, hand-edited, or stale entry can never silently poison an
+analysis; it raises :class:`StoreIntegrityError` instead.
+
+Layout::
+
+    <root>/<key>/meta.json           # config, spec summary, digests
+    <root>/<key>/snapshots.jsonl.gz  # dataset/io.py JSONL, gzipped
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.config import StudyConfig
+from repro.core.golden import (
+    canonical_json,
+    combined_digest,
+    snapshot_digest,
+    sweep_digests,
+)
+from repro.dataset.io import iter_snapshots, write_snapshots
+from repro.deployments.spec import PopulationSpec
+from repro.scanner.records import MeasurementSnapshot
+
+#: Version of the stored byte format *and* of the scan semantics that
+#: produced it.  Bump on any change to the record schema, the snapshot
+#: digest definition, or the scan pipeline's output — every existing
+#: key then stops matching and studies are transparently re-run.
+SCHEMA_VERSION = 1
+
+#: Environment variable naming the default store directory.  Used by
+#: :func:`default_store` so CI and benchmarks opt whole process trees
+#: into the store without threading a path through every call site.
+STORE_ENV = "REPRO_STUDY_STORE"
+
+SNAPSHOT_FILE = "snapshots.jsonl.gz"
+META_FILE = "meta.json"
+
+#: StudyConfig fields that never change snapshot bytes (executor
+#: choice and task granularity) — excluded from the content key.
+_NON_RESULT_FIELDS = frozenset({"executor", "workers", "probe_batch_size"})
+
+
+class StoreIntegrityError(RuntimeError):
+    """A store entry exists but fails digest/shape validation."""
+
+
+def config_key_fields(config: StudyConfig) -> dict:
+    """The config as a dict of result-affecting fields only."""
+    return {
+        field.name: getattr(config, field.name)
+        for field in dataclasses.fields(config)
+        if field.name not in _NON_RESULT_FIELDS
+    }
+
+
+def spec_fingerprint(spec: PopulationSpec) -> list[dict]:
+    """Every spec row as plain JSON (enums are ints, tuples lists)."""
+    return [dataclasses.asdict(row) for row in spec.rows]
+
+
+def study_key(config: StudyConfig, spec: PopulationSpec) -> str:
+    """Content digest identifying one study's inputs."""
+    material = canonical_json(
+        {
+            "schema": SCHEMA_VERSION,
+            "config": config_key_fields(config),
+            "spec": spec_fingerprint(spec),
+        }
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def default_store(path: str | Path | None = None) -> "StudyStore | None":
+    """Resolve the ambient store: explicit path, else :data:`STORE_ENV`.
+
+    Returns ``None`` when neither names a directory — callers then run
+    without persistence, exactly as before the store existed.
+    """
+    if path is None:
+        path = os.environ.get(STORE_ENV) or None
+    if path is None:
+        return None
+    return StudyStore(path)
+
+
+class StudyStore:
+    """A directory of content-addressed study entries."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # --- key plumbing ------------------------------------------------------
+
+    def entry_dir(self, key: str) -> Path:
+        return self.root / key
+
+    def contains(self, config: StudyConfig, spec: PopulationSpec) -> bool:
+        key = study_key(config, spec)
+        return (self.entry_dir(key) / META_FILE).exists()
+
+    def keys(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if (entry / META_FILE).exists()
+        )
+
+    def read_meta(self, key: str) -> dict:
+        path = self.entry_dir(key) / META_FILE
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise StoreIntegrityError(
+                f"store entry {key}: meta.json is not valid JSON "
+                f"({exc}) — delete {path.parent} and re-run the study"
+            ) from None
+
+    # --- writing -----------------------------------------------------------
+
+    def save(
+        self,
+        config: StudyConfig,
+        spec: PopulationSpec,
+        snapshots: list[MeasurementSnapshot],
+    ) -> str:
+        """Persist one finished study; returns the entry key.
+
+        The snapshot file is written first and ``meta.json`` last, so
+        a crashed write never leaves an entry that looks complete —
+        ``contains``/``load`` key off the meta file.
+        """
+        key = study_key(config, spec)
+        entry = self.entry_dir(key)
+        entry.mkdir(parents=True, exist_ok=True)
+        write_snapshots(entry / SNAPSHOT_FILE, snapshots)
+        per_sweep = sweep_digests(snapshots)
+        meta = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "config": {
+                field.name: getattr(config, field.name)
+                for field in dataclasses.fields(config)
+            },
+            "spec_rows": len(spec.rows),
+            "spec_servers": spec.total_servers,
+            "sweeps": len(snapshots),
+            "records": sum(len(s.records) for s in snapshots),
+            "digest": combined_digest(per_sweep),
+            "per_sweep": per_sweep,
+        }
+        # Atomic publish: meta.json appearing is what marks the entry
+        # complete, so it must never exist half-written.
+        temp = entry / (META_FILE + ".tmp")
+        temp.write_text(json.dumps(meta, indent=2) + "\n")
+        os.replace(temp, entry / META_FILE)
+        return key
+
+    # --- reading -----------------------------------------------------------
+
+    def load(
+        self, config: StudyConfig, spec: PopulationSpec
+    ) -> list[MeasurementSnapshot] | None:
+        """Load and validate the entry for ``(config, spec)``.
+
+        ``None`` means "not stored" (including a schema-version
+        mismatch, which by construction cannot produce this key).
+        Every decoded snapshot is re-hashed against the digests
+        recorded at save time; any drift — truncated file, stale
+        entry, hand edit, schema skew — raises
+        :class:`StoreIntegrityError`.
+        """
+        key = study_key(config, spec)
+        if not (self.entry_dir(key) / META_FILE).exists():
+            return None
+        return list(self.iter_validated(key))
+
+    def iter_validated(self, key: str) -> Iterator[MeasurementSnapshot]:
+        """Stream one entry's snapshots, validating digests as they go.
+
+        The streaming shape means a consumer that only needs the first
+        sweeps (or processes sweeps one at a time) pays for exactly
+        what it reads — the final whole-study digest check happens on
+        exhaustion, when every per-sweep digest has already matched.
+        """
+        meta = self.read_meta(key)
+        if meta.get("schema") != SCHEMA_VERSION:
+            raise StoreIntegrityError(
+                f"store entry {key} has schema {meta.get('schema')!r}, "
+                f"this code expects {SCHEMA_VERSION}"
+            )
+        expected: dict[str, str] = meta.get("per_sweep", {})
+        expected_dates = list(expected)
+        seen: dict[str, str] = {}
+        path = self.entry_dir(key) / SNAPSHOT_FILE
+        for snapshot in iter_snapshots(path):
+            position = len(seen)
+            if (
+                position >= len(expected_dates)
+                or snapshot.date != expected_dates[position]
+            ):
+                raise StoreIntegrityError(
+                    f"store entry {key}: unexpected sweep "
+                    f"{snapshot.date!r} at position {position} "
+                    f"(expected {expected_dates[position:position + 1]})"
+                )
+            digest = snapshot_digest(snapshot)
+            if digest != expected[snapshot.date]:
+                raise StoreIntegrityError(
+                    f"store entry {key}: sweep {snapshot.date} digest "
+                    f"mismatch (stored {expected[snapshot.date][:12]}…, "
+                    f"recomputed {digest[:12]}…) — the entry is stale "
+                    "or corrupted; delete it and re-run the study"
+                )
+            seen[snapshot.date] = digest
+            yield snapshot
+        if len(seen) != len(expected_dates):
+            raise StoreIntegrityError(
+                f"store entry {key}: file holds {len(seen)} sweeps, "
+                f"meta.json declares {len(expected_dates)}"
+            )
+        if combined_digest(seen) != meta.get("digest"):
+            raise StoreIntegrityError(
+                f"store entry {key}: whole-study digest mismatch"
+            )

@@ -17,6 +17,8 @@ allow writes to >10 %, 61 % allow executing >86 % of methods.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass
 
 from repro.deployments.manufacturers import Manufacturer
@@ -55,9 +57,6 @@ _TEST_VARIABLE_NAMES = (
     "MyVariable", "TestCounter", "Demo.Dynamic.Scalar.Double",
     "SimulatedSine", "ExampleString", "RandomValue", "Counter1",
 )
-
-
-import math
 
 
 @dataclass(frozen=True)

@@ -36,7 +36,6 @@ from repro.util.rng import DeterministicRng
 from repro.util.simtime import SimClock, parse_utc
 from repro.x509.builder import CertificateBuilder
 from repro.x509.certificate import Certificate
-from repro.x509.name import DistinguishedName
 
 SWEEP_DATES: tuple[str, ...] = (
     "2020-02-09",
@@ -275,6 +274,23 @@ class StudyTimeline:
         return version + "-rc1"
 
     # --- network assembly ----------------------------------------------------------
+
+    def warm_discovery_allocations(self, sweeps: int) -> None:
+        """Replay discovery-spec allocation for sweeps ``[0, sweeps)``.
+
+        Discovery addresses draw from the builder's shared AS registry,
+        so the fleet's addresses depend on *allocation order*: a live
+        study allocates sweep 0 first, then 1, and so on.  A rebuilt
+        environment (store-loaded result) that jumped straight to
+        ``network_for_sweep(7)`` would hand sweep 7 the addresses the
+        original run gave sweep 0.  Warming in sweep order reproduces
+        the original allocation sequence exactly.
+        """
+        for sweep in range(sweeps):
+            if sweep not in self._discovery_cache:
+                self._discovery_cache[sweep] = self._build_discovery_specs(
+                    sweep
+                )
 
     def network_for_sweep(self, sweep: int) -> SimNetwork:
         """Assemble the simulated Internet as of sweep ``sweep``."""

@@ -10,7 +10,7 @@ registers everything with a :class:`~repro.netsim.net.SimNetwork`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import datetime, timedelta
 
 from repro.deployments.addresspaces import (
@@ -22,7 +22,6 @@ from repro.deployments.keyfactory import KeyFactory
 from repro.deployments.manufacturers import (
     Manufacturer,
     manufacturer_by_name,
-    OPC_FOUNDATION,
 )
 from repro.deployments.profiles import CERT_CLASSES, POLICY_GROUPS, CertClass
 from repro.deployments.spec import (

@@ -19,10 +19,9 @@ from dataclasses import dataclass, field
 
 from repro.deployments.profiles import (
     CERT_CLASSES,
-    MODE_SETS_BY_GROUP,
     POLICY_GROUPS,
 )
-from repro.secure.policies import POLICY_NONE, policy_by_label
+from repro.secure.policies import policy_by_label
 from repro.uabin.enums import MessageSecurityMode, UserTokenType
 
 # Token combo shorthands (paper Table 2 rows).

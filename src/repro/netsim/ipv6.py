@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.netsim.blocklist import Blocklist
 from repro.netsim.net import SimNetwork
-from repro.util.ipaddr import MAX_IPV6, format_ipv6, parse_ipv6
+from repro.util.ipaddr import MAX_IPV6, parse_ipv6
 from repro.util.rng import DeterministicRng
 
 

@@ -3,10 +3,12 @@
 from repro.reporting.tables import render_table
 from repro.reporting.charts import render_bars, render_cdf
 from repro.reporting.figures import Comparison, ExperimentReport
+from repro.reporting.summary import render_analysis_report
 
 __all__ = [
     "Comparison",
     "ExperimentReport",
+    "render_analysis_report",
     "render_bars",
     "render_cdf",
     "render_table",

@@ -1,0 +1,87 @@
+"""Rendering for merged :class:`~repro.analysis.pipeline.AnalysisReport`s.
+
+``repro analyze`` prints this: one headline line per registered
+analysis, in the registry's canonical order, plus the report digest —
+the same digest the backend-equivalence tests pin, so two runs that
+print the same digest computed byte-identical analyses.
+"""
+
+from __future__ import annotations
+
+from repro.reporting.tables import render_table
+
+
+def _headline(name: str, result) -> str:
+    """One human-readable takeaway per analysis."""
+    if name == "modes":
+        return (
+            f"{result.total_servers} servers; "
+            f"{result.supports_secure_mode} offer a secure mode, "
+            f"{result.none_only} are None-only"
+        )
+    if name == "policies":
+        return (
+            f"{result.supports_deprecated} support a deprecated policy, "
+            f"{result.deprecated_as_best} have one as their best, "
+            f"{result.enforce_secure} enforce strong policies"
+        )
+    if name == "certs":
+        return (
+            f"{result.servers_with_certificate} certificates, "
+            f"{result.ca_signed} CA-signed, "
+            f"{result.weaker_than_best_policy} weaker than best policy"
+        )
+    if name == "reuse":
+        return (
+            f"{result.distinct_certificates} distinct certificates, "
+            f"{len(result.reused_on_3plus)} groups on >=3 hosts "
+            f"({result.hosts_affected} hosts), "
+            f"{result.shared_prime_pairs} shared-prime pairs"
+        )
+    if name == "access":
+        return (
+            f"{result.accessible} anonymously accessible "
+            f"({result.production} production); "
+            f"{result.rejected_authentication} auth-rejected, "
+            f"{result.rejected_secure_channel} channel-rejected"
+        )
+    if name == "rights":
+        return f"{result.hosts_analyzed} hosts with traversed address spaces"
+    if name == "deficits":
+        return (
+            f"{result.deficient}/{result.total_servers} deficient "
+            f"({result.deficient_fraction:.1%})"
+        )
+    if name == "breakdown":
+        totals = ", ".join(
+            f"{cls}={result.class_total(cls)}"
+            for cls in result.by_manufacturer
+        )
+        return totals
+    if name == "longitudinal":
+        return (
+            f"{len(result.sweeps)} sweeps, "
+            f"avg {result.avg_deficient_fraction:.1%} deficient, "
+            f"{result.renewal_count} renewals "
+            f"({result.upgrades} hash upgrades)"
+        )
+    if name == "ipv6":
+        return (
+            f"IPv6 sample: {result.ipv6_servers}/{result.hitlist_size} "
+            f"hosts, {result.ipv6_deficient_fraction:.1%} deficient "
+            f"(IPv4 {result.ipv4_deficient_fraction:.1%})"
+        )
+    return type(result).__name__
+
+
+def render_analysis_report(report) -> str:
+    rows = [
+        [name, _headline(name, result)]
+        for name, result in report.results.items()
+    ]
+    table = render_table(
+        ["analysis", "headline"],
+        rows,
+        title=f"Analysis report (seed {report.seed}, {report.sweeps} sweeps)",
+    )
+    return f"{table}\n\nreport digest: {report.digest()}"

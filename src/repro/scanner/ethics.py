@@ -19,7 +19,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
-from repro.scanner.records import HostRecord, MeasurementSnapshot
+from repro.scanner.records import MeasurementSnapshot
 
 _EMAIL_RE = re.compile(
     r"[a-zA-Z0-9._%+-]+@[a-zA-Z0-9.-]+\.[a-zA-Z]{2,}"

@@ -110,10 +110,10 @@ ResultList = List[Tuple[GrabTask, object]]
 class ScanExecutorError(RuntimeError):
     """A worker failed; carries the original task for diagnostics."""
 
-    def __init__(self, task: GrabTask, cause: BaseException):
-        super().__init__(
-            f"grab failed for {task.address}:{task.port}: {cause!r}"
-        )
+    def __init__(self, task, cause: BaseException):
+        # Tasks are not only grabs anymore (probe batches, analysis
+        # tasks) — identify them by their pipeline key.
+        super().__init__(f"task {task.key!r} failed: {cause!r}")
         self.task = task
         self.cause = cause
 

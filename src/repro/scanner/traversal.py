@@ -29,7 +29,8 @@ def traverse_address_space(
     """Walk the address space; returns the aggregate node summary."""
     budget.start(clock.now())
     summary = NodeSummary()
-    bytes_used = lambda: socket.bytes_sent if socket is not None else 0
+    def bytes_used() -> int:
+        return socket.bytes_sent if socket is not None else 0
 
     visited = set()
     seen_leaves = set()

@@ -26,7 +26,7 @@ from repro.secure import crypto_suite
 from repro.secure.keysets import SymmetricKeys, derive_channel_keys
 from repro.secure.policies import POLICY_NONE, SecurityPolicy
 from repro.transport.connection import encode_frame
-from repro.transport.messages import HEADER_SIZE, MessageType, TransportError
+from repro.transport.messages import HEADER_SIZE, MessageType
 from repro.uabin.builtin import read_bytestring, read_string, write_bytestring, write_string
 from repro.uabin.enums import MessageSecurityMode
 from repro.uabin.nodeid import NodeId

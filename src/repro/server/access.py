@@ -8,7 +8,7 @@ of nodes the *anonymous* user may read, write, or execute.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class Role(str, enum.Enum):

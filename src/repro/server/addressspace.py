@@ -8,7 +8,6 @@ example-application namespaces indicate test systems.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 
 from repro.server.nodes import MethodNode, Node, ObjectNode, Reference, VariableNode
 from repro.uabin.builtin import LocalizedText, QualifiedName

@@ -8,7 +8,7 @@ tuples across the Internet.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.secure.policies import POLICY_NONE, SecurityPolicy  # noqa: F401
 from repro.uabin.builtin import LocalizedText

@@ -25,7 +25,6 @@ from repro.transport.connection import FrameReader, encode_frame
 from repro.transport.messages import (
     AcknowledgeMessage,
     ErrorMessage,
-    HEADER_SIZE,
     HelloMessage,
     MessageType,
     TransportError,
@@ -45,8 +44,6 @@ from repro.uabin.structs import DecodingError, ResponseHeader
 from repro.uabin.types_attribute import ReadResponse, WriteResponse
 from repro.uabin.types_channel import (
     ChannelSecurityToken,
-    CloseSecureChannelRequest,
-    OpenSecureChannelRequest,
     OpenSecureChannelResponse,
 )
 from repro.uabin.types_common import ApplicationDescription, SignatureData

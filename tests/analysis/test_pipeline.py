@@ -1,0 +1,146 @@
+"""Analysis-pipeline tests: registry coverage and backend equivalence.
+
+Acceptance pin for the parallel analysis layer: on the golden tiny
+study, the merged ``AnalysisReport`` digest is identical whether the
+registry fans out serially, over a thread pool, or over a fork-based
+process pool — and identical again when the snapshots made a round
+trip through the study store first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.pipeline import (
+    ANALYSIS_NAMES,
+    AnalysisTask,
+    jsonify,
+    run_analyses,
+)
+from repro.dataset.store import StudyStore
+
+pytestmark = pytest.mark.golden
+
+
+@pytest.fixture(scope="module")
+def serial_report(serial_tiny_result):
+    return run_analyses(
+        serial_tiny_result.snapshots,
+        serial_tiny_result.spec,
+        seed=serial_tiny_result.config.seed,
+    )
+
+
+class TestRegistry:
+    def test_every_analysis_registered(self):
+        assert set(ANALYSIS_NAMES) == {
+            "modes", "policies", "certs", "reuse", "access", "rights",
+            "deficits", "breakdown", "longitudinal", "ipv6",
+        }
+
+    def test_report_is_canonically_ordered(self, serial_report):
+        assert serial_report.names() == ANALYSIS_NAMES
+
+    def test_unknown_name_rejected(self, serial_tiny_result):
+        with pytest.raises(KeyError, match="unknown analyses"):
+            run_analyses(
+                serial_tiny_result.snapshots,
+                serial_tiny_result.spec,
+                seed=1,
+                names=("modes", "nope"),
+            )
+
+    def test_subset_selection(self, serial_tiny_result):
+        report = run_analyses(
+            serial_tiny_result.snapshots,
+            serial_tiny_result.spec,
+            seed=serial_tiny_result.config.seed,
+            names=("deficits", "modes"),
+        )
+        assert report.names() == ("deficits", "modes")
+
+    def test_task_keys_are_distinct(self):
+        keys = {AnalysisTask(name).key for name in ANALYSIS_NAMES}
+        assert len(keys) == len(ANALYSIS_NAMES)
+
+
+@pytest.mark.parametrize(
+    "backend,workers",
+    [
+        pytest.param("thread", 4, id="thread"),
+        pytest.param("process", 2, id="process"),
+    ],
+)
+def test_backend_equivalence(
+    backend, workers, serial_tiny_result, serial_report
+):
+    report = run_analyses(
+        serial_tiny_result.snapshots,
+        serial_tiny_result.spec,
+        seed=serial_tiny_result.config.seed,
+        executor=backend,
+        workers=workers,
+    )
+    assert report.digest() == serial_report.digest(), (
+        f"{backend} analysis pipeline diverged from serial"
+    )
+
+
+def test_failing_analysis_surfaces_cause(serial_tiny_result, monkeypatch):
+    """A task crash in a pooled backend reports the analysis + cause."""
+    from repro.analysis import pipeline
+    from repro.scanner.executor import ScanExecutorError
+
+    def boom(ctx):
+        raise ValueError("broken analysis")
+
+    monkeypatch.setitem(pipeline.ANALYSES, "boom", boom)
+    with pytest.raises(ScanExecutorError, match="boom") as info:
+        run_analyses(
+            serial_tiny_result.snapshots,
+            serial_tiny_result.spec,
+            seed=1,
+            names=("boom",),
+            executor="thread",
+            workers=2,
+        )
+    assert isinstance(info.value.cause, ValueError)
+
+
+def test_store_round_trip_preserves_report(
+    tmp_path, serial_tiny_result, serial_report
+):
+    """scan → store → load → analyze == scan → analyze, bit for bit."""
+    store = StudyStore(tmp_path / "store")
+    store.save(
+        serial_tiny_result.config,
+        serial_tiny_result.spec,
+        serial_tiny_result.snapshots,
+    )
+    loaded = store.load(serial_tiny_result.config, serial_tiny_result.spec)
+    report = run_analyses(
+        loaded,
+        serial_tiny_result.spec,
+        seed=serial_tiny_result.config.seed,
+    )
+    assert report.digest() == serial_report.digest()
+
+
+def test_experiments_share_pipeline_results(serial_tiny_result):
+    """``result.analysis`` memoizes and a pipeline run pre-fills it."""
+    result = serial_tiny_result
+    report = result.run_analyses()
+    assert result.analysis("modes") is report["modes"]
+    assert result.analysis("longitudinal") is report["longitudinal"]
+
+
+class TestJsonify:
+    def test_tuple_keys_become_strings(self):
+        assert jsonify({(0, 1): 2}) == {"0+1": 2}
+
+    def test_sets_are_sorted(self):
+        assert jsonify({"flags": {"b", "a"}}) == {"flags": ["a", "b"]}
+
+    def test_unserializable_raises(self):
+        with pytest.raises(TypeError):
+            jsonify(object())

@@ -19,10 +19,24 @@ os.environ.setdefault(
     "REPRO_KEYCACHE", str(Path(__file__).resolve().parents[1] / ".keycache")
 )
 
-import pytest
+import pytest  # noqa: E402
 
-from repro.crypto.rsa import generate_rsa_key
-from repro.util.rng import DeterministicRng
+from repro.crypto.rsa import generate_rsa_key  # noqa: E402
+from repro.util.rng import DeterministicRng  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def serial_tiny_result():
+    """One serial tiny-spec study per session.
+
+    Shared by the golden-digest suite (committed-digest subject and
+    parallel-backend reference), the study-store round-trip tests, and
+    the analysis-pipeline equivalence tests, so the whole fast tier
+    pays for exactly one tiny scan.
+    """
+    from repro.core.golden import run_tiny_study
+
+    return run_tiny_study("serial", 1)
 
 
 @pytest.fixture(scope="session")

@@ -5,7 +5,12 @@ from pathlib import Path
 import pytest
 
 from repro.dataset.anonymize import AnonymizationMap, anonymize_record, anonymize_snapshot
-from repro.dataset.io import read_snapshots, write_snapshots
+from repro.dataset.io import (
+    DatasetFormatError,
+    iter_snapshots,
+    read_snapshots,
+    write_snapshots,
+)
 from repro.scanner.records import (
     CertificateInfo,
     EndpointRecord,
@@ -136,4 +141,93 @@ class TestJsonl:
         path = tmp_path / "bad.jsonl"
         path.write_text('{"ip": 1, "port": 4840, "asn": null, "timestamp": "x"}\n')
         with pytest.raises(ValueError):
+            read_snapshots(path)
+
+    def test_gzip_round_trip(self, tmp_path: Path):
+        snapshot = MeasurementSnapshot(
+            date="2020-08-30", records=[make_record(ip=i) for i in range(3)]
+        )
+        path = tmp_path / "data.jsonl.gz"
+        write_snapshots(path, [snapshot])
+        loaded = read_snapshots(path)
+        assert loaded[0].records == snapshot.records
+
+    def test_gzip_bytes_are_reproducible(self, tmp_path: Path):
+        """mtime=0 keeps the compressed file content-addressed."""
+        snapshot = MeasurementSnapshot(date="2020-08-30", records=[make_record()])
+        first, second = tmp_path / "a.jsonl.gz", tmp_path / "b.jsonl.gz"
+        write_snapshots(first, [snapshot])
+        write_snapshots(second, [snapshot])
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_iter_snapshots_streams_lazily(self, tmp_path: Path):
+        snapshots = [
+            MeasurementSnapshot(date=f"2020-0{i}-01", records=[make_record()])
+            for i in range(1, 4)
+        ]
+        path = tmp_path / "multi.jsonl"
+        write_snapshots(path, snapshots)
+        stream = iter_snapshots(path)
+        assert next(stream).date == "2020-01-01"
+        assert next(stream).date == "2020-02-01"
+
+
+class TestTruncationValidation:
+    """The header's record count is authoritative (satellite bugfix:
+    the old reader tracked a ``remaining`` counter it never checked)."""
+
+    def _write(self, tmp_path: Path, count: int = 5) -> Path:
+        snapshot = MeasurementSnapshot(
+            date="2020-08-30",
+            records=[make_record(ip=i) for i in range(count)],
+        )
+        path = tmp_path / "data.jsonl"
+        write_snapshots(path, [snapshot])
+        return path
+
+    def test_truncated_tail_rejected(self, tmp_path: Path):
+        path = self._write(tmp_path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-2]) + "\n")
+        with pytest.raises(DatasetFormatError, match="truncated"):
+            read_snapshots(path)
+
+    def test_short_snapshot_before_next_header_rejected(self, tmp_path: Path):
+        path = self._write(tmp_path)
+        lines = path.read_text().splitlines()
+        # Drop one record line, then append a second snapshot header:
+        # the count mismatch must surface at the header boundary.
+        del lines[2]
+        lines.append('{"snapshot": "2020-09-06", "records": 0}')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DatasetFormatError, match="precede the next header"):
+            read_snapshots(path)
+
+    def test_extra_records_rejected(self, tmp_path: Path):
+        path = self._write(tmp_path)
+        lines = path.read_text().splitlines()
+        lines.append(lines[-1])  # duplicate the last record line
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DatasetFormatError, match="more record lines"):
+            read_snapshots(path)
+
+    def test_half_written_json_line_rejected(self, tmp_path: Path):
+        path = self._write(tmp_path)
+        content = path.read_text()
+        path.write_text(content[: len(content) - 40])
+        with pytest.raises(DatasetFormatError):
+            read_snapshots(path)
+
+    def test_byte_truncated_gzip_rejected(self, tmp_path: Path):
+        """A .gz cut mid-stream (interrupted write) must surface as a
+        DatasetFormatError, not a raw EOFError from gzip."""
+        snapshot = MeasurementSnapshot(
+            date="2020-08-30",
+            records=[make_record(ip=i) for i in range(5)],
+        )
+        path = tmp_path / "data.jsonl.gz"
+        write_snapshots(path, [snapshot])
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(DatasetFormatError, match="truncated"):
             read_snapshots(path)

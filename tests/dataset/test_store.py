@@ -1,0 +1,186 @@
+"""Study-store tests: content addressing, round-trip, poisoning guards.
+
+The central claim: a study that went ``scan → store → load`` is
+byte-identical (golden digests) to the in-memory original, and a store
+entry that is stale or tampered with can never be silently served.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.golden import (
+    study_digests,
+    sweep_digests,
+    tiny_spec,
+    tiny_study_config,
+)
+from repro.core.study import Study
+from repro.dataset.store import (
+    META_FILE,
+    SNAPSHOT_FILE,
+    StoreIntegrityError,
+    StudyStore,
+    study_key,
+)
+
+
+@pytest.fixture(scope="module")
+def stored(tmp_path_factory, serial_tiny_result):
+    """A store holding the session's tiny study; returns (store, key).
+
+    Module-scoped: serializing eight sweeps costs a couple of seconds,
+    so the read-only tests share one save.  Tests that tamper with the
+    entry use ``tampered`` below, which works on a throwaway copy.
+    """
+    store = StudyStore(tmp_path_factory.mktemp("store-ro") / "store")
+    key = store.save(
+        serial_tiny_result.config,
+        serial_tiny_result.spec,
+        serial_tiny_result.snapshots,
+    )
+    return store, key
+
+
+@pytest.fixture()
+def tampered(stored, tmp_path):
+    """A private, mutable copy of the stored entry."""
+    import shutil
+
+    source, key = stored
+    store = StudyStore(tmp_path / "store")
+    shutil.copytree(source.entry_dir(key), store.entry_dir(key))
+    return store, key
+
+
+class TestContentAddressing:
+    def test_key_is_stable(self):
+        config = tiny_study_config()
+        spec = tiny_spec()
+        assert study_key(config, spec) == study_key(config, spec)
+
+    def test_key_ignores_executor_and_workers(self):
+        """Backends are byte-identical, so they must share one entry."""
+        spec = tiny_spec()
+        serial = tiny_study_config(executor="serial", workers=1)
+        process = tiny_study_config(executor="process", workers=8)
+        assert study_key(serial, spec) == study_key(process, spec)
+
+    def test_key_tracks_result_affecting_config(self):
+        spec = tiny_spec()
+        base = tiny_study_config()
+        other = StudyConfig(
+            **{**base.__dict__, "noise_hosts": base.noise_hosts + 1}
+        )
+        assert study_key(base, spec) != study_key(other, spec)
+
+    def test_key_tracks_spec(self):
+        config = tiny_study_config()
+        assert study_key(config, tiny_spec()) != study_key(
+            config, tiny_spec(rows=4)
+        )
+
+
+class TestRoundTrip:
+    def test_load_is_byte_identical(self, stored, serial_tiny_result):
+        store, _ = stored
+        loaded = store.load(
+            serial_tiny_result.config, serial_tiny_result.spec
+        )
+        assert sweep_digests(loaded) == study_digests(serial_tiny_result)
+
+    def test_study_run_loads_instead_of_scanning(
+        self, stored, serial_tiny_result
+    ):
+        store, _ = stored
+        result = Study(tiny_study_config(), spec=tiny_spec()).run(store=store)
+        # A loaded result has no environment attached (nothing built).
+        assert result._hosts is None and result._timeline is None
+        assert study_digests(result) == study_digests(serial_tiny_result)
+
+    def test_store_miss_returns_none(self, tmp_path):
+        store = StudyStore(tmp_path / "empty")
+        assert store.load(tiny_study_config(), tiny_spec()) is None
+        assert not store.contains(tiny_study_config(), tiny_spec())
+
+    def test_contains_and_keys(self, stored, serial_tiny_result):
+        store, key = stored
+        assert store.contains(
+            serial_tiny_result.config, serial_tiny_result.spec
+        )
+        assert store.keys() == [key]
+
+    def test_meta_records_digests(self, stored, serial_tiny_result):
+        store, key = stored
+        meta = store.read_meta(key)
+        assert meta["per_sweep"] == study_digests(serial_tiny_result)
+        assert meta["sweeps"] == len(serial_tiny_result.snapshots)
+
+
+class TestPoisoningGuards:
+    def test_tampered_snapshot_rejected(self, tampered, serial_tiny_result):
+        store, key = tampered
+        path = store.entry_dir(key) / SNAPSHOT_FILE
+        lines = gzip.decompress(path.read_bytes()).decode().splitlines()
+        # Flip one record field: an attacker/stale writer changing
+        # scan data without updating meta.json must be caught.
+        for index, line in enumerate(lines):
+            record = json.loads(line)
+            if record.get("is_opcua"):
+                record["is_opcua"] = False
+                lines[index] = json.dumps(record)
+                break
+        path.write_bytes(
+            gzip.compress(("\n".join(lines) + "\n").encode())
+        )
+        with pytest.raises(StoreIntegrityError, match="digest mismatch"):
+            store.load(serial_tiny_result.config, serial_tiny_result.spec)
+
+    def test_truncated_snapshot_file_rejected(
+        self, tampered, serial_tiny_result
+    ):
+        store, key = tampered
+        path = store.entry_dir(key) / SNAPSHOT_FILE
+        lines = gzip.decompress(path.read_bytes()).decode().splitlines()
+        path.write_bytes(
+            gzip.compress(("\n".join(lines[:-3]) + "\n").encode())
+        )
+        with pytest.raises(Exception):  # DatasetFormatError or integrity
+            store.load(serial_tiny_result.config, serial_tiny_result.spec)
+
+    def test_schema_version_mismatch_rejected(
+        self, tampered, serial_tiny_result
+    ):
+        store, key = tampered
+        meta_path = store.entry_dir(key) / META_FILE
+        meta = json.loads(meta_path.read_text())
+        meta["schema"] = meta["schema"] + 1
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(StoreIntegrityError, match="schema"):
+            list(store.iter_validated(key))
+
+    def test_half_written_meta_rejected(self, tampered, serial_tiny_result):
+        """A crash mid-save must not leave an entry that crashes every
+        later run with a raw JSONDecodeError."""
+        store, key = tampered
+        meta_path = store.entry_dir(key) / META_FILE
+        content = meta_path.read_text()
+        meta_path.write_text(content[: len(content) // 2])
+        with pytest.raises(StoreIntegrityError, match="not valid JSON"):
+            store.load(serial_tiny_result.config, serial_tiny_result.spec)
+
+    def test_missing_sweep_in_meta_rejected(
+        self, tampered, serial_tiny_result
+    ):
+        store, key = tampered
+        meta_path = store.entry_dir(key) / META_FILE
+        meta = json.loads(meta_path.read_text())
+        dropped = list(meta["per_sweep"])[-1]
+        del meta["per_sweep"][dropped]
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(StoreIntegrityError):
+            store.load(serial_tiny_result.config, serial_tiny_result.spec)

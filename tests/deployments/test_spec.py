@@ -14,7 +14,7 @@ from repro.deployments.spec import (
     spec_row_is_deficient,
 )
 from repro.secure.policies import POLICY_NONE
-from repro.uabin.enums import MessageSecurityMode, UserTokenType
+from repro.uabin.enums import MessageSecurityMode
 
 N = MessageSecurityMode.NONE
 S = MessageSecurityMode.SIGN

@@ -1,8 +1,9 @@
-"""Golden-harness fixtures: one serial tiny study per session.
+"""Golden-harness fixtures.
 
-The serial run is both the committed-digest subject and the reference
-every parallel backend is compared against, so it is computed once and
-shared.
+The serial tiny study itself (``serial_tiny_result``) lives in the
+top-level ``tests/conftest.py``: it is the committed-digest subject
+and the parallel-backend reference here, and the store/pipeline suites
+reuse the same session-scoped run.
 """
 
 from __future__ import annotations
@@ -12,16 +13,9 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.golden import run_tiny_study
-
 DIGEST_PATH = Path(__file__).resolve().parent / "tiny_study.digest.json"
 
 
 @pytest.fixture(scope="session")
 def committed_digests() -> dict:
     return json.loads(DIGEST_PATH.read_text())
-
-
-@pytest.fixture(scope="session")
-def serial_tiny_result():
-    return run_tiny_study("serial", 1)

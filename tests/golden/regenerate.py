@@ -24,7 +24,7 @@ for entry in (str(REPO_ROOT / "src"),):
     if entry not in sys.path:
         sys.path.insert(0, entry)
 
-import os
+import os  # noqa: E402
 
 os.environ.setdefault("REPRO_KEYCACHE", str(REPO_ROOT / ".keycache"))
 

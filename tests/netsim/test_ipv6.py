@@ -4,10 +4,9 @@ from hypothesis import given, strategies as st
 from repro.netsim.blocklist import Blocklist
 from repro.netsim.ipv6 import (
     Ipv6Block,
-    format_ipv6,
-    parse_ipv6,
     sweep_hitlist,
 )
+from repro.util.ipaddr import format_ipv6, parse_ipv6
 from repro.netsim.net import SimHost, SimNetwork
 from repro.util.rng import DeterministicRng
 from repro.util.simtime import SimClock, parse_utc

@@ -8,13 +8,12 @@ from repro.scanner.campaign import ScanCampaign, ScannerIdentity, parse_endpoint
 from repro.scanner.grabber import grab_host
 from repro.scanner.limits import TraversalBudget
 from repro.scanner.records import HostRecord
-from repro.secure.policies import POLICY_BASIC256SHA256, POLICY_NONE
+from repro.secure.policies import POLICY_BASIC256SHA256
 from repro.server import EndpointConfig, ServerBehavior
 from repro.uabin.enums import MessageSecurityMode, UserTokenType
 from repro.util.ipaddr import parse_ipv4
 from repro.util.rng import DeterministicRng
 from repro.util.simtime import SimClock, parse_utc
-from repro.util.simtime import parse_utc as ts
 from repro.x509.builder import make_self_signed
 
 from tests.server.helpers import build_server

@@ -2,16 +2,15 @@
 
 import pytest
 
-from repro.client import ServiceFaultError, TransportRejectedError
+from repro.client import ServiceFaultError
 from repro.secure.policies import POLICY_BASIC256SHA256, POLICY_NONE
 from repro.server import EndpointConfig
-from repro.server.engine import ServerConfig, UaServer
 from repro.uabin.enums import MessageSecurityMode, UserTokenType
 from repro.uabin.nodeid import NodeId
 from repro.uabin.statuscodes import StatusCodes
 from repro.util.rng import DeterministicRng
 
-from tests.server.helpers import LoopbackStream, build_client, build_server
+from tests.server.helpers import build_client, build_server
 
 DEMO_NS = 1
 

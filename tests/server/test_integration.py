@@ -18,7 +18,6 @@ from repro.uabin.enums import (
 )
 from repro.uabin.nodeid import NodeId
 from repro.uabin.statuscodes import StatusCodes
-from repro.uabin.types_session import UserNameIdentityToken
 from repro.util.rng import DeterministicRng
 
 from tests.server.helpers import build_client, build_server

@@ -28,6 +28,37 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["dataset"])
 
+    def test_store_flags(self):
+        args = build_parser().parse_args(["study", "--store", "/tmp/s"])
+        assert args.store == "/tmp/s"
+        assert not args.no_store
+        args = build_parser().parse_args(["dataset", "out.jsonl", "--no-store"])
+        assert args.no_store
+
+    def test_study_scan_only(self):
+        args = build_parser().parse_args(["study", "--scan-only"])
+        assert args.scan_only
+
+    def test_analyze_flags(self):
+        args = build_parser().parse_args(
+            ["analyze", "--store", "/tmp/s", "--analysis", "modes",
+             "--analysis", "deficits", "--json", "out.json"]
+        )
+        assert args.analysis == ["modes", "deficits"]
+        assert args.json == "out.json"
+
+    def test_analyze_rejects_unknown_analysis(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "--analysis", "nope"])
+
+    def test_analyze_choices_pin_the_registry(self):
+        """cli.ANALYZE_CHOICES mirrors the registry without importing
+        the analysis stack at parser-build time."""
+        from repro.analysis.pipeline import ANALYSIS_NAMES
+        from repro.cli import ANALYZE_CHOICES
+
+        assert ANALYZE_CHOICES == ANALYSIS_NAMES
+
 
 class TestCheapCommands:
     def test_list(self, capsys):
@@ -41,3 +72,19 @@ class TestCheapCommands:
         out = capsys.readouterr().out
         assert "Basic256Sha256" in out
         assert "deprecated" in out
+
+
+class TestAnalyzeErrors:
+    def test_analyze_without_store_exits(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STUDY_STORE", raising=False)
+        with pytest.raises(SystemExit, match="needs a study store"):
+            main(["analyze"])
+
+    def test_analyze_empty_store_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no stored study"):
+            main(["analyze", "--store", str(tmp_path / "empty")])
+
+    def test_no_store_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STUDY_STORE", str(tmp_path / "env-store"))
+        with pytest.raises(SystemExit, match="needs a study store"):
+            main(["analyze", "--no-store"])

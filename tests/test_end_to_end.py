@@ -8,8 +8,6 @@ build → network install → sweep → grab → analysis.
 
 import pytest
 
-pytestmark = pytest.mark.slow  # builds a population and runs a sweep
-
 from repro.analysis.access import analyze_access_control
 from repro.analysis.deficits import analyze_deficits
 from repro.analysis.modes import analyze_security_modes
@@ -20,6 +18,8 @@ from repro.deployments.spec import PopulationSpec, build_default_spec
 from repro.netsim.net import SimNetwork
 from repro.scanner.campaign import ScanCampaign
 from repro.util.simtime import SimClock, parse_utc
+
+pytestmark = pytest.mark.slow  # builds a population and runs a sweep
 
 SEED = 20200830  # must match the default study so keys come from cache
 

@@ -1,7 +1,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.transport.chunks import ChunkAssembler, ChunkType, split_into_chunks
+from repro.transport.chunks import ChunkAssembler, split_into_chunks
 from repro.transport.connection import FrameReader, encode_frame
 from repro.transport.messages import (
     AcknowledgeMessage,

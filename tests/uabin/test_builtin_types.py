@@ -1,7 +1,6 @@
 import uuid
 from datetime import datetime, timezone
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.uabin import builtin
