@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli list                  # known experiments
     python -m repro.cli dataset out.jsonl     # anonymized dataset release
     python -m repro.cli policies              # print Table 1
+    python -m repro.cli scan --live --targets targets.txt \
+        --contact you@lab.example             # live lab scan (gated)
 
 The full study builds ~1900 hosts and scans them eight times; the
 first invocation also generates the RSA key cache (several minutes).
@@ -164,6 +166,111 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed(dataset)
 
     commands.add_parser("policies", help="print the Table 1 policy catalogue")
+
+    scan = commands.add_parser(
+        "scan",
+        help=(
+            "live scan of an explicit target list (authorized lab "
+            "networks only; hard ethics gates, off by default)"
+        ),
+    )
+    scan.add_argument(
+        "--live",
+        action="store_true",
+        help=(
+            "confirm that real packets should leave this machine; "
+            "without it the command refuses to run"
+        ),
+    )
+    scan.add_argument(
+        "--targets",
+        metavar="FILE",
+        required=True,
+        help=(
+            "explicit target list, one IPv4[:port] per line "
+            "(# comments allowed; hostnames rejected — no address "
+            "generation or resolution of any kind)"
+        ),
+    )
+    scan.add_argument(
+        "--contact",
+        metavar="EMAIL",
+        help=(
+            "mandatory contact e-mail, embedded in the scanner "
+            "certificate and application name so operators can reach "
+            "you (paper Appendix A.1)"
+        ),
+    )
+    scan.add_argument(
+        "--contact-url",
+        metavar="URL",
+        default="https://scan-research.example.org",
+        help="opt-out URL advertised in the scanner identity",
+    )
+    scan.add_argument(
+        "--port", type=int, default=4840,
+        help="default port for targets listed without one",
+    )
+    scan.add_argument(
+        "--blocklist",
+        metavar="FILE",
+        help="opt-out CIDR blocklist, one block per line",
+    )
+    scan.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the snapshot as JSONL (dataset schema)",
+    )
+    scan.add_argument(
+        "--workers", type=int, default=8,
+        help="in-flight connection bound (async executor semaphore)",
+    )
+    scan.add_argument(
+        "--rate", type=float, default=10.0,
+        help="global connection rate limit (connections/second)",
+    )
+    scan.add_argument(
+        "--per-host-interval", type=float, default=1.0,
+        help="minimum seconds between connections to one host",
+    )
+    scan.add_argument(
+        "--connect-timeout", type=float, default=5.0,
+        help="TCP connect timeout in seconds",
+    )
+    scan.add_argument(
+        "--read-timeout", type=float, default=5.0,
+        help="per-read timeout in seconds",
+    )
+    scan.add_argument(
+        "--deadline", type=float, default=60.0,
+        help="hard per-connection lifetime ceiling in seconds",
+    )
+    scan.add_argument(
+        "--max-targets", type=int, default=None,
+        help="refuse target lists larger than this (default 4096)",
+    )
+    scan.add_argument(
+        "--traverse",
+        action="store_true",
+        help=(
+            "walk accessible address spaces (budgeted, read-only); "
+            "off by default for live runs"
+        ),
+    )
+    scan.add_argument(
+        "--key-bits",
+        type=int,
+        default=2048,
+        choices=(512, 1024, 2048),
+        help=(
+            "scanner RSA key size (2048 for real runs; smaller only "
+            "for loopback tests, where key generation speed matters)"
+        ),
+    )
+    scan.add_argument(
+        "--seed", type=int, default=20200830,
+        help="seed for the scanner's deterministic nonce streams",
+    )
     return parser
 
 
@@ -259,6 +366,153 @@ def cmd_dataset(args) -> int:
     return 0
 
 
+def _live_scanner_identity(args):
+    """Build the live scanner identity (contact info mandatory)."""
+    import os
+    from datetime import datetime, timezone
+    from pathlib import Path
+
+    from repro.client import ClientIdentity
+    from repro.deployments.keyfactory import KeyFactory
+    from repro.scanner.campaign import ScannerIdentity
+    from repro.util.rng import DeterministicRng
+    from repro.x509.builder import make_self_signed
+
+    contact = (args.contact or "").strip()
+    if "@" not in contact:
+        raise SystemExit(
+            "repro: error: --contact EMAIL is mandatory for live scans "
+            "(it is embedded in the scanner certificate so operators "
+            "can reach you)"
+        )
+    cache = os.environ.get("REPRO_KEYCACHE")
+    factory = KeyFactory(
+        args.seed, cache_dir=Path(cache) if cache else None
+    )
+    keys = factory.key_for(f"live-scanner-{args.key_bits}", args.key_bits)
+    rng = DeterministicRng(args.seed, "live-scanner")
+    certificate = make_self_signed(
+        keys,
+        common_name="research-scanner",
+        application_uri="urn:repro:live-scanner",
+        not_before=datetime.now(timezone.utc).replace(
+            hour=0, minute=0, second=0, microsecond=0
+        ),
+        hash_name="sha256",
+        rng=rng.substream("cert"),
+        organization=f"Research scanner (contact: {contact})",
+    )
+    client = ClientIdentity(
+        application_uri="urn:repro:live-scanner",
+        application_name=(
+            f"Research scanner (contact: {contact}; "
+            f"opt out: {args.contact_url})"
+        ),
+        certificate=certificate,
+        private_key=keys.private,
+    )
+    return ScannerIdentity(client, contact_url=args.contact_url)
+
+
+def cmd_scan(args) -> int:
+    """Live lane: explicit targets, hard ethics gates, real sockets."""
+    from repro.netsim.blocklist import Blocklist
+    from repro.scanner.campaign import (
+        LiveScanCampaign,
+        LiveScanConfig,
+        load_targets,
+    )
+    from repro.scanner.ethics import (
+        DEFAULT_MAX_LIVE_TARGETS,
+        EthicsViolation,
+        LiveScanGate,
+    )
+    from repro.scanner.limits import ScanRateLimiter
+    from repro.util.ipaddr import format_ipv4
+    from repro.util.rng import DeterministicRng
+
+    if not args.live:
+        raise SystemExit(
+            "repro: error: `repro scan` sends real packets and only "
+            "runs with an explicit --live flag (the simulated study "
+            "is `repro study`)"
+        )
+    try:
+        targets = load_targets(args.targets, default_port=args.port)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    blocklist = Blocklist()
+    if args.blocklist:
+        try:
+            with open(args.blocklist) as handle:
+                for line in handle:
+                    block = line.split("#", 1)[0].strip()
+                    if block:
+                        blocklist.add(block)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro: error: blocklist: {exc}")
+
+    identity = _live_scanner_identity(args)
+    gate = LiveScanGate(
+        blocklist=blocklist,
+        max_targets=(
+            DEFAULT_MAX_LIVE_TARGETS
+            if args.max_targets is None
+            else args.max_targets
+        ),
+    )
+    config = LiveScanConfig(
+        workers=args.workers,
+        connect_timeout_s=args.connect_timeout,
+        read_timeout_s=args.read_timeout,
+        connection_deadline_s=args.deadline,
+        traverse=args.traverse,
+    )
+    try:
+        limiter = ScanRateLimiter(args.rate, args.per_host_interval)
+    except ValueError as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    try:
+        campaign = LiveScanCampaign(
+            identity,
+            DeterministicRng(args.seed, "live-scan"),
+            gate=gate,
+            config=config,
+            limiter=limiter,
+        )
+        snapshot = campaign.run(targets)
+    except EthicsViolation as exc:
+        raise SystemExit(f"repro: ethics gate: {exc}")
+
+    opcua = sum(1 for r in snapshot.records if r.is_opcua)
+    accessible = sum(
+        1 for r in snapshot.records if r.anonymous_accessible()
+    )
+    print(
+        f"{snapshot.probed} scanned / {snapshot.excluded} blocklisted / "
+        f"{snapshot.port_open} tcp open / {opcua} OPC UA / "
+        f"{accessible} anonymously accessible"
+    )
+    for record in snapshot.records:
+        if record.tcp_open and record.is_opcua:
+            status = "opc-ua"
+            if record.anonymous_accessible():
+                status += " anonymous-access"
+        elif record.tcp_open:
+            status = record.error or "open"
+        else:
+            status = record.error or "closed"
+        if record.error_category:
+            status += f" [{record.error_category}]"
+        print(f"  {format_ipv4(record.ip)}:{record.port}  {status}")
+    if args.out:
+        from repro.dataset.io import write_snapshots
+
+        write_snapshots(args.out, [snapshot])
+        print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_policies(args) -> int:
     from repro.reporting.tables import render_table
     from repro.secure.policies import ALL_POLICIES
@@ -294,6 +548,7 @@ _COMMANDS = {
     "analyze": cmd_analyze,
     "dataset": cmd_dataset,
     "policies": cmd_policies,
+    "scan": cmd_scan,
 }
 
 

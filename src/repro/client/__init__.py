@@ -7,17 +7,22 @@ ActivateSession, and address-space access via Browse/Read/Call.
 """
 
 from repro.client.errors import (
+    CONNECTION_FAILURE_CATEGORIES,
     ConnectionClosedError,
     ServiceFaultError,
     TransportRejectedError,
     UaClientError,
+    categorize_error,
 )
 from repro.client.client import ClientIdentity, UaClient
 
 __all__ = [
+    "CONNECTION_FAILURE_CATEGORIES",
     "ClientIdentity",
     "ConnectionClosedError",
     "ServiceFaultError",
     "TransportRejectedError",
     "UaClient",
+    "UaClientError",
+    "categorize_error",
 ]

@@ -1,12 +1,17 @@
 """The UaClient: protocol driver over an abstract byte stream.
 
-The stream object only needs two methods::
+The stream is anything satisfying the
+:class:`~repro.transport.socket_io.Transport` seam::
 
     stream.write(data: bytes) -> None   # send request bytes
-    stream.read() -> bytes              # drain whatever the peer produced
+    stream.read() -> bytes              # next slice the peer produced
+                                        # (b"" == connection closed)
 
-which both the in-memory loopback used in tests and the network
-simulator's sockets provide.
+The in-memory loopback used in tests, the network simulator's
+sockets, and the live socket transports all provide it.  ``read`` may
+return *partial* frames (live TCP segments arbitrarily); the client
+reassembles via :class:`~repro.transport.connection.FrameReader` and
+keeps reading until a frame completes or the peer goes silent.
 """
 
 from __future__ import annotations
@@ -121,17 +126,21 @@ class UaClient:
         )
 
     def _read_frame(self):
-        frame = self._frames.next_frame()
-        if frame is not None:
-            return frame
-        data = self._stream.read()
-        if not data:
-            raise ConnectionClosedError("no response from server")
-        self._frames.feed(data)
-        frame = self._frames.next_frame()
-        if frame is None:
-            raise ConnectionClosedError("incomplete frame from server")
-        return frame
+        # Keep reading until one complete frame is buffered: a live
+        # peer may deliver a response across several TCP segments,
+        # and a read returning b"" means the connection is gone.
+        while True:
+            frame = self._frames.next_frame()
+            if frame is not None:
+                return frame
+            data = self._stream.read()
+            if not data:
+                if self._frames.buffered:
+                    raise ConnectionClosedError(
+                        "connection closed mid-frame"
+                    )
+                raise ConnectionClosedError("no response from server")
+            self._frames.feed(data)
 
     def _expect(self, expected_type: MessageType):
         header, body = self._read_frame()

@@ -14,13 +14,20 @@ from repro.uabin.statuscodes import StatusCode
 class UaClientError(Exception):
     """Base class for client failures."""
 
+    #: Coarse failure class (see :func:`categorize_error`).
+    category = "protocol"
+
 
 class ConnectionClosedError(UaClientError):
     """The peer closed the connection or never answered."""
 
+    category = "closed"
+
 
 class TransportRejectedError(UaClientError):
     """The server answered with an ERR transport message."""
+
+    category = "transport-rejected"
 
     def __init__(self, status: StatusCode, reason: str | None):
         super().__init__(f"{status.name}: {reason or ''}")
@@ -31,6 +38,38 @@ class TransportRejectedError(UaClientError):
 class ServiceFaultError(UaClientError):
     """The server answered a service request with a ServiceFault."""
 
+    category = "service-fault"
+
     def __init__(self, status: StatusCode):
         super().__init__(status.name)
         self.status = status
+
+
+#: Categories describing how the *connection* failed, as opposed to
+#: what the peer said on it.  The grabber records these on host
+#: records so analyses can separate timeouts and resets from hosts
+#: that answered with a non-OPC-UA payload.
+CONNECTION_FAILURE_CATEGORIES = frozenset(
+    {"timeout", "refused", "unreachable", "closed", "transport-rejected"}
+)
+
+
+def categorize_error(exc: BaseException) -> str:
+    """Coarse failure class for the paper's rejection breakdown.
+
+    One of ``timeout`` / ``refused`` / ``unreachable`` / ``closed`` /
+    ``transport-rejected`` / ``service-fault`` / ``protocol``.  Error
+    classes across the stack carry a ``category`` attribute (client
+    errors above, transport errors, the simulator's connect
+    exceptions); OS-level errors from live sockets are mapped here.
+    """
+    explicit = getattr(exc, "category", None)
+    if isinstance(explicit, str):
+        return explicit
+    if isinstance(exc, TimeoutError):
+        return "timeout"
+    if isinstance(exc, ConnectionRefusedError):
+        return "refused"
+    if isinstance(exc, (ConnectionError, OSError)):
+        return "unreachable"
+    return "protocol"

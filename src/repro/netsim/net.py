@@ -20,9 +20,15 @@ from repro.util.simtime import SimClock
 class ConnectionRefused(Exception):
     """No listener on the target port."""
 
+    #: Coarse failure class for the scanner's rejection breakdown
+    #: (:func:`repro.client.errors.categorize_error`).
+    category = "refused"
+
 
 class HostDown(Exception):
     """No host at the target address."""
+
+    category = "unreachable"
 
 
 @dataclass

@@ -38,22 +38,35 @@ backend produce byte-identical snapshots:
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 from repro.client import ClientIdentity
 from repro.netsim.blocklist import Blocklist
-from repro.netsim.net import SimNetwork
+from repro.netsim.net import ConnectionRefused, HostDown, SimNetwork
 from repro.netsim.tcpscan import DEFAULT_BATCH_SIZE, candidate_batches
+from repro.scanner.ethics import LiveScanGate
 from repro.scanner.executor import (
     GrabTask,
     ProbeBatchTask,
     ScanExecutor,
     SerialScanExecutor,
+    build_executor,
+    offload_blocking_grab,
 )
 from repro.scanner.grabber import grab_host
-from repro.scanner.limits import TraversalBudget
+from repro.scanner.limits import ScanRateLimiter, TraversalBudget
 from repro.scanner.records import HostRecord, MeasurementSnapshot
-from repro.util.ipaddr import parse_ipv4
+from repro.transport.socket_io import (
+    DEFAULT_CONNECT_TIMEOUT_S,
+    DEFAULT_CONNECTION_DEADLINE_S,
+    DEFAULT_READ_TIMEOUT_S,
+    WallClock,
+    connect_blocking,
+)
+from repro.transport.messages import TransportTimeout
+from repro.util.ipaddr import format_endpoint_host, parse_ipv4
 from repro.util.rng import DeterministicRng
 from repro.util.simtime import format_utc
 
@@ -258,6 +271,248 @@ class ScanCampaign:
                     seen.add(parsed)
                     targets.append(parsed)
         return targets
+
+
+# --- live lane ---------------------------------------------------------------
+#
+# The simulated campaign above and the live campaign below share the
+# entire protocol stack — grab_host, UaClient, FrameReader — and differ
+# only in how bytes move (SimSocket vs. real sockets) and in what gates
+# stand in front of a connection.  The live lane never generates
+# addresses: it scans exactly the targets it was handed.
+
+
+class LiveNetwork:
+    """Real sockets behind the grabber's network surface.
+
+    Duck-types what :func:`~repro.scanner.grabber.grab_host` needs
+    from a :class:`~repro.netsim.net.NetworkView`: ``host`` (ground
+    truth — none on a live network), ``clock`` (wall time; traversal
+    pacing becomes real pacing), and ``connect`` (a blocking live
+    transport with per-connection deadline).  Connect failures are
+    mapped onto the simulator's exception taxonomy so the grabber's
+    error handling — and the record schema — is lane-independent.
+    """
+
+    def __init__(
+        self,
+        connect_timeout_s: float = DEFAULT_CONNECT_TIMEOUT_S,
+        read_timeout_s: float = DEFAULT_READ_TIMEOUT_S,
+        connection_deadline_s: float = DEFAULT_CONNECTION_DEADLINE_S,
+        limiter: ScanRateLimiter | None = None,
+        clock=None,
+        loop=None,
+    ):
+        self._connect_timeout_s = connect_timeout_s
+        self._read_timeout_s = read_timeout_s
+        self._connection_deadline_s = connection_deadline_s
+        self._limiter = limiter
+        self._loop = loop
+        self.clock = clock or WallClock()
+
+    def host(self, address: int):
+        return None  # no ground truth on live networks
+
+    def connect(self, address: int, port: int):
+        # Pacing lives at the connection, not the grab: one grab opens
+        # up to three connections (discovery, secure-channel probe,
+        # session), and every one of them must respect the global rate
+        # and the per-host interval.
+        if self._limiter is not None:
+            self._limiter.acquire(address)
+        host = format_endpoint_host(address)
+        try:
+            return connect_blocking(
+                host,
+                port,
+                connect_timeout_s=self._connect_timeout_s,
+                read_timeout_s=self._read_timeout_s,
+                connection_deadline_s=self._connection_deadline_s,
+                loop=self._loop,
+            )
+        except TransportTimeout as exc:
+            error = HostDown(f"connect to {host}:{port} timed out")
+            error.category = "timeout"
+            raise error from exc
+        except ConnectionRefusedError as exc:
+            raise ConnectionRefused(
+                f"{host}:{port} refused the connection"
+            ) from exc
+        except OSError as exc:
+            raise HostDown(f"{host}:{port}: {exc}") from exc
+
+
+def parse_target_line(line: str, default_port: int = OPCUA_PORT):
+    """Parse one targets-file line into ``(address, port)``.
+
+    Accepts ``A.B.C.D`` or ``A.B.C.D:PORT``; returns ``None`` for
+    blanks and ``#`` comments.  Hostnames are rejected on purpose:
+    an explicit target list means explicit addresses, with no
+    resolution step between what was authorized and what is scanned.
+    """
+    text = line.split("#", 1)[0].strip()
+    if not text:
+        return None
+    host, _, port_text = text.partition(":")
+    try:
+        address = parse_ipv4(host)
+    except ValueError:
+        raise ValueError(
+            f"target {text!r} is not an IPv4 literal (hostnames are "
+            "not resolved; list addresses explicitly)"
+        ) from None
+    port = default_port
+    if port_text:
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(f"target {text!r} has a malformed port") from None
+        if not 0 < port < 65536:
+            raise ValueError(f"target {text!r} port out of range")
+    return address, port
+
+
+def load_targets(
+    path: str | Path, default_port: int = OPCUA_PORT
+) -> list[tuple[int, int]]:
+    """Read an explicit target list, preserving order, deduplicated."""
+    targets: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    for number, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        try:
+            parsed = parse_target_line(line, default_port)
+        except ValueError as exc:
+            raise ValueError(f"{path}:{number}: {exc}") from None
+        if parsed is None or parsed in seen:
+            continue
+        seen.add(parsed)
+        targets.append(parsed)
+    return targets
+
+
+@dataclass(frozen=True)
+class LiveScanConfig:
+    """Knobs for one live run (timeouts, pacing, concurrency)."""
+
+    workers: int = 8
+    connect_timeout_s: float = DEFAULT_CONNECT_TIMEOUT_S
+    read_timeout_s: float = DEFAULT_READ_TIMEOUT_S
+    connection_deadline_s: float = DEFAULT_CONNECTION_DEADLINE_S
+    traverse: bool = False
+
+
+class LiveScanCampaign:
+    """Grab an explicit target list over real sockets.
+
+    The pipeline is the simulated campaign's: ``GrabTask``s fanned
+    through a :class:`~repro.scanner.executor.ScanExecutor` (the
+    async backend by default — bounded coroutines, per-connection
+    deadlines in the transport), records assembled canonically by
+    ``(address, port)``.  What changes is what stands in front of a
+    connection: the :class:`~repro.scanner.ethics.LiveScanGate`
+    (contact identity, bounded explicit list, blocklist) and a
+    :class:`~repro.scanner.limits.ScanRateLimiter`.  Follow-references
+    are deliberately unsupported — a live run contacts only addresses
+    it was explicitly given.
+    """
+
+    def __init__(
+        self,
+        identity: ScannerIdentity,
+        rng: DeterministicRng,
+        gate: LiveScanGate | None = None,
+        config: LiveScanConfig | None = None,
+        limiter: ScanRateLimiter | None = None,
+        budget: TraversalBudget | None = None,
+        executor: ScanExecutor | None = None,
+    ):
+        self._identity = identity
+        self._rng = rng
+        self._gate = gate or LiveScanGate()
+        self._config = config or LiveScanConfig()
+        self._limiter = limiter or ScanRateLimiter()
+        self._budget_template = budget or TraversalBudget()
+        self._executor = executor
+        # The gate runs at construction time: a campaign that cannot
+        # pass it should fail before any target list exists.
+        self._gate.require_contact(identity)
+
+    def run(
+        self, targets: list[tuple[int, int]], label: str | None = None
+    ) -> MeasurementSnapshot:
+        """Grab every allowed target; returns one dated snapshot.
+
+        Accounting matches the simulated sweep so downstream analyses
+        read both snapshots alike: ``probed`` counts targets actually
+        contacted, ``excluded`` the ones the blocklist removed.
+        """
+        self._gate.check_target_count(len(targets))
+        allowed: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        excluded = 0
+        for address, port in targets:
+            if (address, port) in seen:
+                continue
+            seen.add((address, port))
+            if not self._gate.permits(address):
+                excluded += 1
+                continue
+            allowed.append((address, port))
+
+        config = self._config
+        executor = self._executor or build_executor(
+            "async", max(config.workers, 1)
+        )
+        date = label or format_utc(WallClock().now())[:10]
+        with ThreadPoolExecutor(
+            max_workers=max(config.workers, 1),
+            thread_name_prefix="live-grab",
+        ) as pool:
+            grab = offload_blocking_grab(self._grab_sync, pool)
+            completed = executor.run(
+                (GrabTask(address, port) for address, port in allowed),
+                grab,
+                lambda task, record: [],
+            )
+
+        snapshot = MeasurementSnapshot(
+            date=date,
+            probed=len(allowed),
+            port_open=sum(
+                1 for _, record in completed if record.tcp_open
+            ),
+            excluded=excluded,
+        )
+        snapshot.records.extend(
+            record
+            for _, record in sorted(
+                completed, key=lambda pair: pair[0].key
+            )
+        )
+        return snapshot
+
+    def _grab_sync(self, task: GrabTask) -> HostRecord:
+        # Defence in depth: the list was filtered above, but nothing
+        # reaches a socket without passing the gate itself.
+        self._gate.check_target(task.address)
+        config = self._config
+        network = LiveNetwork(
+            connect_timeout_s=config.connect_timeout_s,
+            read_timeout_s=config.read_timeout_s,
+            connection_deadline_s=config.connection_deadline_s,
+            limiter=self._limiter,
+        )
+        return grab_host(
+            network,
+            task.address,
+            task.port,
+            self._identity.client_identity,
+            self._rng,
+            budget=replace(self._budget_template),
+            traverse=config.traverse,
+        )
 
 
 def parse_endpoint_url(url: str | None) -> tuple[int, int] | None:

@@ -11,7 +11,11 @@ control.  This module implements that workflow over scan records:
 * :class:`NotificationCampaign` — outreach bookkeeping with
   per-operator state;
 * :func:`measure_remediation` — compare a later snapshot against the
-  notified set to see who actually fixed their configuration.
+  notified set to see who actually fixed their configuration;
+* :class:`LiveScanGate` — the hard preconditions in front of every
+  *live* connection (explicit bounded target list, blocklist honour,
+  reachable contact information in the scanner identity), mirroring
+  the measures in the paper's Appendix A.1.
 """
 
 from __future__ import annotations
@@ -19,7 +23,9 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
+from repro.netsim.blocklist import Blocklist
 from repro.scanner.records import MeasurementSnapshot
+from repro.util.ipaddr import format_address
 
 _EMAIL_RE = re.compile(
     r"[a-zA-Z0-9._%+-]+@[a-zA-Z0-9.-]+\.[a-zA-Z]{2,}"
@@ -36,6 +42,78 @@ def find_contact_addresses(values: list[str]) -> list[str]:
             if match not in found:
                 found.append(match)
     return found
+
+
+class EthicsViolation(RuntimeError):
+    """A live-scan precondition from the paper's Appendix A is unmet."""
+
+
+#: Ceiling on one live run's explicit target list.  The live lane
+#: exists for authorized lab scans, not Internet sweeps; anything
+#: larger than this is almost certainly the wrong tool.
+DEFAULT_MAX_LIVE_TARGETS = 4096
+
+
+@dataclass
+class LiveScanGate:
+    """Hard gate in front of every live (non-simulated) connection.
+
+    The simulated campaign can afford to treat ethics as bookkeeping;
+    a live scan cannot.  Before any packet leaves the machine the
+    gate requires, mirroring the paper's Appendix A.1 measures:
+
+    * a scanner identity whose certificate and application name carry
+      a reachable contact e-mail plus an opt-out URL, so operators
+      can identify the research and reach the researchers;
+    * an explicit, bounded target list — the live lane performs no
+      address generation of any kind;
+    * the opt-out blocklist honoured per target, checked again at
+      grab time (defence in depth against list-assembly bugs).
+    """
+
+    blocklist: Blocklist = field(default_factory=Blocklist)
+    max_targets: int = DEFAULT_MAX_LIVE_TARGETS
+
+    def require_contact(self, identity) -> None:
+        """Reject scanner identities operators could not trace."""
+        client = identity.client_identity
+        if client.certificate is None:
+            raise EthicsViolation(
+                "live scans need a scanner certificate so scanned "
+                "servers log an attributable identity"
+            )
+        contact_haystack = [
+            client.application_name or "",
+            getattr(identity, "contact_url", "") or "",
+            client.certificate.subject.rfc4514(),
+        ]
+        if not find_contact_addresses(contact_haystack):
+            raise EthicsViolation(
+                "scanner identity carries no contact e-mail; embed "
+                "one in the application name, e.g. 'Research scanner "
+                "(contact: you@lab.example)'"
+            )
+        if not getattr(identity, "contact_url", None):
+            raise EthicsViolation(
+                "scanner identity carries no opt-out contact URL"
+            )
+
+    def check_target_count(self, count: int) -> None:
+        if count > self.max_targets:
+            raise EthicsViolation(
+                f"{count} targets exceed the {self.max_targets}-target "
+                "bound for authorized lab scans"
+            )
+
+    def permits(self, address: int) -> bool:
+        return address not in self.blocklist
+
+    def check_target(self, address: int) -> None:
+        if not self.permits(address):
+            raise EthicsViolation(
+                f"{format_address(address)} is blocklisted (operator "
+                "opt-out)"
+            )
 
 
 @dataclass

@@ -424,6 +424,32 @@ class AsyncScanExecutor(_PooledScanExecutor):
         return _Ctx()
 
 
+def offload_blocking_grab(grab: GrabFn, pool) -> GrabFn:
+    """Adapt a blocking grab function for any backend, async included.
+
+    Live grabs block their calling thread on real socket I/O.  Under
+    the serial/thread/process backends that is exactly right, and the
+    wrapper is transparent (no running event loop → direct call).  On
+    the async backend the grab is invoked *on the loop thread*, where
+    blocking would stall every in-flight coroutine — so it is
+    offloaded to ``pool`` (a ``ThreadPoolExecutor``) and the returned
+    future awaited, semaphore-bounded like any other task.  The
+    socket I/O itself multiplexes on the shared transport loop
+    (:func:`repro.transport.socket_io.shared_io_loop`), never on the
+    executor's.
+    """
+    import asyncio
+
+    def wrapped(task):
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return grab(task)
+        return loop.run_in_executor(pool, grab, task)
+
+    return wrapped
+
+
 def build_executor(name: str = "serial", workers: int = 1) -> ScanExecutor:
     """Instantiate a backend by name (:data:`EXECUTOR_NAMES`).
 

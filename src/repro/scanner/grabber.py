@@ -17,12 +17,13 @@ Sequence for each open port:
 from __future__ import annotations
 
 from repro.client import (
+    CONNECTION_FAILURE_CATEGORIES,
     ClientIdentity,
-    ConnectionClosedError,
     ServiceFaultError,
     TransportRejectedError,
     UaClient,
     UaClientError,
+    categorize_error,
 )
 from repro.netsim.net import ConnectionRefused, HostDown, NetworkView, SimNetwork
 from repro.scanner.limits import TraversalBudget
@@ -36,6 +37,7 @@ from repro.scanner.records import (
 from repro.scanner.traversal import traverse_address_space
 from repro.secure.policies import POLICY_NONE, policy_by_uri
 from repro.server.addressspace import NodeIds
+from repro.transport.messages import TransportError
 from repro.uabin.enums import MessageSecurityMode, UserTokenType
 from repro.util.ipaddr import format_endpoint_host
 from repro.util.rng import DeterministicRng
@@ -76,6 +78,7 @@ def grab_host(
         socket = network.connect(address, port)
     except (ConnectionRefused, HostDown) as exc:
         record.error = str(exc)
+        record.error_category = categorize_error(exc)
         return record
     record.tcp_open = True
 
@@ -85,46 +88,59 @@ def grab_host(
     )
 
     try:
-        client.hello()
-        client.open_secure_channel()
-        endpoints = client.get_endpoints()
-    except (UaClientError, Exception) as exc:
-        record.error = f"not OPC UA: {exc}"
+        try:
+            client.hello()
+            client.open_secure_channel()
+            endpoints = client.get_endpoints()
+        except (UaClientError, Exception) as exc:
+            record.error = f"not OPC UA: {exc}"
+            # A connection-level failure (timeout, reset) is not
+            # evidence about the protocol; record the category so
+            # analyses can separate silent hosts from hosts that
+            # answered with a non-OPC-UA payload.
+            category = categorize_error(exc)
+            if category in CONNECTION_FAILURE_CATEGORIES:
+                record.error_category = category
+            record.scan_duration_s = (
+                network.clock.now() - start_time
+            ).total_seconds()
+            record.scan_bytes = socket.bytes_sent
+            return record
+
+        record.is_opcua = True
+        _fill_endpoint_records(record, endpoints)
+
+        # FindServers yields the responding application's own
+        # description; the endpoint list of a discovery server only
+        # describes *other* applications, so attribution must not rely
+        # on it.
+        try:
+            servers = client.find_servers()
+            if servers:
+                own = servers[0]
+                record.application_uri = own.application_uri
+                record.product_uri = own.product_uri
+                record.application_type = int(own.application_type)
+        except (UaClientError, TransportError):
+            pass  # FindServers is optional; endpoint fallback stands
+
+        # Secure-channel probe with our self-signed certificate.
+        record.secure_channel = _probe_secure_channel(
+            network, address, port, identity, rng, record
+        )
+
+        # Anonymous session attempt.
+        record.session = _attempt_anonymous_session(
+            network, address, port, identity, rng, record, budget, traverse
+        )
+
         record.scan_duration_s = (
             network.clock.now() - start_time
         ).total_seconds()
         record.scan_bytes = socket.bytes_sent
         return record
-
-    record.is_opcua = True
-    _fill_endpoint_records(record, endpoints)
-
-    # FindServers yields the responding application's own description;
-    # the endpoint list of a discovery server only describes *other*
-    # applications, so attribution must not rely on it.
-    try:
-        servers = client.find_servers()
-        if servers:
-            own = servers[0]
-            record.application_uri = own.application_uri
-            record.product_uri = own.product_uri
-            record.application_type = int(own.application_type)
-    except UaClientError:
-        pass  # FindServers is optional; endpoint-based fallback stands
-
-    # Secure-channel probe with our self-signed certificate.
-    record.secure_channel = _probe_secure_channel(
-        network, address, port, identity, rng, record
-    )
-
-    # Anonymous session attempt.
-    record.session = _attempt_anonymous_session(
-        network, address, port, identity, rng, record, budget, traverse
-    )
-
-    record.scan_duration_s = (network.clock.now() - start_time).total_seconds()
-    record.scan_bytes = socket.bytes_sent
-    return record
+    finally:
+        _close_quietly(socket)
 
 
 def _fill_endpoint_records(record: HostRecord, endpoints) -> None:
@@ -186,6 +202,7 @@ def _probe_secure_channel(
             success=False,
             error_reason="no server certificate available",
         )
+    socket = None
     try:
         socket = network.connect(address, port)
         client = UaClient(
@@ -210,13 +227,15 @@ def _probe_secure_channel(
             error_status=exc.status.value,
             error_reason=exc.reason,
         )
-    except (UaClientError, ConnectionRefused) as exc:
+    except (UaClientError, TransportError, ConnectionRefused, HostDown) as exc:
         return SecureChannelAttempt(
             security_policy_uri=policy.uri,
             security_mode=int(endpoint.mode),
             success=False,
             error_reason=str(exc),
         )
+    finally:
+        _close_quietly(socket)
 
 
 def _anonymous_endpoint(record: HostRecord):
@@ -279,38 +298,88 @@ def _attempt_anonymous_session(
         security_mode=int(endpoint.mode),
         security_policy_uri=policy.uri,
     )
+    socket = None
     try:
-        socket = network.connect(address, port)
-        client = UaClient(
-            socket,
-            identity,
-            rng.substream(f"session-{address}-{port}"),
-            f"opc.tcp://{format_endpoint_host(address)}:{port}/",
-        )
-        client.hello()
-        client.open_secure_channel(
-            policy,
-            endpoint.mode if policy is not POLICY_NONE else MessageSecurityMode.NONE,
-            cert_der if policy is not POLICY_NONE else None,
-        )
-        client.create_session()
-        client.activate_session()
-        attempt.success = True
-    except ServiceFaultError as exc:
-        attempt.error_status = exc.status.value
-        return attempt
-    except (UaClientError, ConnectionRefused, ConnectionClosedError) as exc:
-        attempt.error_status = None
-        return attempt
+        try:
+            socket = network.connect(address, port)
+            client = UaClient(
+                socket,
+                identity,
+                rng.substream(f"session-{address}-{port}"),
+                f"opc.tcp://{format_endpoint_host(address)}:{port}/",
+            )
+            client.hello()
+            client.open_secure_channel(
+                policy,
+                endpoint.mode
+                if policy is not POLICY_NONE
+                else MessageSecurityMode.NONE,
+                cert_der if policy is not POLICY_NONE else None,
+            )
+            client.create_session()
+            client.activate_session()
+            attempt.success = True
+        except ServiceFaultError as exc:
+            # The fault status code is the whole story here (and the
+            # simulated lane exercises this path, whose bytes the
+            # golden digests pin) — no category needed.
+            attempt.error_status = exc.status.value
+            return attempt
+        except TransportRejectedError as exc:
+            # Previously erased into error_status=None: an ERR frame
+            # carries a status code worth keeping (Table 2 separates
+            # secure-channel rejections from authentication ones).
+            attempt.error_status = exc.status.value
+            attempt.error_category = exc.category
+            return attempt
+        except (
+            UaClientError,
+            TransportError,
+            ConnectionRefused,
+            HostDown,
+        ) as exc:
+            # Connection-level failure: there is no status code, but
+            # "timed out" and "connection refused" are different facts
+            # — record which one instead of a bare None.
+            attempt.error_category = categorize_error(exc)
+            return attempt
 
-    # Anonymous access worked: collect namespaces, software version,
-    # and (optionally) the budgeted traversal.
+        # Anonymous access worked: collect namespaces, software
+        # version, and (optionally) the budgeted traversal.  A failure
+        # here must not masquerade as a clean grab — mark the attempt
+        # partial — and the session is closed regardless, so live
+        # servers are not left holding scanner sessions.
+        try:
+            _collect_session_details(
+                client, network, record, budget, socket, traverse
+            )
+        except (UaClientError, TransportError) as exc:
+            attempt.details_error = f"{categorize_error(exc)}: {exc}"
+        finally:
+            try:
+                client.close_session()
+            except (UaClientError, TransportError, ConnectionRefused):
+                pass  # best-effort: the transport may already be gone
+        return attempt
+    finally:
+        _close_quietly(socket)
+
+
+def _close_quietly(socket) -> None:
+    """Release a transport without letting teardown mask the result.
+
+    Simulated sockets make this a no-op flag flip; live transports
+    tear down a real TCP connection here.
+    """
+    if socket is None:
+        return
+    close = getattr(socket, "close", None)
+    if close is None:
+        return
     try:
-        _collect_session_details(client, network, record, budget, socket, traverse)
-        client.close_session()
-    except UaClientError:
+        close()
+    except Exception:
         pass
-    return attempt
 
 
 def _collect_session_details(

@@ -1,13 +1,17 @@
-"""Scan budgets (paper Appendix A.2).
+"""Scan budgets and live-scan pacing (paper Appendix A.2).
 
 The paper paced address-space traversal at 500 ms between requests and
 capped each host at 60 minutes of scan time and 50 MB of outgoing
-traffic.  The budget object tracks all three against the simulated
-clock and the socket's byte counters.
+traffic.  :class:`TraversalBudget` tracks all three against the
+(simulated or wall) clock and the socket's byte counters;
+:class:`ScanRateLimiter` adds the campaign-level pacing a live scan
+needs — a global connection rate plus a per-host revisit interval.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
 from datetime import datetime
 
@@ -46,3 +50,60 @@ class TraversalBudget:
 
     def count_request(self) -> None:
         self.requests_made += 1
+
+
+#: Live defaults: deliberately conservative — lab networks, not
+#: Internet-scale sweeps.
+DEFAULT_LIVE_RATE_PER_S = 10.0
+DEFAULT_PER_HOST_INTERVAL_S = 1.0
+
+
+class ScanRateLimiter:
+    """Global + per-host connection pacing for live scans.
+
+    ``acquire`` reserves the next free send slot under a lock, then
+    sleeps outside it, so concurrent grab workers are paced without
+    serializing their I/O.  Slots are handed out on a fixed grid
+    (one per ``1/rate_per_s`` globally, one per
+    ``per_host_interval_s`` per host) — the zmap model of a fixed
+    send rate rather than a bursty token bucket.  Deterministic under
+    test via injectable ``monotonic``/``sleep``.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float = DEFAULT_LIVE_RATE_PER_S,
+        per_host_interval_s: float = DEFAULT_PER_HOST_INTERVAL_S,
+        monotonic=time.monotonic,
+        sleep=time.sleep,
+    ):
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be > 0")
+        if per_host_interval_s < 0:
+            raise ValueError("per_host_interval_s must be >= 0")
+        self._global_interval = 1.0 / rate_per_s
+        self._per_host_interval = per_host_interval_s
+        self._monotonic = monotonic
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._next_free = 0.0
+        self._next_by_host: dict = {}
+
+    def acquire(self, host_key) -> float:
+        """Block until both budgets allow a connection to ``host_key``.
+
+        Returns the seconds waited (0.0 when a slot was free).
+        """
+        with self._lock:
+            now = self._monotonic()
+            slot = max(
+                now,
+                self._next_free,
+                self._next_by_host.get(host_key, 0.0),
+            )
+            self._next_free = slot + self._global_interval
+            self._next_by_host[host_key] = slot + self._per_host_interval
+        wait = slot - now
+        if wait > 0:
+            self._sleep(wait)
+        return max(wait, 0.0)

@@ -98,7 +98,18 @@ class SecureChannelAttempt:
 
 @dataclass
 class SessionAttempt:
-    """Result of the anonymous session attempt."""
+    """Result of the anonymous session attempt.
+
+    ``error_category`` separates *how* a failed attempt failed —
+    timeout, refusal, transport rejection, protocol fault — where
+    ``error_status`` alone cannot (connection-level failures carry no
+    status code).  ``details_error`` marks a partial success: the
+    session activated, but collecting namespaces / software version /
+    traversal failed afterwards.  Both are sparse fields: they are
+    omitted from the canonical JSON when unset, so records from the
+    simulated lane keep their exact pre-live-lane bytes (pinned by
+    the golden digests).
+    """
 
     attempted: bool
     token_type: int | None = None
@@ -106,6 +117,8 @@ class SessionAttempt:
     security_policy_uri: str | None = None
     success: bool = False
     error_status: int | None = None
+    error_category: str | None = None
+    details_error: str | None = None
 
 
 @dataclass
@@ -162,6 +175,9 @@ class HostRecord:
     namespaces: list[str] = field(default_factory=list)
     nodes: NodeSummary | None = None
     error: str | None = None
+    # Sparse (omitted from JSON when None): connection-level failure
+    # class — see SessionAttempt.error_category.
+    error_category: str | None = None
     scan_duration_s: float = 0.0
     scan_bytes: int = 0
 
@@ -200,8 +216,23 @@ class HostRecord:
 
     # --- JSON ----------------------------------------------------------------
 
+    #: Fields added after the dataset schema froze; omitted from the
+    #: canonical JSON while unset so the simulated lane's bytes (and
+    #: with them the golden digests) are unchanged by their existence.
+    _SPARSE_FIELDS = ("error_category",)
+    _SPARSE_SESSION_FIELDS = ("error_category", "details_error")
+
     def to_json_dict(self) -> dict:
-        return asdict(self)
+        data = asdict(self)
+        for key in self._SPARSE_FIELDS:
+            if data.get(key) is None:
+                data.pop(key, None)
+        session = data.get("session")
+        if session:
+            for key in self._SPARSE_SESSION_FIELDS:
+                if session.get(key) is None:
+                    session.pop(key, None)
+        return data
 
     @classmethod
     def from_json_dict(cls, data: dict) -> "HostRecord":

@@ -10,6 +10,7 @@ what the anonymous user would be allowed to do.
 from __future__ import annotations
 
 from repro.client import UaClient, UaClientError
+from repro.transport.messages import TransportError
 from repro.scanner.limits import TraversalBudget
 from repro.scanner.records import NodeSummary
 from repro.server.addressspace import NodeIds
@@ -51,7 +52,7 @@ def traverse_address_space(
         budget.count_request()
         try:
             results = client.browse([node_id])
-        except UaClientError:
+        except (UaClientError, TransportError):
             summary.traversal_complete = False
             break
         for result in results:
@@ -110,7 +111,7 @@ def _collect_access_rights(
             values = client.read_attributes(
                 [(node_id, AttributeId.USER_ACCESS_LEVEL) for node_id, _ in batch]
             )
-        except UaClientError:
+        except (UaClientError, TransportError):
             return False, readable_nodes
         for (node_id, name), value in zip(batch, values):
             level = value.value.value if value.value is not None else 0
@@ -133,7 +134,7 @@ def _collect_access_rights(
             values = client.read_attributes(
                 [(node_id, AttributeId.USER_EXECUTABLE) for node_id, _ in batch]
             )
-        except UaClientError:
+        except (UaClientError, TransportError):
             return False, readable_nodes
         for (node_id, name), value in zip(batch, values):
             executable = value.value.value if value.value is not None else False
@@ -160,7 +161,7 @@ def _collect_value_samples(
     budget.count_request()
     try:
         values = client.read_values([node_id for node_id, _ in candidates])
-    except UaClientError:
+    except (UaClientError, TransportError):
         return False
     for value in values:
         if value.value is not None and isinstance(value.value.value, str):

@@ -17,6 +17,7 @@ from repro.server.nodes import MethodNode, Node, ObjectNode, VariableNode
 from repro.server.auth import AuthenticationError, Authenticator, UserDirectory
 from repro.server.endpoints import EndpointConfig
 from repro.server.engine import ServerBehavior, ServerConfig, UaServer
+from repro.server.tcp import TcpServerHost
 
 __all__ = [
     "AddressSpace",
@@ -32,6 +33,7 @@ __all__ = [
     "Role",
     "ServerBehavior",
     "ServerConfig",
+    "TcpServerHost",
     "UaServer",
     "UserContext",
     "UserDirectory",

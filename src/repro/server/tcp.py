@@ -1,0 +1,107 @@
+"""Serve a :class:`~repro.server.engine.UaServer` over real TCP.
+
+The engine's :class:`~repro.server.engine.ServerConnection` is a
+synchronous bytes-in/bytes-out state machine — exactly what the
+network simulator feeds.  This module binds the same machine to an
+asyncio TCP server so the live transport lane can be exercised
+end-to-end against the in-repo engine: loopback tests, and authorized
+lab deployments.  It is not an Internet-facing server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from contextlib import suppress
+
+from repro.server.engine import UaServer
+from repro.transport.socket_io import shared_io_loop
+
+_READ_CHUNK = 65536
+_CONTROL_TIMEOUT_S = 10.0
+
+
+class TcpServerHost:
+    """One UaServer listening on a real socket.
+
+    Runs on the shared transport I/O loop by default, so a loopback
+    test multiplexes client and server bytes on one event loop —
+    a genuine socket round-trip without extra threads.  Use as a
+    context manager::
+
+        with TcpServerHost(server) as (host, port):
+            ...  # connect to (host, port)
+    """
+
+    def __init__(
+        self,
+        server: UaServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        loop: asyncio.AbstractEventLoop | None = None,
+    ):
+        self._ua_server = server
+        self._host = host
+        self._port = port
+        self._loop = loop
+        self._server: asyncio.Server | None = None
+        self.address: tuple[str, int] | None = None
+
+    def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("already started")
+        loop = self._loop = self._loop or shared_io_loop()
+        future = asyncio.run_coroutine_threadsafe(
+            asyncio.start_server(self._handle, self._host, self._port),
+            loop,
+        )
+        try:
+            self._server = future.result(_CONTROL_TIMEOUT_S)
+        except FutureTimeoutError:
+            future.cancel()
+            raise RuntimeError("I/O loop did not bind the server") from None
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self._shutdown(), self._loop
+        )
+        with suppress(FutureTimeoutError):
+            future.result(_CONTROL_TIMEOUT_S)
+        self._server = None
+
+    async def _shutdown(self) -> None:
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = self._ua_server.new_connection()
+        try:
+            while not connection.closed:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                response = connection.receive(data)
+                if response:
+                    writer.write(response)
+                    await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # peer reset mid-exchange; nothing to answer
+        finally:
+            writer.close()
+            with suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+    def __enter__(self) -> tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> bool:
+        self.stop()
+        return False

@@ -13,6 +13,7 @@ from repro.transport.messages import (
     MessageHeader,
     MessageType,
     TransportError,
+    TransportTimeout,
 )
 from repro.transport.chunks import (
     ChunkAssembler,
@@ -20,9 +21,19 @@ from repro.transport.chunks import (
     split_into_chunks,
 )
 from repro.transport.connection import FrameReader, encode_frame
+from repro.transport.socket_io import (
+    AsyncSocketTransport,
+    BlockingSocketTransport,
+    Transport,
+    WallClock,
+    connect_blocking,
+    shared_io_loop,
+)
 
 __all__ = [
     "AcknowledgeMessage",
+    "AsyncSocketTransport",
+    "BlockingSocketTransport",
     "ChunkAssembler",
     "ChunkType",
     "ErrorMessage",
@@ -30,7 +41,12 @@ __all__ = [
     "HelloMessage",
     "MessageHeader",
     "MessageType",
+    "Transport",
     "TransportError",
+    "TransportTimeout",
+    "WallClock",
+    "connect_blocking",
     "encode_frame",
+    "shared_io_loop",
     "split_into_chunks",
 ]

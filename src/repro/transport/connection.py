@@ -34,6 +34,12 @@ class FrameReader:
         if len(self._buffer) < HEADER_SIZE:
             return None
         header = MessageHeader.decode(bytes(self._buffer[:HEADER_SIZE]))
+        if header.size < HEADER_SIZE:
+            # A frame can never be smaller than its own header.  Guard
+            # here as well as in the header decoder: consuming such a
+            # frame would leave the buffer untouched, so drain_frames
+            # would yield the same bytes forever.
+            raise TransportError(f"frame size too small: {header.size}")
         if header.size > self._max_frame_size:
             raise TransportError(f"frame of {header.size} bytes exceeds limit")
         if len(self._buffer) < header.size:

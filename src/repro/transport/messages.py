@@ -12,6 +12,22 @@ from repro.util.binary import BinaryReader, BinaryWriter
 class TransportError(Exception):
     """Framing violation or transport-level protocol error."""
 
+    #: Coarse failure class for the scanner's rejection breakdown
+    #: (:func:`repro.client.errors.categorize_error`).
+    category = "protocol"
+
+
+class TransportTimeout(TransportError):
+    """An I/O deadline expired on a live connection.
+
+    The simulated lane never raises this (the simulator answers
+    synchronously); live sockets raise it for connect/read/write
+    deadlines so the scanner can tell a silent host from one that
+    spoke garbage.
+    """
+
+    category = "timeout"
+
 
 class MessageType(str, enum.Enum):
     HELLO = "HEL"

@@ -1,0 +1,302 @@
+"""Live socket transport: asyncio streams behind a blocking facade.
+
+The protocol stack above this module is synchronous and stream-shaped:
+:class:`~repro.client.client.UaClient` writes request bytes and reads
+whatever the peer produced, and
+:class:`~repro.transport.connection.FrameReader` reassembles frames
+from arbitrary byte slices.  This module supplies the missing lane —
+bytes that move over a real TCP connection instead of the simulator —
+without the stack noticing the difference:
+
+* :class:`Transport` names the seam: the duplex-stream surface both
+  the simulated :class:`~repro.netsim.net.SimSocket` and the live
+  transports satisfy.  Everything above it records *what the scanner
+  saw*; everything below decides *how bytes move*.
+* :class:`AsyncSocketTransport` is the live implementation proper:
+  asyncio streams with per-operation timeouts and an optional
+  per-connection deadline.
+* :class:`BlockingSocketTransport` is the blocking wrapper that lets
+  the synchronous client drive an asyncio connection from any worker
+  thread.  All live connections multiplex on one process-wide I/O
+  event loop (:func:`shared_io_loop`); the scan executor only decides
+  how many grabs are in flight.
+* :class:`WallClock` gives the live lane the simulator's clock
+  interface: ``now`` reads real UTC and ``advance`` sleeps, so the
+  traversal's inter-request pacing becomes real pacing on the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from contextlib import suppress
+from datetime import datetime, timezone
+from typing import Protocol, runtime_checkable
+
+from repro.transport.messages import TransportError, TransportTimeout
+
+#: Timeout for establishing a TCP connection.
+DEFAULT_CONNECT_TIMEOUT_S = 5.0
+#: Timeout for one read (one response, or one slice of one).
+DEFAULT_READ_TIMEOUT_S = 5.0
+#: Hard ceiling on one connection's total lifetime; every read and
+#: write is clipped against it, so a drip-feeding peer cannot pin a
+#: grab slot forever.
+DEFAULT_CONNECTION_DEADLINE_S = 60.0
+
+_READ_CHUNK = 65536
+#: Extra seconds a blocking caller waits beyond the transport's own
+#: timeout before declaring the I/O loop unresponsive.
+_RESULT_SLACK_S = 10.0
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """The duplex byte-stream surface the protocol stack drives.
+
+    ``write`` sends request bytes; ``read`` returns whatever the peer
+    has produced (possibly a partial frame — the
+    :class:`~repro.transport.connection.FrameReader` reassembles), and
+    returns ``b""`` only when the peer closed the connection.  The
+    byte counters feed the scan budget and the per-host record.
+    """
+
+    bytes_sent: int
+    bytes_received: int
+
+    def write(self, data: bytes) -> None: ...
+
+    def read(self) -> bytes: ...
+
+    def close(self) -> None: ...
+
+
+class WallClock:
+    """Real time behind the :class:`~repro.util.simtime.SimClock`
+    interface: ``now`` reads UTC, ``advance`` sleeps.
+
+    Handing this to the grabber turns the traversal's simulated
+    inter-request delay into actual pacing on a live connection, and
+    makes the per-host time budget measure real elapsed time.
+    """
+
+    def __init__(self, sleep=time.sleep):
+        self._sleep = sleep
+
+    def now(self) -> datetime:
+        return datetime.now(timezone.utc)
+
+    def advance(self, seconds: float) -> datetime:
+        if seconds < 0:
+            raise ValueError("clock cannot move backwards")
+        if seconds:
+            self._sleep(seconds)
+        return self.now()
+
+
+class AsyncSocketTransport:
+    """One live TCP connection on asyncio streams.
+
+    Every operation enforces the per-operation timeout *and* the
+    per-connection deadline set at :meth:`open` time; both surface as
+    :class:`~repro.transport.messages.TransportTimeout`, which the
+    scanner records as a ``timeout`` rather than mislabelling the host
+    as "not OPC UA".
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        read_timeout_s: float = DEFAULT_READ_TIMEOUT_S,
+        deadline: float | None = None,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self.read_timeout_s = read_timeout_s
+        self._deadline = deadline
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.closed = False
+
+    @classmethod
+    async def open(
+        cls,
+        host: str,
+        port: int,
+        connect_timeout_s: float = DEFAULT_CONNECT_TIMEOUT_S,
+        read_timeout_s: float = DEFAULT_READ_TIMEOUT_S,
+        connection_deadline_s: float | None = DEFAULT_CONNECTION_DEADLINE_S,
+    ) -> "AsyncSocketTransport":
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), connect_timeout_s
+            )
+        except asyncio.TimeoutError:
+            raise TransportTimeout(
+                f"connect to {host}:{port} timed out "
+                f"after {connect_timeout_s:g}s"
+            ) from None
+        deadline = (
+            time.monotonic() + connection_deadline_s
+            if connection_deadline_s is not None
+            else None
+        )
+        return cls(reader, writer, read_timeout_s, deadline)
+
+    def _op_timeout(self) -> float:
+        timeout = self.read_timeout_s
+        if self._deadline is not None:
+            remaining = self._deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportTimeout("connection deadline exhausted")
+            timeout = min(timeout, remaining)
+        return timeout
+
+    async def write(self, data: bytes) -> None:
+        if self.closed:
+            raise TransportError("transport is closed")
+        timeout = self._op_timeout()
+        self._writer.write(data)
+        self.bytes_sent += len(data)
+        try:
+            await asyncio.wait_for(self._writer.drain(), timeout)
+        except asyncio.TimeoutError:
+            raise TransportTimeout(
+                f"write stalled for {timeout:g}s"
+            ) from None
+
+    async def read(self) -> bytes:
+        if self.closed:
+            return b""
+        timeout = self._op_timeout()
+        try:
+            data = await asyncio.wait_for(
+                self._reader.read(_READ_CHUNK), timeout
+            )
+        except asyncio.TimeoutError:
+            raise TransportTimeout(
+                f"no data within {timeout:g}s"
+            ) from None
+        self.bytes_received += len(data)
+        return data
+
+    async def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._writer.close()
+        with suppress(OSError, asyncio.TimeoutError):
+            await asyncio.wait_for(self._writer.wait_closed(), 5)
+
+
+class BlockingSocketTransport:
+    """Blocking :class:`Transport` facade over an asyncio connection.
+
+    Each call schedules the corresponding coroutine on the I/O loop
+    and blocks the calling thread on its result, so the synchronous
+    stack (``UaClient``, grabber, traversal) drives a real socket
+    without knowing about asyncio.  Must never be called from the I/O
+    loop's own thread — that would deadlock the loop on itself.
+    """
+
+    def __init__(
+        self, inner: AsyncSocketTransport, loop: asyncio.AbstractEventLoop
+    ):
+        self._inner = inner
+        self._loop = loop
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._inner.bytes_sent
+
+    @property
+    def bytes_received(self) -> int:
+        return self._inner.bytes_received
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed
+
+    def _call(self, coro, budget_s: float):
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        try:
+            return future.result(budget_s + _RESULT_SLACK_S)
+        except FutureTimeoutError:
+            future.cancel()
+            raise TransportTimeout(
+                "I/O loop unresponsive for "
+                f"{budget_s + _RESULT_SLACK_S:g}s"
+            ) from None
+
+    def write(self, data: bytes) -> None:
+        self._call(self._inner.write(data), self._inner.read_timeout_s)
+
+    def read(self) -> bytes:
+        return self._call(self._inner.read(), self._inner.read_timeout_s)
+
+    def close(self) -> None:
+        with suppress(TransportError, OSError):
+            self._call(self._inner.close(), 5)
+
+
+_IO_LOOP: asyncio.AbstractEventLoop | None = None
+_IO_LOOP_LOCK = threading.Lock()
+
+
+def shared_io_loop() -> asyncio.AbstractEventLoop:
+    """The process-wide I/O event loop (daemon thread, lazily started).
+
+    All live connections multiplex here regardless of which scan
+    executor drives the campaign: the executor bounds how many grabs
+    are in flight, while this loop services their socket I/O.  The
+    loopback server host reuses it too, so tests exercise a genuine
+    client/server byte exchange on one loop.
+    """
+    global _IO_LOOP
+    with _IO_LOOP_LOCK:
+        if _IO_LOOP is None or _IO_LOOP.is_closed():
+            loop = asyncio.new_event_loop()
+            thread = threading.Thread(
+                target=loop.run_forever, name="repro-io-loop", daemon=True
+            )
+            thread.start()
+            _IO_LOOP = loop
+    return _IO_LOOP
+
+
+def connect_blocking(
+    host: str,
+    port: int,
+    connect_timeout_s: float = DEFAULT_CONNECT_TIMEOUT_S,
+    read_timeout_s: float = DEFAULT_READ_TIMEOUT_S,
+    connection_deadline_s: float | None = DEFAULT_CONNECTION_DEADLINE_S,
+    loop: asyncio.AbstractEventLoop | None = None,
+) -> BlockingSocketTransport:
+    """Open a live connection and wrap it for synchronous callers.
+
+    Raises :class:`TransportTimeout` when the connect deadline
+    expires, and propagates ``OSError`` (refusal, unreachable network)
+    for the caller to map into its own failure taxonomy.
+    """
+    loop = loop or shared_io_loop()
+    future = asyncio.run_coroutine_threadsafe(
+        AsyncSocketTransport.open(
+            host,
+            port,
+            connect_timeout_s=connect_timeout_s,
+            read_timeout_s=read_timeout_s,
+            connection_deadline_s=connection_deadline_s,
+        ),
+        loop,
+    )
+    try:
+        inner = future.result(connect_timeout_s + _RESULT_SLACK_S)
+    except FutureTimeoutError:
+        future.cancel()
+        raise TransportTimeout(
+            f"connect to {host}:{port} timed out"
+        ) from None
+    return BlockingSocketTransport(inner, loop)

@@ -167,3 +167,74 @@ class TestEndToEndContactDiscovery:
         )
         assert sent == with_contact
         assert sent >= 1  # ~10% of 60 hosts carry contact data
+
+
+class TestLiveScanGate:
+    """The hard gates in front of the live lane (Appendix A.1)."""
+
+    @staticmethod
+    def _identity(
+        application_name, with_cert=True, contact_url="https://x.example"
+    ):
+        from unittest.mock import Mock
+
+        from repro.client import ClientIdentity
+        from repro.scanner.campaign import ScannerIdentity
+
+        certificate = None
+        if with_cert:
+            certificate = Mock()
+            certificate.subject.rfc4514.return_value = "CN=research-scanner"
+        client = ClientIdentity(
+            application_uri="urn:test",
+            application_name=application_name,
+            certificate=certificate,
+        )
+        return ScannerIdentity(client, contact_url=contact_url)
+
+    def test_contact_in_application_name_accepted(self):
+        from repro.scanner.ethics import LiveScanGate
+
+        LiveScanGate().require_contact(
+            self._identity("Scanner (contact: team@lab.example)")
+        )
+
+    def test_missing_contact_email_refused(self):
+        from repro.scanner.ethics import EthicsViolation, LiveScanGate
+
+        with pytest.raises(EthicsViolation, match="contact e-mail"):
+            LiveScanGate().require_contact(self._identity("Scanner"))
+
+    def test_missing_certificate_refused(self):
+        from repro.scanner.ethics import EthicsViolation, LiveScanGate
+
+        with pytest.raises(EthicsViolation, match="certificate"):
+            LiveScanGate().require_contact(
+                self._identity("a@b.example", with_cert=False)
+            )
+
+    def test_missing_opt_out_url_refused(self):
+        from repro.scanner.ethics import EthicsViolation, LiveScanGate
+
+        with pytest.raises(EthicsViolation, match="opt-out"):
+            LiveScanGate().require_contact(
+                self._identity(
+                    "Scanner (contact: a@b.example)", contact_url=""
+                )
+            )
+
+    def test_blocklist_and_target_count(self):
+        from repro.netsim.blocklist import Blocklist
+        from repro.scanner.ethics import EthicsViolation, LiveScanGate
+        from repro.util.ipaddr import parse_ipv4
+
+        blocklist = Blocklist()
+        blocklist.add("192.0.2.0/24")
+        gate = LiveScanGate(blocklist=blocklist, max_targets=2)
+        assert gate.permits(parse_ipv4("198.51.100.1"))
+        assert not gate.permits(parse_ipv4("192.0.2.77"))
+        with pytest.raises(EthicsViolation, match="blocklisted"):
+            gate.check_target(parse_ipv4("192.0.2.77"))
+        gate.check_target_count(2)
+        with pytest.raises(EthicsViolation, match="exceed"):
+            gate.check_target_count(3)

@@ -276,3 +276,148 @@ class TestEndpointUrlParsing:
     )
     def test_parse(self, url, expected):
         assert parse_endpoint_url(url) == expected
+
+
+class TestErrorTruthfulness:
+    """The scanner must not erase or mislabel failure information."""
+
+    def test_session_connect_failure_categorized(
+        self, network, scanner_identity, scan_rng
+    ):
+        """A connection-level session failure records *how* it failed
+        instead of an indistinguishable error_status=None."""
+
+        class FailingSessionNetwork:
+            """Delegates to the sim, refusing the Nth connect."""
+
+            def __init__(self, inner, fail_on):
+                self._inner = inner
+                self._fail_on = fail_on
+                self._connects = 0
+                self.clock = inner.clock
+
+            def host(self, address):
+                return self._inner.host(address)
+
+            def connect(self, address, port):
+                self._connects += 1
+                if self._connects == self._fail_on:
+                    from repro.netsim.net import ConnectionRefused
+
+                    raise ConnectionRefused("port closed mid-scan")
+                return self._inner.connect(address, port)
+
+        # Connect #1: discovery; #2: secure-channel probe; #3: session.
+        wrapped = FailingSessionNetwork(network, fail_on=3)
+        record = grab_host(
+            wrapped, parse_ipv4("10.0.0.1"), 4840, scanner_identity, scan_rng
+        )
+        assert record.is_opcua
+        assert record.session.attempted
+        assert not record.session.success
+        assert record.session.error_status is None
+        assert record.session.error_category == "refused"
+
+    def test_silent_host_categorized_as_closed(
+        self, network, scanner_identity, scan_rng
+    ):
+        record = grab_host(
+            network, parse_ipv4("10.0.0.4"), 4840, scanner_identity, scan_rng
+        )
+        assert not record.is_opcua
+        assert record.error_category == "closed"
+
+    def test_junk_host_not_given_connection_category(
+        self, network, scanner_identity, scan_rng
+    ):
+        """A host that answered with a non-OPC-UA payload is a protocol
+        outcome, already captured in `error` — the connection-level
+        category stays unset (and the simulated-lane bytes stable)."""
+        record = grab_host(
+            network, parse_ipv4("10.0.0.3"), 4840, scanner_identity, scan_rng
+        )
+        assert not record.is_opcua
+        assert record.error.startswith("not OPC UA")
+        assert record.error_category is None
+
+    def test_connect_refusal_categorized(self, scanner_identity, scan_rng):
+        from repro.netsim.net import SimNetwork
+        from repro.util.simtime import SimClock
+
+        empty_port_net = SimNetwork(SimClock(parse_utc("2020-08-30")))
+        host = SimHost(address=parse_ipv4("10.9.9.9"), asn=None)
+        empty_port_net.add_host(host)  # host up, port closed
+        record = grab_host(
+            empty_port_net,
+            parse_ipv4("10.9.9.9"),
+            4840,
+            scanner_identity,
+            scan_rng,
+        )
+        assert not record.tcp_open
+        assert record.error_category == "refused"
+
+    def test_session_detail_failure_marked_and_session_closed(
+        self, network, scanner_identity, scan_rng, monkeypatch
+    ):
+        """Regression for the silent swallow: a post-activation detail
+        failure is recorded on the attempt, and CloseSession still
+        goes out so servers are not left holding scanner sessions."""
+        import repro.scanner.grabber as grabber_module
+        from repro.client import UaClient, UaClientError
+
+        def exploding_details(*args, **kwargs):
+            raise UaClientError("namespace read blew up")
+
+        closes = []
+        original_close = UaClient.close_session
+        monkeypatch.setattr(
+            grabber_module, "_collect_session_details", exploding_details
+        )
+        monkeypatch.setattr(
+            UaClient,
+            "close_session",
+            lambda self: closes.append(True) or original_close(self),
+        )
+        record = grab_host(
+            network, parse_ipv4("10.0.0.1"), 4840, scanner_identity, scan_rng
+        )
+        assert record.session.success  # access itself worked
+        assert record.session.details_error is not None
+        assert "namespace read blew up" in record.session.details_error
+        assert closes == [True]
+
+    def test_sparse_fields_omitted_from_canonical_json(
+        self, network, scanner_identity, scan_rng
+    ):
+        """Unset truthfulness fields must not appear in the canonical
+        JSON: the golden digests pin the simulated lane's bytes."""
+        record = grab_host(
+            network, parse_ipv4("10.0.0.1"), 4840, scanner_identity, scan_rng
+        )
+        data = record.to_json_dict()
+        assert "error_category" not in data
+        assert "error_category" not in data["session"]
+        assert "details_error" not in data["session"]
+        clone = HostRecord.from_json_dict(data)
+        assert clone == record
+
+    def test_populated_fields_round_trip(self):
+        from repro.scanner.records import SessionAttempt
+
+        record = HostRecord(
+            ip=1,
+            port=4840,
+            asn=None,
+            timestamp="2020-08-30T00:00:00",
+            error_category="timeout",
+            session=SessionAttempt(
+                attempted=True,
+                error_category="refused",
+                details_error="protocol: boom",
+            ),
+        )
+        data = record.to_json_dict()
+        assert data["error_category"] == "timeout"
+        assert data["session"]["error_category"] == "refused"
+        assert HostRecord.from_json_dict(data) == record

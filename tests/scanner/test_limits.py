@@ -86,3 +86,78 @@ class TestBudgetEnforcementDuringTraversal:
         summary = traverse_address_space(client, clock, budget)
         assert not summary.traversal_complete
         assert summary.budget_exhausted == "time"
+
+
+class TestScanRateLimiter:
+    """Deterministic pacing checks with an injected clock."""
+
+    @staticmethod
+    def _limiter(rate, per_host):
+        from repro.scanner.limits import ScanRateLimiter
+
+        state = {"now": 0.0}
+        slept = []
+
+        def monotonic():
+            return state["now"]
+
+        def sleep(seconds):
+            slept.append(round(seconds, 6))
+            state["now"] += seconds
+
+        limiter = ScanRateLimiter(
+            rate, per_host, monotonic=monotonic, sleep=sleep
+        )
+        return limiter, slept
+
+    def test_global_rate_spaces_connections(self):
+        limiter, slept = self._limiter(rate=10.0, per_host=0.0)
+        assert limiter.acquire("a") == 0.0  # first slot is free
+        limiter.acquire("b")
+        limiter.acquire("c")
+        assert slept == [0.1, 0.1]
+
+    def test_per_host_interval_dominates_revisits(self):
+        limiter, slept = self._limiter(rate=1000.0, per_host=2.0)
+        limiter.acquire("a")
+        limiter.acquire("a")
+        assert slept == [2.0]
+
+    def test_distinct_hosts_only_pay_global_rate(self):
+        limiter, slept = self._limiter(rate=100.0, per_host=60.0)
+        limiter.acquire("a")
+        limiter.acquire("b")
+        assert slept == [0.01]
+
+    def test_invalid_parameters_rejected(self):
+        from repro.scanner.limits import ScanRateLimiter
+
+        with pytest.raises(ValueError):
+            ScanRateLimiter(rate_per_s=0)
+        with pytest.raises(ValueError):
+            ScanRateLimiter(per_host_interval_s=-1)
+
+    def test_thread_safe_under_contention(self):
+        """Concurrent acquires hand out strictly disjoint slots."""
+        import threading
+        from repro.scanner.limits import ScanRateLimiter
+
+        limiter = ScanRateLimiter(
+            rate_per_s=1_000_000, per_host_interval_s=0.0, sleep=lambda s: None
+        )
+        slots = []
+        lock = threading.Lock()
+        original = limiter.acquire
+
+        def worker():
+            for _ in range(50):
+                original("host")
+                with lock:
+                    slots.append(limiter._next_free)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(slots)) == len(slots)  # every slot unique

@@ -88,3 +88,145 @@ class TestAnalyzeErrors:
         monkeypatch.setenv("REPRO_STUDY_STORE", str(tmp_path / "env-store"))
         with pytest.raises(SystemExit, match="needs a study store"):
             main(["analyze", "--no-store"])
+
+
+class TestScanParser:
+    def test_targets_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scan", "--live"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(
+            ["scan", "--live", "--targets", "t.txt"]
+        )
+        assert args.live
+        assert args.port == 4840
+        assert args.key_bits == 2048
+        assert not args.traverse
+
+    def test_key_bits_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["scan", "--live", "--targets", "t", "--key-bits", "768"]
+            )
+
+
+class TestScanCommand:
+    def test_refuses_without_live_flag(self, tmp_path):
+        listing = tmp_path / "targets.txt"
+        listing.write_text("127.0.0.1\n")
+        with pytest.raises(SystemExit, match="--live"):
+            main(["scan", "--targets", str(listing)])
+
+    def test_refuses_without_contact(self, tmp_path):
+        listing = tmp_path / "targets.txt"
+        listing.write_text("127.0.0.1\n")
+        with pytest.raises(SystemExit, match="--contact"):
+            main(["scan", "--live", "--targets", str(listing)])
+
+    def test_refuses_malformed_targets(self, tmp_path, capsys):
+        listing = tmp_path / "targets.txt"
+        listing.write_text("plc.lab.example\n")
+        with pytest.raises(SystemExit, match="IPv4 literal"):
+            main(
+                [
+                    "scan", "--live", "--targets", str(listing),
+                    "--contact", "lab@example.org",
+                ]
+            )
+
+    def test_loopback_scan_end_to_end(
+        self, tmp_path, monkeypatch, capsys, rsa_1024
+    ):
+        """The whole CLI path: identity, gates, async executor, real
+        socket, JSONL output."""
+        from repro.dataset.io import read_snapshots
+        from repro.secure.policies import POLICY_NONE
+        from repro.server import EndpointConfig, TcpServerHost
+        from repro.uabin.enums import MessageSecurityMode, UserTokenType
+        from repro.util.rng import DeterministicRng
+        from tests.server.helpers import build_server
+
+        # Key generation must stay in the test sandbox, not the
+        # committed cache.
+        monkeypatch.setenv("REPRO_KEYCACHE", str(tmp_path / "keys"))
+
+        server = build_server(
+            DeterministicRng(5, "cli-live"),
+            rsa_1024,
+            endpoint_configs=[
+                EndpointConfig(MessageSecurityMode.NONE, POLICY_NONE)
+            ],
+            token_types=[UserTokenType.ANONYMOUS],
+        )
+        out = tmp_path / "live.jsonl"
+        with TcpServerHost(server) as (host, port):
+            listing = tmp_path / "targets.txt"
+            listing.write_text(f"127.0.0.1:{port}\n")
+            code = main(
+                [
+                    "scan",
+                    "--live",
+                    "--targets", str(listing),
+                    "--contact", "lab@example.org",
+                    "--key-bits", "512",
+                    "--rate", "1000",
+                    "--per-host-interval", "0",
+                    "--out", str(out),
+                ]
+            )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "1 tcp open / 1 OPC UA" in stdout
+        snapshots = read_snapshots(out)
+        assert len(snapshots) == 1
+        record = snapshots[0].records[0]
+        assert record.is_opcua
+        assert record.anonymous_accessible()
+
+    def test_blocklist_excludes_target(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_KEYCACHE", str(tmp_path / "keys"))
+        listing = tmp_path / "targets.txt"
+        listing.write_text("127.0.0.1:4840\n")
+        blocklist = tmp_path / "blocklist.txt"
+        blocklist.write_text("# operator opt-out\n127.0.0.0/8\n")
+        code = main(
+            [
+                "scan",
+                "--live",
+                "--targets", str(listing),
+                "--blocklist", str(blocklist),
+                "--contact", "lab@example.org",
+                "--key-bits", "512",
+            ]
+        )
+        assert code == 0
+        assert "1 blocklisted / 0 tcp open" in capsys.readouterr().out
+
+    def test_max_targets_zero_refuses_everything(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_KEYCACHE", str(tmp_path / "keys"))
+        listing = tmp_path / "targets.txt"
+        listing.write_text("127.0.0.1:4840\n")
+        with pytest.raises(SystemExit, match="ethics gate"):
+            main(
+                [
+                    "scan", "--live", "--targets", str(listing),
+                    "--contact", "lab@example.org",
+                    "--key-bits", "512", "--max-targets", "0",
+                ]
+            )
+
+    def test_invalid_rate_rejected_cleanly(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_KEYCACHE", str(tmp_path / "keys"))
+        listing = tmp_path / "targets.txt"
+        listing.write_text("127.0.0.1:4840\n")
+        with pytest.raises(SystemExit, match="rate_per_s"):
+            main(
+                [
+                    "scan", "--live", "--targets", str(listing),
+                    "--contact", "lab@example.org",
+                    "--key-bits", "512", "--rate", "0",
+                ]
+            )

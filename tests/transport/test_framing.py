@@ -4,6 +4,7 @@ from hypothesis import given, strategies as st
 from repro.transport.chunks import ChunkAssembler, split_into_chunks
 from repro.transport.connection import FrameReader, encode_frame
 from repro.transport.messages import (
+    HEADER_SIZE,
     AcknowledgeMessage,
     ErrorMessage,
     HelloMessage,
@@ -88,6 +89,40 @@ class TestFrameReader:
         reader.feed(encode_frame(MessageType.MESSAGE, "F", b"y" * 100))
         with pytest.raises(TransportError):
             reader.next_frame()
+
+    def test_undersized_frame_rejected_not_looped(self):
+        """Regression: a header whose size field is smaller than the
+        header itself can never be consumed, so yielding it (as an
+        empty frame) would make drain_frames spin forever.  It must
+        raise instead — and keep raising, never yielding."""
+        malformed = b"MSGF" + (4).to_bytes(4, "little") + b"tail"
+        reader = FrameReader()
+        reader.feed(malformed)
+        for _ in range(3):
+            with pytest.raises(TransportError):
+                next(iter(reader.drain_frames()))
+
+    @given(st.integers(0, HEADER_SIZE - 1))
+    def test_fuzzed_small_sizes_all_rejected(self, size):
+        reader = FrameReader()
+        reader.feed(b"MSGF" + size.to_bytes(4, "little"))
+        with pytest.raises(TransportError):
+            reader.next_frame()
+
+    @given(st.binary(min_size=HEADER_SIZE, max_size=64))
+    def test_fuzzed_headers_always_progress(self, data):
+        """Whatever bytes arrive, next_frame either needs more input,
+        consumes a frame, or raises — it never yields without
+        consuming (the infinite-drain failure mode)."""
+        reader = FrameReader(max_frame_size=1024)
+        reader.feed(data)
+        before = reader.buffered
+        try:
+            frame = reader.next_frame()
+        except TransportError:
+            return
+        if frame is not None:
+            assert reader.buffered < before
 
     @given(st.lists(st.binary(max_size=50), min_size=1, max_size=10), st.data())
     def test_arbitrary_split_points(self, bodies, data):
