@@ -141,7 +141,21 @@ def _key_str(key) -> str:
 
 @dataclass
 class AnalysisReport:
-    """The merged output of one pipeline run, canonically ordered."""
+    """The merged output of one pipeline run, canonically ordered.
+
+    Results merge in registry order regardless of which worker
+    finished first, and :meth:`digest` hashes the canonical JSON — the
+    cross-backend equivalence pin.  The digest is a pure function of
+    the contents::
+
+        >>> empty = AnalysisReport(seed=1, sweeps=0)
+        >>> empty.names()
+        ()
+        >>> empty.digest() == AnalysisReport(seed=1, sweeps=0).digest()
+        True
+        >>> empty.digest() == AnalysisReport(seed=2, sweeps=0).digest()
+        False
+    """
 
     seed: int
     sweeps: int

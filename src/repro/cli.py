@@ -171,7 +171,9 @@ def build_parser() -> argparse.ArgumentParser:
         "scan",
         help=(
             "live scan of an explicit target list (authorized lab "
-            "networks only; hard ethics gates, off by default)"
+            "networks only; hard ethics gates, off by default), "
+            "optionally recorded to — or replayed from — a capture "
+            "corpus"
         ),
     )
     scan.add_argument(
@@ -185,11 +187,41 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument(
         "--targets",
         metavar="FILE",
-        required=True,
         help=(
             "explicit target list, one IPv4[:port] per line "
             "(# comments allowed; hostnames rejected — no address "
-            "generation or resolution of any kind)"
+            "generation or resolution of any kind); required unless "
+            "--replay is given"
+        ),
+    )
+    scan.add_argument(
+        "--record",
+        metavar="CORPUS",
+        help=(
+            "record every transport operation of this live scan into "
+            "a replayable capture corpus at CORPUS (.gz → canonical "
+            "gzip); the recording lane still runs behind the full "
+            "ethics gate"
+        ),
+    )
+    scan.add_argument(
+        "--replay",
+        metavar="CORPUS",
+        help=(
+            "replay a previously recorded corpus instead of scanning "
+            "— no packets leave the machine, so neither --live nor "
+            "--targets is needed; the scanner identity is rebuilt "
+            "from the corpus metadata and every request is verified "
+            "against the recording"
+        ),
+    )
+    scan.add_argument(
+        "--executor",
+        choices=EXECUTOR_NAMES,
+        default=None,
+        help=(
+            "replay fan-out backend (replay records are identical on "
+            "every backend; live scans always use async)"
         ),
     )
     scan.add_argument(
@@ -271,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=20200830,
         help="seed for the scanner's deterministic nonce streams",
     )
+    _add_store(scan)
     return parser
 
 
@@ -366,8 +399,20 @@ def cmd_dataset(args) -> int:
     return 0
 
 
-def _live_scanner_identity(args):
-    """Build the live scanner identity (contact info mandatory)."""
+def _scanner_identity(
+    seed: int,
+    contact: str,
+    contact_url: str,
+    key_bits: int,
+    not_before=None,
+):
+    """Build the scanner identity used by the live and replay lanes.
+
+    Everything about it is deterministic given the arguments —
+    including ``not_before``, which defaults to *today* for live scans
+    and is recorded in a capture corpus so replay reconstructs the
+    byte-identical certificate on any later day.
+    """
     import os
     from datetime import datetime, timezone
     from pathlib import Path
@@ -378,26 +423,26 @@ def _live_scanner_identity(args):
     from repro.util.rng import DeterministicRng
     from repro.x509.builder import make_self_signed
 
-    contact = (args.contact or "").strip()
+    contact = (contact or "").strip()
     if "@" not in contact:
         raise SystemExit(
             "repro: error: --contact EMAIL is mandatory for live scans "
             "(it is embedded in the scanner certificate so operators "
             "can reach you)"
         )
+    if not_before is None:
+        not_before = datetime.now(timezone.utc).replace(
+            hour=0, minute=0, second=0, microsecond=0
+        )
     cache = os.environ.get("REPRO_KEYCACHE")
-    factory = KeyFactory(
-        args.seed, cache_dir=Path(cache) if cache else None
-    )
-    keys = factory.key_for(f"live-scanner-{args.key_bits}", args.key_bits)
-    rng = DeterministicRng(args.seed, "live-scanner")
+    factory = KeyFactory(seed, cache_dir=Path(cache) if cache else None)
+    keys = factory.key_for(f"live-scanner-{key_bits}", key_bits)
+    rng = DeterministicRng(seed, "live-scanner")
     certificate = make_self_signed(
         keys,
         common_name="research-scanner",
         application_uri="urn:repro:live-scanner",
-        not_before=datetime.now(timezone.utc).replace(
-            hour=0, minute=0, second=0, microsecond=0
-        ),
+        not_before=not_before,
         hash_name="sha256",
         rng=rng.substream("cert"),
         organization=f"Research scanner (contact: {contact})",
@@ -406,83 +451,16 @@ def _live_scanner_identity(args):
         application_uri="urn:repro:live-scanner",
         application_name=(
             f"Research scanner (contact: {contact}; "
-            f"opt out: {args.contact_url})"
+            f"opt out: {contact_url})"
         ),
         certificate=certificate,
         private_key=keys.private,
     )
-    return ScannerIdentity(client, contact_url=args.contact_url)
+    return ScannerIdentity(client, contact_url=contact_url), not_before
 
 
-def cmd_scan(args) -> int:
-    """Live lane: explicit targets, hard ethics gates, real sockets."""
-    from repro.netsim.blocklist import Blocklist
-    from repro.scanner.campaign import (
-        LiveScanCampaign,
-        LiveScanConfig,
-        load_targets,
-    )
-    from repro.scanner.ethics import (
-        DEFAULT_MAX_LIVE_TARGETS,
-        EthicsViolation,
-        LiveScanGate,
-    )
-    from repro.scanner.limits import ScanRateLimiter
+def _print_scan_summary(snapshot) -> None:
     from repro.util.ipaddr import format_ipv4
-    from repro.util.rng import DeterministicRng
-
-    if not args.live:
-        raise SystemExit(
-            "repro: error: `repro scan` sends real packets and only "
-            "runs with an explicit --live flag (the simulated study "
-            "is `repro study`)"
-        )
-    try:
-        targets = load_targets(args.targets, default_port=args.port)
-    except (OSError, ValueError) as exc:
-        raise SystemExit(f"repro: error: {exc}")
-    blocklist = Blocklist()
-    if args.blocklist:
-        try:
-            with open(args.blocklist) as handle:
-                for line in handle:
-                    block = line.split("#", 1)[0].strip()
-                    if block:
-                        blocklist.add(block)
-        except (OSError, ValueError) as exc:
-            raise SystemExit(f"repro: error: blocklist: {exc}")
-
-    identity = _live_scanner_identity(args)
-    gate = LiveScanGate(
-        blocklist=blocklist,
-        max_targets=(
-            DEFAULT_MAX_LIVE_TARGETS
-            if args.max_targets is None
-            else args.max_targets
-        ),
-    )
-    config = LiveScanConfig(
-        workers=args.workers,
-        connect_timeout_s=args.connect_timeout,
-        read_timeout_s=args.read_timeout,
-        connection_deadline_s=args.deadline,
-        traverse=args.traverse,
-    )
-    try:
-        limiter = ScanRateLimiter(args.rate, args.per_host_interval)
-    except ValueError as exc:
-        raise SystemExit(f"repro: error: {exc}")
-    try:
-        campaign = LiveScanCampaign(
-            identity,
-            DeterministicRng(args.seed, "live-scan"),
-            gate=gate,
-            config=config,
-            limiter=limiter,
-        )
-        snapshot = campaign.run(targets)
-    except EthicsViolation as exc:
-        raise SystemExit(f"repro: ethics gate: {exc}")
 
     opcua = sum(1 for r in snapshot.records if r.is_opcua)
     accessible = sum(
@@ -505,11 +483,213 @@ def cmd_scan(args) -> int:
         if record.error_category:
             status += f" [{record.error_category}]"
         print(f"  {format_ipv4(record.ip)}:{record.port}  {status}")
+
+
+def _write_snapshot_out(args, snapshot) -> None:
     if args.out:
         from repro.dataset.io import write_snapshots
 
         write_snapshots(args.out, [snapshot])
         print(f"wrote {args.out}")
+
+
+def cmd_replay(args) -> int:
+    """Replay lane: recorded corpus in, byte-identical records out."""
+    from pathlib import Path
+
+    from repro.dataset.store import StoreIntegrityError
+    from repro.scanner.campaign import ReplayScanCampaign
+    from repro.transport.capture import CaptureFormatError, read_corpus
+    from repro.transport.replay import ReplayError
+    from repro.util.rng import DeterministicRng
+    from repro.util.simtime import parse_utc
+
+    source = Path(args.replay)
+    try:
+        if source.exists():
+            corpus = read_corpus(source)
+        else:
+            store = _resolve_store(args)
+            if store is None:
+                raise SystemExit(
+                    f"repro: error: no corpus file at {source} "
+                    "(pass --store DIR to replay a stored corpus key)"
+                )
+            try:
+                corpus = store.load_corpus(args.replay)
+            except KeyError as exc:
+                raise SystemExit(f"repro: error: {exc.args[0]}")
+    except (CaptureFormatError, StoreIntegrityError) as exc:
+        raise SystemExit(f"repro: error: corpus: {exc}")
+
+    meta = corpus.meta
+    seed = meta.get("seed", args.seed)
+    contact = meta.get("contact") or args.contact
+    if not contact or "@" not in contact:
+        raise SystemExit(
+            "repro: error: this corpus does not carry the scanner "
+            "contact it was recorded with (it was recorded through "
+            "the library API, not `scan --record`); pass --contact "
+            "with the recording's contact e-mail so the identity — "
+            "and with it every request byte — can be rebuilt for "
+            "strict replay verification"
+        )
+    not_before = meta.get("not_before")
+    identity, _ = _scanner_identity(
+        seed,
+        contact,
+        meta.get("contact_url", args.contact_url),
+        meta.get("key_bits", args.key_bits),
+        not_before=parse_utc(not_before) if not_before else None,
+    )
+    from repro.scanner.executor import build_executor
+
+    # Replay grabs are pure computation, so serial is the sensible
+    # default; any backend produces identical records.
+    name = args.executor or "serial"
+    campaign = ReplayScanCampaign(
+        corpus,
+        identity,
+        DeterministicRng(seed, meta.get("rng_namespace", "live-scan")),
+        executor=build_executor(
+            name, 1 if name == "serial" else max(args.workers, 1)
+        ),
+    )
+    from repro.scanner.executor import ScanExecutorError
+
+    try:
+        snapshot = campaign.run()
+    except ReplayError as exc:
+        raise SystemExit(f"repro: replay: {exc}")
+    except ScanExecutorError as exc:
+        # Pooled backends wrap worker failures; a replay divergence
+        # inside a worker must still surface as the friendly replay
+        # message, not a traceback.
+        if isinstance(exc.cause, ReplayError):
+            raise SystemExit(f"repro: replay: {exc.cause}")
+        raise
+    print(f"replayed {len(corpus.targets)} captured targets "
+          f"from {args.replay}")
+    _print_scan_summary(snapshot)
+    _write_snapshot_out(args, snapshot)
+    return 0
+
+
+def cmd_scan(args) -> int:
+    """Live lane: explicit targets, hard ethics gates, real sockets."""
+    from repro.netsim.blocklist import Blocklist
+    from repro.scanner.campaign import (
+        LiveScanCampaign,
+        LiveScanConfig,
+        load_targets,
+    )
+    from repro.scanner.ethics import (
+        DEFAULT_MAX_LIVE_TARGETS,
+        EthicsViolation,
+        LiveScanGate,
+    )
+    from repro.scanner.limits import ScanRateLimiter
+    from repro.util.rng import DeterministicRng
+    from repro.util.simtime import format_utc
+
+    if args.replay:
+        if args.live or args.record or args.targets:
+            raise SystemExit(
+                "repro: error: --replay re-runs recorded traffic (the "
+                "corpus is the target list) and cannot be combined "
+                "with --live, --record, or --targets"
+            )
+        return cmd_replay(args)
+    if not args.live:
+        raise SystemExit(
+            "repro: error: `repro scan` sends real packets and only "
+            "runs with an explicit --live flag (the simulated study "
+            "is `repro study`; a recorded corpus replays with "
+            "--replay CORPUS)"
+        )
+    if not args.targets:
+        raise SystemExit(
+            "repro: error: --targets FILE is required for live scans"
+        )
+    try:
+        targets = load_targets(args.targets, default_port=args.port)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    blocklist = Blocklist()
+    if args.blocklist:
+        try:
+            with open(args.blocklist) as handle:
+                for line in handle:
+                    block = line.split("#", 1)[0].strip()
+                    if block:
+                        blocklist.add(block)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro: error: blocklist: {exc}")
+
+    identity, not_before = _scanner_identity(
+        args.seed, args.contact, args.contact_url, args.key_bits
+    )
+    gate = LiveScanGate(
+        blocklist=blocklist,
+        max_targets=(
+            DEFAULT_MAX_LIVE_TARGETS
+            if args.max_targets is None
+            else args.max_targets
+        ),
+    )
+    config = LiveScanConfig(
+        workers=args.workers,
+        connect_timeout_s=args.connect_timeout,
+        read_timeout_s=args.read_timeout,
+        connection_deadline_s=args.deadline,
+        traverse=args.traverse,
+    )
+    try:
+        limiter = ScanRateLimiter(args.rate, args.per_host_interval)
+    except ValueError as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    recorder = None
+    if args.record:
+        from repro.transport.capture import CaptureRecorder
+
+        # Everything replay needs to rebuild this exact scanner:
+        # the corpus is self-describing, so `repro scan --replay`
+        # works on any machine, any day.
+        recorder = CaptureRecorder(
+            {
+                "seed": args.seed,
+                "rng_namespace": "live-scan",
+                "contact": (args.contact or "").strip(),
+                "contact_url": args.contact_url,
+                "key_bits": args.key_bits,
+                "not_before": format_utc(not_before),
+            }
+        )
+    try:
+        campaign = LiveScanCampaign(
+            identity,
+            DeterministicRng(args.seed, "live-scan"),
+            gate=gate,
+            config=config,
+            limiter=limiter,
+            recorder=recorder,
+        )
+        snapshot = campaign.run(targets)
+    except EthicsViolation as exc:
+        raise SystemExit(f"repro: ethics gate: {exc}")
+
+    _print_scan_summary(snapshot)
+    if recorder is not None:
+        from repro.transport.capture import write_corpus
+
+        corpus = recorder.corpus()
+        write_corpus(args.record, corpus)
+        print(f"recorded {len(corpus.targets)} targets to {args.record}")
+        store = _resolve_store(args)
+        if store is not None:
+            key = store.save_corpus(corpus)
+            print(f"stored corpus {key} under {store.root}")
+    _write_snapshot_out(args, snapshot)
     return 0
 
 

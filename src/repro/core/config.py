@@ -31,6 +31,17 @@ class StudyConfig:
     proportionally (1.0 = the paper's counts).  Reduced-population
     studies — the golden-digest tests scan a handful of spec rows —
     use it so the fleet does not dwarf the servers under test.
+
+    The config is frozen; derive variants with :func:`dataclasses.replace`::
+
+        >>> from dataclasses import replace
+        >>> config = StudyConfig()
+        >>> config.seed, config.executor
+        (20200830, 'serial')
+        >>> replace(config, executor="process", workers=4).workers
+        4
+        >>> config.workers  # the original is untouched
+        1
     """
 
     seed: int = 20200830

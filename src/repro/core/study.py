@@ -156,6 +156,21 @@ class Study:
     :func:`~repro.deployments.spec.build_default_spec`).  The golden
     test harness passes a tiny row subset so a full eight-sweep study
     finishes in seconds while exercising every pipeline stage.
+
+    A study is configured up front and produces a
+    :class:`StudyResult` from :meth:`run` (pass a
+    :class:`~repro.dataset.store.StudyStore` to load instead of
+    re-scanning on a hit)::
+
+        >>> study = Study(StudyConfig(seed=7, executor="thread",
+        ...                           workers=4))
+        >>> study.config.seed
+        7
+        >>> study.config.executor
+        'thread'
+
+    Construction is cheap — population building, key generation, and
+    scanning all happen inside :meth:`run`.
     """
 
     def __init__(

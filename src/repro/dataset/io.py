@@ -12,6 +12,12 @@ one fully populated snapshot at a time, so a consumer that only needs
 one sweep (or wants to process sweeps incrementally) never holds the
 whole study in memory.  :func:`read_snapshots` remains the eager
 convenience wrapper.
+
+The open/iterate primitives — :func:`canonical_open_write`,
+:func:`canonical_open_read`, :func:`iter_decompressed_lines` — are
+shared with the capture-corpus format
+(:mod:`repro.transport.capture`), so every gzip-framed artifact in the
+repo has the same reproducible-bytes and truncation-detection story.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from __future__ import annotations
 import gzip
 import io
 import json
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, TextIO
 
@@ -29,13 +36,39 @@ class DatasetFormatError(ValueError):
     """A dataset file violates the JSONL snapshot layout."""
 
 
-def _open_read(path: Path) -> TextIO:
+def canonical_open_read(path: str | Path) -> TextIO:
+    """Open a text file for reading, transparently gunzipping ``.gz``."""
+    path = Path(path)
     if path.suffix == ".gz":
         return gzip.open(path, "rt", encoding="utf-8")
     return open(path, encoding="utf-8")
 
 
-def _decompressed_lines(path: Path, handle: TextIO) -> Iterator[str]:
+@contextmanager
+def canonical_open_write(path: str | Path) -> Iterator[TextIO]:
+    """Open a text file for writing with byte-reproducible compression.
+
+    Files ending in ``.gz`` are gzip-compressed with ``filename=""``
+    and ``mtime=0``, so the header carries no environment detail: the
+    compressed bytes are a pure function of the written content.  That
+    property is what lets stored studies and capture corpora be
+    content-addressed and digest-pinned.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".gz":
+        with open(path, "wb") as binary:
+            with gzip.GzipFile(
+                fileobj=binary, mode="wb", filename="", mtime=0
+            ) as raw:
+                with io.TextIOWrapper(raw, encoding="utf-8") as handle:
+                    yield handle
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            yield handle
+
+
+def iter_decompressed_lines(path: Path, handle: TextIO) -> Iterator[str]:
     """Iterate lines, mapping decompression failures to format errors.
 
     A byte-truncated or corrupted ``.gz`` file surfaces as
@@ -61,21 +94,8 @@ def _decompressed_lines(path: Path, handle: TextIO) -> Iterator[str]:
 def write_snapshots(
     path: str | Path, snapshots: list[MeasurementSnapshot]
 ) -> None:
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    if path.suffix == ".gz":
-        # filename="" and mtime=0 keep the gzip header free of
-        # environment detail: the compressed bytes are a pure function
-        # of the content, so stored files are byte-reproducible.
-        with open(path, "wb") as binary:
-            with gzip.GzipFile(
-                fileobj=binary, mode="wb", filename="", mtime=0
-            ) as raw:
-                with io.TextIOWrapper(raw, encoding="utf-8") as handle:
-                    _write_lines(handle, snapshots)
-    else:
-        with open(path, "w", encoding="utf-8") as handle:
-            _write_lines(handle, snapshots)
+    with canonical_open_write(path) as handle:
+        _write_lines(handle, snapshots)
 
 
 def _write_lines(
@@ -104,8 +124,10 @@ def iter_snapshots(path: str | Path) -> Iterator[MeasurementSnapshot]:
     path = Path(path)
     current: MeasurementSnapshot | None = None
     remaining = 0
-    with _open_read(path) as handle:
-        for number, line in enumerate(_decompressed_lines(path, handle), 1):
+    with canonical_open_read(path) as handle:
+        for number, line in enumerate(
+            iter_decompressed_lines(path, handle), 1
+        ):
             if not line.strip():
                 continue
             try:

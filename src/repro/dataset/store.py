@@ -28,6 +28,17 @@ Layout::
 
     <root>/<key>/meta.json           # config, spec summary, digests
     <root>/<key>/snapshots.jsonl.gz  # dataset/io.py JSONL, gzipped
+
+The store also holds **capture corpora** (recorded live scans — see
+:mod:`repro.transport.capture`), content-addressed by the SHA-256 of
+their canonical corpus bytes::
+
+    <root>/corpora/<key>/corpus.jsonl.gz
+    <root>/corpora/<key>/meta.json
+
+Corpus keys never collide with study keys: corpora live under their
+own subdirectory, which carries no top-level ``meta.json`` and is
+therefore invisible to :meth:`StudyStore.keys`.
 """
 
 from __future__ import annotations
@@ -63,6 +74,8 @@ STORE_ENV = "REPRO_STUDY_STORE"
 
 SNAPSHOT_FILE = "snapshots.jsonl.gz"
 META_FILE = "meta.json"
+CORPUS_DIR = "corpora"
+CORPUS_FILE = "corpus.jsonl.gz"
 
 #: StudyConfig fields that never change snapshot bytes (executor
 #: choice and task granularity) — excluded from the content key.
@@ -113,7 +126,17 @@ def default_store(path: str | Path | None = None) -> "StudyStore | None":
 
 
 class StudyStore:
-    """A directory of content-addressed study entries."""
+    """A directory of content-addressed study entries.
+
+    A fresh store is empty::
+
+        >>> import tempfile
+        >>> store = StudyStore(tempfile.mkdtemp())
+        >>> store.keys()
+        []
+        >>> store.corpus_keys()
+        []
+    """
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
@@ -253,3 +276,76 @@ class StudyStore:
             raise StoreIntegrityError(
                 f"store entry {key}: whole-study digest mismatch"
             )
+
+    # --- capture corpora ---------------------------------------------------
+
+    def corpus_dir(self, key: str) -> Path:
+        return self.root / CORPUS_DIR / key
+
+    def corpus_keys(self) -> list[str]:
+        corpora = self.root / CORPUS_DIR
+        if not corpora.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in corpora.iterdir()
+            if (entry / META_FILE).exists()
+        )
+
+    def corpus_path(self, key: str) -> Path:
+        return self.corpus_dir(key) / CORPUS_FILE
+
+    def save_corpus(self, corpus) -> str:
+        """Persist a capture corpus; returns its content key.
+
+        The key is the corpus digest (SHA-256 over the canonical JSONL
+        lines — see
+        :meth:`repro.transport.capture.CaptureCorpus.digest`), so
+        saving the same recording twice lands on the same entry, and a
+        tampered entry can never pass :meth:`load_corpus`.
+        """
+        from repro.transport.capture import write_corpus
+
+        key = corpus.digest()
+        entry = self.corpus_dir(key)
+        if (entry / META_FILE).exists():
+            # Content-addressed: an existing entry holds these exact
+            # bytes already.  Returning early keeps a re-save from
+            # rewriting a good recording in place (a crash mid-write
+            # would corrupt an entry whose meta marks it complete —
+            # and a live recording can never be reproduced).
+            return key
+        entry.mkdir(parents=True, exist_ok=True)
+        write_corpus(entry / CORPUS_FILE, corpus)
+        meta = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "targets": len(corpus.targets),
+            "label": corpus.meta.get("label"),
+        }
+        temp = entry / (META_FILE + ".tmp")
+        temp.write_text(json.dumps(meta, indent=2) + "\n")
+        os.replace(temp, entry / META_FILE)
+        return key
+
+    def load_corpus(self, key: str):
+        """Load one corpus, re-verifying its content digest.
+
+        Raises :class:`StoreIntegrityError` on digest drift (a stale,
+        truncated, or hand-edited entry) and :class:`KeyError` for an
+        unknown key.
+        """
+        from repro.transport.capture import read_corpus
+
+        path = self.corpus_path(key)
+        if not path.exists():
+            raise KeyError(f"no capture corpus {key!r} under {self.root}")
+        corpus = read_corpus(path)
+        digest = corpus.digest()
+        if digest != key:
+            raise StoreIntegrityError(
+                f"capture corpus {key}: content digest mismatch "
+                f"(recomputed {digest[:12]}…) — the entry is corrupted; "
+                "delete it and re-record"
+            )
+        return corpus

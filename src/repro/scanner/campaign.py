@@ -58,6 +58,8 @@ from repro.scanner.executor import (
 from repro.scanner.grabber import grab_host
 from repro.scanner.limits import ScanRateLimiter, TraversalBudget
 from repro.scanner.records import HostRecord, MeasurementSnapshot
+from repro.transport.capture import CaptureCorpus, CaptureRecorder
+from repro.transport.replay import ReplayNetwork
 from repro.transport.socket_io import (
     DEFAULT_CONNECT_TIMEOUT_S,
     DEFAULT_CONNECTION_DEADLINE_S,
@@ -97,7 +99,16 @@ class ScannerIdentity:
 
 
 class ScanCampaign:
-    """Weekly measurement campaign over a simulated Internet."""
+    """Weekly measurement campaign over a simulated Internet.
+
+    Binds the scanner identity, opt-out blocklist, per-host traversal
+    budget, and an executor backend; :meth:`run_sweep` produces one
+    dated :class:`~repro.scanner.records.MeasurementSnapshot` whose
+    bytes depend only on ``(seed, date)`` — never on the backend or
+    batch size.  The live and replay counterparts
+    (:class:`LiveScanCampaign`, :class:`ReplayScanCampaign`) reuse the
+    same grab sequence over the other two transport lanes.
+    """
 
     def __init__(
         self,
@@ -349,6 +360,16 @@ def parse_target_line(line: str, default_port: int = OPCUA_PORT):
     blanks and ``#`` comments.  Hostnames are rejected on purpose:
     an explicit target list means explicit addresses, with no
     resolution step between what was authorized and what is scanned.
+
+        >>> parse_target_line("10.0.0.1:4841  # lab PLC")
+        (167772161, 4841)
+        >>> parse_target_line("# comment only") is None
+        True
+        >>> parse_target_line("plc.lab.example")
+        Traceback (most recent call last):
+            ...
+        ValueError: target 'plc.lab.example' is not an IPv4 literal \
+(hostnames are not resolved; list addresses explicitly)
     """
     text = line.split("#", 1)[0].strip()
     if not text:
@@ -427,6 +448,7 @@ class LiveScanCampaign:
         limiter: ScanRateLimiter | None = None,
         budget: TraversalBudget | None = None,
         executor: ScanExecutor | None = None,
+        recorder: CaptureRecorder | None = None,
     ):
         self._identity = identity
         self._rng = rng
@@ -435,6 +457,7 @@ class LiveScanCampaign:
         self._limiter = limiter or ScanRateLimiter()
         self._budget_template = budget or TraversalBudget()
         self._executor = executor
+        self._recorder = recorder
         # The gate runs at construction time: a campaign that cannot
         # pass it should fail before any target list exists.
         self._gate.require_contact(identity)
@@ -491,6 +514,12 @@ class LiveScanCampaign:
                 completed, key=lambda pair: pair[0].key
             )
         )
+        if self._recorder is not None:
+            self._recorder.finish(
+                snapshot,
+                traverse=config.traverse,
+                budget=self._budget_template,
+            )
         return snapshot
 
     def _grab_sync(self, task: GrabTask) -> HostRecord:
@@ -504,6 +533,10 @@ class LiveScanCampaign:
             connection_deadline_s=config.connection_deadline_s,
             limiter=self._limiter,
         )
+        if self._recorder is not None:
+            network = self._recorder.wrap(
+                network, task.address, task.port
+            )
         return grab_host(
             network,
             task.address,
@@ -515,8 +548,123 @@ class LiveScanCampaign:
         )
 
 
+# --- replay lane -------------------------------------------------------------
+#
+# The third lane on the Transport seam.  A recorded corpus stands in
+# for the network: the full grab sequence (UaClient, FrameReader,
+# traversal) runs unchanged, but every connect outcome, response byte,
+# and clock reading comes from the capture.  No packets leave the
+# machine, so no ethics gate stands in front of it — the gate did its
+# work when the corpus was recorded.
+
+
+class ReplayScanCampaign:
+    """Re-run a recorded scan from a capture corpus, deterministically.
+
+    Fans one :class:`~repro.transport.capture.TargetCapture` per
+    recorded target through a
+    :class:`~repro.scanner.executor.ScanExecutor` (any backend —
+    replay grabs are pure computation, so serial/thread/process/async
+    all produce byte-identical snapshots, assembled in canonical
+    ``(address, port)`` order like the live lane's).
+
+    ``identity`` and ``rng`` must match the recording's: the protocol
+    driver re-generates every request from them, and strict mode
+    verifies each request against the recorded bytes — a mismatch
+    means the corpus is stale relative to the code (a regression
+    finding) or the replay was configured differently than the
+    capture.  Traversal settings default to the corpus metadata the
+    recorder stamped at capture time.
+    """
+
+    def __init__(
+        self,
+        corpus: CaptureCorpus,
+        identity: ScannerIdentity,
+        rng: DeterministicRng,
+        executor: ScanExecutor | None = None,
+        budget: TraversalBudget | None = None,
+        traverse: bool | None = None,
+        strict: bool = True,
+    ):
+        self._corpus = corpus
+        self._captures = corpus.target_map()
+        self._identity = identity
+        self._rng = rng
+        self._executor = executor or SerialScanExecutor()
+        self._strict = strict
+        meta = corpus.meta
+        if traverse is None:
+            traverse = bool(meta.get("traverse", False))
+        self._traverse = traverse
+        if budget is None:
+            budget = TraversalBudget(**meta.get("budget", {}))
+        self._budget_template = budget
+
+    def run(self, label: str | None = None) -> MeasurementSnapshot:
+        """Replay every captured target; returns one dated snapshot.
+
+        The snapshot-level counters (``date``, ``probed``,
+        ``excluded``) come from the corpus metadata, so a faithful
+        replay reproduces the original snapshot byte-for-byte — not
+        just its records.
+        """
+        meta = self._corpus.meta
+        date = label or meta.get("label") or "replay"
+        completed = self._executor.run(
+            (
+                GrabTask(capture.address, capture.port)
+                for capture in self._corpus.targets
+            ),
+            self._replay_grab,
+            lambda task, record: [],
+        )
+        snapshot = MeasurementSnapshot(
+            date=date,
+            probed=meta.get("probed", len(self._corpus.targets)),
+            port_open=sum(
+                1 for _, record in completed if record.tcp_open
+            ),
+            excluded=meta.get("excluded", 0),
+        )
+        snapshot.records.extend(
+            record
+            for _, record in sorted(
+                completed, key=lambda pair: pair[0].key
+            )
+        )
+        return snapshot
+
+    def _replay_grab(self, task: GrabTask) -> HostRecord:
+        capture = self._captures[task.key]
+        network = ReplayNetwork(capture, strict=self._strict)
+        record = grab_host(
+            network,
+            task.address,
+            task.port,
+            self._identity.client_identity,
+            self._rng,
+            budget=replace(self._budget_template),
+            traverse=self._traverse,
+        )
+        if self._strict:
+            # Over-consumption fails mid-grab; this catches the other
+            # direction — a driver doing *less* than it did at capture
+            # time must not pass as a faithful replay.
+            network.assert_exhausted()
+        return record
+
+
 def parse_endpoint_url(url: str | None) -> tuple[int, int] | None:
-    """Parse ``opc.tcp://a.b.c.d:port/...`` into (address, port)."""
+    """Parse ``opc.tcp://a.b.c.d:port/...`` into (address, port).
+
+        >>> parse_endpoint_url("opc.tcp://10.0.0.1:4841/plc")
+        (167772161, 4841)
+        >>> parse_endpoint_url("opc.tcp://10.0.0.1/")  # default port
+        (167772161, 4840)
+        >>> parse_endpoint_url("https://10.0.0.1/") is None
+        True
+    """
     if not url or not url.startswith("opc.tcp://"):
         return None
     rest = url[len("opc.tcp://") :]

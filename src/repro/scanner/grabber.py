@@ -38,6 +38,7 @@ from repro.scanner.traversal import traverse_address_space
 from repro.secure.policies import POLICY_NONE, policy_by_uri
 from repro.server.addressspace import NodeIds
 from repro.transport.messages import TransportError
+from repro.transport.replay import ReplayError
 from repro.uabin.enums import MessageSecurityMode, UserTokenType
 from repro.util.ipaddr import format_endpoint_host
 from repro.util.rng import DeterministicRng
@@ -93,6 +94,12 @@ def grab_host(
             client.open_secure_channel()
             endpoints = client.get_endpoints()
         except (UaClientError, Exception) as exc:
+            if isinstance(exc, ReplayError):
+                # Replay divergence is a harness failure (stale corpus
+                # or wrong replay configuration), never a scan
+                # observation — recording it as "not OPC UA" would
+                # fabricate a result the wire never produced.
+                raise
             record.error = f"not OPC UA: {exc}"
             # A connection-level failure (timeout, reset) is not
             # evidence about the protocol; record the category so

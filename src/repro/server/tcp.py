@@ -22,7 +22,15 @@ _CONTROL_TIMEOUT_S = 10.0
 
 
 class TcpServerHost:
-    """One UaServer listening on a real socket.
+    """One byte-stream engine listening on a real socket.
+
+    ``server`` is usually a :class:`~repro.server.engine.UaServer`,
+    but anything exposing ``new_connection()`` — or a bare zero-arg
+    connection factory (a callable returning an object with
+    ``receive(bytes) -> bytes``) — can be hosted.  That generality is
+    what lets capture-corpus fixtures put a *non*-OPC-UA service
+    behind a real port (the 0.5 ‰-path junk responder) next to a real
+    engine.
 
     Runs on the shared transport I/O loop by default, so a loopback
     test multiplexes client and server bytes on one event loop —
@@ -40,7 +48,15 @@ class TcpServerHost:
         port: int = 0,
         loop: asyncio.AbstractEventLoop | None = None,
     ):
-        self._ua_server = server
+        factory = getattr(server, "new_connection", None)
+        if factory is None:
+            if not callable(server):
+                raise TypeError(
+                    "server must expose new_connection() or be a "
+                    "connection factory callable"
+                )
+            factory = server
+        self._connection_factory = factory
         self._host = host
         self._port = port
         self._loop = loop
@@ -82,7 +98,7 @@ class TcpServerHost:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        connection = self._ua_server.new_connection()
+        connection = self._connection_factory()
         try:
             while not connection.closed:
                 data = await reader.read(_READ_CHUNK)

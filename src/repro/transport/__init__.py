@@ -29,11 +29,32 @@ from repro.transport.socket_io import (
     connect_blocking,
     shared_io_loop,
 )
+from repro.transport.capture import (
+    CaptureCorpus,
+    CaptureFormatError,
+    CaptureNetwork,
+    CaptureRecorder,
+    CaptureTransport,
+    TargetCapture,
+    read_corpus,
+    write_corpus,
+)
+from repro.transport.replay import (
+    ReplayError,
+    ReplayMismatch,
+    ReplayNetwork,
+    ReplayTransport,
+)
 
 __all__ = [
     "AcknowledgeMessage",
     "AsyncSocketTransport",
     "BlockingSocketTransport",
+    "CaptureCorpus",
+    "CaptureFormatError",
+    "CaptureNetwork",
+    "CaptureRecorder",
+    "CaptureTransport",
     "ChunkAssembler",
     "ChunkType",
     "ErrorMessage",
@@ -41,12 +62,19 @@ __all__ = [
     "HelloMessage",
     "MessageHeader",
     "MessageType",
+    "ReplayError",
+    "ReplayMismatch",
+    "ReplayNetwork",
+    "ReplayTransport",
+    "TargetCapture",
     "Transport",
     "TransportError",
     "TransportTimeout",
     "WallClock",
     "connect_blocking",
     "encode_frame",
+    "read_corpus",
     "shared_io_loop",
     "split_into_chunks",
+    "write_corpus",
 ]

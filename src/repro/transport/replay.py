@@ -1,0 +1,338 @@
+"""Replay lane: drive the unchanged protocol stack from a capture.
+
+The third lane on the :class:`~repro.transport.socket_io.Transport`
+seam (after the simulator and live sockets): a
+:class:`ReplayNetwork` reconstructs, from one
+:class:`~repro.transport.capture.TargetCapture`, exactly what the
+scanner observed when the capture was recorded — connection outcomes,
+response bytes, error categories *and messages*, clock readings — so
+:func:`~repro.scanner.grabber.grab_host` runs start to finish against
+recorded traffic and produces a byte-identical
+:class:`~repro.scanner.records.HostRecord`.
+
+Replay is strict by default: every ``write`` is checked against the
+recorded payload, every ``advance`` against the recorded pacing, and
+running past the end of a stream is an error.  A corpus is a
+*regression* fixture — if the protocol driver starts sending
+different bytes than it sent at capture time, that is a finding, and
+:class:`ReplayMismatch` reports it with the first diverging operation
+instead of letting a stale record masquerade as a reproduction.
+
+A minimal round trip against :mod:`repro.transport.capture`::
+
+    >>> from repro.transport.capture import CaptureTransport
+    >>> from repro.transport.replay import ReplayTransport
+    >>> class Echo:
+    ...     bytes_sent = bytes_received = 0
+    ...     def write(self, data): self._last = data
+    ...     def read(self): return self._last
+    ...     def close(self): pass
+    >>> events = []
+    >>> recording = CaptureTransport(Echo(), events, connection=0)
+    >>> recording.write(b"ping")
+    >>> recording.read()
+    b'ping'
+    >>> replay = ReplayTransport(events, connection=0)
+    >>> replay.write(b"ping")  # verified against the recording
+    >>> replay.read()
+    b'ping'
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from datetime import datetime
+
+from repro.netsim.net import ConnectionRefused, HostDown
+from repro.transport.messages import TransportError, TransportTimeout
+
+
+class ReplayError(RuntimeError):
+    """A capture cannot be replayed (exhausted or malformed stream)."""
+
+
+class ReplayMismatch(ReplayError):
+    """Replayed execution diverged from the recorded execution.
+
+    Raised when the protocol stack writes different bytes, paces the
+    clock differently, or opens connections in a different order than
+    it did at capture time — the capture is stale relative to the
+    code, or the replay was configured with a different scanner
+    identity/seed than the recording.
+    """
+
+
+def _rebuild_io_error(category: str, message: str) -> Exception:
+    """An exception whose ``str`` and category match the recording.
+
+    The grabber copies ``str(exc)`` into record fields and
+    ``categorize_error(exc)`` into the failure taxonomy, so both must
+    round-trip exactly for replayed records to be byte-identical.
+    """
+    if category == "timeout":
+        return TransportTimeout(message)
+    if category == "refused":
+        # Mid-stream refusals come from the simulator (a write on a
+        # closed SimSocket); rebuild the simulator's type so the
+        # grabber's except clauses take the same branch they took at
+        # capture time.
+        return ConnectionRefused(message)
+    if category == "unreachable":
+        return OSError(message)
+    return TransportError(message)
+
+
+def _rebuild_connect_error(category: str, message: str) -> Exception:
+    """Reconstruct a connect failure on the simulator's taxonomy.
+
+    The live lane maps socket failures onto
+    :class:`~repro.netsim.net.ConnectionRefused` /
+    :class:`~repro.netsim.net.HostDown` before the grabber sees them,
+    so replay rebuilds the post-mapping exception directly.
+    """
+    if category == "refused":
+        return ConnectionRefused(message)
+    error = HostDown(message)
+    error.category = category
+    return error
+
+
+class ReplayClock:
+    """Returns the recorded clock observations, in recorded order."""
+
+    def __init__(self, events: deque, target_key):
+        self._events = events
+        self._target_key = target_key
+
+    def _pop(self, expected: str) -> dict:
+        if not self._events:
+            raise ReplayMismatch(
+                f"target {self._target_key}: replay requested a clock "
+                f"'{expected}' after the recorded clock stream ended"
+            )
+        event = self._events.popleft()
+        if event["event"] != expected:
+            raise ReplayMismatch(
+                f"target {self._target_key}: replay requested a clock "
+                f"'{expected}' where the recording has "
+                f"'{event['event']}'"
+            )
+        return event
+
+    def remaining(self) -> int:
+        return len(self._events)
+
+    def now(self) -> datetime:
+        return datetime.fromisoformat(self._pop("now")["time"])
+
+    def advance(self, seconds: float) -> datetime:
+        event = self._pop("advance")
+        if event["seconds"] != seconds:
+            raise ReplayMismatch(
+                f"target {self._target_key}: replay advanced the clock "
+                f"by {seconds!r}s where the recording advanced by "
+                f"{event['seconds']!r}s"
+            )
+        return datetime.fromisoformat(event["time"])
+
+
+class ReplayTransport:
+    """A :class:`~repro.transport.socket_io.Transport` fed by a capture.
+
+    ``read`` returns the recorded response slices (including the
+    partial-frame boundaries the live TCP stream produced, so the
+    :class:`~repro.transport.connection.FrameReader` reassembly path is
+    exercised exactly as it was live); ``write`` verifies the request
+    against the recording when ``strict`` (the default).  Recorded
+    errors re-raise at the operation where they originally surfaced.
+    """
+
+    def __init__(
+        self, events, connection: int, target_key=None, strict: bool = True
+    ):
+        self._events = deque(
+            e
+            for e in events
+            if e.get("connection") == connection
+            and e["event"] in ("write", "read", "io-error", "close")
+        )
+        self._connection = connection
+        self._target_key = target_key
+        self._strict = strict
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.closed = False
+
+    def _context(self) -> str:
+        return (
+            f"target {self._target_key} connection {self._connection}"
+        )
+
+    def _pop(self, op: str) -> dict:
+        """Next event, which must be ``op`` or its recorded failure.
+
+        Returns the event; the caller inspects ``event["event"]`` for
+        the io-error case (accounting differs per operation before
+        the rebuilt error is raised).
+        """
+        if not self._events:
+            raise ReplayMismatch(
+                f"{self._context()}: replay issued a '{op}' after the "
+                "recorded stream ended"
+            )
+        event = self._events.popleft()
+        if event["event"] == "io-error" and event.get("op") == op:
+            return event
+        if event["event"] != op:
+            raise ReplayMismatch(
+                f"{self._context()}: replay issued a '{op}' where the "
+                f"recording has '{event['event']}'"
+            )
+        return event
+
+    def write(self, data: bytes) -> None:
+        event = self._pop("write")
+        if event["event"] == "io-error":
+            # The capture recorded exactly how many bytes the failing
+            # operation counted before raising (lanes differ: a live
+            # drain stall counts the payload, a deadline check or the
+            # simulator's refusal counts nothing) — and the grabber
+            # copies bytes_sent into scan_bytes even on failed grabs,
+            # so replay applies the recorded delta, not a guess.
+            self.bytes_sent += event.get("counted", 0)
+            raise _rebuild_io_error(event["category"], event["message"])
+        recorded = bytes.fromhex(event["data"])
+        if self._strict and recorded != data:
+            raise ReplayMismatch(
+                f"{self._context()}: request bytes diverge from the "
+                f"recording at write #{self.bytes_sent} "
+                f"(sent {len(data)} bytes, recorded {len(recorded)}); "
+                "the capture is stale, or the replay identity/seed "
+                "differs from the recording's"
+            )
+        self.bytes_sent += len(data)
+
+    def read(self) -> bytes:
+        event = self._pop("read")
+        if event["event"] == "io-error":
+            self.bytes_received += event.get("counted", 0)
+            raise _rebuild_io_error(event["category"], event["message"])
+        data = bytes.fromhex(event["data"])
+        self.bytes_received += len(data)
+        return data
+
+    def remaining(self) -> int:
+        return len(self._events)
+
+    def close(self) -> None:
+        self.closed = True
+        # Tolerate a missing close event (the capture may have ended
+        # mid-teardown); consume it when it is next, so a strict
+        # stream-exhaustion check can still pass.
+        if self._events and self._events[0]["event"] == "close":
+            self._events.popleft()
+
+
+class _ReplayHost:
+    """Ground-truth stub carrying the recorded ``asn`` observation."""
+
+    def __init__(self, asn):
+        self.asn = asn
+
+
+class ReplayNetwork:
+    """One target's recorded observations behind the grabber surface.
+
+    Splits the capture's single ordered event stream into the queues
+    replay consumes: clock observations, ``host`` ground-truth
+    observations, connect outcomes (in order), and per-connection I/O
+    events (handed to :class:`ReplayTransport` at connect time).
+    """
+
+    def __init__(self, capture, strict: bool = True):
+        self._capture = capture
+        self._strict = strict
+        self._events = capture.events
+        self._key = capture.key
+        self._hosts = deque(
+            e for e in self._events if e["event"] == "host"
+        )
+        self._connects = deque(
+            e
+            for e in self._events
+            if e["event"] in ("connect", "connect-error")
+        )
+        self._transports: list[ReplayTransport] = []
+        self.clock = ReplayClock(
+            deque(
+                e
+                for e in self._events
+                if e["event"] in ("now", "advance")
+            ),
+            self._key,
+        )
+
+    def assert_exhausted(self) -> None:
+        """Require that replay consumed everything the capture holds.
+
+        Over-consumption fails at the operation that ran past the
+        recording; this is the other direction — a driver that now
+        performs *fewer* operations than it did at capture time would
+        otherwise replay "successfully" while silently diverging.
+        """
+        leftovers = []
+        if self._hosts:
+            leftovers.append(f"{len(self._hosts)} host observation(s)")
+        if self._connects:
+            leftovers.append(
+                f"{len(self._connects)} recorded connection(s) never "
+                "opened"
+            )
+        if self.clock.remaining():
+            leftovers.append(
+                f"{self.clock.remaining()} clock observation(s)"
+            )
+        for transport in self._transports:
+            if transport.remaining():
+                leftovers.append(
+                    f"{transport.remaining()} event(s) on connection "
+                    f"{transport._connection}"
+                )
+        if leftovers:
+            raise ReplayMismatch(
+                f"target {self._key}: replay finished with recorded "
+                "events left unconsumed — the driver performs fewer "
+                "operations than it did at capture time: "
+                + ", ".join(leftovers)
+            )
+
+    def host(self, address: int):
+        if not self._hosts:
+            raise ReplayMismatch(
+                f"target {self._key}: replay requested ground truth "
+                "after the recorded host observations ended"
+            )
+        event = self._hosts.popleft()
+        if not event.get("known", False):
+            return None
+        return _ReplayHost(event.get("asn"))
+
+    def connect(self, address: int, port: int):
+        if not self._connects:
+            raise ReplayMismatch(
+                f"target {self._key}: replay opened more connections "
+                "than the recording holds"
+            )
+        event = self._connects.popleft()
+        if event["event"] == "connect-error":
+            raise _rebuild_connect_error(
+                event["category"], event["message"]
+            )
+        transport = ReplayTransport(
+            self._events,
+            event["connection"],
+            target_key=self._key,
+            strict=self._strict,
+        )
+        self._transports.append(transport)
+        return transport

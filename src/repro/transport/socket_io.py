@@ -61,6 +61,22 @@ class Transport(Protocol):
     :class:`~repro.transport.connection.FrameReader` reassembles), and
     returns ``b""`` only when the peer closed the connection.  The
     byte counters feed the scan budget and the per-host record.
+
+    Three lanes satisfy it: the simulator
+    (:class:`~repro.netsim.net.SimSocket`), live sockets
+    (:class:`BlockingSocketTransport`), and recorded traffic
+    (:class:`~repro.transport.replay.ReplayTransport`).  The protocol
+    is runtime-checkable, so a structural match is enough::
+
+        >>> class Minimal:
+        ...     bytes_sent = bytes_received = 0
+        ...     def write(self, data): pass
+        ...     def read(self): return b""
+        ...     def close(self): pass
+        >>> isinstance(Minimal(), Transport)
+        True
+        >>> isinstance(object(), Transport)
+        False
     """
 
     bytes_sent: int

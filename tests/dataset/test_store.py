@@ -184,3 +184,73 @@ class TestPoisoningGuards:
         meta_path.write_text(json.dumps(meta))
         with pytest.raises(StoreIntegrityError):
             store.load(serial_tiny_result.config, serial_tiny_result.spec)
+
+
+class TestCorpusStore:
+    """Content-addressed capture corpora alongside study entries."""
+
+    @pytest.fixture()
+    def corpus(self):
+        from repro.transport.capture import CaptureCorpus, TargetCapture
+
+        target = TargetCapture(address=167772161, port=4840)
+        target.events = [
+            {"event": "host", "asn": None, "known": False},
+            {"event": "now", "time": "2020-08-30T00:00:00+00:00"},
+            {"event": "now", "time": "2020-08-30T00:00:00+00:00"},
+            {
+                "event": "connect-error",
+                "category": "refused",
+                "message": "10.0.0.1:4840 refused the connection",
+            },
+        ]
+        return CaptureCorpus(
+            meta={"label": "2020-08-30", "probed": 1, "excluded": 0},
+            targets=[target],
+        )
+
+    def test_save_load_round_trip(self, tmp_path, corpus):
+        from repro.dataset.store import StudyStore
+
+        store = StudyStore(tmp_path / "store")
+        key = store.save_corpus(corpus)
+        assert key == corpus.digest()
+        assert store.corpus_keys() == [key]
+        loaded = store.load_corpus(key)
+        assert loaded.meta == corpus.meta
+        assert [t.events for t in loaded.targets] == [
+            t.events for t in corpus.targets
+        ]
+
+    def test_saving_twice_is_idempotent(self, tmp_path, corpus):
+        from repro.dataset.store import StudyStore
+
+        store = StudyStore(tmp_path / "store")
+        assert store.save_corpus(corpus) == store.save_corpus(corpus)
+        assert len(store.corpus_keys()) == 1
+
+    def test_corpora_invisible_to_study_keys(self, tmp_path, corpus):
+        from repro.dataset.store import StudyStore
+
+        store = StudyStore(tmp_path / "store")
+        store.save_corpus(corpus)
+        assert store.keys() == []
+
+    def test_tampered_corpus_rejected(self, tmp_path, corpus):
+        from repro.dataset.store import StudyStore
+
+        store = StudyStore(tmp_path / "store")
+        key = store.save_corpus(corpus)
+        path = store.corpus_path(key)
+        lines = gzip.decompress(path.read_bytes()).decode().splitlines()
+        lines[-1] = lines[-1].replace("refused", "accepted")
+        path.write_bytes(gzip.compress(("\n".join(lines) + "\n").encode()))
+        with pytest.raises(StoreIntegrityError, match="digest mismatch"):
+            store.load_corpus(key)
+
+    def test_unknown_corpus_key(self, tmp_path):
+        from repro.dataset.store import StudyStore
+
+        store = StudyStore(tmp_path / "store")
+        with pytest.raises(KeyError):
+            store.load_corpus("0" * 64)

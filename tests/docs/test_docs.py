@@ -1,0 +1,127 @@
+"""Docs stay true: doctests run, and docs/ tracks the code.
+
+Three guarantees, all in the fast tier:
+
+* the public-surface doctests (``Study``, ``StudyConfig``,
+  ``ScanCampaign``, ``Transport``, ``StudyStore``,
+  ``AnalysisReport``, and the capture/replay lane) execute and pass;
+* ``docs/paper-map.md`` names *exactly* the analyses registered in
+  ``repro/analysis/pipeline.py`` — an analysis added without a row
+  here, or a row for a removed analysis, fails CI;
+* every file path and experiment/benchmark reference the docs make
+  actually exists.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOCS = REPO_ROOT / "docs"
+PAPER_MAP = DOCS / "paper-map.md"
+ARCHITECTURE = DOCS / "architecture.md"
+
+#: The documented public surface: each of these modules must carry
+#: executable examples, and they must pass.
+DOCTEST_MODULES = (
+    "repro.core.config",
+    "repro.core.study",
+    "repro.dataset.store",
+    "repro.analysis.pipeline",
+    "repro.transport.socket_io",
+    "repro.transport.capture",
+    "repro.transport.replay",
+    "repro.scanner.campaign",
+)
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_public_surface_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module_name}: doctest failures"
+    assert results.attempted > 0, (
+        f"{module_name} is on the documented public surface but "
+        "carries no executable examples"
+    )
+
+
+def _registry_table_rows() -> list[str]:
+    """First-column code spans of the analysis-registry table."""
+    text = PAPER_MAP.read_text()
+    section = text.split("## Analysis registry")[1].split("\n## ")[0]
+    return re.findall(r"^\| `([a-z0-9_]+)` \|", section, re.MULTILINE)
+
+
+class TestPaperMap:
+    def test_exists(self):
+        assert PAPER_MAP.exists(), "docs/paper-map.md is missing"
+
+    def test_covers_exactly_the_registry(self):
+        from repro.analysis.pipeline import ANALYSIS_NAMES
+
+        documented = _registry_table_rows()
+        assert sorted(documented) == sorted(set(documented)), (
+            "duplicate analysis rows in docs/paper-map.md"
+        )
+        missing = set(ANALYSIS_NAMES) - set(documented)
+        unknown = set(documented) - set(ANALYSIS_NAMES)
+        assert not missing, (
+            f"analyses registered but undocumented in paper-map.md: "
+            f"{sorted(missing)}"
+        )
+        assert not unknown, (
+            f"paper-map.md documents analyses that do not exist: "
+            f"{sorted(unknown)}"
+        )
+
+    def test_experiment_ids_exist(self):
+        from repro.core.experiments import EXPERIMENTS
+
+        section = PAPER_MAP.read_text().split("## Analysis registry")[1]
+        table = section.split("\n## ")[0]
+        for row in table.splitlines():
+            if not row.startswith("| `"):
+                continue
+            experiment_cell = row.split("|")[3]
+            for experiment in re.findall(r"`([a-z0-9-]+)`", experiment_cell):
+                assert experiment in EXPERIMENTS, (
+                    f"paper-map.md references unknown experiment "
+                    f"{experiment!r}"
+                )
+
+    def test_benchmark_references_exist(self):
+        text = PAPER_MAP.read_text()
+        for path, test_name in re.findall(
+            r"`(benchmarks/[\w/]+\.py)::(\w+)`", text
+        ):
+            bench = REPO_ROOT / path
+            assert bench.exists(), f"paper-map.md references missing {path}"
+            assert f"def {test_name}(" in bench.read_text(), (
+                f"{path} has no test named {test_name}"
+            )
+
+
+@pytest.mark.parametrize("document", ["architecture.md", "paper-map.md"])
+def test_documented_paths_exist(document):
+    """Every `src/...`, `tests/...`, `benchmarks/...` path is real."""
+    text = (DOCS / document).read_text()
+    for reference in re.findall(
+        r"`((?:src|tests|benchmarks)/[\w./-]+?)(?:::\w+)?`", text
+    ):
+        target = REPO_ROOT / re.sub(r":[\w.]+$", "", reference)
+        assert target.exists(), (
+            f"docs/{document} references {reference}, which does not "
+            "exist"
+        )
+
+
+def test_readme_links_into_docs():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/architecture.md" in readme
+    assert "docs/paper-map.md" in readme

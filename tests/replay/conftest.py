@@ -1,0 +1,28 @@
+"""Replay-corpus fixtures.
+
+The corpus itself is committed (``corpus.jsonl.gz``) — these fixtures
+only parse it and load the pinned digests.  The scanner identity is
+rebuilt from the session ``rsa_1024`` key (same derivation the
+regeneration script uses), so replay's strict write verification
+cross-checks the whole client stack against the recording.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.transport.capture import read_corpus
+
+from tests.replay.fixture import CORPUS_PATH, DIGEST_PATH
+
+
+@pytest.fixture(scope="session")
+def committed_corpus():
+    return read_corpus(CORPUS_PATH)
+
+
+@pytest.fixture(scope="session")
+def committed_replay_digests() -> dict:
+    return json.loads(DIGEST_PATH.read_text())

@@ -1,0 +1,142 @@
+"""Deterministic builders behind the committed replay corpus.
+
+The committed ``corpus.jsonl.gz`` was recorded once from a loopback
+live scan of three targets — a full OPC UA engine, a junk TCP banner
+service, and a refused port — and ``replay.digest.json`` pins the
+snapshot digest that replaying it must reproduce.  Both the
+regeneration script and the fast-tier digest tests build the scanner
+from the functions here, so the identity and RNG streams the corpus
+was recorded with are exactly the ones replay verifies against.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.client import ClientIdentity
+from repro.core.study import JunkTcpService
+from repro.scanner.campaign import (
+    LiveScanCampaign,
+    LiveScanConfig,
+    ReplayScanCampaign,
+    ScannerIdentity,
+)
+from repro.scanner.limits import ScanRateLimiter, TraversalBudget
+from repro.server import TcpServerHost
+from repro.transport.capture import CaptureCorpus, CaptureRecorder
+from repro.util.ipaddr import parse_ipv4
+from repro.util.rng import DeterministicRng
+from repro.util.simtime import parse_utc
+from repro.x509.builder import make_self_signed
+
+FIXTURE_DIR = Path(__file__).resolve().parent
+CORPUS_PATH = FIXTURE_DIR / "corpus.jsonl.gz"
+DIGEST_PATH = FIXTURE_DIR / "replay.digest.json"
+
+#: The snapshot date the fixture scan was labelled with.
+LABEL = "2020-08-30"
+#: Seed of the fixture scanner's RNG tree.
+SEED = 20200830
+#: Namespace of the campaign RNG (both record and replay).
+RNG_NAMESPACE = "replay-fixture"
+
+LOOPBACK = parse_ipv4("127.0.0.1")
+
+
+def fixture_identity(keys) -> ScannerIdentity:
+    """The scanner identity the corpus was recorded with.
+
+    Everything is pinned (including the certificate validity start)
+    so replay regenerates byte-identical request streams on any day.
+    """
+    certificate = make_self_signed(
+        keys,
+        common_name="research-scanner",
+        application_uri="urn:repro:tests:replay-scanner",
+        not_before=parse_utc("2020-01-01"),
+        hash_name="sha256",
+        rng=DeterministicRng(SEED, "replay-fixture-cert"),
+    )
+    return ScannerIdentity(
+        ClientIdentity(
+            application_uri="urn:repro:tests:replay-scanner",
+            application_name=(
+                "Research Scanner (contact: research@example.org)"
+            ),
+            certificate=certificate,
+            private_key=keys.private,
+        )
+    )
+
+
+def fixture_rng() -> DeterministicRng:
+    return DeterministicRng(SEED, RNG_NAMESPACE)
+
+
+def fixture_budget() -> TraversalBudget:
+    # Zero inter-request delay: recorded advance(0.0) events replay
+    # instantly, and recording does not spend wall time sleeping.
+    return TraversalBudget(inter_request_delay_s=0.0)
+
+
+def fixture_server(keys):
+    """The OPC UA engine profile the corpus's first target serves."""
+    from tests.server.helpers import build_server
+
+    return build_server(DeterministicRng(99, "replay-profile"), keys)
+
+
+def record_fixture_corpus(keys):
+    """Re-record the fixture scan over real loopback sockets.
+
+    Three targets, three outcomes: a genuine OPC UA grab (with
+    traversal), a non-OPC-UA banner service, and a refused port.
+    Returns ``(corpus, live_snapshot)`` so callers can assert the
+    capture→replay round trip against the live records.
+    """
+    import socket as socketlib
+
+    recorder = CaptureRecorder(
+        {"seed": SEED, "rng_namespace": RNG_NAMESPACE}
+    )
+    campaign = LiveScanCampaign(
+        fixture_identity(keys),
+        fixture_rng(),
+        config=LiveScanConfig(workers=4, traverse=True),
+        limiter=ScanRateLimiter(
+            rate_per_s=10_000, per_host_interval_s=0.0
+        ),
+        budget=fixture_budget(),
+        recorder=recorder,
+    )
+    probe = socketlib.socket()
+    try:
+        probe.bind(("127.0.0.1", 0))
+        refused_port = probe.getsockname()[1]
+    finally:
+        probe.close()
+    with TcpServerHost(fixture_server(keys)) as (_, ua_port):
+        with TcpServerHost(JunkTcpService) as (_, junk_port):
+            snapshot = campaign.run(
+                [
+                    (LOOPBACK, ua_port),
+                    (LOOPBACK, junk_port),
+                    (LOOPBACK, refused_port),
+                ],
+                label=LABEL,
+            )
+    return recorder.corpus(), snapshot
+
+
+def replay_campaign(
+    corpus: CaptureCorpus, keys, executor=None
+) -> ReplayScanCampaign:
+    """A replay campaign configured exactly like the recording."""
+    return ReplayScanCampaign(
+        corpus,
+        fixture_identity(keys),
+        fixture_rng(),
+        executor=executor,
+        budget=fixture_budget(),
+        traverse=True,
+    )

@@ -1,0 +1,97 @@
+"""Regenerate the committed replay corpus and its pinned digests.
+
+Usage::
+
+    PYTHONPATH=src python tests/replay/regenerate.py
+
+Recording opens real loopback sockets, so the corpus bytes change on
+every regeneration (wall-clock timestamps are part of what a capture
+preserves).  Replaying the fresh corpus, however, must reproduce the
+live snapshot byte-for-byte — this script asserts that round trip
+before writing anything, then commits corpus and digests together.
+
+Only regenerate after an *intentional* protocol or record-schema
+change, and explain the refreshed fixture in the same PR: a replay
+digest mismatch against an unchanged corpus is exactly the regression
+this fixture exists to catch.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+import os  # noqa: E402
+
+os.environ.setdefault("REPRO_KEYCACHE", str(REPO_ROOT / ".keycache"))
+
+from repro.core.golden import snapshot_digest  # noqa: E402
+from repro.crypto.rsa import generate_rsa_key  # noqa: E402
+from repro.transport.capture import read_corpus, write_corpus  # noqa: E402
+from repro.util.rng import DeterministicRng  # noqa: E402
+
+from tests.replay.fixture import (  # noqa: E402
+    CORPUS_PATH,
+    DIGEST_PATH,
+    LABEL,
+    SEED,
+    record_fixture_corpus,
+    replay_campaign,
+)
+
+
+def main() -> int:
+    # The same 1024-bit key derivation the test session uses
+    # (tests/conftest.py rsa_1024), so tests rebuild this scanner
+    # without touching the corpus.
+    keys = generate_rsa_key(
+        1024, DeterministicRng(20200830, "tests").substream("rsa-1024")
+    )
+    corpus, live_snapshot = record_fixture_corpus(keys)
+    # Stage next to the final path (same filesystem for os.replace),
+    # and publish only after the round trip verifies — a failed
+    # regeneration must not leave a corpus/digest pair that disagree.
+    staged = CORPUS_PATH.with_name("corpus.staged.jsonl.gz")
+    write_corpus(staged, corpus)
+    reread = read_corpus(staged)
+
+    snapshot = replay_campaign(reread, keys).run()
+    digest = snapshot_digest(snapshot)
+    live_digest = snapshot_digest(live_snapshot)
+    if digest != live_digest:
+        staged.unlink()
+        raise SystemExit(
+            "capture→replay round trip is not byte-identical "
+            f"(live {live_digest[:12]}…, replay {digest[:12]}…); "
+            "refusing to commit a corpus that does not reproduce "
+            "its own recording"
+        )
+    os.replace(staged, CORPUS_PATH)
+    payload = {
+        "_comment": (
+            "Replay digest of the committed loopback capture corpus. "
+            "Regenerate with: PYTHONPATH=src python "
+            "tests/replay/regenerate.py"
+        ),
+        "seed": SEED,
+        "label": LABEL,
+        "targets": len(reread.targets),
+        "corpus_digest": reread.digest(),
+        "digest": digest,
+    }
+    DIGEST_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {CORPUS_PATH} ({CORPUS_PATH.stat().st_size} bytes)")
+    print(f"wrote {DIGEST_PATH}")
+    print(f"replay digest: {digest}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

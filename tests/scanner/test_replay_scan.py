@@ -1,0 +1,179 @@
+"""Live capture → replay round trip over real loopback sockets.
+
+The replay lane's central guarantee, asserted end-to-end: a live grab
+recorded to a corpus and replayed through
+:class:`~repro.transport.replay.ReplayTransport` yields a
+byte-identical grab record — same endpoints, same certificate, same
+timing fields, same error taxonomy — with zero packets sent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import ClientIdentity
+from repro.core.golden import canonical_json, snapshot_digest
+from repro.scanner.campaign import (
+    LiveScanCampaign,
+    LiveScanConfig,
+    ReplayScanCampaign,
+    ScannerIdentity,
+)
+from repro.scanner.limits import ScanRateLimiter, TraversalBudget
+from repro.server import TcpServerHost
+from repro.transport.capture import CaptureRecorder, read_corpus, write_corpus
+from repro.util.ipaddr import parse_ipv4
+from repro.util.rng import DeterministicRng
+from repro.util.simtime import parse_utc
+from repro.x509.builder import make_self_signed
+
+from tests.server.helpers import build_server
+
+LOOPBACK = parse_ipv4("127.0.0.1")
+
+
+def _free_port() -> int:
+    import socket as socketlib
+
+    probe = socketlib.socket()
+    try:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+    finally:
+        probe.close()
+
+
+def _identity(rng, keys) -> ScannerIdentity:
+    certificate = make_self_signed(
+        keys,
+        common_name="research-scanner",
+        application_uri="urn:repro:tests:replay-scan",
+        not_before=parse_utc("2020-01-01"),
+        hash_name="sha256",
+        rng=rng.substream("scanner-cert"),
+    )
+    return ScannerIdentity(
+        ClientIdentity(
+            application_uri="urn:repro:tests:replay-scan",
+            application_name=(
+                "Research Scanner (contact: research@example.org)"
+            ),
+            certificate=certificate,
+            private_key=keys.private,
+        )
+    )
+
+
+@pytest.fixture()
+def replay_rng():
+    return DeterministicRng(31337, "replay-scan-tests")
+
+
+@pytest.fixture()
+def scanner(replay_rng, rsa_1024):
+    return _identity(replay_rng, rsa_1024)
+
+
+def _record_loopback(replay_rng, scanner, rsa_1024, targets_for):
+    """Run one recorded live campaign; returns (corpus, snapshot)."""
+    recorder = CaptureRecorder({"seed": 31337})
+    campaign = LiveScanCampaign(
+        scanner,
+        replay_rng.substream("campaign"),
+        config=LiveScanConfig(workers=4, traverse=True),
+        limiter=ScanRateLimiter(
+            rate_per_s=10_000, per_host_interval_s=0.0
+        ),
+        budget=TraversalBudget(inter_request_delay_s=0.0),
+        recorder=recorder,
+    )
+    server = build_server(
+        DeterministicRng(99, "replay-scan-profile"), rsa_1024
+    )
+    with TcpServerHost(server) as (_, port):
+        snapshot = campaign.run(
+            targets_for(port), label="2020-08-30"
+        )
+    return recorder.corpus(), snapshot
+
+
+class TestLoopbackRoundTrip:
+    def test_replay_reproduces_live_snapshot_byte_for_byte(
+        self, replay_rng, scanner, rsa_1024, tmp_path
+    ):
+        corpus, live = _record_loopback(
+            replay_rng,
+            scanner,
+            rsa_1024,
+            lambda port: [(LOOPBACK, port), (LOOPBACK, _free_port())],
+        )
+        # Serialize through the real on-disk format, like a CI corpus.
+        path = tmp_path / "corpus.jsonl.gz"
+        write_corpus(path, corpus)
+        replayed = ReplayScanCampaign(
+            read_corpus(path),
+            scanner,
+            replay_rng.substream("campaign"),
+            budget=TraversalBudget(inter_request_delay_s=0.0),
+            traverse=True,
+        ).run()
+
+        assert len(live.records) == 2
+        # Canonical order is (address, port): the refused free port
+        # may sort before or after the server port.
+        live_grab = next(r for r in live.records if r.tcp_open)
+        refused = next(r for r in live.records if not r.tcp_open)
+        assert refused.error_category in ("refused", "unreachable")
+        assert live_grab.is_opcua and live_grab.session.success
+        assert live_grab.nodes is not None  # traversal on the wire
+        # Record-level: every field, including timestamps, durations,
+        # byte counters, and the refused target's error taxonomy.
+        for live_record, replay_record in zip(
+            live.records, replayed.records
+        ):
+            assert canonical_json(
+                live_record.to_json_dict()
+            ) == canonical_json(replay_record.to_json_dict())
+        # Snapshot-level: counters come from the corpus metadata.
+        assert snapshot_digest(replayed) == snapshot_digest(live)
+
+    def test_corpus_metadata_restores_scan_settings(
+        self, replay_rng, scanner, rsa_1024
+    ):
+        corpus, live = _record_loopback(
+            replay_rng,
+            scanner,
+            rsa_1024,
+            lambda port: [(LOOPBACK, port)],
+        )
+        assert corpus.meta["label"] == "2020-08-30"
+        assert corpus.meta["traverse"] is True
+        assert corpus.meta["budget"]["inter_request_delay_s"] == 0.0
+        # The campaign defaults to the recorded settings: no explicit
+        # budget/traverse needed for a faithful replay.
+        replayed = ReplayScanCampaign(
+            corpus, scanner, replay_rng.substream("campaign")
+        ).run()
+        assert snapshot_digest(replayed) == snapshot_digest(live)
+
+    def test_replay_sends_no_packets(
+        self, replay_rng, scanner, rsa_1024, monkeypatch
+    ):
+        """The replay lane must never touch a socket."""
+        corpus, _ = _record_loopback(
+            replay_rng,
+            scanner,
+            rsa_1024,
+            lambda port: [(LOOPBACK, port)],
+        )
+        import socket as socketlib
+
+        def _refuse(*args, **kwargs):
+            raise AssertionError("replay opened a real socket")
+
+        monkeypatch.setattr(socketlib.socket, "connect", _refuse)
+        monkeypatch.setattr(socketlib.socket, "connect_ex", _refuse)
+        snapshot = ReplayScanCampaign(
+            corpus, scanner, replay_rng.substream("campaign")
+        ).run()
+        assert snapshot.records[0].is_opcua

@@ -91,9 +91,24 @@ class TestAnalyzeErrors:
 
 
 class TestScanParser:
-    def test_targets_required(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["scan", "--live"])
+    def test_targets_required_for_live(self):
+        # Enforced in cmd_scan rather than the parser: --replay runs
+        # without a target list (the corpus *is* the target list).
+        with pytest.raises(SystemExit, match="--targets"):
+            main(["scan", "--live"])
+
+    def test_replay_excludes_live_and_record(self):
+        with pytest.raises(SystemExit, match="cannot be combined"):
+            main(["scan", "--replay", "c.jsonl.gz", "--live"])
+        with pytest.raises(SystemExit, match="cannot be combined"):
+            main(["scan", "--replay", "c.jsonl.gz", "--record", "x"])
+
+    def test_replay_missing_corpus_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no corpus file"):
+            main(
+                ["scan", "--replay", str(tmp_path / "nope.jsonl.gz"),
+                 "--no-store"]
+            )
 
     def test_defaults(self):
         args = build_parser().parse_args(
@@ -183,6 +198,105 @@ class TestScanCommand:
         record = snapshots[0].records[0]
         assert record.is_opcua
         assert record.anonymous_accessible()
+
+    def test_record_then_replay_end_to_end(
+        self, tmp_path, monkeypatch, capsys, rsa_1024
+    ):
+        """`scan --live --record` then `scan --replay`: the corpus is
+        self-describing (identity rebuilt from metadata) and the
+        replayed snapshot is byte-identical to the live one."""
+        from repro.core.golden import snapshot_digest
+        from repro.dataset.io import read_snapshots
+        from repro.secure.policies import POLICY_NONE
+        from repro.server import EndpointConfig, TcpServerHost
+        from repro.uabin.enums import MessageSecurityMode, UserTokenType
+        from repro.util.rng import DeterministicRng
+        from tests.server.helpers import build_server
+
+        monkeypatch.setenv("REPRO_KEYCACHE", str(tmp_path / "keys"))
+        server = build_server(
+            DeterministicRng(5, "cli-replay"),
+            rsa_1024,
+            endpoint_configs=[
+                EndpointConfig(MessageSecurityMode.NONE, POLICY_NONE)
+            ],
+            token_types=[UserTokenType.ANONYMOUS],
+        )
+        corpus = tmp_path / "corpus.jsonl.gz"
+        live_out = tmp_path / "live.jsonl"
+        replay_out = tmp_path / "replay.jsonl"
+        with TcpServerHost(server) as (host, port):
+            listing = tmp_path / "targets.txt"
+            listing.write_text(f"127.0.0.1:{port}\n")
+            code = main(
+                [
+                    "scan", "--live",
+                    "--targets", str(listing),
+                    "--contact", "lab@example.org",
+                    "--key-bits", "512",
+                    "--rate", "1000",
+                    "--per-host-interval", "0",
+                    "--record", str(corpus),
+                    "--out", str(live_out),
+                    "--no-store",
+                ]
+            )
+        assert code == 0
+        assert "recorded 1 targets" in capsys.readouterr().out
+        # Replay long after the server is gone: corpus + metadata only.
+        code = main(
+            ["scan", "--replay", str(corpus), "--out", str(replay_out),
+             "--no-store"]
+        )
+        assert code == 0
+        assert "replayed 1 captured targets" in capsys.readouterr().out
+        live = read_snapshots(live_out)[0]
+        replayed = read_snapshots(replay_out)[0]
+        assert replayed.records[0].is_opcua
+        assert snapshot_digest(replayed) == snapshot_digest(live)
+
+    def test_stale_corpus_replay_fails_cleanly_on_pooled_backend(
+        self, tmp_path, monkeypatch, capsys, rsa_1024
+    ):
+        """A divergent replay inside a worker thread must surface as
+        the `repro: replay:` message, not a raw ScanExecutorError."""
+        from repro.secure.policies import POLICY_NONE
+        from repro.server import EndpointConfig, TcpServerHost
+        from repro.transport.capture import read_corpus, write_corpus
+        from repro.uabin.enums import MessageSecurityMode, UserTokenType
+        from repro.util.rng import DeterministicRng
+        from tests.server.helpers import build_server
+
+        monkeypatch.setenv("REPRO_KEYCACHE", str(tmp_path / "keys"))
+        server = build_server(
+            DeterministicRng(5, "cli-stale"),
+            rsa_1024,
+            endpoint_configs=[
+                EndpointConfig(MessageSecurityMode.NONE, POLICY_NONE)
+            ],
+            token_types=[UserTokenType.ANONYMOUS],
+        )
+        corpus_path = tmp_path / "corpus.jsonl.gz"
+        with TcpServerHost(server) as (host, port):
+            listing = tmp_path / "targets.txt"
+            listing.write_text(f"127.0.0.1:{port}\n")
+            main(
+                ["scan", "--live", "--targets", str(listing),
+                 "--contact", "lab@example.org", "--key-bits", "512",
+                 "--rate", "1000", "--per-host-interval", "0",
+                 "--record", str(corpus_path), "--no-store"]
+            )
+        capsys.readouterr()
+        # Tamper the recorded seed: replay rebuilds a different
+        # scanner, whose requests diverge from the recording.
+        corpus = read_corpus(corpus_path)
+        corpus.meta["seed"] = corpus.meta["seed"] + 1
+        write_corpus(corpus_path, corpus)
+        with pytest.raises(SystemExit, match="repro: replay:"):
+            main(
+                ["scan", "--replay", str(corpus_path),
+                 "--executor", "thread", "--workers", "2", "--no-store"]
+            )
 
     def test_blocklist_excludes_target(self, tmp_path, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_KEYCACHE", str(tmp_path / "keys"))
