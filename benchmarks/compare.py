@@ -4,7 +4,7 @@ Usage::
 
     python benchmarks/compare.py                      # compare, warn >15%
     python benchmarks/compare.py --threshold 0.10
-    python benchmarks/compare.py --strict             # exit 1 on regression
+    python benchmarks/compare.py --fail-on-regression # exit 1 on regression
     python benchmarks/compare.py --write-baseline     # refresh baseline
 
 Compares the two headline throughput sections of a bench report —
@@ -13,9 +13,12 @@ Compares the two headline throughput sections of a bench report —
 executor backend against ``BENCH_baseline.json``.  A backend running
 more than ``--threshold`` (default 15 %) slower than baseline prints
 a GitHub ``::warning::`` annotation; the exit code stays 0 unless
-``--strict`` is given, because absolute throughput is machine-
-dependent and CI runners vary — the warning is a tripwire, not a
-gate.  Faster-than-baseline results are reported too, so a stale
+``--fail-on-regression`` (or its older spelling ``--strict``) is
+given, because absolute throughput is machine-dependent and CI
+runners vary — by default the warning is a tripwire, not a gate.
+The main-branch CI tier runs with ``--fail-on-regression`` so a
+merged slowdown fails visibly instead of silently shifting the
+baseline.  Faster-than-baseline results are reported too, so a stale
 baseline is visible.
 
 ``--write-baseline`` extracts the throughput sections of the current
@@ -102,7 +105,9 @@ def main(argv: list[str] | None = None) -> int:
         help="relative slowdown that triggers a warning (default: 0.15)",
     )
     parser.add_argument(
-        "--strict", action="store_true",
+        "--fail-on-regression", "--strict",
+        action="store_true",
+        dest="fail_on_regression",
         help="exit 1 when any backend regresses past the threshold",
     )
     parser.add_argument(
@@ -144,7 +149,7 @@ def main(argv: list[str] | None = None) -> int:
     for message in regressions:
         # GitHub Actions renders ::warning:: as an inline annotation.
         print(f"::warning title=bench regression::{message}")
-    if regressions and args.strict:
+    if regressions and args.fail_on_regression:
         return 1
     return 0
 

@@ -5,6 +5,7 @@ Usage::
     python benchmarks/report.py                  # full bench suite
     python benchmarks/report.py -k fig2          # subset, pytest -k syntax
     python benchmarks/report.py -o out.json      # alternate output path
+    python benchmarks/report.py --profile        # + BENCH_profile.txt
 
 Runs ``pytest benchmarks`` with an in-process plugin that records the
 call-phase duration and outcome of every benchmark test, merges the
@@ -25,6 +26,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 SWEEP_METRICS = REPO_ROOT / "benchmarks" / ".sweep_metrics.json"
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_sweep.json"
+DEFAULT_PROFILE_OUTPUT = REPO_ROOT / "BENCH_profile.txt"
 
 
 def _throughput_section(
@@ -78,6 +80,18 @@ def main(argv: list[str] | None = None) -> int:
         "-o", "--output", type=Path, default=DEFAULT_OUTPUT,
         help=f"output JSON path (default: {DEFAULT_OUTPUT.name})",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run the suite under cProfile and write the hot-function "
+            "report plus crypto-cache hit rates to --profile-output"
+        ),
+    )
+    parser.add_argument(
+        "--profile-output", type=Path, default=DEFAULT_PROFILE_OUTPUT,
+        help=f"profile text path (default: {DEFAULT_PROFILE_OUTPUT.name})",
+    )
     args = parser.parse_args(argv)
 
     # `python -m pytest` puts the CWD on sys.path; pytest.main() does
@@ -98,7 +112,17 @@ def main(argv: list[str] | None = None) -> int:
         pytest_args += ["-k", args.k]
 
     recorder = _DurationRecorder()
-    exit_code = pytest.main(pytest_args, plugins=[recorder])
+    if args.profile:
+        from repro.util.profiling import ProfileSession
+
+        # Allocation tracing under tracemalloc slows the suite several
+        # fold, which would distort the very timings being recorded —
+        # the bench profile wants the time split, not the peak.
+        with ProfileSession(top=40, trace_allocations=False) as session:
+            exit_code = pytest.main(pytest_args, plugins=[recorder])
+    else:
+        session = None
+        exit_code = pytest.main(pytest_args, plugins=[recorder])
 
     sweep = None
     if SWEEP_METRICS.exists():
@@ -131,6 +155,21 @@ def main(argv: list[str] | None = None) -> int:
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output} ({len(recorder.results)} benchmark timings)")
+    if session is not None:
+        from repro.crypto.cache import cache_stats
+
+        cache_lines = [
+            f"{entry['name']:<18} size={entry['size']:<5} "
+            f"hits={entry['hits']:<7} misses={entry['misses']}"
+            for entry in cache_stats()
+        ]
+        args.profile_output.write_text(
+            "--- crypto caches (end of suite) ---\n"
+            + "\n".join(cache_lines)
+            + "\n\n--- hot functions (cProfile, by cumulative time) ---\n"
+            + session.stats_text()
+        )
+        print(f"wrote {args.profile_output}")
     return int(exit_code)
 
 

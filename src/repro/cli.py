@@ -225,6 +225,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     scan.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "emit per-stage timing/allocation stats after the scan "
+            "(cProfile top functions, per-stage task counters, and "
+            "crypto-cache hit rates); records are unaffected"
+        ),
+    )
+    scan.add_argument(
         "--contact",
         metavar="EMAIL",
         help=(
@@ -493,6 +502,49 @@ def _write_snapshot_out(args, snapshot) -> None:
         print(f"wrote {args.out}")
 
 
+def _profile_scan(args):
+    """``--profile`` plumbing shared by the live and replay lanes.
+
+    Returns ``(wrap_executor, session, emit)``: ``wrap_executor``
+    decorates the lane's executor with per-stage counters,
+    ``session`` is the :class:`~repro.util.profiling.ProfileSession`
+    context manager around the campaign (or ``None`` when profiling is
+    off), and ``emit`` prints the report after the summary.
+    """
+    import contextlib
+
+    if not getattr(args, "profile", False):
+        return (lambda executor: executor), contextlib.nullcontext(), None
+
+    from repro.crypto.cache import cache_stats
+    from repro.scanner.executor import ProfiledScanExecutor
+    from repro.util.profiling import ProfileSession, StageStats
+
+    stats = StageStats()
+    session = ProfileSession()
+
+    def emit() -> None:
+        print()
+        print("--- profile: per-stage counters ---")
+        print(stats.render())
+        print()
+        print("--- profile: crypto caches ---")
+        for entry in cache_stats():
+            print(
+                f"{entry['name']:<18} size={entry['size']:<5} "
+                f"hits={entry['hits']:<7} misses={entry['misses']}"
+            )
+        print()
+        print("--- profile: hot functions (cProfile) ---")
+        print(session.stats_text())
+
+    return (
+        lambda executor: ProfiledScanExecutor(executor, stats),
+        session,
+        emit,
+    )
+
+
 def cmd_replay(args) -> int:
     """Replay lane: recorded corpus in, byte-identical records out."""
     from pathlib import Path
@@ -547,18 +599,22 @@ def cmd_replay(args) -> int:
     # Replay grabs are pure computation, so serial is the sensible
     # default; any backend produces identical records.
     name = args.executor or "serial"
+    wrap_executor, session, emit_profile = _profile_scan(args)
     campaign = ReplayScanCampaign(
         corpus,
         identity,
         DeterministicRng(seed, meta.get("rng_namespace", "live-scan")),
-        executor=build_executor(
-            name, 1 if name == "serial" else max(args.workers, 1)
+        executor=wrap_executor(
+            build_executor(
+                name, 1 if name == "serial" else max(args.workers, 1)
+            )
         ),
     )
     from repro.scanner.executor import ScanExecutorError
 
     try:
-        snapshot = campaign.run()
+        with session:
+            snapshot = campaign.run()
     except ReplayError as exc:
         raise SystemExit(f"repro: replay: {exc}")
     except ScanExecutorError as exc:
@@ -571,6 +627,8 @@ def cmd_replay(args) -> int:
     print(f"replayed {len(corpus.targets)} captured targets "
           f"from {args.replay}")
     _print_scan_summary(snapshot)
+    if emit_profile is not None:
+        emit_profile()
     _write_snapshot_out(args, snapshot)
     return 0
 
@@ -665,6 +723,16 @@ def cmd_scan(args) -> int:
                 "not_before": format_utc(not_before),
             }
         )
+    wrap_executor, session, emit_profile = _profile_scan(args)
+    executor = None
+    if args.profile:
+        # Build the live lane's default backend explicitly so the
+        # profiling wrapper can decorate it.
+        from repro.scanner.executor import build_executor
+
+        executor = wrap_executor(
+            build_executor("async", max(config.workers, 1))
+        )
     try:
         campaign = LiveScanCampaign(
             identity,
@@ -673,12 +741,16 @@ def cmd_scan(args) -> int:
             config=config,
             limiter=limiter,
             recorder=recorder,
+            executor=executor,
         )
-        snapshot = campaign.run(targets)
+        with session:
+            snapshot = campaign.run(targets)
     except EthicsViolation as exc:
         raise SystemExit(f"repro: ethics gate: {exc}")
 
     _print_scan_summary(snapshot)
+    if emit_profile is not None:
+        emit_profile()
     if recorder is not None:
         from repro.transport.capture import write_corpus
 

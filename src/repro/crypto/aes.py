@@ -8,6 +8,8 @@ version.
 
 from __future__ import annotations
 
+from repro.crypto.cache import KeyedOpCache
+
 _SBOX = [
     0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B,
     0xFE, 0xD7, 0xAB, 0x76, 0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0,
@@ -172,13 +174,30 @@ class AesCipher:
         return out
 
 
+# Key-schedule memo: expanding an AES key costs more than encrypting a
+# block, and the session layer builds a fresh cipher per protected
+# message over the same channel keys.  AesCipher is immutable after
+# construction, so sharing one instance per key is safe.
+_KEY_SCHEDULES = KeyedOpCache("aes-key-schedule", maxsize=1024)
+
+
+def cipher_for_key(key: bytes) -> AesCipher:
+    """Shared :class:`AesCipher` for ``key``, memoizing key expansion."""
+    key = bytes(key)
+    cipher = _KEY_SCHEDULES.get(key)
+    if cipher is None:
+        cipher = AesCipher(key)
+        _KEY_SCHEDULES.put(key, cipher)
+    return cipher
+
+
 class AesCbc:
     """AES in CBC mode without padding (OPC UA pads at a higher layer)."""
 
     def __init__(self, key: bytes, iv: bytes):
         if len(iv) != 16:
             raise ValueError("CBC IV must be 16 bytes")
-        self._cipher = AesCipher(key)
+        self._cipher = cipher_for_key(key)
         self._iv = iv
 
     def encrypt(self, plaintext: bytes) -> bytes:

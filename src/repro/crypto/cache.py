@@ -1,0 +1,147 @@
+"""Keyed memo caches for handshake-invariant crypto operations.
+
+The simulated handshakes repeat the same expensive public-key math
+over and over: every grab of a host re-verifies the same certificate
+signature, every simulated server re-parses the scanner's one client
+certificate, and identical sweeps across executor backends replay
+identical modular exponentiations.  Those operations are pure
+functions of their inputs, so memoizing them cannot change a single
+output byte — it only removes repeated ``pow`` calls from the hot
+path.
+
+:class:`KeyedOpCache` is the building block: a bounded FIFO-evicting
+dictionary whose keys carry *all* inputs of the memoized operation
+(modulus, exponent, and message for RSA; the full DER for certificate
+parsing), so distinct keys or inputs can never collide.  All caches
+register themselves so profiling can report hit rates per cache
+(:func:`cache_stats`), and :func:`clear_caches` restores a cold start
+for measurements.
+
+>>> cache = KeyedOpCache("doctest-squares", maxsize=2)
+>>> cache.lookup((7,), lambda: 7 * 7)
+49
+>>> cache.lookup((7,), lambda: 0)  # hit: the compute thunk never runs
+49
+>>> cache.stats()
+{'name': 'doctest-squares', 'size': 1, 'hits': 1, 'misses': 1}
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+_MISS = object()
+
+#: Every live cache, in creation order, for stats reporting.
+_REGISTRY: list["KeyedOpCache"] = []
+
+
+class KeyedOpCache:
+    """Bounded memo cache for pure, deterministic operations.
+
+    Keys must be hashable tuples carrying every input of the cached
+    operation.  Eviction is FIFO (insertion order), which keeps the
+    cache's behaviour deterministic across runs — no clocks, no access
+    recency.
+
+    Mutations are guarded by a lock so the thread executor's workers
+    can share one cache: unguarded FIFO eviction races two threads
+    into deleting the same oldest key (``KeyError``).  The lock is
+    never held while a missing value is computed, so concurrent misses
+    on the same key may compute twice — harmless, because cached
+    operations are pure functions of their keys.
+
+    >>> cache = KeyedOpCache("doctest-demo", maxsize=1)
+    >>> cache.lookup(("a",), lambda: 1)
+    1
+    >>> cache.lookup(("b",), lambda: 2)  # evicts ("a",): maxsize is 1
+    2
+    >>> cache.lookup(("a",), lambda: 3)  # recomputed after eviction
+    3
+    """
+
+    __slots__ = ("name", "maxsize", "hits", "misses", "_entries", "_lock")
+
+    def __init__(self, name: str, maxsize: int = 4096):
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict = {}
+        self._lock = threading.Lock()
+        _REGISTRY.append(self)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key):
+        """Cached value for ``key``, or ``None`` on a miss.
+
+        Only for operations whose result is never ``None`` (RSA ops
+        return ints); pair with :meth:`put`.  Use :meth:`lookup` when
+        the result type is open.
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            if value is _MISS:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._put_locked(key, value)
+
+    def _put_locked(self, key, value) -> None:
+        entries = self._entries
+        if key not in entries and len(entries) >= self.maxsize:
+            del entries[next(iter(entries))]
+        entries[key] = value
+
+    def lookup(self, key, compute: Callable[[], object]):
+        """Return the cached value for ``key``, computing it on a miss."""
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            if value is not _MISS:
+                self.hits += 1
+                return value
+            self.misses += 1
+        value = compute()
+        with self._lock:
+            self._put_locked(key, value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+def cache_stats() -> list[dict]:
+    """Stats for every registered cache, in creation order.
+
+    >>> before = len(cache_stats())
+    >>> _ = KeyedOpCache("doctest-registered")
+    >>> len(cache_stats()) == before + 1
+    True
+    """
+    return [cache.stats() for cache in _REGISTRY]
+
+
+def clear_caches() -> None:
+    """Empty every registered cache (cold-start for measurements)."""
+    for cache in _REGISTRY:
+        cache.clear()

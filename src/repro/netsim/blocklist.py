@@ -7,6 +7,8 @@ campaign honours exclusions and the ethics tests can verify it.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 from repro.util.ipaddr import CidrBlock
 
 
@@ -15,26 +17,50 @@ class Blocklist:
 
     Raw ranges cover the IPv6 case, where exclusions arrive as
     first/last address pairs rather than IPv4 CIDR notation.
+
+    Membership is checked once per probed address, so the blocks and
+    ranges are lazily compiled into a sorted, merged interval table
+    and answered by binary search; mutation invalidates the table.
     """
 
     def __init__(self, blocks: list[CidrBlock] | None = None):
         self._blocks: list[CidrBlock] = list(blocks or [])
         self._ranges: list[tuple[int, int]] = []
+        self._starts: list[int] | None = None
+        self._ends: list[int] = []
 
     def add(self, block: CidrBlock | str) -> None:
         if isinstance(block, str):
             block = CidrBlock.parse(block)
         self._blocks.append(block)
+        self._starts = None
 
     def add_raw_range(self, first: int, last: int) -> None:
         if last < first:
             raise ValueError("range end before start")
         self._ranges.append((first, last))
+        self._starts = None
+
+    def _compile(self) -> None:
+        intervals = sorted(
+            self._ranges
+            + [(block.first, block.last) for block in self._blocks]
+        )
+        merged: list[tuple[int, int]] = []
+        for first, last in intervals:
+            if merged and first <= merged[-1][1] + 1:
+                if last > merged[-1][1]:
+                    merged[-1] = (merged[-1][0], last)
+            else:
+                merged.append((first, last))
+        self._starts = [first for first, _ in merged]
+        self._ends = [last for _, last in merged]
 
     def __contains__(self, address: int) -> bool:
-        if any(first <= address <= last for first, last in self._ranges):
-            return True
-        return any(address in block for block in self._blocks)
+        if self._starts is None:
+            self._compile()
+        index = bisect_right(self._starts, address) - 1
+        return index >= 0 and address <= self._ends[index]
 
     def __len__(self) -> int:
         return len(self._blocks) + len(self._ranges)

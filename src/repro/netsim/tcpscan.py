@@ -66,18 +66,12 @@ def candidate_batches(
     # zmap randomizes probe order over the whole space.
     candidates = probe_rng.shuffled(candidates)
 
-    seen: set[int] = set()
-    batch: list[int] = []
-    for address in candidates:
-        if address in seen:
-            continue
-        seen.add(address)
-        batch.append(address)
-        if len(batch) >= batch_size:
-            yield batch
-            batch = []
-    if batch:
-        yield batch
+    # dict.fromkeys dedups in first-occurrence order — the same stream
+    # a per-address seen-set loop produces — and slicing hands out the
+    # batches without per-address Python bytecode.
+    unique = list(dict.fromkeys(candidates))
+    for start in range(0, len(unique), batch_size):
+        yield unique[start : start + batch_size]
 
 
 def probe_candidates(

@@ -235,17 +235,17 @@ class ScanCampaign:
         off the shared clock and off other batches' latency streams.
         """
         view = self._network.task_view(f"probe-{date}-{task.index}")
-        opens: list[int] = []
-        probed = excluded = 0
-        for address in task.addresses:
-            if address in self._blocklist:
-                excluded += 1
-                continue
-            probed += 1
-            if view.probe(address, task.port):
-                opens.append(address)
+        blocklist = self._blocklist
+        addresses = [
+            address
+            for address in task.addresses
+            if address not in blocklist
+        ]
+        opens = view.probe_many(addresses, task.port)
         return ProbeBatchOutcome(
-            probed=probed, excluded=excluded, open_addresses=tuple(opens)
+            probed=len(addresses),
+            excluded=len(task.addresses) - len(addresses),
+            open_addresses=tuple(opens),
         )
 
     def _grab(

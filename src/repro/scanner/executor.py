@@ -60,6 +60,13 @@ EXECUTOR_NAMES = ("serial", "thread", "process", "async")
 #: how many connections may be awaiting a response, not by cores.
 DEFAULT_ASYNC_CONCURRENCY = 32
 
+#: Grab tasks per IPC round-trip on the process backend.  Submitting
+#: and collecting one task at a time costs a pickle, a queue wake-up,
+#: and a done-callback per task; chunking amortizes all three.  (Probe
+#: batches never cross the IPC boundary at all — see
+#: :class:`_ChunkedSubmit`.)
+DEFAULT_CHUNK_SIZE = 8
+
 
 @dataclass(frozen=True)
 class ProbeBatchTask:
@@ -203,6 +210,16 @@ class _PooledScanExecutor(ScanExecutor):
         deferred: list = []
 
         with self._pool(grab, results_q) as submit:
+            # Backends that buffer submissions into chunks (the process
+            # pool) expose a flush; it must run before every blocking
+            # get, or the coordinator would wait on results of tasks
+            # still sitting in the submit buffer.  The same backend may
+            # complete some tasks inline in the coordinator (stage-0
+            # probes); those triples arrive in ``inline_results``, not
+            # on the queue, and are consumed before any blocking get.
+            flush_submits = getattr(submit, "flush", None)
+            inline_results = getattr(submit, "inline_results", None)
+
             def enqueue(task) -> None:
                 if task.key in seen:
                     return
@@ -219,7 +236,12 @@ class _PooledScanExecutor(ScanExecutor):
                 for task in tasks:
                     enqueue(task)
                 while state["pending"]:
-                    task, record, error = results_q.get()
+                    if flush_submits is not None:
+                        flush_submits()
+                    if inline_results:
+                        task, record, error = inline_results.pop(0)
+                    else:
+                        task, record, error = results_q.get()
                     state["pending"] -= 1
                     if error is not None:
                         raise ScanExecutorError(task, error)
@@ -241,8 +263,16 @@ class _PooledScanExecutor(ScanExecutor):
                 # blocked at the bounded queue.  Safe to block: every
                 # backend guarantees one queue put per submitted task
                 # (thread workers and async coroutines always put;
-                # process futures fire their relay callback even on
-                # cancellation or a broken pool).
+                # process chunk relays put one triple per task even on
+                # cancellation or a broken pool) — provided buffered
+                # submissions are flushed first, since a task still in
+                # the submit buffer has no worker owing a put.
+                if flush_submits is not None:
+                    flush_submits()
+                if inline_results:
+                    # Inline triples have no worker owing a queue put.
+                    state["pending"] -= len(inline_results)
+                    inline_results.clear()
                 while state["pending"]:
                     results_q.get()
                     state["pending"] -= 1
@@ -298,6 +328,75 @@ def _process_worker(task: GrabTask):
         return task, None, exc
 
 
+def _process_chunk_worker(chunk: tuple):
+    """Run one chunk of tasks in a worker, isolating per-task errors.
+
+    A failing task yields its error triple without poisoning the rest
+    of the chunk, so error semantics match the one-task-per-future
+    protocol exactly.
+    """
+    return [_process_worker(task) for task in chunk]
+
+
+class _ChunkedSubmit:
+    """Buffered task submission: one pool round-trip per chunk.
+
+    Callable like the plain per-task submit; full chunks ship
+    immediately and :meth:`flush` ships the remainder.  The relay
+    unpacks each chunk back into one queue put per task, preserving
+    the coordinator's accounting invariant.
+
+    Stage-0 probe batches never enter the pool at all: a batch costs
+    about a millisecond of pure-Python work, far less than its pickle
+    round-trip, so shipping probes to a worker makes the process
+    backend the *slowest* prober.  zmap itself ran its SYN loop
+    single-threaded for the same reason — only the protocol grabs are
+    worth a process.  Probes therefore run inline in the coordinator
+    and land in :attr:`inline_results`, which the coordinator drains
+    preferentially (an inline triple never touches the bounded results
+    queue: the coordinator putting into a queue only it drains would
+    deadlock once full).
+    """
+
+    def __init__(self, pool, results_q, chunk_size: int):
+        self._pool = pool
+        self._results_q = results_q
+        self._chunk_size = chunk_size
+        self._buffer: list = []
+        #: Completed (task, record, error) triples from inline stage-0
+        #: execution, drained by the coordinator before it blocks.
+        self.inline_results: list = []
+
+    def __call__(self, task) -> None:
+        if _stage(task) == 0:
+            self.inline_results.append(_process_worker(task))
+            return
+        self._buffer.append(task)
+        if len(self._buffer) >= self._chunk_size:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._buffer:
+            return
+        chunk = tuple(self._buffer)
+        self._buffer.clear()
+        future = self._pool.submit(_process_chunk_worker, chunk)
+        results_q = self._results_q
+
+        def relay(fut, chunk=chunk):
+            try:
+                for triple in fut.result():
+                    results_q.put(triple)
+            except BaseException as exc:
+                # Covers BrokenProcessPool: a worker dying abnormally
+                # fails the sweep instead of hanging the coordinator.
+                # Every task of the chunk still gets its queue put.
+                for task in chunk:
+                    results_q.put((task, None, exc))
+
+        future.add_done_callback(relay)
+
+
 class ProcessScanExecutor(_PooledScanExecutor):
     """Fork-based process pool: real parallelism for CPU-bound grabs.
 
@@ -306,9 +405,27 @@ class ProcessScanExecutor(_PooledScanExecutor):
     through pickling.  Server-side state mutated inside a worker stays
     in that worker — safe because per-sweep server RNG re-seeding makes
     each sweep's responses independent of earlier connection history.
+
+    Grab tasks cross the IPC boundary in chunks of ``chunk_size`` (one
+    pickled submission and one pickled result list per chunk), which
+    amortizes the per-round-trip overhead.  Stage-0 probe batches run
+    inline in the coordinator instead — a batch is cheaper than its
+    pickle, so forking the SYN sweep can only slow it down (zmap's SYN
+    loop was single-threaded for the same reason).
     """
 
     name = "process"
+
+    def __init__(
+        self,
+        workers: int,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ):
+        super().__init__(workers, queue_size)
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.chunk_size = chunk_size
 
     def _pool(self, grab, results_q):
         import multiprocessing
@@ -330,22 +447,9 @@ class ProcessScanExecutor(_PooledScanExecutor):
                     max_workers=parent.workers,
                     mp_context=multiprocessing.get_context("fork"),
                 )
-
-                def submit(task: GrabTask) -> None:
-                    future = self_inner.pool.submit(_process_worker, task)
-
-                    def relay(fut, task=task):
-                        try:
-                            results_q.put(fut.result())
-                        except BaseException as exc:
-                            # Covers BrokenProcessPool: a worker dying
-                            # abnormally fails the sweep instead of
-                            # hanging the coordinator.
-                            results_q.put((task, None, exc))
-
-                    future.add_done_callback(relay)
-
-                return submit
+                return _ChunkedSubmit(
+                    self_inner.pool, results_q, parent.chunk_size
+                )
 
             def __exit__(self_inner, *exc_info):
                 global _PROCESS_GRAB
@@ -448,6 +552,47 @@ def offload_blocking_grab(grab: GrabFn, pool) -> GrabFn:
         return loop.run_in_executor(pool, grab, task)
 
     return wrapped
+
+
+class ProfiledScanExecutor(ScanExecutor):
+    """Decorator executor feeding per-stage counters to ``--profile``.
+
+    Wraps any backend: the task body is timed in-process around
+    ``grab`` (``record_seconds``), and completions are counted
+    coordinator-side inside ``expand`` (``record_completed``), which
+    fires exactly once per finished task on every backend.  On the
+    process backend grab bodies run in forked workers, so their
+    seconds accumulate in the child and are lost — task counts stay
+    exact there, and the grab seconds column reads zero (probe batches
+    run inline in the coordinator, so their seconds are measured;
+    documented in ``docs/performance.md``).  The wrapper adds two dict updates per
+    task and never touches records, so profiled and unprofiled runs
+    stay byte-identical.
+    """
+
+    def __init__(self, inner: ScanExecutor, stats):
+        self._inner = inner
+        self.stats = stats
+        self.name = inner.name
+        self.workers = inner.workers
+
+    def run(self, tasks, grab, expand) -> ResultList:
+        from time import perf_counter
+
+        stats = self.stats
+
+        def timed_grab(task):
+            start = perf_counter()
+            try:
+                return grab(task)
+            finally:
+                stats.record_seconds(_stage(task), perf_counter() - start)
+
+        def counting_expand(task, record):
+            stats.record_completed(_stage(task))
+            return expand(task, record)
+
+        return self._inner.run(tasks, timed_grab, counting_expand)
 
 
 def build_executor(name: str = "serial", workers: int = 1) -> ScanExecutor:

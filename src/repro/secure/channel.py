@@ -62,8 +62,13 @@ def encode_service(message: UaStruct) -> bytes:
     return writer.to_bytes()
 
 
-def decode_service(data: bytes) -> UaStruct:
-    """Decode a service message body into its structure."""
+def decode_service(data) -> UaStruct:
+    """Decode a service message body into its structure.
+
+    ``data`` may be any buffer (``bytes`` or a zero-copy
+    ``memoryview`` of a larger frame); decoded field values are always
+    real ``bytes``/``str``, so no view outlives this call.
+    """
     reader = BinaryReader(data)
     type_id = NodeId.decode(reader)
     cls = lookup_struct(type_id)
@@ -160,11 +165,14 @@ class _ChannelBase:
             )
         if self.token_id and token_id != self.token_id:
             raise SecureChannelError(f"unknown security token: {token_id}")
-        rest = reader.read_bytes(reader.remaining)
-
         if self.mode == MessageSecurityMode.NONE:
-            plain = rest
+            # No signature to splice: the body decodes straight off a
+            # zero-copy view of the frame.
+            plain = reader.read_view(reader.remaining)
         else:
+            # The signed paths concatenate with bytes prefixes below,
+            # so the protected region must be materialized.
+            rest = reader.read_bytes(reader.remaining)
             keys = self._remote_keys
             if keys is None:
                 raise SecureChannelError("symmetric keys not derived yet")
@@ -202,7 +210,7 @@ class _ChannelBase:
         plain_reader = BinaryReader(plain)
         plain_reader.read_uint32()  # sequence number
         request_id = plain_reader.read_uint32()
-        message = decode_service(plain_reader.read_bytes(plain_reader.remaining))
+        message = decode_service(plain_reader.read_view(plain_reader.remaining))
         return message, request_id
 
 
@@ -321,7 +329,7 @@ class ClientSecureChannel(_ChannelBase):
         plain_reader = BinaryReader(plain)
         plain_reader.read_uint32()  # sequence
         plain_reader.read_uint32()  # request id
-        message = decode_service(plain_reader.read_bytes(plain_reader.remaining))
+        message = decode_service(plain_reader.read_view(plain_reader.remaining))
         if not isinstance(message, OpenSecureChannelResponse):
             raise SecureChannelError(
                 f"expected OpenSecureChannelResponse, got {type(message).__name__}"
@@ -395,7 +403,7 @@ class ServerSecureChannel(_ChannelBase):
         plain_reader = BinaryReader(plain)
         plain_reader.read_uint32()
         plain_reader.read_uint32()
-        message = decode_service(plain_reader.read_bytes(plain_reader.remaining))
+        message = decode_service(plain_reader.read_view(plain_reader.remaining))
         if not isinstance(message, OpenSecureChannelRequest):
             raise SecureChannelError(
                 f"expected OpenSecureChannelRequest, got {type(message).__name__}"

@@ -67,57 +67,103 @@ class ExtensionObject:
         return cls(NodeId(0, 0), None, 0)
 
 
-def _encode_field(writer: BinaryWriter, spec, value) -> None:
+def _compile_spec(spec):
+    """Resolve a field spec to an ``(encode, decode)`` closure pair.
+
+    Resolution (codec-table lookups, ``isinstance`` ladders, subclass
+    checks) happens once per spec here instead of once per field per
+    message on the hot path; the returned closures take only
+    ``(writer, value)`` / ``(reader)``.
+    """
     if isinstance(spec, tuple) and spec[0] == "array":
-        if value is None:
-            writer.write_int32(-1)
-            return
-        writer.write_int32(len(value))
-        for item in value:
-            _encode_field(writer, spec[1], item)
-        return
+        encode_item, decode_item = _compile_spec(spec[1])
+
+        def encode_array(writer, value):
+            if value is None:
+                writer.write_int32(-1)
+                return
+            writer.write_int32(len(value))
+            for item in value:
+                encode_item(writer, item)
+
+        def decode_array(reader):
+            length = reader.read_int32()
+            if length < 0:
+                return None
+            if length > reader.remaining:
+                raise DecodingError(
+                    f"array length {length} exceeds message size"
+                )
+            return [decode_item(reader) for _ in range(length)]
+
+        return encode_array, decode_array
     if isinstance(spec, str):
         if spec == "variant":
-            (value if value is not None else Variant()).encode(writer)
-        elif spec == "datavalue":
-            (value if value is not None else DataValue()).encode(writer)
-        elif spec == "extensionobject":
-            (value if value is not None else ExtensionObject.null()).encode(writer)
-        else:
-            builtin.write_value(writer, spec, value)
-        return
+
+            def encode_variant(writer, value):
+                (value if value is not None else Variant()).encode(writer)
+
+            return encode_variant, Variant.decode
+        if spec == "datavalue":
+
+            def encode_datavalue(writer, value):
+                (value if value is not None else DataValue()).encode(writer)
+
+            return encode_datavalue, DataValue.decode
+        if spec == "extensionobject":
+
+            def encode_extensionobject(writer, value):
+                (
+                    value if value is not None else ExtensionObject.null()
+                ).encode(writer)
+
+            return encode_extensionobject, ExtensionObject.decode
+        codec = builtin.CODECS.get(spec)
+        if codec is None:
+            raise TypeError(f"unsupported field spec: {spec!r}")
+        return codec
     if isinstance(spec, type) and issubclass(spec, UaStruct):
-        if value is None:
-            value = spec()
-        value.encode(writer)
-        return
+
+        def encode_nested(writer, value):
+            (value if value is not None else spec()).encode(writer)
+
+        return encode_nested, spec.decode
     if isinstance(spec, type) and issubclass(spec, enum.IntEnum | enum.IntFlag):
-        writer.write_int32(int(value))
-        return
+
+        def encode_enum(writer, value):
+            writer.write_int32(int(value))
+
+        def decode_enum(reader):
+            return spec(reader.read_int32())
+
+        return encode_enum, decode_enum
     raise TypeError(f"unsupported field spec: {spec!r}")
+
+
+def _encode_field(writer: BinaryWriter, spec, value) -> None:
+    _compile_spec(spec)[0](writer, value)
 
 
 def _decode_field(reader: BinaryReader, spec):
-    if isinstance(spec, tuple) and spec[0] == "array":
-        length = reader.read_int32()
-        if length < 0:
-            return None
-        if length > reader.remaining:
-            raise DecodingError(f"array length {length} exceeds message size")
-        return [_decode_field(reader, spec[1]) for _ in range(length)]
-    if isinstance(spec, str):
-        if spec == "variant":
-            return Variant.decode(reader)
-        if spec == "datavalue":
-            return DataValue.decode(reader)
-        if spec == "extensionobject":
-            return ExtensionObject.decode(reader)
-        return builtin.read_value(reader, spec)
-    if isinstance(spec, type) and issubclass(spec, UaStruct):
-        return spec.decode(reader)
-    if isinstance(spec, type) and issubclass(spec, enum.IntEnum | enum.IntFlag):
-        return spec(reader.read_int32())
-    raise TypeError(f"unsupported field spec: {spec!r}")
+    return _compile_spec(spec)[1](reader)
+
+
+#: class -> ((name, encode) ...), class -> ((name, decode) ...); keyed
+#: by the concrete class so subclasses refining ``_fields_`` never see
+#: a parent's plan.
+_ENCODE_PLANS: dict[type, tuple] = {}
+_DECODE_PLANS: dict[type, tuple] = {}
+
+
+def _compile_plans(cls) -> tuple[tuple, tuple]:
+    compiled = [
+        (name, *_compile_spec(spec)) for name, spec in cls._fields_
+    ]
+    encoders = tuple((name, encode) for name, encode, _ in compiled)
+    decoders = tuple((name, decode) for name, _, decode in compiled)
+    _ENCODE_PLANS[cls] = encoders
+    _DECODE_PLANS[cls] = decoders
+    return encoders, decoders
 
 
 class UaStruct:
@@ -126,15 +172,23 @@ class UaStruct:
     _fields_: list[tuple[str, object]] = []
 
     def encode(self, writer: BinaryWriter) -> None:
-        for name, spec in self._fields_:
-            _encode_field(writer, spec, getattr(self, name))
+        cls = self.__class__
+        plan = _ENCODE_PLANS.get(cls)
+        if plan is None:
+            plan = _compile_plans(cls)[0]
+        for name, encode_field in plan:
+            encode_field(writer, getattr(self, name))
 
     @classmethod
     def decode(cls, reader: BinaryReader):
+        plan = _DECODE_PLANS.get(cls)
+        if plan is None:
+            plan = _compile_plans(cls)[1]
         values = {}
+        name = None
         try:
-            for name, spec in cls._fields_:
-                values[name] = _decode_field(reader, spec)
+            for name, decode_field in plan:
+                values[name] = decode_field(reader)
         except (NotEnoughData, ValueError) as exc:
             raise DecodingError(
                 f"cannot decode {cls.__name__}.{name}: {exc}"

@@ -4,11 +4,31 @@ OPC UA's binary encoding (OPC 10000-6) is little-endian throughout, so
 the reader/writer default to little-endian and expose the fixed-width
 primitives the encoding needs.  DER encoding (big-endian lengths) uses
 its own routines in :mod:`repro.asn1.der` and does not share this class.
+
+Both classes sit on the per-grab hot path (tens of thousands of scalar
+reads/writes per handshake), so the scalar accessors use precompiled
+:class:`struct.Struct` instances unpacking straight out of the buffer
+at an offset — no intermediate slice objects.  The reader accepts any
+buffer supporting the buffer protocol (``bytes``, ``bytearray``,
+``memoryview``), which lets callers hand in zero-copy views of larger
+messages; ``read_bytes`` always returns real ``bytes`` so downstream
+consumers never observe the difference.
 """
 
 from __future__ import annotations
 
 import struct
+
+_UINT8 = struct.Struct("<B")
+_INT8 = struct.Struct("<b")
+_UINT16 = struct.Struct("<H")
+_INT16 = struct.Struct("<h")
+_UINT32 = struct.Struct("<I")
+_INT32 = struct.Struct("<i")
+_UINT64 = struct.Struct("<Q")
+_INT64 = struct.Struct("<q")
+_FLOAT = struct.Struct("<f")
+_DOUBLE = struct.Struct("<d")
 
 
 class NotEnoughData(Exception):
@@ -18,9 +38,12 @@ class NotEnoughData(Exception):
 class BinaryReader:
     """Sequential reader over an immutable byte buffer."""
 
-    def __init__(self, data: bytes, offset: int = 0):
+    __slots__ = ("_data", "_pos", "_len")
+
+    def __init__(self, data, offset: int = 0):
         self._data = data
         self._pos = offset
+        self._len = len(data)
 
     @property
     def position(self) -> int:
@@ -28,114 +51,176 @@ class BinaryReader:
 
     @property
     def remaining(self) -> int:
-        return len(self._data) - self._pos
+        return self._len - self._pos
 
     def at_end(self) -> bool:
-        return self._pos >= len(self._data)
+        return self._pos >= self._len
 
     def peek(self, count: int) -> bytes:
-        if self.remaining < count:
+        if self._len - self._pos < count:
             raise NotEnoughData(
                 f"peek of {count} bytes with only {self.remaining} remaining"
             )
-        return self._data[self._pos : self._pos + count]
+        out = self._data[self._pos : self._pos + count]
+        return out if out.__class__ is bytes else bytes(out)
 
     def read_bytes(self, count: int) -> bytes:
         if count < 0:
             raise ValueError("negative read length")
-        if self.remaining < count:
+        pos = self._pos
+        end = pos + count
+        if end > self._len:
             raise NotEnoughData(
-                f"read of {count} bytes with only {self.remaining} remaining"
+                f"read of {count} bytes with only {self._len - pos} remaining"
             )
-        out = self._data[self._pos : self._pos + count]
-        self._pos += count
+        out = self._data[pos:end]
+        self._pos = end
+        return out if out.__class__ is bytes else bytes(out)
+
+    def read_view(self, count: int):
+        """Zero-copy view of the next ``count`` bytes.
+
+        Same bounds discipline and error message as :meth:`read_bytes`,
+        but returns a slice of the underlying buffer without forcing a
+        ``bytes`` copy — a ``memoryview`` input stays a ``memoryview``.
+        Callers that only re-wrap the result in another
+        :class:`BinaryReader` (message bodies, decrypted payloads)
+        should prefer this.
+        """
+        if count < 0:
+            raise ValueError("negative read length")
+        pos = self._pos
+        end = pos + count
+        if end > self._len:
+            raise NotEnoughData(
+                f"read of {count} bytes with only {self._len - pos} remaining"
+            )
+        out = self._data[pos:end]
+        self._pos = end
         return out
 
     def skip(self, count: int) -> None:
         self.read_bytes(count)
 
-    def _unpack(self, fmt: str, size: int):
-        return struct.unpack_from(fmt, self.read_bytes(size))[0]
+    def _fail(self, size: int):
+        raise NotEnoughData(
+            f"read of {size} bytes with only {self._len - self._pos} remaining"
+        )
 
     def read_uint8(self) -> int:
-        return self._unpack("<B", 1)
+        pos = self._pos
+        if pos + 1 > self._len:
+            self._fail(1)
+        self._pos = pos + 1
+        return _UINT8.unpack_from(self._data, pos)[0]
 
     def read_int8(self) -> int:
-        return self._unpack("<b", 1)
+        pos = self._pos
+        if pos + 1 > self._len:
+            self._fail(1)
+        self._pos = pos + 1
+        return _INT8.unpack_from(self._data, pos)[0]
 
     def read_uint16(self) -> int:
-        return self._unpack("<H", 2)
+        pos = self._pos
+        if pos + 2 > self._len:
+            self._fail(2)
+        self._pos = pos + 2
+        return _UINT16.unpack_from(self._data, pos)[0]
 
     def read_int16(self) -> int:
-        return self._unpack("<h", 2)
+        pos = self._pos
+        if pos + 2 > self._len:
+            self._fail(2)
+        self._pos = pos + 2
+        return _INT16.unpack_from(self._data, pos)[0]
 
     def read_uint32(self) -> int:
-        return self._unpack("<I", 4)
+        pos = self._pos
+        if pos + 4 > self._len:
+            self._fail(4)
+        self._pos = pos + 4
+        return _UINT32.unpack_from(self._data, pos)[0]
 
     def read_int32(self) -> int:
-        return self._unpack("<i", 4)
+        pos = self._pos
+        if pos + 4 > self._len:
+            self._fail(4)
+        self._pos = pos + 4
+        return _INT32.unpack_from(self._data, pos)[0]
 
     def read_uint64(self) -> int:
-        return self._unpack("<Q", 8)
+        pos = self._pos
+        if pos + 8 > self._len:
+            self._fail(8)
+        self._pos = pos + 8
+        return _UINT64.unpack_from(self._data, pos)[0]
 
     def read_int64(self) -> int:
-        return self._unpack("<q", 8)
+        pos = self._pos
+        if pos + 8 > self._len:
+            self._fail(8)
+        self._pos = pos + 8
+        return _INT64.unpack_from(self._data, pos)[0]
 
     def read_float(self) -> float:
-        return self._unpack("<f", 4)
+        pos = self._pos
+        if pos + 4 > self._len:
+            self._fail(4)
+        self._pos = pos + 4
+        return _FLOAT.unpack_from(self._data, pos)[0]
 
     def read_double(self) -> float:
-        return self._unpack("<d", 8)
+        pos = self._pos
+        if pos + 8 > self._len:
+            self._fail(8)
+        self._pos = pos + 8
+        return _DOUBLE.unpack_from(self._data, pos)[0]
 
 
 class BinaryWriter:
     """Append-only little-endian byte buffer."""
 
+    __slots__ = ("_buffer",)
+
     def __init__(self):
-        self._chunks: list[bytes] = []
-        self._length = 0
+        self._buffer = bytearray()
 
     def __len__(self) -> int:
-        return self._length
+        return len(self._buffer)
 
     def to_bytes(self) -> bytes:
-        if len(self._chunks) > 1:
-            self._chunks = [b"".join(self._chunks)]
-        return self._chunks[0] if self._chunks else b""
+        return bytes(self._buffer)
 
-    def write_bytes(self, data: bytes) -> None:
-        self._chunks.append(bytes(data))
-        self._length += len(data)
-
-    def _pack(self, fmt: str, value) -> None:
-        self.write_bytes(struct.pack(fmt, value))
+    def write_bytes(self, data) -> None:
+        self._buffer += data
 
     def write_uint8(self, value: int) -> None:
-        self._pack("<B", value)
+        self._buffer += _UINT8.pack(value)
 
     def write_int8(self, value: int) -> None:
-        self._pack("<b", value)
+        self._buffer += _INT8.pack(value)
 
     def write_uint16(self, value: int) -> None:
-        self._pack("<H", value)
+        self._buffer += _UINT16.pack(value)
 
     def write_int16(self, value: int) -> None:
-        self._pack("<h", value)
+        self._buffer += _INT16.pack(value)
 
     def write_uint32(self, value: int) -> None:
-        self._pack("<I", value)
+        self._buffer += _UINT32.pack(value)
 
     def write_int32(self, value: int) -> None:
-        self._pack("<i", value)
+        self._buffer += _INT32.pack(value)
 
     def write_uint64(self, value: int) -> None:
-        self._pack("<Q", value)
+        self._buffer += _UINT64.pack(value)
 
     def write_int64(self, value: int) -> None:
-        self._pack("<q", value)
+        self._buffer += _INT64.pack(value)
 
     def write_float(self, value: float) -> None:
-        self._pack("<f", value)
+        self._buffer += _FLOAT.pack(value)
 
     def write_double(self, value: float) -> None:
-        self._pack("<d", value)
+        self._buffer += _DOUBLE.pack(value)

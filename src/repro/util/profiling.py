@@ -1,0 +1,137 @@
+"""Lightweight profiling hooks for the scan pipeline.
+
+Two complementary views, both behind the ``--profile`` flags on
+``repro scan`` and ``benchmarks/report.py``:
+
+* :class:`StageStats` — per-pipeline-stage counters (tasks completed
+  and in-process seconds for probe / grab / follow-reference), cheap
+  enough to leave on during a benchmark run;
+* :class:`ProfileSession` — a context manager wrapping a block in
+  :mod:`cProfile` plus :mod:`tracemalloc`, for the "where exactly"
+  drill-down once :class:`StageStats` has said which lane regressed.
+
+The numbers are diagnostic output, never inputs to the scan itself, so
+profiling cannot perturb snapshot bytes.
+
+>>> stats = StageStats()
+>>> stats.record_completed(0)
+>>> stats.record_seconds(0, 0.5)
+>>> stats.as_dict()["probe"]
+{'tasks': 1, 'seconds': 0.5}
+
+>>> with ProfileSession(top=3) as session:
+...     _ = sorted(range(100))
+>>> "function calls" in session.stats_text()
+True
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import threading
+import tracemalloc
+
+#: Pipeline stage numbers -> human-readable lane names (matching the
+#: staging model in :mod:`repro.scanner.executor`).
+STAGE_LABELS = {0: "probe", 1: "grab", 2: "follow-reference"}
+
+
+def stage_label(stage: int) -> str:
+    return STAGE_LABELS.get(stage, f"stage-{stage}")
+
+
+class StageStats:
+    """Per-stage task counts and in-process wall seconds.
+
+    ``record_completed`` is driven coordinator-side (once per finished
+    task, on every backend); ``record_seconds`` is driven around the
+    task body and therefore measures in-process time only — on the
+    process backend grab bodies run in forked workers, so grab seconds
+    stay at zero there (probe batches run inline in the coordinator
+    and are timed normally) while the task counts remain exact.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tasks: dict[int, int] = {}
+        self._seconds: dict[int, float] = {}
+
+    def record_completed(self, stage: int) -> None:
+        with self._lock:
+            self._tasks[stage] = self._tasks.get(stage, 0) + 1
+
+    def record_seconds(self, stage: int, seconds: float) -> None:
+        with self._lock:
+            self._seconds[stage] = self._seconds.get(stage, 0.0) + seconds
+
+    def as_dict(self) -> dict[str, dict]:
+        """``{lane: {tasks, seconds}}``, stages in numeric order."""
+        with self._lock:
+            stages = sorted(set(self._tasks) | set(self._seconds))
+            return {
+                stage_label(stage): {
+                    "tasks": self._tasks.get(stage, 0),
+                    "seconds": round(self._seconds.get(stage, 0.0), 6),
+                }
+                for stage in stages
+            }
+
+    def render(self) -> str:
+        """Human-readable per-lane table."""
+        lines = ["stage               tasks    seconds"]
+        for label, row in self.as_dict().items():
+            lines.append(
+                f"{label:<18} {row['tasks']:>6}  {row['seconds']:>9.3f}"
+            )
+        return "\n".join(lines)
+
+
+class ProfileSession:
+    """cProfile + tracemalloc around a ``with`` block.
+
+    On exit the profile is frozen; :meth:`stats_text` renders the top
+    functions by cumulative time and :meth:`as_dict` packages the
+    numbers (including peak traced allocation) for JSON reports.
+    """
+
+    def __init__(self, top: int = 25, trace_allocations: bool = True):
+        self.top = top
+        self.trace_allocations = trace_allocations
+        self.peak_allocated_bytes: int | None = None
+        self._profile = cProfile.Profile()
+        self._started_tracing = False
+
+    def __enter__(self) -> "ProfileSession":
+        if self.trace_allocations and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracing = True
+        self._profile.enable()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._profile.disable()
+        if self._started_tracing:
+            self.peak_allocated_bytes = tracemalloc.get_traced_memory()[1]
+            tracemalloc.stop()
+        return False
+
+    def stats_text(self) -> str:
+        out = io.StringIO()
+        stats = pstats.Stats(self._profile, stream=out)
+        stats.sort_stats("cumulative").print_stats(self.top)
+        text = out.getvalue()
+        if self.peak_allocated_bytes is not None:
+            text += (
+                f"\npeak traced allocation: "
+                f"{self.peak_allocated_bytes / 1_000_000:.1f} MB\n"
+            )
+        return text
+
+    def as_dict(self) -> dict:
+        return {
+            "top": self.top,
+            "peak_allocated_bytes": self.peak_allocated_bytes,
+            "stats_text": self.stats_text(),
+        }

@@ -13,8 +13,15 @@ from dataclasses import dataclass
 from datetime import datetime
 
 from repro.asn1 import der, oids
+from repro.crypto.cache import KeyedOpCache
 from repro.crypto.rsa import RsaPublicKey
 from repro.x509.name import DistinguishedName
+
+# DER-keyed parse memo: the scanner sees the same few certificates
+# thousands of times (every server presents one per handshake, and
+# record assembly re-parses it), and :class:`Certificate` is frozen,
+# so sharing one parsed instance per DER is observationally identical.
+_PARSED_CERTIFICATES = KeyedOpCache("x509-parse", maxsize=4096)
 
 
 class CertificateError(Exception):
@@ -153,6 +160,17 @@ def _der_length(length: int) -> bytes:
 
 def parse_certificate(raw_der: bytes) -> Certificate:
     """Parse a DER certificate into the analysis-facing structure."""
+    if type(raw_der) is bytes:
+        cached = _PARSED_CERTIFICATES.get(raw_der)
+        if cached is not None:
+            return cached
+        certificate = _parse_certificate(raw_der)
+        _PARSED_CERTIFICATES.put(raw_der, certificate)
+        return certificate
+    return _parse_certificate(raw_der)
+
+
+def _parse_certificate(raw_der: bytes) -> Certificate:
     try:
         outer, consumed = der.decode_der(raw_der, allow_trailing=True)
     except der.Asn1Error as exc:

@@ -1,0 +1,264 @@
+"""Correctness of the keyed handshake-operation caches.
+
+The caches in :mod:`repro.crypto.cache` memoize pure functions (RSA
+modular exponentiation, DER certificate parsing, AES key expansion),
+so a cached result must be byte-identical to the uncached computation
+regardless of call order, and distinct keys or inputs must never
+collide.  These tests pin exactly that — the property that makes the
+caches invisible to golden digests.
+"""
+
+import pytest
+
+from repro.crypto.cache import KeyedOpCache, cache_stats, clear_caches
+from repro.crypto.rsa import _KNOWN_INVERSES, _PRIVATE_OPS, _PUBLIC_OPS
+
+
+class TestKeyedOpCache:
+    def test_get_put_roundtrip(self):
+        cache = KeyedOpCache("t-roundtrip")
+        assert cache.get(("a", 1)) is None
+        cache.put(("a", 1), 42)
+        assert cache.get(("a", 1)) == 42
+        assert len(cache) == 1
+
+    def test_lookup_computes_once(self):
+        cache = KeyedOpCache("t-lookup")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cache.lookup("k", compute) == "value"
+        assert cache.lookup("k", compute) == "value"
+        assert len(calls) == 1
+
+    def test_fifo_eviction_respects_maxsize(self):
+        cache = KeyedOpCache("t-evict", maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert cache.get("a") is None  # oldest entry evicted
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_stats_track_hits_and_misses(self):
+        cache = KeyedOpCache("t-stats")
+        cache.get("missing")
+        cache.put("k", 1)
+        cache.get("k")
+        stats = cache.stats()
+        assert stats["name"] == "t-stats"
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert any(s["name"] == "t-stats" for s in cache_stats())
+
+    def test_concurrent_eviction_is_safe(self):
+        """Racing puts at maxsize never raise (regression: two thread
+        workers both evicting the same oldest key -> KeyError)."""
+        import threading
+
+        cache = KeyedOpCache("t-race", maxsize=8)
+        errors = []
+        start = threading.Barrier(4)
+
+        def hammer(worker):
+            start.wait()
+            try:
+                for i in range(2000):
+                    cache.lookup((worker, i % 32), lambda: i)
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 8
+
+    def test_clear_resets_entries_and_counters(self):
+        cache = KeyedOpCache("t-clear")
+        cache.put("k", 1)
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 0
+        assert cache.get("k") is None
+
+
+class TestRsaOpCache:
+    """Cached RSA primitives equal the uncached computation, always."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_caches(self):
+        clear_caches()
+        yield
+        clear_caches()
+
+    def test_cached_encrypt_matches_pow_across_orders(self, rsa_512, rsa_768):
+        keys = [rsa_512.public, rsa_768.public]
+        messages = [2, 3, 2**64 + 1]
+        expected = {
+            (key.n, m): pow(m, key.e, key.n)
+            for key in keys
+            for m in messages
+        }
+        # First pass populates the cache, second pass hits it, and an
+        # interleaved third pass shuffles the call order — every call
+        # must agree with the direct computation.
+        for _ in range(2):
+            for key in keys:
+                for m in messages:
+                    assert key.raw_encrypt(m) == expected[(key.n, m)]
+        for m in reversed(messages):
+            for key in reversed(keys):
+                assert key.raw_encrypt(m) == expected[(key.n, m)]
+        assert _PUBLIC_OPS.stats()["hits"] > 0
+
+    def test_distinct_keys_same_message_never_collide(self, rsa_512, rsa_768):
+        message = 12345
+        a = rsa_512.public.raw_encrypt(message)
+        b = rsa_768.public.raw_encrypt(message)
+        assert a == pow(message, rsa_512.public.e, rsa_512.public.n)
+        assert b == pow(message, rsa_768.public.e, rsa_768.public.n)
+        assert a != b
+        # Repeat from cache: still the per-key results.
+        assert rsa_512.public.raw_encrypt(message) == a
+        assert rsa_768.public.raw_encrypt(message) == b
+
+    def test_cached_decrypt_round_trips(self, rsa_512):
+        private, public = rsa_512.private, rsa_512.public
+        plain = 2**100 + 17
+        cipher = public.raw_encrypt(plain)
+        # Encrypting in-process recorded the inverse pair, so both
+        # decrypts resolve from the known-inverses table — no
+        # private-key math at all.
+        assert private.raw_decrypt(cipher) == plain
+        assert private.raw_decrypt(cipher) == plain
+        assert _KNOWN_INVERSES.stats()["hits"] >= 2
+
+    def test_foreign_ciphertext_uses_the_private_cache(self, rsa_512):
+        """A ciphertext this process never encrypted (no inverse pair
+        recorded) falls back to CRT, cached in _PRIVATE_OPS."""
+        private, public = rsa_512.private, rsa_512.public
+        plain = 2**100 + 17
+        cipher = pow(plain, public.e, public.n)  # bypasses raw_encrypt
+        assert private.raw_decrypt(cipher) == plain
+        assert private.raw_decrypt(cipher) == plain
+        assert _PRIVATE_OPS.stats()["misses"] == 1
+        assert _PRIVATE_OPS.stats()["hits"] == 1
+
+    def test_verify_enables_inverse_signing(self, rsa_512):
+        """Verifying a signature records (n, e, digest) -> signature,
+        so re-signing the same digest is a table hit — and exact."""
+        digest_int = 0xFEEDFACE
+        signature = rsa_512.private.raw_sign(digest_int)
+        assert rsa_512.public.raw_verify(signature) == digest_int
+        clear_caches()
+        # Cold sign is a private op; verify then records the inverse.
+        assert rsa_512.private.raw_sign(digest_int) == signature
+        assert rsa_512.public.raw_verify(signature) == digest_int
+        before = _KNOWN_INVERSES.stats()["hits"]
+        assert rsa_512.private.raw_sign(digest_int) == signature
+        assert _KNOWN_INVERSES.stats()["hits"] == before + 1
+
+    def test_sign_verify_aliases_share_the_cache(self, rsa_512):
+        digest_int = 0xDEADBEEF
+        signature = rsa_512.private.raw_sign(digest_int)
+        assert rsa_512.public.raw_verify(signature) == digest_int
+        before = _PUBLIC_OPS.stats()["hits"]
+        assert rsa_512.public.raw_encrypt(signature) == digest_int
+        assert _PUBLIC_OPS.stats()["hits"] == before + 1
+
+    def test_out_of_range_still_rejected_not_cached(self, rsa_512):
+        with pytest.raises(ValueError):
+            rsa_512.public.raw_encrypt(rsa_512.public.n)
+        with pytest.raises(ValueError):
+            rsa_512.private.raw_decrypt(-1)
+
+
+class TestCertificateParseCache:
+    @pytest.fixture(autouse=True)
+    def _fresh_caches(self):
+        clear_caches()
+        yield
+        clear_caches()
+
+    def _build_cert(self, rsa_512):
+        from datetime import datetime, timezone
+
+        from repro.util.rng import DeterministicRng
+        from repro.x509.builder import make_self_signed
+
+        return make_self_signed(
+            rsa_512,
+            common_name="cache-test",
+            application_uri="urn:test:cache",
+            not_before=datetime(2020, 8, 30, tzinfo=timezone.utc),
+            hash_name="sha256",
+            rng=DeterministicRng(7, "cert-cache").substream("cert"),
+        )
+
+    def test_reparse_hits_cache_with_equal_result(self, rsa_512):
+        from repro.x509.certificate import _PARSED_CERTIFICATES, parse_certificate
+
+        der = self._build_cert(rsa_512).raw_der
+        first = parse_certificate(der)
+        second = parse_certificate(der)
+        assert first == second
+        assert first.raw_der == der
+        assert _PARSED_CERTIFICATES.stats()["hits"] >= 1
+
+    def test_parse_errors_propagate_uncached(self):
+        from repro.x509.certificate import (
+            _PARSED_CERTIFICATES,
+            CertificateError,
+            parse_certificate,
+        )
+
+        for _ in range(2):
+            with pytest.raises(CertificateError):
+                parse_certificate(b"\x30\x03\x02\x01\x01")
+        assert len(_PARSED_CERTIFICATES) == 0
+
+
+class TestAesScheduleCache:
+    @pytest.fixture(autouse=True)
+    def _fresh_caches(self):
+        clear_caches()
+        yield
+        clear_caches()
+
+    def test_same_key_shares_the_expanded_schedule(self):
+        from repro.crypto.aes import AesCipher, cipher_for_key
+
+        key = bytes(range(16))
+        cached = cipher_for_key(key)
+        assert cipher_for_key(key) is cached
+        block = b"0123456789abcdef"
+        assert cached.encrypt_block(block) == AesCipher(key).encrypt_block(
+            block
+        )
+
+    def test_distinct_keys_get_distinct_ciphers(self):
+        from repro.crypto.aes import cipher_for_key
+
+        block = b"0123456789abcdef"
+        one = cipher_for_key(bytes(16))
+        other = cipher_for_key(bytes([1]) + bytes(15))
+        assert one is not other
+        assert one.encrypt_block(block) != other.encrypt_block(block)
+
+    def test_cbc_round_trip_through_cached_schedule(self):
+        from repro.crypto.aes import AesCbc
+
+        key, iv = bytes(range(16)), bytes(range(16, 32))
+        plain = b"x" * 32
+        encrypted = AesCbc(key, iv).encrypt(plain)
+        assert AesCbc(key, iv).decrypt(encrypted) == plain

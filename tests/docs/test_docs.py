@@ -37,6 +37,8 @@ DOCTEST_MODULES = (
     "repro.transport.capture",
     "repro.transport.replay",
     "repro.scanner.campaign",
+    "repro.crypto.cache",
+    "repro.util.profiling",
 )
 
 
@@ -107,7 +109,9 @@ class TestPaperMap:
             )
 
 
-@pytest.mark.parametrize("document", ["architecture.md", "paper-map.md"])
+@pytest.mark.parametrize(
+    "document", ["architecture.md", "paper-map.md", "performance.md"]
+)
 def test_documented_paths_exist(document):
     """Every `src/...`, `tests/...`, `benchmarks/...` path is real."""
     text = (DOCS / document).read_text()
@@ -125,3 +129,4 @@ def test_readme_links_into_docs():
     readme = (REPO_ROOT / "README.md").read_text()
     assert "docs/architecture.md" in readme
     assert "docs/paper-map.md" in readme
+    assert "docs/performance.md" in readme

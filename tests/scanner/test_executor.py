@@ -266,3 +266,202 @@ class TestBackendDeterminism:
         assert _canonical(_mini_sweep("async", 8)) == _canonical(
             _mini_sweep("serial", 1)
         )
+
+
+class TestChunkedSubmission:
+    """The process backend's chunked IPC keeps per-task semantics."""
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError):
+            ProcessScanExecutor(2, chunk_size=0)
+        assert ProcessScanExecutor(2).chunk_size >= 1
+        assert ProcessScanExecutor(2, chunk_size=3).chunk_size == 3
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 64])
+    def test_chunk_sizes_produce_identical_results(self, chunk_size):
+        """chunk_size only changes IPC granularity, never the results
+        — including a chunk larger than the whole task stream, which
+        exercises the flush-before-blocking-get path."""
+        tasks = [GrabTask(n, 4840) for n in range(1, 8)]
+        executor = ProcessScanExecutor(2, chunk_size=chunk_size)
+        results = executor.run(tasks, _echo_grab, _no_expand)
+        assert sorted((t.key, r) for t, r in results) == [
+            ((n, 4840), f"record-{n}:4840") for n in range(1, 8)
+        ]
+
+    def test_chunk_worker_isolates_per_task_errors(self, monkeypatch):
+        """A failing task inside a chunk yields its own error triple
+        without poisoning the chunk's other tasks."""
+        from repro.scanner import executor as executor_module
+
+        def grab(task):
+            if task.address == 2:
+                raise ValueError("boom")
+            return _echo_grab(task)
+
+        monkeypatch.setattr(executor_module, "_PROCESS_GRAB", grab)
+        chunk = tuple(GrabTask(n, 4840) for n in (1, 2, 3))
+        triples = executor_module._process_chunk_worker(chunk)
+        assert [t.address for t, _, _ in triples] == [1, 2, 3]
+        ok = {t.address: r for t, r, e in triples if e is None}
+        assert ok == {1: "record-1:4840", 3: "record-3:4840"}
+        (failed,) = [t for t, _, e in triples if e is not None]
+        assert failed.address == 2
+
+    def test_buffered_tasks_ship_on_flush(self):
+        """_ChunkedSubmit holds a partial chunk until flush(), and the
+        relay unpacks the chunk into one queue put per task."""
+        import queue
+
+        from repro.scanner.executor import _ChunkedSubmit
+
+        submitted = []
+
+        class _FakeFuture:
+            def __init__(self, value):
+                self._value = value
+
+            def result(self):
+                return self._value
+
+            def add_done_callback(self, callback):
+                callback(self)
+
+        class _FakePool:
+            def submit(self, fn, chunk):
+                submitted.append(chunk)
+                return _FakeFuture([(task, f"r{task.address}", None) for task in chunk])
+
+        results_q = queue.Queue()
+        submit = _ChunkedSubmit(_FakePool(), results_q, chunk_size=3)
+        submit(GrabTask(1, 4840))
+        submit(GrabTask(2, 4840))
+        assert submitted == []  # partial chunk: buffered, not shipped
+        submit(GrabTask(3, 4840))
+        assert len(submitted) == 1  # full chunk shipped immediately
+        submit(GrabTask(4, 4840))
+        submit.flush()
+        assert len(submitted) == 2  # remainder shipped by flush
+        submit.flush()
+        assert len(submitted) == 2  # empty flush is a no-op
+        drained = [results_q.get_nowait() for _ in range(4)]
+        assert [t.address for t, _, _ in drained] == [1, 2, 3, 4]
+        assert all(e is None for _, _, e in drained)
+
+    def test_probe_batches_run_inline_not_in_pool(self, monkeypatch):
+        """Stage-0 tasks never cross the IPC boundary: they execute
+        inline at submit time and land in inline_results, while grabs
+        still buffer toward the pool."""
+        import queue
+
+        from repro.scanner import executor as executor_module
+        from repro.scanner.executor import _ChunkedSubmit
+
+        def grab(task):
+            if isinstance(task, ProbeBatchTask):
+                return ("probed", task.index)
+            return _echo_grab(task)
+
+        monkeypatch.setattr(executor_module, "_PROCESS_GRAB", grab)
+
+        class _RefusingPool:
+            def submit(self, fn, chunk):  # pragma: no cover - the bug
+                raise AssertionError("probe batch reached the pool")
+
+        submit = _ChunkedSubmit(_RefusingPool(), queue.Queue(), chunk_size=8)
+        submit(ProbeBatchTask(0, 4840, (1, 2)))
+        submit(GrabTask(1, 4840))  # buffered, chunk not full: no submit
+        submit(ProbeBatchTask(1, 4840, (3,)))
+        assert [
+            (t.key, r) for t, r, e in submit.inline_results if e is None
+        ] == [
+            (("probe", 4840, 0), ("probed", 0)),
+            (("probe", 4840, 1), ("probed", 1)),
+        ]
+
+    def test_probe_expansion_pipeline_on_process_backend(self):
+        """End-to-end: probe batches expand into grabs on the process
+        backend and the results match the serial reference."""
+        batches = [
+            ProbeBatchTask(0, 4840, (1, 2)),
+            ProbeBatchTask(1, 4840, (3,)),
+        ]
+
+        def perform(task):
+            if isinstance(task, ProbeBatchTask):
+                return list(task.addresses)
+            return _echo_grab(task)
+
+        def expand(task, record):
+            if isinstance(task, ProbeBatchTask):
+                return [GrabTask(address, task.port) for address in record]
+            return []
+
+        serial = SerialScanExecutor().run(batches, perform, expand)
+        pooled = ProcessScanExecutor(2, chunk_size=2).run(
+            batches, perform, expand
+        )
+        assert sorted(((t.key, r) for t, r in pooled), key=repr) == sorted(
+            ((t.key, r) for t, r in serial), key=repr
+        )
+
+    def test_worker_error_surfaces_from_chunk(self):
+        def failing_grab(task):
+            if task.address == 2:
+                raise ValueError("boom")
+            return _echo_grab(task)
+
+        executor = ProcessScanExecutor(2, chunk_size=2)
+        with pytest.raises(ScanExecutorError) as info:
+            executor.run(
+                [GrabTask(n, 4840) for n in (1, 2, 3)],
+                failing_grab,
+                _no_expand,
+            )
+        assert info.value.task.key == (2, 4840)
+
+
+class TestProfiledExecutor:
+    """The --profile wrapper: counters on, results untouched."""
+
+    @pytest.mark.parametrize(
+        "inner",
+        [SerialScanExecutor(), ThreadScanExecutor(2)],
+        ids=["serial", "thread"],
+    )
+    def test_results_identical_and_stages_counted(self, inner):
+        from repro.scanner.executor import ProfiledScanExecutor
+        from repro.util.profiling import StageStats
+
+        batches = [ProbeBatchTask(0, 4840, (1, 2))]
+
+        def perform(task):
+            if isinstance(task, ProbeBatchTask):
+                return list(task.addresses)
+            return _echo_grab(task)
+
+        def expand(task, record):
+            if isinstance(task, ProbeBatchTask):
+                return [GrabTask(address, task.port) for address in record]
+            return []
+
+        plain = inner.run(batches, perform, expand)
+        stats = StageStats()
+        profiled = ProfiledScanExecutor(inner, stats).run(
+            batches, perform, expand
+        )
+        assert sorted((t.key for t, _ in profiled), key=repr) == sorted(
+            (t.key for t, _ in plain), key=repr
+        )
+        table = stats.as_dict()
+        assert table["probe"]["tasks"] == 1
+        assert table["grab"]["tasks"] == 2
+        assert table["probe"]["seconds"] >= 0.0
+
+    def test_wrapper_mirrors_backend_identity(self):
+        from repro.scanner.executor import ProfiledScanExecutor
+        from repro.util.profiling import StageStats
+
+        wrapped = ProfiledScanExecutor(ThreadScanExecutor(3), StageStats())
+        assert wrapped.name == "thread"
+        assert wrapped.workers == 3

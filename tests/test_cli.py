@@ -255,6 +255,70 @@ class TestScanCommand:
         assert replayed.records[0].is_opcua
         assert snapshot_digest(replayed) == snapshot_digest(live)
 
+    def test_profile_flag_reports_without_changing_records(
+        self, tmp_path, monkeypatch, capsys, rsa_1024
+    ):
+        """--profile appends stage counters, cache hit rates, and a
+        cProfile report after the summary — and the records stay
+        byte-identical to an unprofiled run."""
+        from repro.core.golden import snapshot_digest
+        from repro.dataset.io import read_snapshots
+        from repro.secure.policies import POLICY_NONE
+        from repro.server import EndpointConfig, TcpServerHost
+        from repro.uabin.enums import MessageSecurityMode, UserTokenType
+        from repro.util.rng import DeterministicRng
+        from tests.server.helpers import build_server
+
+        monkeypatch.setenv("REPRO_KEYCACHE", str(tmp_path / "keys"))
+        server = build_server(
+            DeterministicRng(5, "cli-profile"),
+            rsa_1024,
+            endpoint_configs=[
+                EndpointConfig(MessageSecurityMode.NONE, POLICY_NONE)
+            ],
+            token_types=[UserTokenType.ANONYMOUS],
+        )
+        corpus = tmp_path / "corpus.jsonl.gz"
+        with TcpServerHost(server) as (host, port):
+            listing = tmp_path / "targets.txt"
+            listing.write_text(f"127.0.0.1:{port}\n")
+            code = main(
+                [
+                    "scan", "--live",
+                    "--targets", str(listing),
+                    "--contact", "lab@example.org",
+                    "--key-bits", "512",
+                    "--rate", "1000",
+                    "--per-host-interval", "0",
+                    "--record", str(corpus),
+                    "--no-store",
+                    "--profile",
+                ]
+            )
+        assert code == 0
+        live_stdout = capsys.readouterr().out
+        assert "--- profile: per-stage counters ---" in live_stdout
+        assert "--- profile: crypto caches ---" in live_stdout
+        assert "--- profile: hot functions (cProfile) ---" in live_stdout
+        assert "grab" in live_stdout
+
+        plain_out = tmp_path / "plain.jsonl"
+        profiled_out = tmp_path / "profiled.jsonl"
+        for out_path, extra in (
+            (plain_out, []),
+            (profiled_out, ["--profile"]),
+        ):
+            code = main(
+                ["scan", "--replay", str(corpus), "--out", str(out_path),
+                 "--no-store", *extra]
+            )
+            assert code == 0
+        replay_stdout = capsys.readouterr().out
+        assert "--- profile: per-stage counters ---" in replay_stdout
+        plain = read_snapshots(plain_out)[0]
+        profiled = read_snapshots(profiled_out)[0]
+        assert snapshot_digest(profiled) == snapshot_digest(plain)
+
     def test_stale_corpus_replay_fails_cleanly_on_pooled_backend(
         self, tmp_path, monkeypatch, capsys, rsa_1024
     ):

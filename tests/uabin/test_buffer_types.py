@@ -1,0 +1,108 @@
+"""Round-trips over every buffer type the zero-copy reader accepts.
+
+``BinaryReader`` (and with it every ``UaStruct.decode``) takes any
+object exposing the buffer protocol — ``bytes``, ``bytearray``,
+``memoryview`` — and must decode them all to identical values, because
+the transport layer hands the frame reassembler's views straight to
+the codec without copying.  ``read_bytes`` must still return real
+``bytes`` (records hash them), while ``read_view`` is the explicit
+zero-copy escape hatch.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.transport.messages import HelloMessage
+from repro.uabin.builtin import LocalizedText
+from repro.uabin.enums import ApplicationType
+from repro.uabin.types_common import ApplicationDescription
+from repro.util.binary import BinaryReader, BinaryWriter, NotEnoughData
+
+BUFFER_TYPES = (bytes, bytearray, memoryview)
+
+
+def _buffer_variants(data: bytes):
+    return [kind(data) for kind in BUFFER_TYPES]
+
+
+class TestReaderBufferTypes:
+    @given(st.binary(max_size=64), st.integers(0, 64))
+    def test_read_bytes_identical_across_buffer_types(self, data, count):
+        outputs = []
+        for buffer in _buffer_variants(data):
+            reader = BinaryReader(buffer)
+            if count > len(data):
+                with pytest.raises(NotEnoughData):
+                    reader.read_bytes(count)
+                return
+            outputs.append(reader.read_bytes(count))
+        assert outputs[0] == outputs[1] == outputs[2]
+        assert all(type(out) is bytes for out in outputs)
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_read_view_is_zero_copy_but_equal(self, data):
+        for buffer in _buffer_variants(data):
+            reader = BinaryReader(buffer)
+            view = reader.read_view(len(data))
+            assert bytes(view) == data
+            assert reader.remaining == 0
+
+    def test_read_view_error_matches_read_bytes(self):
+        for buffer in _buffer_variants(b"ab"):
+            with pytest.raises(NotEnoughData) as view_err:
+                BinaryReader(buffer).read_view(5)
+            with pytest.raises(NotEnoughData) as bytes_err:
+                BinaryReader(buffer).read_bytes(5)
+            assert str(view_err.value) == str(bytes_err.value)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**16 - 1))
+    def test_scalars_identical_across_buffer_types(self, u32, u16):
+        writer = BinaryWriter()
+        writer.write_uint32(u32)
+        writer.write_uint16(u16)
+        data = writer.to_bytes()
+        for buffer in _buffer_variants(data):
+            reader = BinaryReader(buffer)
+            assert reader.read_uint32() == u32
+            assert reader.read_uint16() == u16
+
+
+class TestStructDecodeBufferTypes:
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_hello_roundtrip_from_any_buffer(self, receive, send, maximum):
+        message = HelloMessage(
+            protocol_version=0,
+            receive_buffer_size=receive,
+            send_buffer_size=send,
+            max_message_size=maximum,
+            max_chunk_count=1,
+            endpoint_url="opc.tcp://example:4840",
+        )
+        encoded = message.encode_body()
+        for buffer in _buffer_variants(encoded):
+            assert HelloMessage.decode_body(buffer) == message
+
+    @given(
+        st.text(alphabet=string.printable, max_size=40),
+        st.sampled_from(list(ApplicationType)),
+    )
+    def test_nested_struct_roundtrip_from_any_buffer(self, name, app_type):
+        description = ApplicationDescription(
+            application_uri="urn:test:buffers",
+            product_uri=None,
+            application_name=LocalizedText("en", name),
+            application_type=app_type,
+            discovery_urls=["opc.tcp://example"],
+        )
+        encoded = description.to_bytes()
+        decoded = [
+            ApplicationDescription.from_bytes(buffer)
+            for buffer in _buffer_variants(encoded)
+        ]
+        assert decoded[0] == decoded[1] == decoded[2] == description
