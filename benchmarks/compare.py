@@ -7,12 +7,16 @@ Usage::
     python benchmarks/compare.py --fail-on-regression # exit 1 on regression
     python benchmarks/compare.py --write-baseline     # refresh baseline
 
-Compares the two headline throughput sections of a bench report —
-``grab_throughput`` (hosts/second through the full grab pipeline) and
-``probe_throughput`` (addresses/second through the SYN stage) — per
-executor backend against ``BENCH_baseline.json``.  A backend running
-more than ``--threshold`` (default 15 %) slower than baseline prints
-a GitHub ``::warning::`` annotation; the exit code stays 0 unless
+Compares the headline throughput sections of a bench report —
+``grab_throughput`` (hosts/second through the full grab pipeline),
+``probe_throughput`` (addresses/second through the SYN stage), and
+``sharded_throughput`` (hosts/second through a sharded sweep + merge)
+— per executor backend against ``BENCH_baseline.json``.  A backend
+running more than ``--threshold`` (default 15 %) slower than baseline
+prints a GitHub ``::warning::`` annotation, and a section or backend
+present in the baseline but *absent* from the report counts as a
+regression outright (a benchmark that stops being measured can never
+regress otherwise); the exit code stays 0 unless
 ``--fail-on-regression`` (or its older spelling ``--strict``) is
 given, because absolute throughput is machine-dependent and CI
 runners vary — by default the warning is a tripwire, not a gate.
@@ -36,10 +40,11 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_REPORT = REPO_ROOT / "BENCH_sweep.json"
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_baseline.json"
 
-SECTIONS = ("grab_throughput", "probe_throughput")
+SECTIONS = ("grab_throughput", "probe_throughput", "sharded_throughput")
 RATE_KEYS = {
     "grab_throughput": "hosts_per_second",
     "probe_throughput": "addresses_per_second",
+    "sharded_throughput": "hosts_per_second",
 }
 
 
@@ -66,7 +71,13 @@ def compare(
     baseline: dict[str, dict[str, float]],
     threshold: float,
 ) -> list[str]:
-    """Regression messages, one per backend slower than baseline."""
+    """Regression messages, one per backend slower than baseline —
+    or present in the baseline but absent from the current report.
+
+    A missing section/backend is a *failure*, not a skip: a benchmark
+    that silently stops being measured can never regress, which is
+    exactly how a regression gate rots.
+    """
     regressions = []
     for section, base_rates in baseline.items():
         for backend, base_rate in base_rates.items():
@@ -75,6 +86,12 @@ def compare(
                 print(
                     f"[compare] {section}/{backend}: "
                     "missing from current report"
+                )
+                regressions.append(
+                    f"{section}/{backend} is in the baseline but missing "
+                    f"from the current report (baseline {base_rate:.1f}/s "
+                    "— was the benchmark removed without refreshing the "
+                    "baseline?)"
                 )
                 continue
             change = (rate - base_rate) / base_rate if base_rate else 0.0

@@ -132,15 +132,19 @@ def main(argv: list[str] | None = None) -> int:
             sweep = None
 
     # Headline throughput metrics per backend: grab (full pipeline,
-    # hosts/second) and probe (SYN stage alone, addresses/second),
+    # hosts/second), probe (SYN stage alone, addresses/second), and
+    # sharded (partitioned sweep + deterministic merge, hosts/second),
     # plus whether any parallel backend beat serial on this machine
     # (expected false on 1-2 core runners).  benchmarks/compare.py
-    # diffs exactly these two sections against BENCH_baseline.json.
+    # diffs exactly these sections against BENCH_baseline.json.
     grab_throughput = _throughput_section(
         sweep, "backends", "hosts_per_second"
     )
     probe_throughput = _throughput_section(
         sweep, "probe", "addresses_per_second"
+    )
+    sharded_throughput = _throughput_section(
+        sweep, "sharded", "hosts_per_second"
     )
 
     payload = {
@@ -152,6 +156,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep_engine": sweep,
         "grab_throughput": grab_throughput,
         "probe_throughput": probe_throughput,
+        "sharded_throughput": sharded_throughput,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output} ({len(recorder.results)} benchmark timings)")

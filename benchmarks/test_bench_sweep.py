@@ -181,6 +181,77 @@ def test_bench_probe_throughput(study_result):
         assert speedup >= 0.7, f"process-backend probing only {speedup}x serial"
 
 
+SHARD_COUNT = 4
+SHARD_BACKENDS = (("serial", 1), ("process", 4))
+
+
+def _run_sharded_sweep(study_result, executor_name: str, workers: int):
+    """Scan the final sweep as ``SHARD_COUNT`` shards, then merge.
+
+    Each shard re-assembles its own network view and scans only its
+    slice of the candidate permutation — the single-machine stand-in
+    for a fleet — and the deterministic merge reassembles the sweep.
+    Timing covers all shards plus the merge, so hosts/second here is
+    directly comparable to the unsharded ``backends`` section (the
+    gap is the per-shard environment-rebuild + merge overhead).
+    """
+    from repro.scanner.shard import ShardSpec, ShardedScanCampaign, merge_sweep
+
+    start = time.perf_counter()
+    parts = []
+    for index in range(SHARD_COUNT):
+        network = study_result.timeline.network_for_sweep(FINAL_SWEEP)
+        study = Study(StudyConfig(seed=SEED))
+        campaign = ShardedScanCampaign(
+            network,
+            study.scanner_identity(),
+            study._rng.substream("bench-sweep"),
+            executor=build_executor(executor_name, workers),
+            shard=ShardSpec(index, SHARD_COUNT),
+        )
+        parts.append(
+            campaign.run_sweep(
+                label="2020-08-30", follow_references=True, traverse=False
+            )
+        )
+    merged = merge_sweep(parts)
+    elapsed = time.perf_counter() - start
+    return merged, elapsed
+
+
+def test_bench_sharded_sweep_throughput(study_result):
+    """Sharded sweep + merge matches the unsharded snapshot byte-for-byte
+    and records its throughput for the ``sharded_throughput`` gate."""
+    reference, _ = _run_final_sweep(study_result, "serial", 1)
+    reference_json = _snapshot_json(reference)
+
+    metrics = {}
+    serial_seconds = None
+    for name, workers in SHARD_BACKENDS:
+        merged, elapsed = _run_sharded_sweep(study_result, name, workers)
+        assert _snapshot_json(merged) == reference_json, (
+            f"{name} sharded merge diverged from the unsharded reference"
+        )
+        if serial_seconds is None:
+            serial_seconds = elapsed
+        hosts = len(merged.records)
+        metrics[f"{name}x{workers}"] = {
+            "seconds": round(elapsed, 3),
+            "hosts": hosts,
+            "shards": SHARD_COUNT,
+            "hosts_per_second": round(hosts / elapsed, 1),
+            "speedup_vs_serial": round(serial_seconds / elapsed, 2),
+        }
+        print(
+            f"[sharded] {name}x{workers} ({SHARD_COUNT} shards): "
+            f"{hosts} hosts in {elapsed:.2f}s "
+            f"({hosts / elapsed:.0f} hosts/s, "
+            f"{serial_seconds / elapsed:.2f}x serial)"
+        )
+
+    _update_metrics("sharded", metrics)
+
+
 def test_bench_parallel_study_identical(study_result):
     """Acceptance: a full 8-sweep study with 4 workers is byte-identical
     to the serial reference (the session-cached ``study_result``).

@@ -127,6 +127,39 @@ def build_parser() -> argparse.ArgumentParser:
             "uses before fanning analyses out from the store"
         ),
     )
+    study.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "cut the address space into N zmap-style index-mod shards, "
+            "scan them independently, and merge — byte-identical to an "
+            "unsharded run; with --store, each finished shard is "
+            "checkpointed so a killed campaign restarts from the last "
+            "completed shard"
+        ),
+    )
+    study.add_argument(
+        "--shard",
+        type=int,
+        metavar="I",
+        default=None,
+        help=(
+            "scan only shard I of --shards N and checkpoint it "
+            "(requires --store; run the same command for every I, then "
+            "`--shards N --resume` merges the checkpoints)"
+        ),
+    )
+    study.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "skip shards whose store checkpoint validates (corrupt or "
+            "missing checkpoints are rescanned); requires --shards and "
+            "a store"
+        ),
+    )
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one table/figure"
@@ -317,7 +350,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_study(args) -> int:
+    if args.shard is not None and not args.shards:
+        raise SystemExit("repro: error: --shard requires --shards N")
+    if args.resume and not args.shards:
+        raise SystemExit(
+            "repro: error: --resume resumes a sharded run; pass --shards N"
+        )
+    if args.shards is not None:
+        return _cmd_study_sharded(args)
     result = _study_result(args)
+    return _report_study(args, result)
+
+
+def _report_study(args, result) -> int:
     if args.scan_only:
         from repro.core.golden import study_digest, study_digests
 
@@ -336,6 +381,55 @@ def cmd_study(args) -> int:
         total += len(report.comparisons)
     print(f"reproduction summary: {exact}/{total} metrics match the paper")
     return 0
+
+
+def _cmd_study_sharded(args) -> int:
+    """``--shards N [--shard I] [--resume]``: scan, checkpoint, merge."""
+    from repro.core.golden import combined_digest, sweep_digests
+    from repro.scanner.shard import (
+        ShardSpec,
+        run_sharded_study,
+        run_study_shard,
+    )
+
+    if args.shards < 1:
+        raise SystemExit("repro: error: --shards must be >= 1")
+    executor, workers = _executor(args)
+    store = _resolve_store(args)
+    config = StudyConfig(seed=args.seed, executor=executor, workers=workers)
+    if args.shard is not None:
+        if not 0 <= args.shard < args.shards:
+            raise SystemExit(
+                f"repro: error: --shard must be in [0, {args.shards})"
+            )
+        if store is None:
+            raise SystemExit(
+                "repro: error: scanning a single shard only makes sense "
+                "with a checkpoint store; pass --store DIR (or set "
+                "REPRO_STUDY_STORE)"
+            )
+        shard = ShardSpec(args.shard, args.shards)
+        snapshots = run_study_shard(
+            config, shard, store=store, resume=args.resume
+        )
+        digest = combined_digest(sweep_digests(snapshots))
+        records = sum(len(s.records) for s in snapshots)
+        print(
+            f"shard {shard.label}: {len(snapshots)} sweeps / "
+            f"{records} records"
+        )
+        print(f"shard digest: {digest}")
+        return 0
+    if args.resume and store is None:
+        raise SystemExit(
+            "repro: error: --resume needs the checkpoint store the "
+            "interrupted run wrote; pass --store DIR (or set "
+            "REPRO_STUDY_STORE)"
+        )
+    result = run_sharded_study(
+        config, args.shards, store=store, resume=args.resume
+    )
+    return _report_study(args, result)
 
 
 def cmd_experiment(args) -> int:

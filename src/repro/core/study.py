@@ -263,30 +263,61 @@ class Study:
             config=self.config, spec=spec, hosts=hosts, timeline=timeline
         )
         executor = build_executor(self.config.executor, self.config.workers)
-
-        for sweep_index, date in enumerate(SWEEP_DATES):
-            network = timeline.network_for_sweep(sweep_index)
-            self._add_noise_hosts(network, sweep_index)
-            campaign = ScanCampaign(
-                network,
-                identity,
-                self._rng.substream(f"campaign-{sweep_index}"),
-                executor=executor,
-            )
-            is_last = sweep_index == len(SWEEP_DATES) - 1
-            snapshot = campaign.run_sweep(
-                label=date,
-                follow_references=(
-                    sweep_index >= self.config.follow_references_from_sweep
-                ),
-                extra_candidates=self.config.extra_sweep_candidates,
-                traverse=self.config.traverse_all_sweeps or is_last,
-                batch_size=self.config.probe_batch_size,
-            )
-            result.snapshots.append(snapshot)
+        result.snapshots.extend(self.scan_sweeps(timeline, identity, executor))
         if store is not None:
             store.save(self.config, spec, result.snapshots)
         return result
+
+    def scan_sweeps(
+        self,
+        timeline: StudyTimeline,
+        identity: ScannerIdentity,
+        executor,
+        shard=None,
+    ) -> list[MeasurementSnapshot]:
+        """Scan the eight sweeps through ``executor``.
+
+        ``shard`` (a :class:`~repro.scanner.shard.ShardSpec`) restricts
+        every sweep to that shard's slice of the candidate permutation;
+        ``None`` scans the whole address space.  Everything else — the
+        per-sweep Internet, noise hosts, campaign RNG substreams — is
+        derived identically either way, which is what makes a merged
+        sharded study byte-identical to an unsharded one.
+        """
+        snapshots: list[MeasurementSnapshot] = []
+        for sweep_index, date in enumerate(SWEEP_DATES):
+            network = timeline.network_for_sweep(sweep_index)
+            self._add_noise_hosts(network, sweep_index)
+            campaign_rng = self._rng.substream(f"campaign-{sweep_index}")
+            if shard is None:
+                campaign = ScanCampaign(
+                    network, identity, campaign_rng, executor=executor
+                )
+            else:
+                # Imported here: shard.py builds on ScanCampaign/Study,
+                # so a module-level import would be a cycle.
+                from repro.scanner.shard import ShardedScanCampaign
+
+                campaign = ShardedScanCampaign(
+                    network,
+                    identity,
+                    campaign_rng,
+                    shard=shard,
+                    executor=executor,
+                )
+            is_last = sweep_index == len(SWEEP_DATES) - 1
+            snapshots.append(
+                campaign.run_sweep(
+                    label=date,
+                    follow_references=(
+                        sweep_index >= self.config.follow_references_from_sweep
+                    ),
+                    extra_candidates=self.config.extra_sweep_candidates,
+                    traverse=self.config.traverse_all_sweeps or is_last,
+                    batch_size=self.config.probe_batch_size,
+                )
+            )
+        return snapshots
 
     def _discovery_counts(self) -> tuple[int, ...] | None:
         """Weekly discovery-fleet sizes, scaled by the config.

@@ -39,6 +39,26 @@ their canonical corpus bytes::
 Corpus keys never collide with study keys: corpora live under their
 own subdirectory, which carries no top-level ``meta.json`` and is
 therefore invisible to :meth:`StudyStore.keys`.
+
+**Shard checkpoints** (see :mod:`repro.scanner.shard`) follow the
+same pattern one level deeper: a sharded campaign persists each
+finished shard under::
+
+    <root>/shards/<study-key>/<index>-of-<count>/snapshots.jsonl.gz
+    <root>/shards/<study-key>/<index>-of-<count>/meta.json
+
+with the same write-data-first/publish-meta-last protocol and the
+same digest validation on load, so ``--resume`` can trust (and a
+corrupted checkpoint can never poison) a restarted campaign.  The
+merge step records a ``merge.json`` manifest next to the merged
+entry's ``meta.json`` naming every shard digest that went into it.
+
+Every (re-)write in this module is *atomic*: data files land under a
+temporary name and are ``os.replace``d into place, and a re-save over
+an existing entry retracts the old ``meta.json`` first — at no point
+does a live meta describe half-written bytes, so the worst a crash
+can leave behind is an incomplete-looking entry that is simply
+re-scanned.
 """
 
 from __future__ import annotations
@@ -57,7 +77,11 @@ from repro.core.golden import (
     snapshot_digest,
     sweep_digests,
 )
-from repro.dataset.io import iter_snapshots, write_snapshots
+from repro.dataset.io import (
+    DatasetFormatError,
+    iter_snapshots,
+    write_snapshots,
+)
 from repro.deployments.spec import PopulationSpec
 from repro.scanner.records import MeasurementSnapshot
 
@@ -76,6 +100,8 @@ SNAPSHOT_FILE = "snapshots.jsonl.gz"
 META_FILE = "meta.json"
 CORPUS_DIR = "corpora"
 CORPUS_FILE = "corpus.jsonl.gz"
+SHARDS_DIR = "shards"
+MERGE_MANIFEST_FILE = "merge.json"
 
 #: StudyConfig fields that never change snapshot bytes (executor
 #: choice and task granularity) — excluded from the content key.
@@ -171,6 +197,33 @@ class StudyStore:
 
     # --- writing -----------------------------------------------------------
 
+    def _publish(
+        self,
+        entry: Path,
+        snapshots: list[MeasurementSnapshot],
+        meta: dict,
+    ) -> None:
+        """Atomically (re-)write one entry: data first, meta last.
+
+        Re-saving over an existing entry retracts its ``meta.json``
+        *before* touching the snapshot file — otherwise a crash
+        mid-rewrite leaves a complete-looking entry whose bytes no
+        longer match its digests (a ``StoreIntegrityError`` on the
+        next load, instead of the rescan an incomplete entry gets).
+        The snapshot bytes land under a temporary name (kept on a
+        ``.gz`` suffix so compression is unchanged) and are
+        ``os.replace``d into place, and the meta file is published the
+        same way, so neither file is ever observable half-written.
+        """
+        entry.mkdir(parents=True, exist_ok=True)
+        (entry / META_FILE).unlink(missing_ok=True)
+        temp_snapshots = entry / (".tmp." + SNAPSHOT_FILE)
+        write_snapshots(temp_snapshots, snapshots)
+        os.replace(temp_snapshots, entry / SNAPSHOT_FILE)
+        temp_meta = entry / (META_FILE + ".tmp")
+        temp_meta.write_text(json.dumps(meta, indent=2) + "\n")
+        os.replace(temp_meta, entry / META_FILE)
+
     def save(
         self,
         config: StudyConfig,
@@ -179,14 +232,12 @@ class StudyStore:
     ) -> str:
         """Persist one finished study; returns the entry key.
 
-        The snapshot file is written first and ``meta.json`` last, so
-        a crashed write never leaves an entry that looks complete —
-        ``contains``/``load`` key off the meta file.
+        The snapshot file is written first and ``meta.json`` last (see
+        :meth:`_publish`), so a crashed write never leaves an entry
+        that looks complete — ``contains``/``load`` key off the meta
+        file.
         """
         key = study_key(config, spec)
-        entry = self.entry_dir(key)
-        entry.mkdir(parents=True, exist_ok=True)
-        write_snapshots(entry / SNAPSHOT_FILE, snapshots)
         per_sweep = sweep_digests(snapshots)
         meta = {
             "schema": SCHEMA_VERSION,
@@ -202,11 +253,7 @@ class StudyStore:
             "digest": combined_digest(per_sweep),
             "per_sweep": per_sweep,
         }
-        # Atomic publish: meta.json appearing is what marks the entry
-        # complete, so it must never exist half-written.
-        temp = entry / (META_FILE + ".tmp")
-        temp.write_text(json.dumps(meta, indent=2) + "\n")
-        os.replace(temp, entry / META_FILE)
+        self._publish(self.entry_dir(key), snapshots, meta)
         return key
 
     # --- reading -----------------------------------------------------------
@@ -236,31 +283,51 @@ class StudyStore:
         what it reads — the final whole-study digest check happens on
         exhaustion, when every per-sweep digest has already matched.
         """
+        entry = self.entry_dir(key)
         meta = self.read_meta(key)
+        yield from self._iter_validated_entry(entry, meta, f"store entry {key}")
+
+    def _iter_validated_entry(
+        self, entry: Path, meta: dict, label: str
+    ) -> Iterator[MeasurementSnapshot]:
+        """Digest-validating snapshot stream shared by entries and shards."""
         if meta.get("schema") != SCHEMA_VERSION:
             raise StoreIntegrityError(
-                f"store entry {key} has schema {meta.get('schema')!r}, "
+                f"{label} has schema {meta.get('schema')!r}, "
                 f"this code expects {SCHEMA_VERSION}"
             )
         expected: dict[str, str] = meta.get("per_sweep", {})
         expected_dates = list(expected)
         seen: dict[str, str] = {}
-        path = self.entry_dir(key) / SNAPSHOT_FILE
-        for snapshot in iter_snapshots(path):
+        path = entry / SNAPSHOT_FILE
+        snapshot_iter = iter_snapshots(path)
+        while True:
+            try:
+                snapshot = next(snapshot_iter)
+            except StopIteration:
+                break
+            except DatasetFormatError as exc:
+                # Undecodable bytes (a crash mid-write, a truncated
+                # gzip stream) are the same integrity failure as a
+                # digest mismatch — surface them as one error class so
+                # resume logic can treat "corrupt" uniformly.
+                raise StoreIntegrityError(
+                    f"{label}: snapshot stream unreadable ({exc})"
+                ) from None
             position = len(seen)
             if (
                 position >= len(expected_dates)
                 or snapshot.date != expected_dates[position]
             ):
                 raise StoreIntegrityError(
-                    f"store entry {key}: unexpected sweep "
+                    f"{label}: unexpected sweep "
                     f"{snapshot.date!r} at position {position} "
                     f"(expected {expected_dates[position:position + 1]})"
                 )
             digest = snapshot_digest(snapshot)
             if digest != expected[snapshot.date]:
                 raise StoreIntegrityError(
-                    f"store entry {key}: sweep {snapshot.date} digest "
+                    f"{label}: sweep {snapshot.date} digest "
                     f"mismatch (stored {expected[snapshot.date][:12]}…, "
                     f"recomputed {digest[:12]}…) — the entry is stale "
                     "or corrupted; delete it and re-run the study"
@@ -269,13 +336,105 @@ class StudyStore:
             yield snapshot
         if len(seen) != len(expected_dates):
             raise StoreIntegrityError(
-                f"store entry {key}: file holds {len(seen)} sweeps, "
+                f"{label}: file holds {len(seen)} sweeps, "
                 f"meta.json declares {len(expected_dates)}"
             )
         if combined_digest(seen) != meta.get("digest"):
+            raise StoreIntegrityError(f"{label}: whole-study digest mismatch")
+
+    # --- shard checkpoints -------------------------------------------------
+
+    def shard_dir(self, key: str, index: int, count: int) -> Path:
+        return self.root / SHARDS_DIR / key / f"{index:04d}-of-{count:04d}"
+
+    def save_shard(
+        self,
+        config: StudyConfig,
+        spec: PopulationSpec,
+        index: int,
+        count: int,
+        snapshots: list[MeasurementSnapshot],
+    ) -> str:
+        """Checkpoint one finished shard of a sharded campaign.
+
+        Shards live under ``shards/<study-key>/`` — outside the
+        content-addressed namespace :meth:`keys` enumerates — and use
+        the same atomic data-first/meta-last publish as whole studies,
+        so a kill mid-checkpoint leaves a rescan-able partial, never a
+        complete-looking corrupt one.
+        """
+        key = study_key(config, spec)
+        per_sweep = sweep_digests(snapshots)
+        meta = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "shard_index": index,
+            "shard_count": count,
+            "sweeps": len(snapshots),
+            "records": sum(len(s.records) for s in snapshots),
+            "digest": combined_digest(per_sweep),
+            "per_sweep": per_sweep,
+        }
+        self._publish(self.shard_dir(key, index, count), snapshots, meta)
+        return key
+
+    def load_shard(
+        self,
+        config: StudyConfig,
+        spec: PopulationSpec,
+        index: int,
+        count: int,
+    ) -> list[MeasurementSnapshot] | None:
+        """Load and validate one shard checkpoint; ``None`` if absent.
+
+        Validation is identical to :meth:`load` — every snapshot is
+        re-hashed against the digests recorded at checkpoint time, and
+        the meta must claim exactly this ``(index, count)`` slot, so a
+        checkpoint mis-filed (or copied) across shard geometries can
+        never be resumed as the wrong slice.
+        """
+        key = study_key(config, spec)
+        entry = self.shard_dir(key, index, count)
+        label = f"shard {index}/{count} of {key}"
+        if not (entry / META_FILE).exists():
+            return None
+        try:
+            meta = json.loads((entry / META_FILE).read_text())
+        except json.JSONDecodeError as exc:
             raise StoreIntegrityError(
-                f"store entry {key}: whole-study digest mismatch"
+                f"{label}: meta.json is not valid JSON ({exc}) — "
+                f"delete {entry} and re-run the shard"
+            ) from None
+        if (meta.get("shard_index"), meta.get("shard_count")) != (index, count):
+            raise StoreIntegrityError(
+                f"{label}: meta claims shard "
+                f"{meta.get('shard_index')}/{meta.get('shard_count')}"
             )
+        return list(self._iter_validated_entry(entry, meta, label))
+
+    # --- merge manifests ---------------------------------------------------
+
+    def write_merge_manifest(self, key: str, manifest: dict) -> Path:
+        """Publish the merge manifest beside a merged entry's meta.
+
+        Extra files in an entry directory are invisible to
+        :meth:`load`, so the manifest is pure provenance: which shard
+        digests were reassembled into the canonical snapshots (see
+        :func:`repro.scanner.shard.merge_study_shards`).
+        """
+        entry = self.entry_dir(key)
+        entry.mkdir(parents=True, exist_ok=True)
+        temp = entry / (MERGE_MANIFEST_FILE + ".tmp")
+        temp.write_text(json.dumps(manifest, indent=2) + "\n")
+        path = entry / MERGE_MANIFEST_FILE
+        os.replace(temp, path)
+        return path
+
+    def read_merge_manifest(self, key: str) -> dict | None:
+        path = self.entry_dir(key) / MERGE_MANIFEST_FILE
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
 
     # --- capture corpora ---------------------------------------------------
 
@@ -316,7 +475,12 @@ class StudyStore:
             # and a live recording can never be reproduced).
             return key
         entry.mkdir(parents=True, exist_ok=True)
-        write_corpus(entry / CORPUS_FILE, corpus)
+        # Same protocol as _publish: corpus bytes land under a
+        # temporary .gz name, replaced into place before the meta that
+        # marks them complete is published.
+        temp_corpus = entry / (".tmp." + CORPUS_FILE)
+        write_corpus(temp_corpus, corpus)
+        os.replace(temp_corpus, entry / CORPUS_FILE)
         meta = {
             "schema": SCHEMA_VERSION,
             "key": key,

@@ -36,19 +36,21 @@ class PortScanResult:
         return len(self.open_addresses)
 
 
-def candidate_batches(
+def candidate_stream(
     network: SimNetwork,
     port: int,
     rng: DeterministicRng,
     extra_candidates: int = 0,
-    batch_size: int = DEFAULT_BATCH_SIZE,
-) -> Iterator[list[int]]:
-    """Yield deduplicated probe candidates in zmap permutation order.
+) -> list[int]:
+    """The deduplicated probe-candidate permutation for one sweep.
 
-    The permutation (and therefore every downstream scan artifact) is a
-    pure function of the sweep RNG: registered hosts first, then
-    ``extra_candidates`` random draws, shuffled once.  Batching changes
-    only the granularity at which the prober consumes the stream.
+    A pure function of the sweep RNG: registered hosts first, then
+    ``extra_candidates`` random draws, shuffled once, deduplicated in
+    first-occurrence order.  Every consumer — serial batching, the
+    pooled executors, :class:`~repro.scanner.shard.ShardSpec` slicing
+    — sees the identical stream, which is what makes index-mod
+    sharding mergeable: position ``i`` belongs to shard ``i % N``
+    regardless of who enumerates it.
 
     The blocklist is deliberately **not** consulted here: like zmap's
     shard permutation, candidate generation is blocklist-agnostic, and
@@ -67,9 +69,25 @@ def candidate_batches(
     candidates = probe_rng.shuffled(candidates)
 
     # dict.fromkeys dedups in first-occurrence order — the same stream
-    # a per-address seen-set loop produces — and slicing hands out the
-    # batches without per-address Python bytecode.
-    unique = list(dict.fromkeys(candidates))
+    # a per-address seen-set loop produces.
+    return list(dict.fromkeys(candidates))
+
+
+def candidate_batches(
+    network: SimNetwork,
+    port: int,
+    rng: DeterministicRng,
+    extra_candidates: int = 0,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[list[int]]:
+    """Yield :func:`candidate_stream` in fixed-size batches.
+
+    Batching changes only the granularity at which the prober consumes
+    the stream, never its order or membership.
+    """
+    unique = candidate_stream(
+        network, port, rng, extra_candidates=extra_candidates
+    )
     for start in range(0, len(unique), batch_size):
         yield unique[start : start + batch_size]
 

@@ -155,15 +155,10 @@ class ScanCampaign:
             # stage-0 probe task, and pooled backends start grabbing a
             # batch's open addresses while later batches are still
             # probing.
-            batches = candidate_batches(
-                self._network,
-                self._port,
+            batches = self._sweep_batches(
                 sweep_rng,
-                extra_candidates=extra_candidates,
-                batch_size=(
-                    batch_size if batch_size is not None
-                    else DEFAULT_BATCH_SIZE
-                ),
+                extra_candidates,
+                batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
             )
             for index, batch in enumerate(batches):
                 yield ProbeBatchTask(index, self._port, tuple(batch))
@@ -221,6 +216,22 @@ class ScanCampaign:
             record for _, record in referenced if record.tcp_open
         )
         return snapshot
+
+    def _sweep_batches(self, sweep_rng, extra_candidates, batch_size):
+        """Stage-0 candidate batches for one sweep.
+
+        The seam :class:`~repro.scanner.shard.ShardedScanCampaign`
+        overrides: it feeds the same candidate permutation through an
+        index-mod shard filter before batching, so a shard scans its
+        slice of the stream and nothing else changes.
+        """
+        return candidate_batches(
+            self._network,
+            self._port,
+            sweep_rng,
+            extra_candidates=extra_candidates,
+            batch_size=batch_size,
+        )
 
     def _probe_batch(
         self, task: ProbeBatchTask, date: str

@@ -257,7 +257,7 @@ class _PooledScanExecutor(ScanExecutor):
                         flush, deferred = deferred, []
                         for held_task in flush:
                             enqueue(held_task)
-            except BaseException:
+            except BaseException as exc:
                 # Drain every outstanding result so pool shutdown (run
                 # by the context exit) cannot deadlock on workers
                 # blocked at the bounded queue.  Safe to block: every
@@ -267,7 +267,19 @@ class _PooledScanExecutor(ScanExecutor):
                 # cancellation or a broken pool) — provided buffered
                 # submissions are flushed first, since a task still in
                 # the submit buffer has no worker owing a put.
-                if flush_submits is not None:
+                abort = getattr(submit, "abort", None)
+                if isinstance(exc, KeyboardInterrupt) and abort is not None:
+                    # Ctrl-C means *stop now*, not "finish the sweep,
+                    # then stop".  Each backend's abort cancels what
+                    # has not started and returns how many tasks were
+                    # thereby relieved of their queue put (the process
+                    # backend also terminates its forked workers —
+                    # their in-flight chunks resolve as broken-pool
+                    # error triples), so the drain below still closes
+                    # the books before the pool shuts down and the
+                    # interrupt is re-raised.
+                    state["pending"] -= abort()
+                elif flush_submits is not None:
                     flush_submits()
                 if inline_results:
                     # Inline triples have no worker owing a queue put.
@@ -302,7 +314,24 @@ class ThreadScanExecutor(_PooledScanExecutor):
 
         class _Ctx:
             def __enter__(self_inner):
-                return lambda task: executor.submit(worker, task)
+                futures: list = []
+
+                def submit(task) -> None:
+                    futures.append(executor.submit(worker, task))
+
+                def abort() -> int:
+                    # A queued-but-unstarted future cancels cleanly —
+                    # its worker never runs, so it owes no queue put;
+                    # the returned count squares the coordinator's
+                    # books.  Running grabs finish and put as usual.
+                    cancelled = sum(
+                        1 for future in futures if future.cancel()
+                    )
+                    futures.clear()
+                    return cancelled
+
+                submit.abort = abort
+                return submit
 
             def __exit__(self_inner, *exc_info):
                 executor.shutdown(wait=True)
@@ -366,6 +395,26 @@ class _ChunkedSubmit:
         #: Completed (task, record, error) triples from inline stage-0
         #: execution, drained by the coordinator before it blocks.
         self.inline_results: list = []
+
+    def abort(self) -> int:
+        """Interrupt support: drop buffered tasks, kill the workers.
+
+        Buffered tasks never reached the pool, so they owe no queue
+        put — the returned count squares the coordinator's books.
+        In-flight chunks are *not* cancelled (their relays would put
+        from the aborting thread, which can deadlock on a full results
+        queue); instead the forked workers are terminated, which
+        breaks the pool and fails every outstanding future with
+        ``BrokenProcessPool`` from the pool's management thread — each
+        relay still puts one triple per task, off the coordinator
+        thread, so the drain that follows always completes.
+        """
+        dropped = len(self._buffer)
+        self._buffer.clear()
+        processes = getattr(self._pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.terminate()
+        return dropped
 
     def __call__(self, task) -> None:
         if _stage(task) == 0:
@@ -479,6 +528,7 @@ class AsyncScanExecutor(_PooledScanExecutor):
 
     def _pool(self, grab, results_q):
         import asyncio
+        import concurrent.futures as futures_mod
         import inspect
 
         parent = self
@@ -493,27 +543,91 @@ class AsyncScanExecutor(_PooledScanExecutor):
                 )
                 self_inner.thread.start()
                 semaphore = asyncio.Semaphore(parent.workers)
+                futures: list = []
+                guard = threading.Lock()
+                aborted = [False]
 
-                async def worker(task) -> None:
-                    async with semaphore:
-                        try:
-                            record = grab(task)
-                            if inspect.isawaitable(record):
-                                record = await record
-                            payload = (task, record, None)
-                        except BaseException as exc:
-                            payload = (task, None, exc)
+                async def worker(task, put_once) -> None:
+                    if aborted[0]:
+                        # Interrupted: scheduled-but-unstarted
+                        # coroutines run their first step regardless
+                        # of future cancellation, so the body itself
+                        # must refuse to grab — settling its queue put
+                        # with a cancellation triple instead.
+                        put_once((task, None, futures_mod.CancelledError()))
+                        return
+                    try:
+                        async with semaphore:
+                            try:
+                                record = grab(task)
+                                if inspect.isawaitable(record):
+                                    record = await record
+                                payload = (task, record, None)
+                            except BaseException as exc:
+                                payload = (task, None, exc)
+                    except BaseException as exc:
+                        # Cancelled while waiting at the semaphore:
+                        # the grab never ran, but the task still owes
+                        # its queue put before the cancellation
+                        # propagates.
+                        put_once((task, None, exc))
+                        raise
                     # queue.Queue is thread-safe, so putting from the
                     # loop thread is fine.  A full queue blocks the
                     # loop — acceptable backpressure: the coordinator
                     # is always draining, so the put always completes.
-                    results_q.put(payload)
+                    put_once(payload)
 
                 def submit(task) -> None:
-                    asyncio.run_coroutine_threadsafe(
-                        worker(task), self_inner.loop
+                    fired = [False]
+
+                    def put_once(payload) -> None:
+                        # One queue put per task, exactly — the done
+                        # callback below and the worker body can both
+                        # reach here when a cancellation lands mid-grab.
+                        with guard:
+                            if fired[0]:
+                                return
+                            fired[0] = True
+                        results_q.put(payload)
+
+                    future = asyncio.run_coroutine_threadsafe(
+                        worker(task, put_once), self_inner.loop
                     )
 
+                    def on_done(fut, task=task, put_once=put_once):
+                        if fut.cancelled():
+                            # Cancelled before the coroutine ever ran:
+                            # no worker body exists to put, so settle
+                            # the task's debt here.
+                            put_once(
+                                (task, None, futures_mod.CancelledError())
+                            )
+
+                    future.add_done_callback(on_done)
+                    futures.append(future)
+
+                def abort() -> int:
+                    # The flag stops every body that has not started;
+                    # cancellation (scheduled on the loop thread, so
+                    # every resulting queue put — done callbacks
+                    # included — happens off the coordinator thread,
+                    # which is about to drain the queue) interrupts
+                    # the ones parked at the semaphore or mid-await.
+                    # Every task still delivers exactly one put, hence
+                    # the 0: the coordinator's pending count is
+                    # already right.
+                    aborted[0] = True
+
+                    def cancel_all(pending=list(futures)):
+                        for future in pending:
+                            future.cancel()
+
+                    futures.clear()
+                    self_inner.loop.call_soon_threadsafe(cancel_all)
+                    return 0
+
+                submit.abort = abort
                 return submit
 
             def __exit__(self_inner, *exc_info):

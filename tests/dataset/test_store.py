@@ -254,3 +254,95 @@ class TestCorpusStore:
         store = StudyStore(tmp_path / "store")
         with pytest.raises(KeyError):
             store.load_corpus("0" * 64)
+
+
+class TestAtomicPublish:
+    """Crash-safety of re-saves: an interrupted write must leave the
+    entry *absent* (re-runnable), never stale-but-valid-looking.
+
+    Regression guard for the pre-sharding bug: ``save`` used to write
+    the snapshot stream directly over an existing entry's file, so a
+    crash mid-write left half-new bytes underneath the *old* ``meta``
+    — a poisoned entry that failed with ``StoreIntegrityError``
+    forever instead of being rescanned.
+    """
+
+    def test_crashed_resave_reads_as_absent(
+        self, tmp_path, serial_tiny_result, monkeypatch
+    ):
+        import repro.dataset.store as store_module
+
+        store = StudyStore(tmp_path / "store")
+        config, spec = serial_tiny_result.config, serial_tiny_result.spec
+        store.save(config, spec, serial_tiny_result.snapshots)
+        assert store.load(config, spec) is not None
+
+        def crash_mid_write(path, snapshots):
+            path.write_bytes(b"\x1f\x8b half a gzip stream")
+            raise RuntimeError("simulated crash mid-write")
+
+        monkeypatch.setattr(store_module, "write_snapshots", crash_mid_write)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            store.save(config, spec, serial_tiny_result.snapshots)
+
+        # The half-written re-save must read as "not stored" — the
+        # meta that marks an entry complete is gone before any byte of
+        # snapshot data moves — so the study simply re-runs.
+        assert store.load(config, spec) is None
+
+        monkeypatch.undo()
+        store.save(config, spec, serial_tiny_result.snapshots)
+        assert study_digests(serial_tiny_result) == sweep_digests(
+            store.load(config, spec)
+        )
+
+    def test_snapshots_never_written_in_place(
+        self, tmp_path, serial_tiny_result, monkeypatch
+    ):
+        """The stream lands under a temp name and is renamed into
+        place — the published path is never open for writing."""
+        import repro.dataset.store as store_module
+
+        seen_paths = []
+        real_write = store_module.write_snapshots
+
+        def spy(path, snapshots):
+            seen_paths.append(path.name)
+            return real_write(path, snapshots)
+
+        monkeypatch.setattr(store_module, "write_snapshots", spy)
+        store = StudyStore(tmp_path / "store")
+        store.save(
+            serial_tiny_result.config,
+            serial_tiny_result.spec,
+            serial_tiny_result.snapshots,
+        )
+        assert seen_paths == [".tmp." + SNAPSHOT_FILE]
+        # The temp name keeps the .gz suffix: the writer picks its
+        # codec from the suffix, and a plain-text temp file silently
+        # renamed to .gz would poison every later load.
+        assert seen_paths[0].endswith(".gz")
+
+    def test_crashed_corpus_save_reads_as_absent(self, tmp_path, monkeypatch):
+        from repro.transport import capture as capture_module
+        from repro.transport.capture import CaptureCorpus, TargetCapture
+
+        target = TargetCapture(address=167772161, port=4840)
+        target.events = [{"event": "host", "asn": None, "known": False}]
+        corpus = CaptureCorpus(meta={"label": "x"}, targets=[target])
+
+        store = StudyStore(tmp_path / "store")
+
+        def crash_mid_write(path, corpus):
+            path.write_bytes(b"\x1f\x8b half a gzip stream")
+            raise RuntimeError("simulated crash mid-write")
+
+        monkeypatch.setattr(capture_module, "write_corpus", crash_mid_write)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            store.save_corpus(corpus)
+        assert store.corpus_keys() == []
+
+        monkeypatch.undo()
+        key = store.save_corpus(corpus)
+        assert store.corpus_keys() == [key]
+        assert store.load_corpus(key).meta == corpus.meta

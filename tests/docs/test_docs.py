@@ -37,6 +37,7 @@ DOCTEST_MODULES = (
     "repro.transport.capture",
     "repro.transport.replay",
     "repro.scanner.campaign",
+    "repro.scanner.shard",
     "repro.crypto.cache",
     "repro.util.profiling",
 )

@@ -1,0 +1,117 @@
+"""Crash-injection e2e: SIGKILL a sharded campaign, resume, compare.
+
+The PR's headline acceptance test.  A subprocess runs the tiny study
+as three shards into a temp store; the parent waits for the first
+shard's checkpoint to publish, kills the child with SIGKILL (no
+cleanup handlers, exactly like the OOM killer or a pulled plug), then
+resumes in-process.  The resumed study must
+
+* reproduce the committed golden digests byte-for-byte,
+* reuse the surviving checkpoint (its snapshot file's mtime does not
+  change — resume never rewrites a valid shard), and
+* publish the ordinary store entry plus a merge manifest naming all
+  three shard digests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.golden import (
+    study_digests,
+    tiny_spec,
+    tiny_study_config,
+)
+from repro.core.study import StudyResult
+from repro.dataset.store import SNAPSHOT_FILE, StudyStore, study_key
+from repro.scanner.shard import run_sharded_study
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DIGEST_PATH = REPO_ROOT / "tests" / "golden" / "tiny_study.digest.json"
+SHARDS = 3
+
+CHILD_SCRIPT = """
+import sys
+from repro.core.golden import tiny_spec, tiny_study_config
+from repro.dataset.store import StudyStore
+from repro.scanner.shard import run_sharded_study
+
+run_sharded_study(
+    tiny_study_config(),
+    {shards},
+    spec=tiny_spec(),
+    store=StudyStore(sys.argv[1]),
+)
+"""
+
+
+def test_kill_mid_campaign_then_resume_matches_golden(tmp_path):
+    store_root = tmp_path / "store"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.setdefault("REPRO_KEYCACHE", str(REPO_ROOT / ".keycache"))
+
+    child = subprocess.Popen(
+        [sys.executable, "-c", CHILD_SCRIPT.format(shards=SHARDS),
+         str(store_root)],
+        env=env,
+    )
+
+    config, spec = tiny_study_config(), tiny_spec()
+    key = study_key(config, spec)
+    store = StudyStore(store_root)
+    first_meta = store.shard_dir(key, 0, SHARDS) / "meta.json"
+
+    # Wait for the first shard's checkpoint to publish, then kill the
+    # campaign the hard way.  The two remaining shards take seconds,
+    # so the window is wide; the deadline only guards a hung child.
+    deadline = time.monotonic() + 120
+    while not first_meta.exists():
+        if child.poll() is not None:
+            pytest.fail(
+                f"campaign exited (rc={child.returncode}) before "
+                "publishing its first shard checkpoint"
+            )
+        if time.monotonic() > deadline:
+            child.kill()
+            child.wait()
+            pytest.fail("no shard checkpoint appeared within 120s")
+        time.sleep(0.005)
+    child.send_signal(signal.SIGKILL)
+    assert child.wait(timeout=60) == -signal.SIGKILL
+
+    # The kill left shard 0 committed and the merged entry unpublished.
+    assert store.load_shard(config, spec, 0, SHARDS) is not None
+    assert store.load(config, spec) is None
+
+    checkpoint_file = store.shard_dir(key, 0, SHARDS) / SNAPSHOT_FILE
+    mtime_before = checkpoint_file.stat().st_mtime_ns
+
+    result = run_sharded_study(
+        config, SHARDS, spec=spec, store=store, resume=True
+    )
+
+    committed = json.loads(DIGEST_PATH.read_text())
+    assert study_digests(result) == committed["per_sweep"]
+
+    # Resume reused the surviving checkpoint instead of rescanning it.
+    assert checkpoint_file.stat().st_mtime_ns == mtime_before
+
+    # The canonical entry is published and loads like any other study.
+    stored = store.load(config, spec)
+    assert study_digests(
+        StudyResult(config=config, spec=spec, snapshots=stored)
+    ) == committed["per_sweep"]
+
+    manifest = store.read_merge_manifest(key)
+    assert manifest["shard_count"] == SHARDS
+    assert len({entry["digest"] for entry in manifest["shards"]}) == SHARDS
+    assert manifest["merged_digest"] == committed["digest"]

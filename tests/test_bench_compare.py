@@ -1,0 +1,133 @@
+"""benchmarks/compare.py: the regression gate must not rot silently.
+
+Regression guard for the CI bug this PR fixes: a section or backend
+present in the baseline but *missing* from the current report used to
+be skipped, so deleting a benchmark (or a typo in its metrics key)
+made the gate pass vacuously forever.  Missing now counts as a
+regression.
+
+``benchmarks/`` is not a package, so the module is loaded straight
+from its file path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+COMPARE_PATH = (
+    Path(__file__).resolve().parents[1] / "benchmarks" / "compare.py"
+)
+
+
+@pytest.fixture(scope="module")
+def compare_module():
+    spec = importlib.util.spec_from_file_location("bench_compare", COMPARE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+BASELINE = {
+    "grab_throughput": {"serialx1": 100.0, "processx4": 300.0},
+    "probe_throughput": {"serialx1": 5000.0},
+}
+
+
+class TestCompare:
+    def test_no_change_no_regressions(self, compare_module):
+        assert compare_module.compare(BASELINE, BASELINE, 0.15) == []
+
+    def test_slowdown_past_threshold_flagged(self, compare_module):
+        current = {
+            "grab_throughput": {"serialx1": 50.0, "processx4": 300.0},
+            "probe_throughput": {"serialx1": 5000.0},
+        }
+        (message,) = compare_module.compare(current, BASELINE, 0.15)
+        assert "grab_throughput/serialx1" in message
+        assert "regressed" in message
+
+    def test_missing_backend_is_a_regression(self, compare_module):
+        current = {
+            "grab_throughput": {"serialx1": 100.0},  # processx4 gone
+            "probe_throughput": {"serialx1": 5000.0},
+        }
+        (message,) = compare_module.compare(current, BASELINE, 0.15)
+        assert "grab_throughput/processx4" in message
+        assert "missing" in message
+
+    def test_missing_section_is_a_regression(self, compare_module):
+        current = {"grab_throughput": {"serialx1": 100.0, "processx4": 300.0}}
+        (message,) = compare_module.compare(current, BASELINE, 0.15)
+        assert "probe_throughput/serialx1" in message
+        assert "missing" in message
+
+    def test_faster_is_not_a_regression(self, compare_module):
+        current = {
+            "grab_throughput": {"serialx1": 400.0, "processx4": 900.0},
+            "probe_throughput": {"serialx1": 9000.0},
+        }
+        assert compare_module.compare(current, BASELINE, 0.15) == []
+
+
+class TestMainExitCodes:
+    def _write(self, path: Path, payload: dict) -> Path:
+        path.write_text(json.dumps(payload))
+        return path
+
+    RATE_KEYS = {
+        "grab_throughput": "hosts_per_second",
+        "probe_throughput": "addresses_per_second",
+        "sharded_throughput": "hosts_per_second",
+    }
+
+    def _report(self, tmp_path: Path, rates: dict) -> Path:
+        # A real report nests rates under the section's rate key.
+        payload = {
+            section: {self.RATE_KEYS[section]: per_backend}
+            for section, per_backend in rates.items()
+        }
+        return self._write(tmp_path / "report.json", payload)
+
+    def test_missing_backend_fails_strict_run(self, tmp_path, compare_module):
+        report = self._report(
+            tmp_path, {"grab_throughput": {"serialx1": 100.0}}
+        )
+        baseline = self._write(
+            tmp_path / "baseline.json",
+            {"grab_throughput": {"serialx1": 100.0, "processx4": 300.0}},
+        )
+        assert compare_module.main(
+            ["--report", str(report), "--baseline", str(baseline)]
+        ) == 0  # tripwire mode still warns only
+        assert compare_module.main(
+            [
+                "--report", str(report),
+                "--baseline", str(baseline),
+                "--fail-on-regression",
+            ]
+        ) == 1
+
+    def test_sharded_section_is_gated(self, tmp_path, compare_module):
+        """The new sharded_throughput section participates in the gate
+        like the two original sections."""
+        report = self._report(
+            tmp_path, {"grab_throughput": {"serialx1": 100.0}}
+        )
+        baseline = self._write(
+            tmp_path / "baseline.json",
+            {
+                "grab_throughput": {"serialx1": 100.0},
+                "sharded_throughput": {"serialx1": 80.0},
+            },
+        )
+        assert compare_module.main(
+            [
+                "--report", str(report),
+                "--baseline", str(baseline),
+                "--fail-on-regression",
+            ]
+        ) == 1

@@ -408,3 +408,50 @@ class TestScanCommand:
                     "--key-bits", "512", "--rate", "0",
                 ]
             )
+
+
+class TestShardFlags:
+    """`repro study --shards N [--shard I] [--resume]` parsing + guards.
+
+    The scan paths themselves are covered by tests/scanner/test_shard*
+    against the tiny study; here we pin the flag surface and the error
+    messages an operator hits before any scanning starts.
+    """
+
+    def test_defaults_are_unsharded(self):
+        args = build_parser().parse_args(["study"])
+        assert args.shards is None
+        assert args.shard is None
+        assert not args.resume
+
+    def test_shard_flags_parse(self):
+        args = build_parser().parse_args(
+            ["study", "--shards", "3", "--shard", "1", "--resume",
+             "--store", "/tmp/s"]
+        )
+        assert (args.shards, args.shard, args.resume) == (3, 1, True)
+
+    def test_shard_requires_shards(self):
+        with pytest.raises(SystemExit, match="--shard requires --shards"):
+            main(["study", "--shard", "0", "--no-store"])
+
+    def test_resume_requires_shards(self):
+        with pytest.raises(SystemExit, match="pass --shards"):
+            main(["study", "--resume", "--no-store"])
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(SystemExit, match="--shards must be >= 1"):
+            main(["study", "--shards", "0", "--no-store"])
+
+    def test_shard_index_bounds(self, tmp_path):
+        with pytest.raises(SystemExit, match=r"--shard must be in \[0, 2\)"):
+            main(["study", "--shards", "2", "--shard", "5",
+                  "--store", str(tmp_path)])
+
+    def test_single_shard_requires_store(self):
+        with pytest.raises(SystemExit, match="checkpoint store"):
+            main(["study", "--shards", "2", "--shard", "0", "--no-store"])
+
+    def test_resume_requires_store(self):
+        with pytest.raises(SystemExit, match="checkpoint store"):
+            main(["study", "--shards", "2", "--resume", "--no-store"])
