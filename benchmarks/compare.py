@@ -9,9 +9,11 @@ Usage::
 
 Compares the headline throughput sections of a bench report —
 ``grab_throughput`` (hosts/second through the full grab pipeline),
-``probe_throughput`` (addresses/second through the SYN stage), and
-``sharded_throughput`` (hosts/second through a sharded sweep + merge)
-— per executor backend against ``BENCH_baseline.json``.  A backend
+``probe_throughput`` (addresses/second through the SYN stage),
+``sharded_throughput`` (hosts/second through a sharded sweep + merge),
+and ``diff_throughput`` (records/second through the streaming catalog
+fold behind ``repro diff``) — per executor backend against
+``BENCH_baseline.json``.  A backend
 running more than ``--threshold`` (default 15 %) slower than baseline
 prints a GitHub ``::warning::`` annotation, and a section or backend
 present in the baseline but *absent* from the report counts as a
@@ -40,11 +42,17 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_REPORT = REPO_ROOT / "BENCH_sweep.json"
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_baseline.json"
 
-SECTIONS = ("grab_throughput", "probe_throughput", "sharded_throughput")
+SECTIONS = (
+    "grab_throughput",
+    "probe_throughput",
+    "sharded_throughput",
+    "diff_throughput",
+)
 RATE_KEYS = {
     "grab_throughput": "hosts_per_second",
     "probe_throughput": "addresses_per_second",
     "sharded_throughput": "hosts_per_second",
+    "diff_throughput": "records_per_second",
 }
 
 

@@ -132,11 +132,12 @@ def main(argv: list[str] | None = None) -> int:
             sweep = None
 
     # Headline throughput metrics per backend: grab (full pipeline,
-    # hosts/second), probe (SYN stage alone, addresses/second), and
-    # sharded (partitioned sweep + deterministic merge, hosts/second),
-    # plus whether any parallel backend beat serial on this machine
-    # (expected false on 1-2 core runners).  benchmarks/compare.py
-    # diffs exactly these sections against BENCH_baseline.json.
+    # hosts/second), probe (SYN stage alone, addresses/second), sharded
+    # (partitioned sweep + deterministic merge, hosts/second), and diff
+    # (streaming catalog fold, records/second), plus whether any
+    # parallel backend beat serial on this machine (expected false on
+    # 1-2 core runners).  benchmarks/compare.py diffs exactly these
+    # sections against BENCH_baseline.json.
     grab_throughput = _throughput_section(
         sweep, "backends", "hosts_per_second"
     )
@@ -145,6 +146,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     sharded_throughput = _throughput_section(
         sweep, "sharded", "hosts_per_second"
+    )
+    diff_throughput = _throughput_section(
+        sweep, "diff", "records_per_second"
     )
 
     payload = {
@@ -157,6 +161,7 @@ def main(argv: list[str] | None = None) -> int:
         "grab_throughput": grab_throughput,
         "probe_throughput": probe_throughput,
         "sharded_throughput": sharded_throughput,
+        "diff_throughput": diff_throughput,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output} ({len(recorder.results)} benchmark timings)")

@@ -20,6 +20,17 @@ from repro.analysis.reuse import analyze_certificate_reuse
 from repro.scanner.records import HostRecord
 from repro.secure.policies import SECURE_POLICIES
 
+#: The paper's deficit classes in presentation order — the exact flag
+#: strings :func:`host_deficits` emits; each maps to the
+#: :class:`DeficitSummary` counter field with ``-`` replaced by ``_``.
+DEFICIT_CLASSES = (
+    "none-only",
+    "deprecated-best",
+    "weak-certificate",
+    "certificate-reuse",
+    "anonymous-access",
+)
+
 
 @dataclass
 class DeficitSummary:

@@ -1,0 +1,334 @@
+"""Diff two stored studies: churn, policy deltas, deficit deltas.
+
+The paper is a *longitudinal* measurement — its headline results come
+from comparing OPC UA deployment security configurations across dated
+sweeps (§5.5, Figure 2).  This module is that comparison as a library:
+fold each study's snapshot stream into a compact
+:class:`StudySummary` (streaming — million-record studies never fully
+materialize), then :func:`diff_summaries` the two folds into a
+canonical, digest-pinned :class:`StudyDiff`:
+
+* deployments **appearing**, **disappearing**, or **changing**
+  security configuration between the two studies' final sweeps;
+* certificate **renewals** on stable endpoints, reusing the
+  :class:`~repro.analysis.longitudinal.RenewalObservation` churn
+  logic (hash upgrades/downgrades, coinciding software updates);
+* per-**policy** and per-**deficit** deltas.
+
+Everything here is a pure function of the snapshot bytes, so two
+summaries folded on different executor backends — or different
+machines — diff to byte-identical JSON, pinned by
+:meth:`StudyDiff.digest`.
+
+    >>> from repro.scanner.records import HostRecord, MeasurementSnapshot
+    >>> def sweep(date, ips):
+    ...     return MeasurementSnapshot(date=date, records=[
+    ...         HostRecord(ip=ip, port=4840, asn=None, timestamp=date,
+    ...                    tcp_open=True, is_opcua=True)
+    ...         for ip in ips])
+    >>> a = summarize_stream([sweep("2020-07-06", [1, 2])], label="a")
+    >>> b = summarize_stream([sweep("2020-08-30", [2, 3])], label="b")
+    >>> d = diff_summaries(a, b)
+    >>> [s.endpoint for s in d.appeared], [s.endpoint for s in d.disappeared]
+    (['0.0.0.3:4840'], ['0.0.0.1:4840'])
+    >>> diff_summaries(a, a).is_empty()
+    True
+    >>> r = diff_summaries(b, a)
+    >>> [s.endpoint for s in r.appeared] == [s.endpoint for s in d.disappeared]
+    True
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.deficits import DEFICIT_CLASSES, analyze_deficits
+from repro.analysis.longitudinal import RenewalObservation
+from repro.analysis.policies import analyze_security_policies
+from repro.scanner.records import HostRecord, MeasurementSnapshot
+from repro.util.ipaddr import format_ipv4
+
+
+@dataclass(frozen=True)
+class HostState:
+    """The security configuration of one deployment, compactly.
+
+    Everything the diff compares — and nothing else, so a summary of a
+    million-record study is a few dozen bytes per endpoint.  Fields
+    mirror what the paper tracks across sweeps: announced policies and
+    modes, the served certificate (thumbprint + signature hash), the
+    applying deficit classes, and anonymous accessibility.
+    """
+
+    endpoint: str
+    ip: int
+    port: int
+    policies: tuple[str, ...]
+    modes: tuple[int, ...]
+    certificate_thumbprint: str | None
+    certificate_hash: str | None
+    software_version: str | None
+    deficits: tuple[str, ...]
+    anonymous_accessible: bool
+
+    @classmethod
+    def from_record(
+        cls, record: HostRecord, flags: Iterable[str]
+    ) -> "HostState":
+        certificate = record.certificate
+        return cls(
+            endpoint=f"{format_ipv4(record.ip)}:{record.port}",
+            ip=record.ip,
+            port=record.port,
+            policies=tuple(sorted(record.security_policy_uris())),
+            modes=tuple(sorted(e.security_mode for e in record.endpoints)),
+            certificate_thumbprint=(
+                certificate.thumbprint_hex if certificate else None
+            ),
+            certificate_hash=(
+                certificate.signature_hash if certificate else None
+            ),
+            software_version=record.software_version,
+            deficits=tuple(sorted(flags)),
+            anonymous_accessible=record.anonymous_accessible(),
+        )
+
+    def changed_fields(self, other: "HostState") -> tuple[str, ...]:
+        """Field names whose values differ, in canonical field order."""
+        return tuple(
+            name
+            for name in _COMPARED_FIELDS
+            if getattr(self, name) != getattr(other, name)
+        )
+
+
+#: HostState fields the diff compares (endpoint/ip/port identify the
+#: deployment, so they are excluded by construction).
+_COMPARED_FIELDS = (
+    "policies",
+    "modes",
+    "certificate_thumbprint",
+    "certificate_hash",
+    "software_version",
+    "deficits",
+    "anonymous_accessible",
+)
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Per-sweep aggregates, computed incrementally during the fold."""
+
+    date: str
+    total_reachable: int
+    servers: int
+    deficient: int
+    policy_support: dict[str, int]
+    deficit_counts: dict[str, int]
+
+
+@dataclass
+class StudySummary:
+    """One study folded to its longitudinal essentials.
+
+    Produced by :func:`summarize_stream` one snapshot at a time: the
+    per-sweep aggregates accumulate, and ``final_hosts`` always holds
+    the *latest* sweep's :class:`HostState` map — when the stream is
+    exhausted it is, by construction, the final sweep's.  Peak memory
+    is therefore bounded by one decoded snapshot plus the compact
+    state map, never the whole study.
+    """
+
+    label: str = ""
+    sweeps: list[SweepStats] = field(default_factory=list)
+    final_hosts: dict[str, HostState] = field(default_factory=dict)
+    records_total: int = 0
+
+    @property
+    def final_date(self) -> str:
+        return self.sweeps[-1].date if self.sweeps else ""
+
+    @property
+    def final_stats(self) -> SweepStats | None:
+        return self.sweeps[-1] if self.sweeps else None
+
+    def fold(self, snapshot: MeasurementSnapshot) -> None:
+        """Absorb one sweep; replaces the previous final-host map."""
+        servers = snapshot.servers()
+        deficits = analyze_deficits(servers)
+        policies = analyze_security_policies(servers)
+        self.sweeps.append(
+            SweepStats(
+                date=snapshot.date,
+                total_reachable=len(snapshot.reachable()),
+                servers=len(servers),
+                deficient=deficits.deficient,
+                policy_support=dict(policies.supported),
+                deficit_counts={
+                    name: getattr(deficits, name.replace("-", "_"))
+                    for name in DEFICIT_CLASSES
+                },
+            )
+        )
+        self.final_hosts = {
+            f"{record.ip}:{record.port}": HostState.from_record(record, flags)
+            for record, flags in zip(servers, deficits.per_host_flags)
+        }
+        self.records_total += len(snapshot.records)
+
+
+def summarize_stream(
+    snapshots: Iterable[MeasurementSnapshot], *, label: str = ""
+) -> StudySummary:
+    """Fold a snapshot stream into a :class:`StudySummary`.
+
+    Accepts any iterable — in particular the digest-validating
+    streaming reader
+    :meth:`repro.dataset.store.StudyStore.iter_validated` — and never
+    holds more than one snapshot at a time.
+    """
+    summary = StudySummary(label=label)
+    for snapshot in snapshots:
+        summary.fold(snapshot)
+    return summary
+
+
+@dataclass(frozen=True)
+class DeploymentChange:
+    """One endpoint whose security configuration changed."""
+
+    endpoint: str
+    before: HostState
+    after: HostState
+    fields: tuple[str, ...]
+
+
+@dataclass
+class StudyDiff:
+    """The canonical comparison of two studies' security configurations.
+
+    ``appeared``/``disappeared``/``changed`` are sorted by
+    ``(ip, port)``; the delta dicts map every label to ``b - a``
+    (zeros included, so the JSON shape is independent of the data).
+    :meth:`digest` pins the canonical JSON — the cross-backend
+    equivalence check ``repro diff`` and the benchmarks assert.
+    """
+
+    label_a: str
+    label_b: str
+    date_a: str
+    date_b: str
+    servers_a: int
+    servers_b: int
+    appeared: list[HostState] = field(default_factory=list)
+    disappeared: list[HostState] = field(default_factory=list)
+    changed: list[DeploymentChange] = field(default_factory=list)
+    renewals: list[RenewalObservation] = field(default_factory=list)
+    policy_delta: dict[str, int] = field(default_factory=dict)
+    deficit_delta: dict[str, int] = field(default_factory=dict)
+    deficient_delta: int = 0
+
+    def is_empty(self) -> bool:
+        """True when the two studies are longitudinally identical."""
+        return (
+            not self.appeared
+            and not self.disappeared
+            and not self.changed
+            and not any(self.policy_delta.values())
+            and not any(self.deficit_delta.values())
+            and self.deficient_delta == 0
+        )
+
+    def to_json_dict(self) -> dict:
+        from repro.analysis.pipeline import jsonify
+
+        return jsonify(self)
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON — byte-identical for the
+        same two studies on every executor backend."""
+        from repro.core.golden import canonical_json
+
+        material = canonical_json(self.to_json_dict())
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def diff_summaries(a: StudySummary, b: StudySummary) -> StudyDiff:
+    """Compare two folded studies; canonical and involutive.
+
+    ``diff_summaries(a, b)`` is the exact inverse of
+    ``diff_summaries(b, a)``: appeared/disappeared swap, every change
+    swaps before/after, and every delta negates.  ``diff(a, a)``
+    satisfies :meth:`StudyDiff.is_empty`.
+    """
+    stats_a, stats_b = a.final_stats, b.final_stats
+    diff = StudyDiff(
+        label_a=a.label,
+        label_b=b.label,
+        date_a=a.final_date,
+        date_b=b.final_date,
+        servers_a=stats_a.servers if stats_a else 0,
+        servers_b=stats_b.servers if stats_b else 0,
+    )
+    keys_a, keys_b = set(a.final_hosts), set(b.final_hosts)
+
+    def ordered(keys: set, hosts: dict) -> list[HostState]:
+        states = [hosts[key] for key in keys]
+        return sorted(states, key=lambda s: (s.ip, s.port))
+
+    diff.appeared = ordered(keys_b - keys_a, b.final_hosts)
+    diff.disappeared = ordered(keys_a - keys_b, a.final_hosts)
+    for key in sorted(
+        keys_a & keys_b, key=lambda k: (a.final_hosts[k].ip, a.final_hosts[k].port)
+    ):
+        before, after = a.final_hosts[key], b.final_hosts[key]
+        fields_changed = before.changed_fields(after)
+        if not fields_changed:
+            continue
+        diff.changed.append(
+            DeploymentChange(
+                endpoint=before.endpoint,
+                before=before,
+                after=after,
+                fields=fields_changed,
+            )
+        )
+        # The longitudinal churn rule (§5.5): a certificate change on
+        # a stable endpoint is a renewal; record the hash transition
+        # and whether a software update coincided.
+        if (
+            before.certificate_thumbprint is not None
+            and after.certificate_thumbprint is not None
+            and before.certificate_thumbprint != after.certificate_thumbprint
+        ):
+            diff.renewals.append(
+                RenewalObservation(
+                    ip=after.ip,
+                    port=after.port,
+                    sweep_date=b.final_date,
+                    old_hash=before.certificate_hash,
+                    new_hash=after.certificate_hash,
+                    software_updated=(
+                        before.software_version is not None
+                        and after.software_version is not None
+                        and before.software_version != after.software_version
+                    ),
+                )
+            )
+
+    def delta(field_name: str) -> dict[str, int]:
+        counts_a = getattr(stats_a, field_name, None) or {}
+        counts_b = getattr(stats_b, field_name, None) or {}
+        return {
+            label: counts_b.get(label, 0) - counts_a.get(label, 0)
+            for label in sorted(set(counts_a) | set(counts_b))
+        }
+
+    diff.policy_delta = delta("policy_support")
+    diff.deficit_delta = delta("deficit_counts")
+    diff.deficient_delta = (stats_b.deficient if stats_b else 0) - (
+        stats_a.deficient if stats_a else 0
+    )
+    return diff

@@ -1,0 +1,77 @@
+"""``repro analyze``: the analysis registry from a stored study."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli.options import add_seed, executor_from_args, require_store
+
+# Mirrors repro.analysis.pipeline.ANALYSIS_NAMES (pinned by a CLI
+# test) so building the parser never imports the analysis stack.
+ANALYZE_CHOICES = (
+    "modes", "policies", "certs", "reuse", "access",
+    "rights", "deficits", "breakdown", "longitudinal", "ipv6",
+)
+
+
+def register(commands) -> None:
+    analyze = commands.add_parser(
+        "analyze",
+        help="run the analysis registry from a stored study (no scan)",
+    )
+    add_seed(analyze)
+    analyze.add_argument(
+        "--analysis",
+        action="append",
+        choices=ANALYZE_CHOICES,
+        metavar="NAME",
+        help=(
+            "run only this analysis (repeatable; default: all of "
+            + ", ".join(ANALYZE_CHOICES)
+            + ")"
+        ),
+    )
+    analyze.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the canonical JSON report to PATH",
+    )
+    analyze.set_defaults(handler=cmd_analyze)
+
+
+def cmd_analyze(args) -> int:
+    """Analyses from a persisted store — never scans."""
+    from repro.analysis.pipeline import run_analyses
+    from repro.core.study import StudyConfig
+    from repro.deployments.spec import build_default_spec
+    from repro.reporting.summary import render_analysis_report
+
+    store = require_store(args, "analyze needs a study store")
+    config = StudyConfig(seed=args.seed)
+    spec = build_default_spec()
+    snapshots = store.load(config, spec)
+    if snapshots is None:
+        raise SystemExit(
+            f"repro: error: no stored study for seed {args.seed} under "
+            f"{store.root}; build one with "
+            f"`repro study --store {store.root} --scan-only`"
+        )
+    executor, workers = executor_from_args(args)
+    report = run_analyses(
+        snapshots,
+        spec,
+        seed=args.seed,
+        executor=executor,
+        workers=workers,
+        names=tuple(args.analysis) if args.analysis else None,
+    )
+    print(render_analysis_report(report))
+    if args.json:
+        payload = report.to_json_dict()
+        payload["digest"] = report.digest()
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0

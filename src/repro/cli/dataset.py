@@ -1,0 +1,29 @@
+"""``repro dataset``: the anonymized dataset release (Appendix A.1)."""
+
+from __future__ import annotations
+
+from repro.cli.options import add_seed, study_result
+
+
+def register(commands) -> None:
+    dataset = commands.add_parser(
+        "dataset", help="write the anonymized dataset release"
+    )
+    dataset.add_argument("path", help="output JSONL path")
+    add_seed(dataset)
+    dataset.set_defaults(handler=cmd_dataset)
+
+
+def cmd_dataset(args) -> int:
+    from repro.dataset import AnonymizationMap, anonymize_snapshot
+    from repro.dataset.io import write_snapshots
+
+    result = study_result(args)
+    mapping = AnonymizationMap()
+    released = [
+        anonymize_snapshot(snapshot, mapping) for snapshot in result.snapshots
+    ]
+    write_snapshots(args.path, released)
+    records = sum(len(s.records) for s in released)
+    print(f"wrote {len(released)} snapshots / {records} records to {args.path}")
+    return 0

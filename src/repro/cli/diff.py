@@ -1,0 +1,55 @@
+"""``repro diff``: longitudinal comparison of two stored studies."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli.options import (
+    add_executor,
+    add_store,
+    executor_from_args,
+    require_catalog,
+)
+
+
+def register(commands) -> None:
+    diff = commands.add_parser(
+        "diff",
+        help=(
+            "compare two stored studies: deployment churn, policy and "
+            "deficit deltas (streaming; never materializes a study)"
+        ),
+    )
+    diff.add_argument("key_a", help="store key of the earlier study")
+    diff.add_argument("key_b", help="store key of the later study")
+    add_executor(diff)
+    add_store(diff)
+    diff.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the canonical StudyDiff JSON to PATH",
+    )
+    diff.set_defaults(handler=cmd_diff)
+
+
+def cmd_diff(args) -> int:
+    from repro.reporting.summary import render_study_diff
+
+    catalog = require_catalog(args, "diff reads two stored studies")
+    executor, workers = executor_from_args(args)
+    try:
+        result = catalog.diff(
+            args.key_a, args.key_b, executor=executor, workers=workers
+        )
+    except KeyError as exc:
+        raise SystemExit(f"repro: error: {exc.args[0]}")
+    print(render_study_diff(result))
+    if args.json:
+        payload = result.to_json_dict()
+        payload["digest"] = result.digest()
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0

@@ -1,0 +1,32 @@
+"""``repro experiment`` / ``repro list``: paper artifacts one by one."""
+
+from __future__ import annotations
+
+from repro.cli.options import add_seed, study_result
+from repro.core.experiments import EXPERIMENTS, run_experiment
+
+
+def register(commands) -> None:
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one table/figure"
+    )
+    experiment.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
+    add_seed(experiment)
+    experiment.set_defaults(handler=cmd_experiment)
+
+    lister = commands.add_parser("list", help="list known experiments")
+    lister.set_defaults(handler=cmd_list)
+
+
+def cmd_experiment(args) -> int:
+    result = study_result(args)
+    report = run_experiment(args.experiment_id, result)
+    print(report.render())
+    return 0
+
+
+def cmd_list(args) -> int:
+    for experiment_id, function in EXPERIMENTS.items():
+        summary = (function.__doc__ or "").strip().splitlines()[0]
+        print(f"{experiment_id:<12} {summary}")
+    return 0

@@ -1,0 +1,79 @@
+"""``repro pack``: export a sealed, DOI-ready study bundle."""
+
+from __future__ import annotations
+
+from repro.cli.options import (
+    add_executor,
+    add_store,
+    executor_from_args,
+    require_catalog,
+)
+
+
+def register(commands) -> None:
+    pack = commands.add_parser(
+        "pack",
+        help=(
+            "export one stored study as a self-verifying bundle "
+            "(analysis JSON, tables, environment, reproduce script, "
+            "sealed sha256 manifest)"
+        ),
+    )
+    pack.add_argument("key", help="store key of the study to export")
+    pack.add_argument(
+        "--out",
+        metavar="DIR",
+        required=True,
+        help="bundle output directory (created if missing)",
+    )
+    pack.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "verify an existing bundle at --out instead of writing "
+            "one (re-checks the manifest seal and every artifact hash)"
+        ),
+    )
+    add_executor(pack)
+    add_store(pack)
+    pack.set_defaults(handler=cmd_pack)
+
+
+def cmd_pack(args) -> int:
+    from repro.reporting.pack import (
+        PackIntegrityError,
+        verify_pack,
+        write_pack,
+    )
+
+    if args.verify:
+        try:
+            manifest = verify_pack(args.out)
+        except PackIntegrityError as exc:
+            raise SystemExit(f"repro: pack: {exc}")
+        print(
+            f"pack OK: study {manifest.get('study_key', '')[:12]} — "
+            f"{len(manifest.get('artifacts', {}))} artifacts verified"
+        )
+        print(f"manifest digest: {manifest.get('manifest_digest')}")
+        return 0
+
+    catalog = require_catalog(args, "pack exports a stored study")
+    executor, workers = executor_from_args(args)
+    try:
+        manifest = catalog.describe(args.key)  # fail before writing
+    except KeyError as exc:
+        raise SystemExit(f"repro: error: {exc.args[0]}")
+    manifest = write_pack(
+        catalog, args.key, args.out, executor=executor, workers=workers
+    )
+    artifacts = manifest["artifacts"]
+    print(f"packed {len(artifacts)} artifacts to {args.out}")
+    skipped = manifest.get("skipped_experiments")
+    if skipped:
+        print(
+            "not regenerable for this study (reduced population): "
+            + ", ".join(skipped)
+        )
+    print(f"manifest digest: {manifest['manifest_digest']}")
+    return 0

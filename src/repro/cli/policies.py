@@ -1,0 +1,38 @@
+"""``repro policies``: the Table 1 policy catalogue."""
+
+from __future__ import annotations
+
+
+def register(commands) -> None:
+    policies = commands.add_parser(
+        "policies", help="print the Table 1 policy catalogue"
+    )
+    policies.set_defaults(handler=cmd_policies)
+
+
+def cmd_policies(args) -> int:
+    from repro.reporting.tables import render_table
+    from repro.secure.policies import ALL_POLICIES
+
+    rows = [
+        [
+            policy.name,
+            policy.short_label,
+            "/".join(policy.certificate_hash) or "-",
+            f"[{policy.min_key_bits}; {policy.max_key_bits}]"
+            if policy.provides_security
+            else "-",
+            "deprecated"
+            if policy.is_deprecated
+            else ("insecure" if not policy.provides_security else "current"),
+        ]
+        for policy in ALL_POLICIES
+    ]
+    print(
+        render_table(
+            ["Policy", "A", "Cert. hash", "Key bits", "Status"],
+            rows,
+            title="OPC UA security policies (paper Table 1)",
+        )
+    )
+    return 0

@@ -1,0 +1,45 @@
+"""``repro runs``: the run registry over a study store."""
+
+from __future__ import annotations
+
+from repro.cli.options import add_store, require_catalog
+
+
+def register(commands) -> None:
+    runs = commands.add_parser(
+        "runs",
+        help="list stored studies (key, seed, sweeps, provenance)",
+    )
+    add_store(runs)
+    runs.add_argument(
+        "--key",
+        metavar="KEY",
+        default=None,
+        help="describe one stored study in full instead of listing all",
+    )
+    runs.set_defaults(handler=cmd_runs)
+
+
+def cmd_runs(args) -> int:
+    from repro.reporting.summary import render_runs
+
+    catalog = require_catalog(args, "runs lists stored studies")
+    if args.key:
+        try:
+            info = catalog.describe(args.key)
+        except KeyError as exc:
+            raise SystemExit(f"repro: error: {exc.args[0]}")
+        print(f"key:      {info.key}")
+        print(f"seed:     {info.seed}")
+        print(f"sweeps:   {info.sweeps} ({', '.join(info.sweep_dates)})")
+        print(f"records:  {info.records}")
+        print(f"spec:     {info.spec_rows} rows / {info.spec_servers} servers")
+        print(f"digest:   {info.digest}")
+        if info.merge is not None:
+            print(
+                f"merged:   {info.merged_from_shards} shards "
+                f"(manifest {info.merge.get('manifest_digest', '')[:12]})"
+            )
+        return 0
+    print(render_runs(catalog.list_runs(), catalog.registry_digest()))
+    return 0

@@ -1,205 +1,19 @@
-"""Command-line interface.
+"""``repro scan``: live lab scans, capture recording, and replay.
 
-Usage::
-
-    python -m repro.cli study                 # run all sweeps + experiments
-    python -m repro.cli study --store .study-store --scan-only
-    python -m repro.cli analyze --store .study-store
-    python -m repro.cli experiment fig3       # one experiment
-    python -m repro.cli list                  # known experiments
-    python -m repro.cli dataset out.jsonl     # anonymized dataset release
-    python -m repro.cli policies              # print Table 1
-    python -m repro.cli scan --live --targets targets.txt \
-        --contact you@lab.example             # live lab scan (gated)
-
-The full study builds ~1900 hosts and scans them eight times; the
-first invocation also generates the RSA key cache (several minutes).
-With ``--store DIR`` (or ``REPRO_STUDY_STORE=DIR``), the sweeps are
-persisted content-addressed under DIR and every later invocation —
-``study``, ``experiment``, ``dataset``, ``analyze`` — loads them in
-well under a second instead of re-scanning.  ``analyze`` never scans:
-it runs the analysis registry straight off a stored study.
+The live lane sends real packets and therefore sits behind hard
+ethics gates (explicit ``--live``, explicit target list, mandatory
+contact); the replay lane re-runs a recorded corpus with no sockets
+at all.  Both share the scanner-identity construction so a corpus
+recorded here replays byte-identically anywhere.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import sys
-
-from repro.core.experiments import EXPERIMENTS, run_experiment
-from repro.core.study import StudyConfig, default_study_result
-from repro.scanner.executor import EXECUTOR_NAMES, resolve_executor
-
-# Mirrors repro.analysis.pipeline.ANALYSIS_NAMES (pinned by a CLI
-# test) so building the parser never imports the analysis stack.
-ANALYZE_CHOICES = (
-    "modes", "policies", "certs", "reuse", "access",
-    "rights", "deficits", "breakdown", "longitudinal", "ipv6",
-)
+from repro.cli.options import add_store, resolve_store
+from repro.scanner.executor import EXECUTOR_NAMES
 
 
-def _add_seed(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--seed",
-        type=int,
-        default=20200830,
-        help="study seed (default: 20200830, the paper's last sweep date)",
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help=(
-            "scan workers per sweep (default: 1 for --executor serial, "
-            "all CPUs for thread/process, 32 in-flight coroutines for "
-            "async; >1 alone implies --executor process)"
-        ),
-    )
-    parser.add_argument(
-        "--executor",
-        choices=EXECUTOR_NAMES,
-        default=None,
-        help=(
-            "scan backend: serial (default), thread, process, or async "
-            "(results are identical; only wall-clock time changes)"
-        ),
-    )
-    _add_store(parser)
-
-
-def _add_store(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--store",
-        metavar="DIR",
-        default=None,
-        help=(
-            "study store directory (default: $REPRO_STUDY_STORE if set); "
-            "studies are persisted there content-addressed and loaded "
-            "instead of re-scanned"
-        ),
-    )
-    parser.add_argument(
-        "--no-store",
-        action="store_true",
-        help="ignore any configured study store and always scan",
-    )
-
-
-def _resolve_store(args):
-    from repro.dataset.store import default_store
-
-    if getattr(args, "no_store", False):
-        return None
-    return default_store(args.store)
-
-
-def _executor(args) -> tuple[str, int]:
-    try:
-        return resolve_executor(args.executor, args.workers)
-    except ValueError as exc:
-        raise SystemExit(f"repro: error: {exc}")
-
-
-def _study_result(args):
-    executor, workers = _executor(args)
-    store = _resolve_store(args)
-    return default_study_result(args.seed, executor, workers, store=store)
-
-
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description=(
-            "Reproduction of 'Easing the Conscience with OPC UA' (IMC 2020)"
-        ),
-    )
-    commands = parser.add_subparsers(dest="command", required=True)
-
-    study = commands.add_parser("study", help="run the full study")
-    _add_seed(study)
-    study.add_argument(
-        "--scan-only",
-        action="store_true",
-        help=(
-            "run (or load) the sweeps and print their digests without "
-            "regenerating the experiments — the store-building mode CI "
-            "uses before fanning analyses out from the store"
-        ),
-    )
-    study.add_argument(
-        "--shards",
-        type=int,
-        metavar="N",
-        default=None,
-        help=(
-            "cut the address space into N zmap-style index-mod shards, "
-            "scan them independently, and merge — byte-identical to an "
-            "unsharded run; with --store, each finished shard is "
-            "checkpointed so a killed campaign restarts from the last "
-            "completed shard"
-        ),
-    )
-    study.add_argument(
-        "--shard",
-        type=int,
-        metavar="I",
-        default=None,
-        help=(
-            "scan only shard I of --shards N and checkpoint it "
-            "(requires --store; run the same command for every I, then "
-            "`--shards N --resume` merges the checkpoints)"
-        ),
-    )
-    study.add_argument(
-        "--resume",
-        action="store_true",
-        help=(
-            "skip shards whose store checkpoint validates (corrupt or "
-            "missing checkpoints are rescanned); requires --shards and "
-            "a store"
-        ),
-    )
-
-    experiment = commands.add_parser(
-        "experiment", help="regenerate one table/figure"
-    )
-    experiment.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
-    _add_seed(experiment)
-
-    commands.add_parser("list", help="list known experiments")
-
-    analyze = commands.add_parser(
-        "analyze",
-        help="run the analysis registry from a stored study (no scan)",
-    )
-    _add_seed(analyze)
-    analyze.add_argument(
-        "--analysis",
-        action="append",
-        choices=ANALYZE_CHOICES,
-        metavar="NAME",
-        help=(
-            "run only this analysis (repeatable; default: all of "
-            + ", ".join(ANALYZE_CHOICES)
-            + ")"
-        ),
-    )
-    analyze.add_argument(
-        "--json",
-        metavar="PATH",
-        default=None,
-        help="also write the canonical JSON report to PATH",
-    )
-
-    dataset = commands.add_parser(
-        "dataset", help="write the anonymized dataset release"
-    )
-    dataset.add_argument("path", help="output JSONL path")
-    _add_seed(dataset)
-
-    commands.add_parser("policies", help="print the Table 1 policy catalogue")
-
+def register(commands) -> None:
     scan = commands.add_parser(
         "scan",
         help=(
@@ -345,161 +159,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=20200830,
         help="seed for the scanner's deterministic nonce streams",
     )
-    _add_store(scan)
-    return parser
-
-
-def cmd_study(args) -> int:
-    if args.shard is not None and not args.shards:
-        raise SystemExit("repro: error: --shard requires --shards N")
-    if args.resume and not args.shards:
-        raise SystemExit(
-            "repro: error: --resume resumes a sharded run; pass --shards N"
-        )
-    if args.shards is not None:
-        return _cmd_study_sharded(args)
-    result = _study_result(args)
-    return _report_study(args, result)
-
-
-def _report_study(args, result) -> int:
-    if args.scan_only:
-        from repro.core.golden import study_digest, study_digests
-
-        for date, digest in study_digests(result).items():
-            print(f"{date}  {digest}")
-        print(f"study digest: {study_digest(result)}")
-        records = sum(len(s.records) for s in result.snapshots)
-        print(f"{len(result.snapshots)} sweeps / {records} records")
-        return 0
-    exact = total = 0
-    for experiment_id in EXPERIMENTS:
-        report = run_experiment(experiment_id, result)
-        print(report.render())
-        print()
-        exact += report.exact_matches()
-        total += len(report.comparisons)
-    print(f"reproduction summary: {exact}/{total} metrics match the paper")
-    return 0
-
-
-def _cmd_study_sharded(args) -> int:
-    """``--shards N [--shard I] [--resume]``: scan, checkpoint, merge."""
-    from repro.core.golden import combined_digest, sweep_digests
-    from repro.scanner.shard import (
-        ShardSpec,
-        run_sharded_study,
-        run_study_shard,
-    )
-
-    if args.shards < 1:
-        raise SystemExit("repro: error: --shards must be >= 1")
-    executor, workers = _executor(args)
-    store = _resolve_store(args)
-    config = StudyConfig(seed=args.seed, executor=executor, workers=workers)
-    if args.shard is not None:
-        if not 0 <= args.shard < args.shards:
-            raise SystemExit(
-                f"repro: error: --shard must be in [0, {args.shards})"
-            )
-        if store is None:
-            raise SystemExit(
-                "repro: error: scanning a single shard only makes sense "
-                "with a checkpoint store; pass --store DIR (or set "
-                "REPRO_STUDY_STORE)"
-            )
-        shard = ShardSpec(args.shard, args.shards)
-        snapshots = run_study_shard(
-            config, shard, store=store, resume=args.resume
-        )
-        digest = combined_digest(sweep_digests(snapshots))
-        records = sum(len(s.records) for s in snapshots)
-        print(
-            f"shard {shard.label}: {len(snapshots)} sweeps / "
-            f"{records} records"
-        )
-        print(f"shard digest: {digest}")
-        return 0
-    if args.resume and store is None:
-        raise SystemExit(
-            "repro: error: --resume needs the checkpoint store the "
-            "interrupted run wrote; pass --store DIR (or set "
-            "REPRO_STUDY_STORE)"
-        )
-    result = run_sharded_study(
-        config, args.shards, store=store, resume=args.resume
-    )
-    return _report_study(args, result)
-
-
-def cmd_experiment(args) -> int:
-    result = _study_result(args)
-    report = run_experiment(args.experiment_id, result)
-    print(report.render())
-    return 0
-
-
-def cmd_list(args) -> int:
-    for experiment_id, function in EXPERIMENTS.items():
-        summary = (function.__doc__ or "").strip().splitlines()[0]
-        print(f"{experiment_id:<12} {summary}")
-    return 0
-
-
-def cmd_analyze(args) -> int:
-    """Analyses from a persisted store — never scans."""
-    from repro.analysis.pipeline import run_analyses
-    from repro.deployments.spec import build_default_spec
-    from repro.reporting.summary import render_analysis_report
-
-    store = _resolve_store(args)
-    if store is None:
-        raise SystemExit(
-            "repro: error: analyze needs a study store; pass --store DIR "
-            "or set REPRO_STUDY_STORE"
-        )
-    config = StudyConfig(seed=args.seed)
-    spec = build_default_spec()
-    snapshots = store.load(config, spec)
-    if snapshots is None:
-        raise SystemExit(
-            f"repro: error: no stored study for seed {args.seed} under "
-            f"{store.root}; build one with "
-            f"`repro study --store {store.root} --scan-only`"
-        )
-    executor, workers = _executor(args)
-    report = run_analyses(
-        snapshots,
-        spec,
-        seed=args.seed,
-        executor=executor,
-        workers=workers,
-        names=tuple(args.analysis) if args.analysis else None,
-    )
-    print(render_analysis_report(report))
-    if args.json:
-        payload = report.to_json_dict()
-        payload["digest"] = report.digest()
-        with open(args.json, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"wrote {args.json}")
-    return 0
-
-
-def cmd_dataset(args) -> int:
-    from repro.dataset import AnonymizationMap, anonymize_snapshot
-    from repro.dataset.io import write_snapshots
-
-    result = _study_result(args)
-    mapping = AnonymizationMap()
-    released = [
-        anonymize_snapshot(snapshot, mapping) for snapshot in result.snapshots
-    ]
-    write_snapshots(args.path, released)
-    records = sum(len(s.records) for s in released)
-    print(f"wrote {len(released)} snapshots / {records} records to {args.path}")
-    return 0
+    add_store(scan)
+    scan.set_defaults(handler=cmd_scan)
 
 
 def _scanner_identity(
@@ -655,7 +316,7 @@ def cmd_replay(args) -> int:
         if source.exists():
             corpus = read_corpus(source)
         else:
-            store = _resolve_store(args)
+            store = resolve_store(args)
             if store is None:
                 raise SystemExit(
                     f"repro: error: no corpus file at {source} "
@@ -851,57 +512,9 @@ def cmd_scan(args) -> int:
         corpus = recorder.corpus()
         write_corpus(args.record, corpus)
         print(f"recorded {len(corpus.targets)} targets to {args.record}")
-        store = _resolve_store(args)
+        store = resolve_store(args)
         if store is not None:
             key = store.save_corpus(corpus)
             print(f"stored corpus {key} under {store.root}")
     _write_snapshot_out(args, snapshot)
     return 0
-
-
-def cmd_policies(args) -> int:
-    from repro.reporting.tables import render_table
-    from repro.secure.policies import ALL_POLICIES
-
-    rows = [
-        [
-            policy.name,
-            policy.short_label,
-            "/".join(policy.certificate_hash) or "-",
-            f"[{policy.min_key_bits}; {policy.max_key_bits}]"
-            if policy.provides_security
-            else "-",
-            "deprecated"
-            if policy.is_deprecated
-            else ("insecure" if not policy.provides_security else "current"),
-        ]
-        for policy in ALL_POLICIES
-    ]
-    print(
-        render_table(
-            ["Policy", "A", "Cert. hash", "Key bits", "Status"],
-            rows,
-            title="OPC UA security policies (paper Table 1)",
-        )
-    )
-    return 0
-
-
-_COMMANDS = {
-    "study": cmd_study,
-    "experiment": cmd_experiment,
-    "list": cmd_list,
-    "analyze": cmd_analyze,
-    "dataset": cmd_dataset,
-    "policies": cmd_policies,
-    "scan": cmd_scan,
-}
-
-
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
-
-
-if __name__ == "__main__":
-    sys.exit(main())

@@ -1,0 +1,145 @@
+"""``repro study``: run (or load) the full eight-sweep study."""
+
+from __future__ import annotations
+
+from repro.cli.options import (
+    add_seed,
+    executor_from_args,
+    require_store,
+    resolve_store,
+    study_result,
+)
+from repro.core.study import StudyConfig
+
+
+def register(commands) -> None:
+    study = commands.add_parser("study", help="run the full study")
+    add_seed(study)
+    study.add_argument(
+        "--scan-only",
+        action="store_true",
+        help=(
+            "run (or load) the sweeps and print their digests without "
+            "regenerating the experiments — the store-building mode CI "
+            "uses before fanning analyses out from the store"
+        ),
+    )
+    study.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "cut the address space into N zmap-style index-mod shards, "
+            "scan them independently, and merge — byte-identical to an "
+            "unsharded run; with --store, each finished shard is "
+            "checkpointed so a killed campaign restarts from the last "
+            "completed shard"
+        ),
+    )
+    study.add_argument(
+        "--shard",
+        type=int,
+        metavar="I",
+        default=None,
+        help=(
+            "scan only shard I of --shards N and checkpoint it "
+            "(requires --store; run the same command for every I, then "
+            "`--shards N --resume` merges the checkpoints)"
+        ),
+    )
+    study.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "skip shards whose store checkpoint validates (corrupt or "
+            "missing checkpoints are rescanned); requires --shards and "
+            "a store"
+        ),
+    )
+    study.set_defaults(handler=cmd_study)
+
+
+def cmd_study(args) -> int:
+    if args.shard is not None and not args.shards:
+        raise SystemExit("repro: error: --shard requires --shards N")
+    if args.resume and not args.shards:
+        raise SystemExit(
+            "repro: error: --resume resumes a sharded run; pass --shards N"
+        )
+    if args.shards is not None:
+        return _cmd_study_sharded(args)
+    result = study_result(args)
+    return report_study(args, result)
+
+
+def report_study(args, result) -> int:
+    if args.scan_only:
+        from repro.core.golden import study_digest, study_digests
+
+        for date, digest in study_digests(result).items():
+            print(f"{date}  {digest}")
+        print(f"study digest: {study_digest(result)}")
+        records = sum(len(s.records) for s in result.snapshots)
+        print(f"{len(result.snapshots)} sweeps / {records} records")
+        return 0
+    from repro.core.experiments import EXPERIMENTS, run_experiment
+
+    exact = total = 0
+    for experiment_id in EXPERIMENTS:
+        report = run_experiment(experiment_id, result)
+        print(report.render())
+        print()
+        exact += report.exact_matches()
+        total += len(report.comparisons)
+    print(f"reproduction summary: {exact}/{total} metrics match the paper")
+    return 0
+
+
+def _cmd_study_sharded(args) -> int:
+    """``--shards N [--shard I] [--resume]``: scan, checkpoint, merge."""
+    from repro.core.golden import combined_digest, sweep_digests
+    from repro.scanner.shard import (
+        ShardSpec,
+        run_sharded_study,
+        run_study_shard,
+    )
+
+    if args.shards < 1:
+        raise SystemExit("repro: error: --shards must be >= 1")
+    executor, workers = executor_from_args(args)
+    config = StudyConfig(seed=args.seed, executor=executor, workers=workers)
+    if args.shard is not None:
+        if not 0 <= args.shard < args.shards:
+            raise SystemExit(
+                f"repro: error: --shard must be in [0, {args.shards})"
+            )
+        store = require_store(
+            args,
+            "scanning a single shard only makes sense with a "
+            "checkpoint store",
+        )
+        shard = ShardSpec(args.shard, args.shards)
+        snapshots = run_study_shard(
+            config, shard, store=store, resume=args.resume
+        )
+        digest = combined_digest(sweep_digests(snapshots))
+        records = sum(len(s.records) for s in snapshots)
+        print(
+            f"shard {shard.label}: {len(snapshots)} sweeps / "
+            f"{records} records"
+        )
+        print(f"shard digest: {digest}")
+        return 0
+    if args.resume:
+        store = require_store(
+            args,
+            "--resume needs the checkpoint store the interrupted "
+            "run wrote",
+        )
+    else:
+        store = resolve_store(args)
+    result = run_sharded_study(
+        config, args.shards, store=store, resume=args.resume
+    )
+    return report_study(args, result)

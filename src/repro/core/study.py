@@ -99,6 +99,14 @@ class StudyResult:
         return self._timeline
 
     def _materialize(self) -> None:
+        if self.spec is None:
+            # Rebuilding would silently substitute the default
+            # population for whatever reduced spec actually produced
+            # these snapshots — a wrong environment, not a slow one.
+            raise ValueError(
+                "stored study has no matching population spec; its "
+                "simulated environment cannot be rebuilt"
+            )
         self._hosts, self._timeline = Study(
             self.config, spec=self.spec
         ).build_environment(self.spec, warm_sweeps=len(self.snapshots))
@@ -362,8 +370,10 @@ def default_study_result(
     computes the result first serves every later caller.
 
     ``store`` layers on-disk persistence underneath: ``True`` (the
-    default) uses the ambient store named by ``REPRO_STUDY_STORE`` if
-    any, ``False``/``None`` disables persistence, and an explicit
+    default) resolves the ambient store through
+    :func:`repro.dataset.store.resolve_store` (the one documented
+    reader of ``REPRO_STUDY_STORE``), ``False``/``None`` disables
+    persistence, and an explicit
     :class:`~repro.dataset.store.StudyStore` pins a directory.  CI's
     full tier sets the environment variable once and every consumer —
     tier-1 tests, ``repro analyze``, the benchmark suite — reuses the
@@ -371,9 +381,9 @@ def default_study_result(
     """
     if seed not in _RESULT_CACHE:
         if store is True:
-            from repro.dataset.store import default_store
+            from repro.dataset.store import resolve_store
 
-            store = default_store()
+            store = resolve_store()
         elif store is False:
             store = None
         _RESULT_CACHE[seed] = Study(

@@ -8,6 +8,7 @@ newline-delimited JSON.
 """
 
 from repro.dataset.anonymize import AnonymizationMap, anonymize_snapshot
+from repro.dataset.catalog import RunInfo, StudyCatalog
 from repro.dataset.io import (
     DatasetFormatError,
     iter_snapshots,
@@ -18,18 +19,22 @@ from repro.dataset.store import (
     StoreIntegrityError,
     StudyStore,
     default_store,
+    resolve_store,
     study_key,
 )
 
 __all__ = [
     "AnonymizationMap",
     "DatasetFormatError",
+    "RunInfo",
     "StoreIntegrityError",
+    "StudyCatalog",
     "StudyStore",
     "anonymize_snapshot",
     "default_store",
     "iter_snapshots",
     "read_snapshots",
+    "resolve_store",
     "study_key",
     "write_snapshots",
 ]

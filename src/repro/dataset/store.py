@@ -138,17 +138,52 @@ def study_key(config: StudyConfig, spec: PopulationSpec) -> str:
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
-def default_store(path: str | Path | None = None) -> "StudyStore | None":
+def resolve_store(path: str | Path | None = None) -> "StudyStore | None":
     """Resolve the ambient store: explicit path, else :data:`STORE_ENV`.
 
-    Returns ``None`` when neither names a directory — callers then run
-    without persistence, exactly as before the store existed.
+    This is the *one* place the environment variable is consulted —
+    every consumer (the CLI's ``--store`` flag,
+    :func:`~repro.core.study.default_study_result`, the catalog layer)
+    funnels through here, so "which store am I using?" always has a
+    single answer.  Returns ``None`` when neither names a directory —
+    callers then run without persistence, exactly as before the store
+    existed.
+
+        >>> import os
+        >>> saved = os.environ.pop(STORE_ENV, None)
+        >>> resolve_store() is None
+        True
+        >>> resolve_store("/tmp/some-store").root
+        PosixPath('/tmp/some-store')
+        >>> os.environ[STORE_ENV] = "/tmp/env-store"
+        >>> resolve_store().root
+        PosixPath('/tmp/env-store')
+        >>> del os.environ[STORE_ENV]
+        >>> if saved is not None:
+        ...     os.environ[STORE_ENV] = saved
     """
     if path is None:
         path = os.environ.get(STORE_ENV) or None
     if path is None:
         return None
     return StudyStore(path)
+
+
+def default_store(path: str | Path | None = None) -> "StudyStore | None":
+    """Deprecated alias for :func:`resolve_store`.
+
+    Kept as a warning shim for one release so external callers keep
+    working; new code should call :func:`resolve_store`.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.dataset.store.default_store is deprecated; use "
+        "resolve_store instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return resolve_store(path)
 
 
 class StudyStore:
@@ -177,6 +212,13 @@ class StudyStore:
         return (self.entry_dir(key) / META_FILE).exists()
 
     def keys(self) -> list[str]:
+        """Every study-entry key, in sorted order.
+
+        ``iterdir`` order is filesystem-dependent (inode order on
+        ext4, name order on APFS); sorting here is what makes
+        ``repro runs`` output — and the catalog's registry digest —
+        identical on every machine.
+        """
         if not self.root.is_dir():
             return []
         return sorted(
@@ -442,6 +484,7 @@ class StudyStore:
         return self.root / CORPUS_DIR / key
 
     def corpus_keys(self) -> list[str]:
+        """Every capture-corpus key, in sorted order (see :meth:`keys`)."""
         corpora = self.root / CORPUS_DIR
         if not corpora.is_dir():
             return []

@@ -3,13 +3,23 @@
 from repro.reporting.tables import render_table
 from repro.reporting.charts import render_bars, render_cdf
 from repro.reporting.figures import Comparison, ExperimentReport
-from repro.reporting.summary import render_analysis_report
+from repro.reporting.pack import PackIntegrityError, verify_pack, write_pack
+from repro.reporting.summary import (
+    render_analysis_report,
+    render_runs,
+    render_study_diff,
+)
 
 __all__ = [
     "Comparison",
     "ExperimentReport",
+    "PackIntegrityError",
     "render_analysis_report",
     "render_bars",
     "render_cdf",
+    "render_runs",
+    "render_study_diff",
     "render_table",
+    "verify_pack",
+    "write_pack",
 ]

@@ -1,9 +1,12 @@
-"""Rendering for merged :class:`~repro.analysis.pipeline.AnalysisReport`s.
+"""Rendering for the read path: analysis reports, run listings, diffs.
 
-``repro analyze`` prints this: one headline line per registered
-analysis, in the registry's canonical order, plus the report digest —
-the same digest the backend-equivalence tests pin, so two runs that
-print the same digest computed byte-identical analyses.
+``repro analyze`` prints :func:`render_analysis_report` — one headline
+line per registered analysis, in the registry's canonical order, plus
+the report digest the backend-equivalence tests pin.  ``repro runs``
+prints :func:`render_runs` over the catalog's registry rows, and
+``repro diff`` prints :func:`render_study_diff`; all three end with a
+digest line, so two machines printing the same digest rendered
+byte-identical state.
 """
 
 from __future__ import annotations
@@ -85,3 +88,92 @@ def render_analysis_report(report) -> str:
         title=f"Analysis report (seed {report.seed}, {report.sweeps} sweeps)",
     )
     return f"{table}\n\nreport digest: {report.digest()}"
+
+
+def render_runs(runs, registry_digest: str | None = None) -> str:
+    """The ``repro runs`` table over :class:`RunInfo` rows.
+
+    Keys are printed in full — they are the handles ``repro diff`` /
+    ``repro analyze`` / ``repro pack`` take — and the trailing
+    registry digest makes two stores comparable at a glance.
+    """
+    rows = []
+    for run in runs:
+        if run.sweep_dates:
+            dates = f"{run.sweep_dates[0]}..{run.sweep_dates[-1]}"
+        else:
+            dates = "-"
+        shards = run.merged_from_shards
+        rows.append(
+            [
+                run.key,
+                run.seed,
+                run.sweeps,
+                run.records,
+                dates,
+                shards if shards is not None else "-",
+                run.digest[:12],
+            ]
+        )
+    table = render_table(
+        ["key", "seed", "sweeps", "records", "dates", "shards", "digest"],
+        rows,
+        title=f"Stored studies ({len(runs)})",
+    )
+    if registry_digest is None:
+        return table
+    return f"{table}\n\nregistry digest: {registry_digest}"
+
+
+def _signed(value: int) -> str:
+    return f"{value:+d}" if value else "0"
+
+
+def render_study_diff(diff, limit: int = 10) -> str:
+    """Human-readable ``repro diff`` output for one :class:`StudyDiff`.
+
+    Shows the churn headline (appeared / disappeared / changed /
+    renewals), up to ``limit`` endpoints per churn class, and only the
+    non-zero policy/deficit deltas; ends with the canonical diff
+    digest the cross-backend tests pin.
+    """
+    lines = [
+        f"study diff: {diff.label_a[:12]} ({diff.date_a}) -> "
+        f"{diff.label_b[:12]} ({diff.date_b})",
+        f"servers: {diff.servers_a} -> {diff.servers_b} "
+        f"(deficient {_signed(diff.deficient_delta)})",
+        f"appeared {len(diff.appeared)}, "
+        f"disappeared {len(diff.disappeared)}, "
+        f"changed {len(diff.changed)}, "
+        f"certificate renewals {len(diff.renewals)}",
+    ]
+
+    def endpoints(label, states):
+        if not states:
+            return
+        shown = ", ".join(s.endpoint for s in states[:limit])
+        extra = f", … ({len(states) - limit} more)" if len(states) > limit else ""
+        lines.append(f"  {label}: {shown}{extra}")
+
+    endpoints("appeared", diff.appeared)
+    endpoints("disappeared", diff.disappeared)
+    for change in diff.changed[:limit]:
+        lines.append(
+            f"  changed {change.endpoint}: {', '.join(change.fields)}"
+        )
+    if len(diff.changed) > limit:
+        lines.append(f"  … ({len(diff.changed) - limit} more changed)")
+    for name, delta in (
+        ("policy", diff.policy_delta),
+        ("deficit", diff.deficit_delta),
+    ):
+        moved = {k: v for k, v in delta.items() if v}
+        if moved:
+            rendered = ", ".join(
+                f"{k} {_signed(v)}" for k, v in sorted(moved.items())
+            )
+            lines.append(f"{name} deltas: {rendered}")
+    if diff.is_empty():
+        lines.append("no longitudinal differences")
+    lines.append(f"diff digest: {diff.digest()}")
+    return "\n".join(lines)

@@ -1,0 +1,232 @@
+"""StudyDiff laws: canonicalization, involution, churn extraction.
+
+The diff is the paper's longitudinal comparison as a library, so its
+algebra must be airtight: ``diff(a, a)`` is empty, ``diff(a, b)`` is
+the exact inverse of ``diff(b, a)``, output ordering is canonical,
+and the digest is a pure function of the two summaries.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.deficits import DEFICIT_CLASSES
+from repro.analysis.diff import (
+    HostState,
+    StudySummary,
+    diff_summaries,
+    summarize_stream,
+)
+from repro.scanner.records import (
+    CertificateInfo,
+    EndpointRecord,
+    HostRecord,
+    MeasurementSnapshot,
+    SessionAttempt,
+)
+
+_POLICY = "http://opcfoundation.org/UA/SecurityPolicy#"
+
+
+def certificate(thumbprint: str, signature_hash: str = "sha256"):
+    return CertificateInfo(
+        der_hex="00",
+        thumbprint_hex=thumbprint,
+        signature_hash=signature_hash,
+        key_bits=2048,
+        subject="CN=x",
+        issuer="CN=x",
+        not_before="2020-01-01T00:00:00Z",
+        not_after="2030-01-01T00:00:00Z",
+        application_uri=None,
+        self_signed=True,
+        signature_valid=True,
+        modulus_hex="5",
+    )
+
+
+def server(
+    ip: int,
+    *,
+    policy: str = "Basic256Sha256",
+    mode: int = 3,
+    thumbprint: str | None = "aa",
+    signature_hash: str = "sha256",
+    software: str | None = "1.0",
+    anonymous: bool = False,
+) -> HostRecord:
+    return HostRecord(
+        ip=ip,
+        port=4840,
+        asn=1,
+        timestamp="2020-07-06",
+        tcp_open=True,
+        is_opcua=True,
+        software_version=software,
+        endpoints=[
+            EndpointRecord(
+                endpoint_url=None,
+                security_mode=mode,
+                security_policy_uri=_POLICY + policy,
+            )
+        ],
+        certificate=(
+            certificate(thumbprint, signature_hash) if thumbprint else None
+        ),
+        session=SessionAttempt(attempted=True, success=anonymous),
+    )
+
+
+def sweep(date: str, records: list[HostRecord]) -> MeasurementSnapshot:
+    return MeasurementSnapshot(date=date, records=records)
+
+
+def summary(*sweeps: MeasurementSnapshot, label: str = "") -> StudySummary:
+    return summarize_stream(list(sweeps), label=label)
+
+
+class TestSummarizeStream:
+    def test_folds_per_sweep_stats_and_final_hosts(self):
+        s = summary(
+            sweep("2020-07-06", [server(1), server(2)]),
+            sweep("2020-08-30", [server(2)]),
+        )
+        assert [w.date for w in s.sweeps] == ["2020-07-06", "2020-08-30"]
+        assert [w.servers for w in s.sweeps] == [2, 1]
+        assert s.records_total == 3
+        # final_hosts reflects only the last sweep.
+        assert list(s.final_hosts) == ["2:4840"]
+        assert s.final_date == "2020-08-30"
+
+    def test_deficit_counts_use_the_paper_classes(self):
+        s = summary(sweep("2020-07-06", [server(1, policy="None")]))
+        stats = s.final_stats
+        assert set(stats.deficit_counts) == set(DEFICIT_CLASSES)
+        assert stats.deficit_counts["none-only"] == 1
+        assert stats.deficient == 1
+
+    def test_host_state_is_compact_and_comparable(self):
+        state = HostState.from_record(server(1), set())
+        assert state.endpoint == "0.0.0.1:4840"
+        assert state.changed_fields(state) == ()
+        other = HostState.from_record(
+            server(1, software="2.0", thumbprint="bb"), set()
+        )
+        assert state.changed_fields(other) == (
+            "certificate_thumbprint",
+            "software_version",
+        )
+
+
+class TestDiffLaws:
+    def test_diff_of_identical_summaries_is_empty(self):
+        a = summary(sweep("2020-07-06", [server(1), server(2)]), label="a")
+        d = diff_summaries(a, a)
+        assert d.is_empty()
+        assert d.appeared == [] and d.disappeared == [] and d.changed == []
+        assert not any(d.policy_delta.values())
+        assert not any(d.deficit_delta.values())
+
+    def test_diff_is_the_inverse_of_its_reverse(self):
+        a = summary(
+            sweep("2020-07-06", [server(1), server(2, policy="None")]),
+            label="a",
+        )
+        b = summary(
+            sweep(
+                "2020-08-30",
+                [server(2), server(3, thumbprint="cc", software="2.0")],
+            ),
+            label="b",
+        )
+        forward = diff_summaries(a, b)
+        reverse = diff_summaries(b, a)
+        assert [s.endpoint for s in forward.appeared] == [
+            s.endpoint for s in reverse.disappeared
+        ]
+        assert [s.endpoint for s in forward.disappeared] == [
+            s.endpoint for s in reverse.appeared
+        ]
+        assert [(c.before, c.after) for c in forward.changed] == [
+            (c.after, c.before) for c in reverse.changed
+        ]
+        assert forward.policy_delta == {
+            k: -v for k, v in reverse.policy_delta.items()
+        }
+        assert forward.deficit_delta == {
+            k: -v for k, v in reverse.deficit_delta.items()
+        }
+        assert forward.deficient_delta == -reverse.deficient_delta
+        assert forward.servers_a == reverse.servers_b
+
+    def test_churn_lists_are_sorted_by_endpoint(self):
+        a = summary(sweep("2020-07-06", [server(9)]), label="a")
+        b = summary(
+            sweep("2020-08-30", [server(300), server(2), server(50)]),
+            label="b",
+        )
+        d = diff_summaries(a, b)
+        ips = [s.ip for s in d.appeared]
+        assert ips == sorted(ips) == [2, 50, 300]
+
+    def test_changed_records_fields_and_renewals(self):
+        a = summary(
+            sweep("2020-07-06", [server(1, thumbprint="aa",
+                                        signature_hash="sha1")]),
+            label="a",
+        )
+        b = summary(
+            sweep("2020-08-30", [server(1, thumbprint="bb",
+                                        software="2.0")]),
+            label="b",
+        )
+        d = diff_summaries(a, b)
+        change, = d.changed
+        assert "certificate_thumbprint" in change.fields
+        renewal, = d.renewals
+        assert renewal.old_hash == "sha1"
+        assert renewal.new_hash == "sha256"
+        assert renewal.is_upgrade
+        assert renewal.software_updated
+        assert renewal.sweep_date == "2020-08-30"
+
+    def test_unchanged_certificate_is_not_a_renewal(self):
+        a = summary(sweep("2020-07-06", [server(1, anonymous=True)]))
+        b = summary(sweep("2020-08-30", [server(1)]))
+        d = diff_summaries(a, b)
+        assert d.changed and not d.renewals
+
+    def test_policy_delta_spans_both_sides_with_zeros(self):
+        a = summary(sweep("2020-07-06", [server(1, policy="None")]))
+        b = summary(sweep("2020-08-30", [server(1)]))
+        d = diff_summaries(a, b)
+        # The policy dicts are pre-populated with every label, so the
+        # delta covers the full catalogue with explicit zeros.
+        assert d.policy_delta["N"] == -1
+        assert d.policy_delta["S2"] == 1
+        assert any(v == 0 for v in d.policy_delta.values())
+
+
+class TestDiffDigest:
+    def test_digest_is_pure_and_order_canonical(self):
+        def build(label_a="a", label_b="b"):
+            a = summary(
+                sweep("2020-07-06", [server(1), server(2)]), label=label_a
+            )
+            b = summary(
+                sweep("2020-08-30", [server(2, software="2.0")]),
+                label=label_b,
+            )
+            return diff_summaries(a, b)
+
+        assert build().digest() == build().digest()
+        assert build().digest() != build(label_a="other").digest()
+
+    def test_json_dict_is_canonically_serializable(self):
+        from repro.core.golden import canonical_json
+
+        a = summary(sweep("2020-07-06", [server(1)]), label="a")
+        b = summary(sweep("2020-08-30", [server(2)]), label="b")
+        payload = diff_summaries(a, b).to_json_dict()
+        # Round-trips through canonical JSON without a custom encoder.
+        assert canonical_json(payload)
+        assert payload["appeared"][0]["endpoint"] == "0.0.0.2:4840"
+        assert payload["date_a"] == "2020-07-06"

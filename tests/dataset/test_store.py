@@ -346,3 +346,60 @@ class TestAtomicPublish:
         key = store.save_corpus(corpus)
         assert store.corpus_keys() == [key]
         assert store.load_corpus(key).meta == corpus.meta
+
+
+class TestSortedListings:
+    """``keys()``/``corpus_keys()`` are sorted, not iterdir-ordered.
+
+    ``iterdir`` order is filesystem-dependent (inode order on ext4,
+    name order on APFS); `repro runs` output and the catalog's
+    registry digest are deterministic across machines only because
+    the store sorts.  Entries are planted directly on disk in
+    deliberately unsorted creation order so the test cannot pass by
+    creation-order accident.
+    """
+
+    UNSORTED = ["f" * 64, "0" * 64, "9a" * 32, "33" * 32]
+
+    def test_keys_are_sorted(self, tmp_path):
+        store = StudyStore(tmp_path / "store")
+        for name in self.UNSORTED:
+            entry = store.entry_dir(name)
+            entry.mkdir(parents=True)
+            (entry / META_FILE).write_text("{}")
+        assert store.keys() == sorted(self.UNSORTED)
+
+    def test_corpus_keys_are_sorted(self, tmp_path):
+        store = StudyStore(tmp_path / "store")
+        for name in self.UNSORTED:
+            entry = store.corpus_dir(name)
+            entry.mkdir(parents=True)
+            (entry / META_FILE).write_text("{}")
+        assert store.corpus_keys() == sorted(self.UNSORTED)
+        # Corpus entries never leak into the study listing.
+        assert store.keys() == []
+
+
+class TestResolveStore:
+    """resolve_store is the one documented reader of REPRO_STUDY_STORE."""
+
+    def test_explicit_path_wins_over_environment(self, tmp_path, monkeypatch):
+        from repro.dataset.store import resolve_store
+
+        monkeypatch.setenv("REPRO_STUDY_STORE", str(tmp_path / "env"))
+        assert resolve_store(tmp_path / "flag").root == tmp_path / "flag"
+        assert resolve_store().root == tmp_path / "env"
+
+    def test_no_configuration_means_no_store(self, monkeypatch):
+        from repro.dataset.store import resolve_store
+
+        monkeypatch.delenv("REPRO_STUDY_STORE", raising=False)
+        assert resolve_store() is None
+
+    def test_default_store_is_a_deprecation_shim(self, tmp_path, monkeypatch):
+        from repro.dataset.store import default_store
+
+        monkeypatch.delenv("REPRO_STUDY_STORE", raising=False)
+        with pytest.warns(DeprecationWarning, match="resolve_store"):
+            store = default_store(tmp_path / "legacy")
+        assert store.root == tmp_path / "legacy"

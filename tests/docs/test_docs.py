@@ -32,7 +32,10 @@ DOCTEST_MODULES = (
     "repro.core.config",
     "repro.core.study",
     "repro.dataset.store",
+    "repro.dataset.catalog",
     "repro.analysis.pipeline",
+    "repro.analysis.diff",
+    "repro.reporting.pack",
     "repro.transport.socket_io",
     "repro.transport.capture",
     "repro.transport.replay",

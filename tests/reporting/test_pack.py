@@ -1,0 +1,134 @@
+"""Pack tests: bundle shape, manifest self-seal, tamper detection.
+
+The pack's promise is the dataset-release one: a reader can verify a
+published bundle byte-for-byte against its own sealed manifest, and
+any post-seal edit — to an artifact or to the manifest itself — is
+detected.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.dataset.catalog import StudyCatalog
+from repro.dataset.store import StudyStore
+from repro.deployments.spec import PopulationSpec
+from repro.reporting.pack import (
+    MANIFEST_FILE,
+    PackIntegrityError,
+    verify_pack,
+    write_pack,
+)
+from tests.analysis.test_diff import server, sweep
+
+
+@pytest.fixture(scope="module")
+def packed(tmp_path_factory):
+    """One written bundle shared by the read-only assertions."""
+    root = tmp_path_factory.mktemp("pack")
+    store = StudyStore(root / "store")
+    snapshots = [
+        sweep("2020-07-06", [server(1), server(2)]),
+        sweep("2020-08-30", [server(2, software="2.0"), server(3)]),
+    ]
+    key = store.save(StudyConfig(seed=5), PopulationSpec(), snapshots)
+    out = root / "bundle"
+    manifest = write_pack(StudyCatalog(store), key, out)
+    return key, out, manifest
+
+
+@pytest.fixture()
+def tampered(packed, tmp_path):
+    """A private, mutable copy of the bundle."""
+    import shutil
+
+    _, out, _ = packed
+    copy = tmp_path / "bundle"
+    shutil.copytree(out, copy)
+    return copy
+
+
+class TestWritePack:
+    def test_bundle_holds_the_doi_kit(self, packed):
+        _, out, manifest = packed
+        names = {p.relative_to(out).as_posix() for p in out.rglob("*")
+                 if p.is_file()}
+        expected = {
+            MANIFEST_FILE,
+            "study.json",
+            "analysis.json",
+            "summary.txt",
+            "environment.json",
+            "reproduce.sh",
+        }
+        assert expected <= names
+        assert any(name.startswith("tables/") for name in names)
+        # Every file except the manifest itself is sealed.
+        assert set(manifest["artifacts"]) == names - {MANIFEST_FILE}
+
+    def test_manifest_records_study_and_analysis_digests(self, packed):
+        key, out, manifest = packed
+        assert manifest["study_key"] == key
+        study = json.loads((out / "study.json").read_text())
+        assert study["run"]["key"] == key
+        assert manifest["study_digest"] == study["run"]["digest"]
+        analysis = json.loads((out / "analysis.json").read_text())
+        assert manifest["analysis_digest"] == analysis["digest"]
+
+    def test_reproduce_script_is_executable_and_pinned(self, packed):
+        key, out, manifest = packed
+        script = out / "reproduce.sh"
+        assert script.stat().st_mode & 0o111
+        text = script.read_text()
+        assert key in text
+        assert manifest["study_digest"] in text
+        assert "--seed 5" in text
+
+    def test_reduced_population_skips_spec_experiments(self, packed):
+        _, out, manifest = packed
+        assert "ipv6" in manifest["skipped_experiments"]
+        assert "not regenerable" in (out / "tables" / "ipv6.txt").read_text()
+
+
+class TestVerifyPack:
+    def test_fresh_bundle_verifies(self, packed):
+        key, out, manifest = packed
+        verified = verify_pack(out)
+        assert verified["study_key"] == key
+        assert verified["manifest_digest"] == manifest["manifest_digest"]
+
+    def test_artifact_tamper_is_detected(self, tampered):
+        (tampered / "analysis.json").write_text("{}")
+        with pytest.raises(PackIntegrityError, match="sha256 mismatch"):
+            verify_pack(tampered)
+
+    def test_table_tamper_is_detected(self, tampered):
+        path = tampered / "tables" / "table1.txt"
+        path.write_text(path.read_text() + "x")
+        with pytest.raises(PackIntegrityError, match="tables/table1.txt"):
+            verify_pack(tampered)
+
+    def test_manifest_edit_breaks_the_seal(self, tampered):
+        path = tampered / MANIFEST_FILE
+        manifest = json.loads(path.read_text())
+        manifest["study_digest"] = "0" * 64
+        path.write_text(json.dumps(manifest, indent=2))
+        with pytest.raises(PackIntegrityError, match="seal mismatch"):
+            verify_pack(tampered)
+
+    def test_missing_artifact_is_detected(self, tampered):
+        (tampered / "summary.txt").unlink()
+        with pytest.raises(PackIntegrityError, match="missing"):
+            verify_pack(tampered)
+
+    def test_missing_manifest_is_an_error(self, tmp_path):
+        with pytest.raises(PackIntegrityError, match="MANIFEST"):
+            verify_pack(tmp_path)
+
+    def test_unparseable_manifest_is_an_error(self, tampered):
+        (tampered / MANIFEST_FILE).write_text("not json")
+        with pytest.raises(PackIntegrityError, match="not valid JSON"):
+            verify_pack(tampered)

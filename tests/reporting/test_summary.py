@@ -1,0 +1,124 @@
+"""reporting/summary.py coverage: headlines, run listings, diff text.
+
+The renderers end every block with a digest line, so the assertions
+here pin both the human-readable shape and the digest plumbing.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.pipeline import ANALYSIS_NAMES
+from repro.dataset.catalog import RunInfo
+from repro.reporting.summary import (
+    render_analysis_report,
+    render_runs,
+    render_study_diff,
+)
+
+
+def run_info(key: str = "a" * 64, **overrides) -> RunInfo:
+    values = dict(
+        key=key,
+        seed=20200830,
+        sweeps=8,
+        records=1132,
+        sweep_dates=("2020-02-09", "2020-08-30"),
+        digest="c" * 64,
+        spec_rows=8,
+        spec_servers=127,
+        config={"seed": 20200830},
+        merge=None,
+    )
+    values.update(overrides)
+    return RunInfo(**values)
+
+
+class TestRenderAnalysisReport:
+    def test_every_registered_analysis_gets_a_headline(
+        self, serial_tiny_result
+    ):
+        report = serial_tiny_result.run_analyses()
+        rendered = render_analysis_report(report)
+        for name in ANALYSIS_NAMES:
+            assert f"\n{name}" in rendered or rendered.startswith(name)
+        # No analysis fell through to the type-name fallback.
+        assert "Statistics" not in rendered
+        assert "Summary" not in rendered
+
+    def test_digest_line_matches_report_digest(self, serial_tiny_result):
+        report = serial_tiny_result.run_analyses()
+        rendered = render_analysis_report(report)
+        assert rendered.endswith(f"report digest: {report.digest()}")
+        assert f"seed {report.seed}" in rendered
+
+    def test_subset_report_renders_only_selected(self, serial_tiny_result):
+        report = serial_tiny_result.run_analyses(names=("deficits",))
+        rendered = render_analysis_report(report)
+        assert "deficient" in rendered
+        assert "\nmodes" not in rendered
+
+
+class TestRenderRuns:
+    def test_lists_full_keys_and_registry_digest(self):
+        runs = [run_info("a" * 64), run_info("b" * 64, seed=7)]
+        rendered = render_runs(runs, registry_digest="e" * 64)
+        assert "a" * 64 in rendered
+        assert "b" * 64 in rendered
+        assert "Stored studies (2)" in rendered
+        assert rendered.endswith("registry digest: " + "e" * 64)
+        assert "2020-02-09..2020-08-30" in rendered
+
+    def test_merge_provenance_column(self):
+        runs = [run_info(merge={"shard_count": 4})]
+        assert "4" in render_runs(runs).splitlines()[-1]
+
+    def test_empty_store_renders_without_digest(self):
+        rendered = render_runs([])
+        assert "Stored studies (0)" in rendered
+        assert "registry digest" not in rendered
+
+
+class TestRenderStudyDiff:
+    def _diff(self, **kwargs):
+        from tests.analysis.test_diff import diff_summaries, server, summary, sweep
+
+        a = summary(
+            sweep("2020-07-06", [server(1), server(2, policy="None")]),
+            label="a" * 64,
+        )
+        b = summary(
+            sweep("2020-08-30", [server(2), server(3)]), label="b" * 64
+        )
+        return diff_summaries(a, b)
+
+    def test_headline_counts_and_digest(self):
+        diff = self._diff()
+        rendered = render_study_diff(diff)
+        assert "appeared 1, disappeared 1, changed 1" in rendered
+        assert f"diff digest: {diff.digest()}" in rendered
+        assert "servers: 2 -> 2" in rendered
+        # Labels are shortened for reading, never truncated in the JSON.
+        assert "a" * 12 in rendered and "a" * 64 not in rendered
+
+    def test_deltas_show_only_nonzero_entries(self):
+        rendered = render_study_diff(self._diff())
+        assert "policy deltas" in rendered
+        assert "N -1" in rendered
+        assert "S2 +1" in rendered
+
+    def test_empty_diff_says_so(self):
+        from tests.analysis.test_diff import diff_summaries, server, summary, sweep
+
+        a = summary(sweep("2020-07-06", [server(1)]), label="x")
+        rendered = render_study_diff(diff_summaries(a, a))
+        assert "no longitudinal differences" in rendered
+
+    def test_long_churn_lists_are_truncated(self):
+        from tests.analysis.test_diff import diff_summaries, server, summary, sweep
+
+        a = summary(sweep("2020-07-06", []), label="a")
+        b = summary(
+            sweep("2020-08-30", [server(ip) for ip in range(1, 30)]),
+            label="b",
+        )
+        rendered = render_study_diff(diff_summaries(a, b), limit=5)
+        assert "(24 more)" in rendered

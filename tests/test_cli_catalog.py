@@ -1,0 +1,132 @@
+"""End-to-end CLI coverage for the read-side verbs: runs, diff, pack.
+
+These drive ``repro.cli.main`` exactly as the shipped entry point does,
+against a real on-disk store, so they pin the full user journey the
+redesign sells: list stored runs, diff two of them, export a sealed
+bundle, and re-verify it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import StudyConfig
+from repro.dataset.store import StudyStore
+from repro.deployments.spec import PopulationSpec
+from tests.dataset.test_catalog import study
+
+
+@pytest.fixture(scope="module")
+def populated_store(tmp_path_factory):
+    root = tmp_path_factory.mktemp("clistore") / "store"
+    store = StudyStore(root)
+    key_a = store.save(
+        StudyConfig(seed=1), PopulationSpec(), study(["2020-07-06"], range(1, 10))
+    )
+    key_b = store.save(
+        StudyConfig(seed=2), PopulationSpec(), study(["2020-08-30"], range(5, 15))
+    )
+    return root, key_a, key_b
+
+
+class TestRuns:
+    def test_runs_lists_both_studies(self, populated_store, capsys):
+        root, key_a, key_b = populated_store
+        assert main(["runs", "--store", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert key_a in out and key_b in out
+        assert "Stored studies (2)" in out
+        assert "registry digest:" in out
+
+    def test_runs_key_describes_one_study(self, populated_store, capsys):
+        root, key_a, _ = populated_store
+        assert main(["runs", "--store", str(root), "--key", key_a]) == 0
+        out = capsys.readouterr().out
+        assert f"key:      {key_a}" in out
+        assert "seed:     1" in out
+        assert "sweeps:   1 (2020-07-06)" in out
+
+    def test_runs_unknown_key_exits_with_hint(self, populated_store):
+        root, *_ = populated_store
+        with pytest.raises(SystemExit, match="no stored study"):
+            main(["runs", "--store", str(root), "--key", "f" * 64])
+
+    def test_runs_without_store_exits_with_hint(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STUDY_STORE", raising=False)
+        with pytest.raises(
+            SystemExit, match="pass --store DIR or set REPRO_STUDY_STORE"
+        ):
+            main(["runs"])
+
+
+class TestDiff:
+    def test_diff_renders_churn_and_digest(self, populated_store, capsys):
+        root, key_a, key_b = populated_store
+        assert main(["diff", key_a, key_b, "--store", str(root)]) == 0
+        out = capsys.readouterr().out
+        # range(1, 10) -> range(5, 15): 4 vanish, 5 appear, 5 persist.
+        assert "appeared 5, disappeared 4" in out
+        assert "diff digest:" in out
+
+    def test_diff_json_payload_is_canonical(
+        self, populated_store, capsys, tmp_path
+    ):
+        root, key_a, key_b = populated_store
+        path = tmp_path / "diff.json"
+        assert (
+            main(["diff", key_a, key_b, "--store", str(root),
+                  "--json", str(path)]) == 0
+        )
+        out = capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert payload["label_a"] == key_a
+        assert payload["label_b"] == key_b
+        assert len(payload["appeared"]) == 5
+        assert payload["digest"] in out
+
+    def test_diff_unknown_key_exits_before_fanout(self, populated_store):
+        root, key_a, _ = populated_store
+        with pytest.raises(SystemExit, match="no stored study"):
+            main(["diff", key_a, "0" * 64, "--store", str(root)])
+
+
+class TestPackRoundTrip:
+    def test_pack_then_verify(self, populated_store, capsys, tmp_path):
+        root, key_a, _ = populated_store
+        out_dir = tmp_path / "bundle"
+        assert (
+            main(["pack", key_a, "--out", str(out_dir),
+                  "--store", str(root)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "packed" in out
+        assert "manifest digest:" in out
+
+        assert main(["pack", key_a, "--out", str(out_dir), "--verify"]) == 0
+        verified = capsys.readouterr().out
+        assert f"pack OK: study {key_a[:12]}" in verified
+        assert "artifacts verified" in verified
+
+    def test_verify_tampered_bundle_exits_nonzero(
+        self, populated_store, capsys, tmp_path
+    ):
+        root, key_a, _ = populated_store
+        out_dir = tmp_path / "bundle"
+        main(["pack", key_a, "--out", str(out_dir), "--store", str(root)])
+        capsys.readouterr()
+        (out_dir / "summary.txt").write_text("tampered")
+        with pytest.raises(SystemExit, match="sha256 mismatch"):
+            main(["pack", key_a, "--out", str(out_dir), "--verify"])
+
+    def test_pack_unknown_key_writes_nothing(
+        self, populated_store, tmp_path
+    ):
+        root, *_ = populated_store
+        out_dir = tmp_path / "bundle"
+        with pytest.raises(SystemExit, match="no stored study"):
+            main(["pack", "9" * 64, "--out", str(out_dir),
+                  "--store", str(root)])
+        assert not out_dir.exists()
