@@ -11,9 +11,10 @@ Compares the headline throughput sections of a bench report —
 ``grab_throughput`` (hosts/second through the full grab pipeline),
 ``probe_throughput`` (addresses/second through the SYN stage),
 ``sharded_throughput`` (hosts/second through a sharded sweep + merge),
-and ``diff_throughput`` (records/second through the streaming catalog
-fold behind ``repro diff``) — per executor backend against
-``BENCH_baseline.json``.  A backend
+``diff_throughput`` (records/second through the streaming catalog
+fold behind ``repro diff``), and ``secure_handshake_throughput``
+(full secure handshakes/second, keyed per security policy rather than
+per backend) — against ``BENCH_baseline.json``.  A backend
 running more than ``--threshold`` (default 15 %) slower than baseline
 prints a GitHub ``::warning::`` annotation, and a section or backend
 present in the baseline but *absent* from the report counts as a
@@ -47,12 +48,16 @@ SECTIONS = (
     "probe_throughput",
     "sharded_throughput",
     "diff_throughput",
+    "secure_handshake_throughput",
 )
 RATE_KEYS = {
     "grab_throughput": "hosts_per_second",
     "probe_throughput": "addresses_per_second",
     "sharded_throughput": "hosts_per_second",
     "diff_throughput": "records_per_second",
+    # Keyed per security policy, not per backend: the handshake is
+    # single-connection, so the interesting split is crypto suite.
+    "secure_handshake_throughput": "handshakes_per_second",
 }
 
 

@@ -150,6 +150,12 @@ def main(argv: list[str] | None = None) -> int:
     diff_throughput = _throughput_section(
         sweep, "diff", "records_per_second"
     )
+    # Per-policy rather than per-backend: the handshake bench splits
+    # by security policy, so a primitive-level regression is visible
+    # as one policy's rate falling while the others hold.
+    secure_handshake_throughput = _throughput_section(
+        sweep, "secure_handshake", "handshakes_per_second"
+    )
 
     payload = {
         "suite": "benchmarks",
@@ -162,20 +168,25 @@ def main(argv: list[str] | None = None) -> int:
         "probe_throughput": probe_throughput,
         "sharded_throughput": sharded_throughput,
         "diff_throughput": diff_throughput,
+        "secure_handshake_throughput": secure_handshake_throughput,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output} ({len(recorder.results)} benchmark timings)")
     if session is not None:
         from repro.crypto.cache import cache_stats
+        from repro.secure.crypto_suite import OP_STATS
 
         cache_lines = [
             f"{entry['name']:<18} size={entry['size']:<5} "
-            f"hits={entry['hits']:<7} misses={entry['misses']}"
+            f"hits={entry['hits']:<7} misses={entry['misses']:<7} "
+            f"hit_rate={entry['hit_rate']:.2%}"
             for entry in cache_stats()
         ]
         args.profile_output.write_text(
             "--- crypto caches (end of suite) ---\n"
             + "\n".join(cache_lines)
+            + "\n\n--- secure-channel crypto ops (sign/verify/encrypt) ---\n"
+            + OP_STATS.render()
             + "\n\n--- hot functions (cProfile, by cumulative time) ---\n"
             + session.stats_text()
         )

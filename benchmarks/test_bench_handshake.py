@@ -1,0 +1,89 @@
+"""Secure-handshake benchmark: full handshakes per second, per policy.
+
+Times the complete client/server secure handshake — hello, an
+OpenSecureChannel protected at SignAndEncrypt, CreateSession with the
+server's signature proof, ActivateSession with the client's — once per
+registered secure policy over the in-process loopback stream, and
+records handshakes-per-second to ``benchmarks/.sweep_metrics.json``
+for ``benchmarks/report.py`` to fold into the
+``secure_handshake_throughput`` section that ``benchmarks/compare.py``
+gates against ``BENCH_baseline.json``.
+
+The split by policy is the point: the deprecated SHA-1 policies and
+the current SHA-256 ones differ in both RSA padding and symmetric
+derivation, so a regression confined to one primitive shows up as one
+policy's rate falling while the others hold.  Pair with
+``report.py --profile`` (the ``secure-channel crypto ops`` section of
+``BENCH_profile.txt``) to see which primitive moved.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.crypto.rsa import generate_rsa_key
+from repro.secure.policies import ALL_POLICIES, POLICY_NONE
+from repro.server import EndpointConfig
+from repro.uabin.enums import MessageSecurityMode
+from repro.util.rng import DeterministicRng
+
+from benchmarks.test_bench_sweep import _update_metrics
+from tests.server.helpers import build_client, build_server, secure_open
+
+SECURE = [p for p in ALL_POLICIES if p is not POLICY_NONE]
+HANDSHAKES_PER_POLICY = 8
+
+
+def _run_handshakes(policy, rng, server_keys, client_keys) -> float:
+    """Seconds for ``HANDSHAKES_PER_POLICY`` full secure handshakes."""
+    configs = [
+        EndpointConfig(MessageSecurityMode.NONE, POLICY_NONE),
+        EndpointConfig(MessageSecurityMode.SIGN_AND_ENCRYPT, policy),
+    ]
+    server = build_server(
+        rng.substream(f"server-{policy.short_label}"),
+        server_keys,
+        endpoint_configs=configs,
+    )
+    certificate_der = server.config.certificate.raw_der
+
+    start = time.perf_counter()
+    for index in range(HANDSHAKES_PER_POLICY):
+        client = build_client(
+            server,
+            rng.substream(f"client-{policy.short_label}-{index}"),
+            client_keys,
+        )
+        client.hello()
+        secure_open(
+            client, policy, MessageSecurityMode.SIGN_AND_ENCRYPT,
+            certificate_der,
+        )
+        client.create_session()
+        client.activate_session()
+        client.close_session()
+        client.close()
+    return time.perf_counter() - start
+
+
+def test_bench_secure_handshake_throughput():
+    rng = DeterministicRng(20200830, "bench-handshake")
+    server_keys = generate_rsa_key(2048, rng.substream("server-keys"))
+    client_keys = generate_rsa_key(1024, rng.substream("client-keys"))
+
+    metrics = {}
+    for policy in SECURE:
+        elapsed = _run_handshakes(policy, rng, server_keys, client_keys)
+        rate = HANDSHAKES_PER_POLICY / elapsed
+        metrics[policy.name] = {
+            "seconds": round(elapsed, 3),
+            "handshakes": HANDSHAKES_PER_POLICY,
+            "handshakes_per_second": round(rate, 1),
+        }
+        print(
+            f"[handshake] {policy.name}: {HANDSHAKES_PER_POLICY} "
+            f"handshakes in {elapsed:.2f}s ({rate:.1f}/s)"
+        )
+
+    assert set(metrics) == {p.name for p in SECURE}
+    _update_metrics("secure_handshake", metrics)

@@ -7,6 +7,7 @@ Run:  python examples/quickstart.py
 
 from repro.client import ClientIdentity, UaClient
 from repro.crypto.rsa import generate_rsa_key
+from repro.secure.negotiation import ChannelSecurity
 from repro.secure.policies import POLICY_BASIC256SHA256, POLICY_NONE
 from repro.server import (
     EndpointConfig,
@@ -135,9 +136,12 @@ def main() -> None:
     client = UaClient(LoopbackStream(server), identity, rng.substream("c2"))
     client.hello()
     client.open_secure_channel(
-        POLICY_BASIC256SHA256,
-        MessageSecurityMode.SIGN_AND_ENCRYPT,
-        server_certificate_der=secure.server_certificate,
+        ChannelSecurity.for_endpoint(
+            POLICY_BASIC256SHA256,
+            MessageSecurityMode.SIGN_AND_ENCRYPT,
+            identity,
+            secure.server_certificate,
+        )
     )
     client.create_session()
     client.activate_session_username("operator", "secret")

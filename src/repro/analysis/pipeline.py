@@ -33,6 +33,7 @@ from repro.analysis.deficits import analyze_deficits
 from repro.analysis.ipv6 import analyze_dual_stack_sample
 from repro.analysis.longitudinal import analyze_longitudinal
 from repro.analysis.modes import analyze_security_modes
+from repro.analysis.negotiation import analyze_negotiated_security
 from repro.analysis.policies import analyze_security_policies
 from repro.analysis.reuse import analyze_certificate_reuse
 from repro.analysis.rights import analyze_access_rights
@@ -68,6 +69,7 @@ AnalysisFn = Callable[[AnalysisContext], object]
 ANALYSES: dict[str, AnalysisFn] = {
     "modes": lambda ctx: analyze_security_modes(ctx.final_servers),
     "policies": lambda ctx: analyze_security_policies(ctx.final_servers),
+    "negotiated": lambda ctx: analyze_negotiated_security(ctx.final_servers),
     "certs": lambda ctx: analyze_certificate_conformance(ctx.final_servers),
     "reuse": lambda ctx: analyze_certificate_reuse(ctx.final_servers),
     "access": lambda ctx: analyze_access_control(ctx.final_servers),

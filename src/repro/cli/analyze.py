@@ -9,7 +9,7 @@ from repro.cli.options import add_seed, executor_from_args, require_store
 # Mirrors repro.analysis.pipeline.ANALYSIS_NAMES (pinned by a CLI
 # test) so building the parser never imports the analysis stack.
 ANALYZE_CHOICES = (
-    "modes", "policies", "certs", "reuse", "access",
+    "modes", "policies", "negotiated", "certs", "reuse", "access",
     "rights", "deficits", "breakdown", "longitudinal", "ipv6",
 )
 

@@ -287,8 +287,14 @@ def _profile_scan(args):
         for entry in cache_stats():
             print(
                 f"{entry['name']:<18} size={entry['size']:<5} "
-                f"hits={entry['hits']:<7} misses={entry['misses']}"
+                f"hits={entry['hits']:<7} misses={entry['misses']:<7} "
+                f"hit_rate={entry['hit_rate']:.2%}"
             )
+        print()
+        print("--- profile: secure-channel crypto ops ---")
+        from repro.secure.crypto_suite import OP_STATS
+
+        print(OP_STATS.render())
         print()
         print("--- profile: hot functions (cProfile) ---")
         print(session.stats_text())

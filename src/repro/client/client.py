@@ -26,8 +26,7 @@ from repro.client.errors import (
     UaClientError,
 )
 from repro.secure.channel import ClientSecureChannel
-from repro.secure.crypto_suite import asym_sign
-from repro.secure.policies import POLICY_NONE, SecurityPolicy
+from repro.secure.negotiation import ChannelSecurity
 from repro.transport.connection import FrameReader, encode_frame
 from repro.transport.messages import (
     AcknowledgeMessage,
@@ -38,7 +37,6 @@ from repro.transport.messages import (
 from repro.uabin.enums import (
     ApplicationType,
     AttributeId,
-    MessageSecurityMode,
     SecurityTokenRequestType,
 )
 from repro.uabin.builtin import LocalizedText
@@ -62,13 +60,7 @@ from repro.uabin.types_session import (
     UserNameIdentityToken,
 )
 from repro.uabin.types_view import BrowseDescription, BrowseRequest
-from repro.x509.certificate import Certificate, parse_certificate
-
-_SIGNATURE_ALG_URIS = {
-    "pkcs1-sha1": "http://www.w3.org/2000/09/xmldsig#rsa-sha1",
-    "pkcs1-sha256": "http://www.w3.org/2001/04/xmldsig-more#rsa-sha256",
-    "pss-sha256": "http://opcfoundation.org/UA/security/rsa-pss-sha2-256",
-}
+from repro.x509.certificate import Certificate
 
 
 @dataclass(frozen=True)
@@ -104,12 +96,19 @@ class UaClient:
         self._endpoint_url = endpoint_url
         self._frames = FrameReader()
         self._channel: ClientSecureChannel | None = None
+        self._security: ChannelSecurity = ChannelSecurity.none()
+        self._client_nonce: bytes = b""
         self._request_id = 0
         self._request_handle = 0
         self._auth_token = NodeId()
         self._server_nonce: bytes = b""
         self._server_certificate_der: bytes | None = None
         self.connected = False
+
+    @property
+    def identity(self) -> ClientIdentity:
+        """The client identity (for building :class:`ChannelSecurity`)."""
+        return self._identity
 
     # --- low-level exchange ----------------------------------------------------
 
@@ -167,42 +166,31 @@ class UaClient:
         self.connected = True
         return AcknowledgeMessage.decode_body(body)
 
-    def open_secure_channel(
-        self,
-        policy: SecurityPolicy = POLICY_NONE,
-        mode: MessageSecurityMode = MessageSecurityMode.NONE,
-        server_certificate_der: bytes | None = None,
-    ):
-        """Open a secure channel under the given policy and mode."""
+    def open_secure_channel(self, security: ChannelSecurity | None = None):
+        """Open a secure channel with the negotiated ``security``.
+
+        ``security`` is the :class:`ChannelSecurity` to complete the
+        channel at — built per advertised endpoint via
+        :meth:`ChannelSecurity.for_endpoint` — or ``None`` for the
+        plain None-policy discovery channel.
+        """
         if not self.connected:
             raise UaClientError("hello() must run before open_secure_channel()")
-        server_cert = None
-        if policy is not POLICY_NONE:
-            if server_certificate_der is None:
-                raise UaClientError("secure policies need the server certificate")
-            server_cert = parse_certificate(server_certificate_der)
-            self._server_certificate_der = server_certificate_der
-        channel = ClientSecureChannel(
-            policy,
-            mode,
-            self._rng,
-            client_certificate=self._identity.certificate
-            if policy is not POLICY_NONE
-            else None,
-            client_private_key=self._identity.private_key
-            if policy is not POLICY_NONE
-            else None,
-            server_certificate=server_cert,
-        )
+        if security is None:
+            security = ChannelSecurity.none()
+        if security.is_secure:
+            self._server_certificate_der = security.peer_certificate_der
+        channel = security.client_channel(self._rng)
         request = OpenSecureChannelRequest(
             request_header=self._request_header(),
             request_type=SecurityTokenRequestType.ISSUE,
-            security_mode=mode,
+            security_mode=security.mode,
         )
         self._stream.write(channel.build_open_request(request))
         _, body = self._expect(MessageType.OPEN_CHANNEL)
         response = channel.handle_open_response(body)
         self._channel = channel
+        self._security = security
         return response
 
     # --- service invocation -------------------------------------------------------
@@ -246,6 +234,7 @@ class UaClient:
 
     def create_session(self, session_name: str = "repro-session"):
         client_nonce = self._rng.getrandbits(256).to_bytes(32, "big")
+        self._client_nonce = client_nonce
         request = CreateSessionRequest(
             request_header=self._request_header(),
             client_description=self._identity.description(),
@@ -259,6 +248,14 @@ class UaClient:
             ),
         )
         response = self._invoke(request)
+        if self._security.is_secure and self._identity.certificate is not None:
+            # The server proves possession of its certificate's key by
+            # signing our certificate + nonce (OPC 10000-4 §5.6.2).
+            signed = self._identity.certificate.raw_der + client_nonce
+            if not self._security.verify_peer_proof(
+                signed, response.server_signature
+            ):
+                raise UaClientError("server signature proof failed")
         self._auth_token = response.authentication_token
         self._server_nonce = response.server_nonce or b""
         if response.server_certificate:
@@ -269,18 +266,9 @@ class UaClient:
         """Activate with an identity token (default: anonymous)."""
         token = identity_token or AnonymousIdentityToken(policy_id="anonymous")
         client_signature = SignatureData()
-        channel = self._channel
-        if channel is not None and channel.policy is not POLICY_NONE:
+        if self._security.is_secure:
             signed = (self._server_certificate_der or b"") + self._server_nonce
-            client_signature = SignatureData(
-                algorithm=_SIGNATURE_ALG_URIS[channel.policy.asym_signature],
-                signature=asym_sign(
-                    channel.policy,
-                    self._identity.private_key,
-                    signed,
-                    self._rng,
-                ),
-            )
+            client_signature = self._security.sign_proof(signed, self._rng)
         request = ActivateSessionRequest(
             request_header=self._request_header(),
             client_signature=client_signature,

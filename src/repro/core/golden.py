@@ -43,6 +43,25 @@ TINY_SPEC_ROWS = 8
 #: exercise the batched sweep path.
 TINY_BATCH_SIZE = 16
 
+#: Rows of the negotiated-security tiny study (52 servers).  Chosen so
+#: the secure re-grab exercises every outcome the population can
+#: express: completed channels at Basic128Rsa15, Basic256,
+#: Basic256Sha256, and Aes256_Sha256_RsaPss; Sign-only and
+#: Sign+SignAndEncrypt mode sets; strict servers that reject the
+#: scanner's certificate (BadSecurityChecksFailed); and
+#: anonymous-rejecting hosts whose channels still negotiate.
+TINY_SECURE_ROW_IDS = (
+    "P1-md5",
+    "P2-auth-r3",
+    "P6-acc-sha1",
+    "P8-auth",
+    "Q1-sc",
+    "Q2-sc-s",
+    "Q2-acc-uncl-ssse",
+    "Q3-acc-a",
+    "P4s1-auth",
+)
+
 
 def canonical_json(payload) -> str:
     """Stable serialization: sorted keys, compact separators."""
@@ -106,4 +125,31 @@ def run_tiny_study(
     return Study(
         tiny_study_config(executor=executor, workers=workers, seed=seed),
         spec=tiny_spec(),
+    ).run()
+
+
+def tiny_secure_spec() -> PopulationSpec:
+    """The secure-endpoint rows the negotiated golden study scans."""
+    rows = [
+        row
+        for row in build_default_spec().rows
+        if row.row_id in TINY_SECURE_ROW_IDS
+    ]
+    assert len(rows) == len(TINY_SECURE_ROW_IDS)
+    return PopulationSpec(rows=rows)
+
+
+def run_tiny_secure_study(
+    executor: str = "serial", workers: int = 1, seed: int = 20200830
+) -> StudyResult:
+    """Run the negotiated-security study ``negotiated.digest.json`` pins.
+
+    Same configuration knobs as :func:`run_tiny_study`, different
+    population: every host advertises at least one Sign or
+    SignAndEncrypt endpoint, so each deep grab runs the secure
+    re-grab and records the ``negotiated_*`` session fields.
+    """
+    return Study(
+        tiny_study_config(executor=executor, workers=workers, seed=seed),
+        spec=tiny_secure_spec(),
     ).run()

@@ -23,7 +23,7 @@ for measurements.
 >>> cache.lookup((7,), lambda: 0)  # hit: the compute thunk never runs
 49
 >>> cache.stats()
-{'name': 'doctest-squares', 'size': 1, 'hits': 1, 'misses': 1}
+{'name': 'doctest-squares', 'size': 1, 'hits': 1, 'misses': 1, 'hit_rate': 0.5}
 """
 
 from __future__ import annotations
@@ -122,11 +122,18 @@ class KeyedOpCache:
             self.misses = 0
 
     def stats(self) -> dict:
+        """Counters plus the hit rate (0.0 when never looked up).
+
+        >>> KeyedOpCache("doctest-cold").stats()["hit_rate"]
+        0.0
+        """
+        lookups = self.hits + self.misses
         return {
             "name": self.name,
             "size": len(self._entries),
             "hits": self.hits,
             "misses": self.misses,
+            "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
         }
 
 

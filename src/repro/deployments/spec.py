@@ -21,7 +21,7 @@ from repro.deployments.profiles import (
     CERT_CLASSES,
     POLICY_GROUPS,
 )
-from repro.secure.policies import policy_by_label
+from repro.secure.policies import POLICY_NONE, policy_by_label
 from repro.uabin.enums import MessageSecurityMode, UserTokenType
 
 # Token combo shorthands (paper Table 2 rows).
@@ -91,6 +91,46 @@ class SpecRow:
     @property
     def offers_anonymous(self) -> bool:
         return UserTokenType.ANONYMOUS in self.token_combo
+
+    def best_advertised_pair(self):
+        """Strongest secure ``(policy, mode)`` this row advertises.
+
+        This is, by construction, the pair the scanner's negotiated
+        re-grab targets: the deployment generator builds one endpoint
+        per (mode × non-None policy) cross product, so the strongest
+        policy always pairs with the strongest secure mode.  Returns
+        None for rows advertising only the None policy or only the
+        None mode.
+        """
+        policies = [
+            p
+            for p in POLICY_GROUPS[self.policy_group].policies
+            if p is not POLICY_NONE
+        ]
+        modes = [m for m in self.mode_set if m != MessageSecurityMode.NONE]
+        if not policies or not modes:
+            return None
+        return (
+            max(policies, key=lambda p: p.security_rank),
+            max(modes, key=lambda m: m.security_rank),
+        )
+
+    def expected_negotiation(self):
+        """Ground truth for the negotiated re-grab against this row.
+
+        Returns ``(policy_uri, mode, error)`` mirroring the sparse
+        ``negotiated_*``/``negotiation_error`` record fields: all three
+        None for None-only rows, an error name for strict rows that
+        reject the scanner's self-signed certificate, and the
+        completed pair otherwise.
+        """
+        pair = self.best_advertised_pair()
+        if pair is None:
+            return (None, None, None)
+        if self.outcome == SC:
+            return (None, None, "BadSecurityChecksFailed")
+        policy, mode = pair
+        return (policy.uri, int(mode), None)
 
 
 N = MessageSecurityMode.NONE
@@ -306,6 +346,31 @@ class PopulationSpec:
 
     def reuse_group_size(self, group: str) -> int:
         return self.count_where(lambda r: r.reuse_group == group)
+
+    def negotiation_expectations(self) -> dict:
+        """Aggregate negotiated-security ground truth for this spec.
+
+        ``by_pair`` counts hosts per expected negotiated
+        ``(policy short label, mode value)``; ``failed`` counts hosts
+        whose handshake the server aborts; ``none_only`` counts hosts
+        with nothing to negotiate.  The registry analysis
+        ``analyze_negotiated_security`` must reproduce these numbers
+        from scan records alone.
+        """
+        by_pair: dict[tuple[str, int], int] = {}
+        failed = 0
+        none_only = 0
+        for row in self.rows:
+            policy_uri, mode, error = row.expected_negotiation()
+            if error is not None:
+                failed += row.count
+            elif policy_uri is None:
+                none_only += row.count
+            else:
+                label = policy_uri.rsplit("#", 1)[-1]
+                key = (label, mode)
+                by_pair[key] = by_pair.get(key, 0) + row.count
+        return {"by_pair": by_pair, "failed": failed, "none_only": none_only}
 
     def validate(self) -> None:
         """Assert every paper marginal; raises AssertionError on drift."""

@@ -28,6 +28,13 @@ def _headline(name: str, result) -> str:
             f"{result.deprecated_as_best} have one as their best, "
             f"{result.enforce_secure} enforce strong policies"
         )
+    if name == "negotiated":
+        return (
+            f"{result.negotiated}/{result.attempted} secure channels "
+            f"completed ({result.matched_best_advertised} at the best "
+            f"advertised pair), {result.failed} failed, "
+            f"{result.none_only} None-only"
+        )
     if name == "certs":
         return (
             f"{result.servers_with_certificate} certificates, "

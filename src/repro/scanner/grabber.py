@@ -12,6 +12,10 @@ Sequence for each open port:
 4. Anonymous session attempt on the preferred anonymous endpoint.
 5. If accessible: namespace read, SoftwareVersion read, and the
    budgeted address-space traversal.
+6. Secure re-grab: complete a full Sign/SignAndEncrypt channel at the
+   best advertised pair and run one protected service round trip,
+   recording the negotiated ``(policy, mode)`` — or why negotiation
+   failed — on the session attempt.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from repro.client import (
 )
 from repro.netsim.net import ConnectionRefused, HostDown, NetworkView, SimNetwork
 from repro.scanner.limits import TraversalBudget
+from repro.scanner.ranking import most_secure_endpoint, weakest_anonymous_endpoint
 from repro.scanner.records import (
     CertificateInfo,
     EndpointRecord,
@@ -35,11 +40,13 @@ from repro.scanner.records import (
     SessionAttempt,
 )
 from repro.scanner.traversal import traverse_address_space
-from repro.secure.policies import POLICY_NONE, policy_by_uri
+from repro.secure.negotiation import ChannelSecurity
+from repro.secure.policies import POLICY_NONE
 from repro.server.addressspace import NodeIds
 from repro.transport.messages import TransportError
 from repro.transport.replay import ReplayError
-from repro.uabin.enums import MessageSecurityMode, UserTokenType
+from repro.uabin.enums import UserTokenType
+from repro.uabin.statuscodes import lookup_status
 from repro.util.ipaddr import format_endpoint_host
 from repro.util.rng import DeterministicRng
 from repro.util.simtime import format_utc
@@ -141,6 +148,9 @@ def grab_host(
             network, address, port, identity, rng, record, budget, traverse
         )
 
+        # Secure re-grab at the best advertised pair.
+        _negotiate_security(network, address, port, identity, rng, record)
+
         record.scan_duration_s = (
             network.clock.now() - start_time
         ).total_seconds()
@@ -172,30 +182,10 @@ def _fill_endpoint_records(record: HostRecord, endpoints) -> None:
             )
 
 
-def _most_secure_endpoint(record: HostRecord):
-    """Pick the strongest advertised secure (mode, policy) pair."""
-    best = None
-    best_rank = (-1, -1)
-    for endpoint in record.endpoints:
-        if endpoint.mode == MessageSecurityMode.NONE:
-            continue
-        if endpoint.security_policy_uri is None:
-            continue
-        try:
-            policy = policy_by_uri(endpoint.security_policy_uri)
-        except KeyError:
-            continue
-        rank = (policy.security_rank, endpoint.mode.security_rank)
-        if rank > best_rank:
-            best_rank = rank
-            best = (endpoint, policy)
-    return best
-
-
 def _probe_secure_channel(
     network, address, port, identity, rng, record
 ) -> SecureChannelAttempt | None:
-    choice = _most_secure_endpoint(record)
+    choice = most_secure_endpoint(record.endpoints)
     if choice is None:
         return None  # only None endpoints; nothing to probe
     endpoint, policy = choice
@@ -219,7 +209,9 @@ def _probe_secure_channel(
             f"opc.tcp://{format_endpoint_host(address)}:{port}/",
         )
         client.hello()
-        client.open_secure_channel(policy, endpoint.mode, cert_der)
+        client.open_secure_channel(
+            ChannelSecurity.for_endpoint(policy, endpoint.mode, identity, cert_der)
+        )
         client.close()
         return SecureChannelAttempt(
             security_policy_uri=policy.uri,
@@ -245,35 +237,10 @@ def _probe_secure_channel(
         _close_quietly(socket)
 
 
-def _anonymous_endpoint(record: HostRecord):
-    """Preferred endpoint for the anonymous session attempt.
-
-    None-mode endpoints first (cheapest), then the weakest secure one —
-    the scanner is after access classification, not confidentiality.
-    """
-    candidates = []
-    for endpoint in record.endpoints:
-        if UserTokenType.ANONYMOUS not in endpoint.token_type_set():
-            continue
-        if endpoint.security_policy_uri is None:
-            continue
-        try:
-            policy = policy_by_uri(endpoint.security_policy_uri)
-        except KeyError:
-            continue
-        rank = (policy.security_rank, endpoint.mode.security_rank)
-        candidates.append((rank, endpoint, policy))
-    if not candidates:
-        return None
-    candidates.sort(key=lambda item: item[0])
-    _, endpoint, policy = candidates[0]
-    return endpoint, policy
-
-
 def _attempt_anonymous_session(
     network, address, port, identity, rng, record, budget, traverse=True
 ) -> SessionAttempt:
-    choice = _anonymous_endpoint(record)
+    choice = weakest_anonymous_endpoint(record.endpoints)
     if choice is None:
         # No anonymous token advertised: the paper counts these as
         # rejected by authentication without attempting credentials.
@@ -317,11 +284,9 @@ def _attempt_anonymous_session(
             )
             client.hello()
             client.open_secure_channel(
-                policy,
-                endpoint.mode
-                if policy is not POLICY_NONE
-                else MessageSecurityMode.NONE,
-                cert_der if policy is not POLICY_NONE else None,
+                ChannelSecurity.for_endpoint(
+                    policy, endpoint.mode, identity, cert_der
+                )
             )
             client.create_session()
             client.activate_session()
@@ -368,6 +333,76 @@ def _attempt_anonymous_session(
             except (UaClientError, TransportError, ConnectionRefused):
                 pass  # best-effort: the transport may already be gone
         return attempt
+    finally:
+        _close_quietly(socket)
+
+
+def _negotiate_security(network, address, port, identity, rng, record) -> None:
+    """Secure re-grab: complete a channel at the best advertised pair.
+
+    The probe (step 3) only proves the server *answers* an
+    OpenSecureChannel; this step completes the negotiation — nonce
+    exchange, key derivation, and one protected service round trip —
+    and records the ``(policy, mode)`` pair that actually worked on
+    the session attempt.  When the probe already failed, its error is
+    the negotiation outcome (re-connecting would only repeat the same
+    channel-level rejection), so no extra connection is opened.
+    """
+    choice = most_secure_endpoint(record.endpoints)
+    if choice is None:
+        return  # only None endpoints: nothing to negotiate
+    endpoint, policy = choice
+    session = record.session
+    if session is None:
+        return
+    probe = record.secure_channel
+    if probe is not None and not probe.success:
+        if probe.error_status is not None:
+            session.negotiation_error = lookup_status(probe.error_status).name
+        else:
+            session.negotiation_error = probe.error_reason
+        return
+    cert_der = (
+        bytes.fromhex(record.certificate.der_hex) if record.certificate else None
+    )
+    if cert_der is None:
+        session.negotiation_error = "no server certificate available"
+        return
+    socket = None
+    client = None
+    try:
+        socket = network.connect(address, port)
+        client = UaClient(
+            socket,
+            identity,
+            rng.substream(f"negotiate-{address}-{port}"),
+            f"opc.tcp://{format_endpoint_host(address)}:{port}/",
+        )
+        client.hello()
+        client.open_secure_channel(
+            ChannelSecurity.for_endpoint(policy, endpoint.mode, identity, cert_der)
+        )
+        # One protected round trip proves both symmetric keysets agree.
+        client.get_endpoints()
+        session.negotiated_policy_uri = policy.uri
+        session.negotiated_mode = int(endpoint.mode)
+    except TransportRejectedError as exc:
+        session.negotiation_error = exc.status.name
+    except (UaClientError, TransportError, ConnectionRefused, HostDown) as exc:
+        session.negotiation_error = categorize_error(exc)
+    else:
+        # Channel proven; exercising a session over it (signature
+        # proofs both ways) is best-effort — an authentication
+        # rejection here is the session attempt's story, not a
+        # negotiation failure.
+        try:
+            if UserTokenType.ANONYMOUS in endpoint.token_type_set():
+                client.create_session()
+                client.activate_session()
+                client.close_session()
+            client.close()
+        except (UaClientError, TransportError):
+            pass
     finally:
         _close_quietly(socket)
 

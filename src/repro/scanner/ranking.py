@@ -1,0 +1,76 @@
+"""Endpoint ranking shared by the scanner's probe/session/negotiation steps.
+
+The grab sequence picks endpoints from the advertised list three
+times — the strongest pair for the secure-channel probe and the
+negotiated re-grab, the weakest anonymous one for the session attempt
+— and every caller must rank identically for records to stay pure
+functions of the endpoint list.  The ordering key is
+``(policy.security_rank, mode.security_rank)``: policy strength
+dominates, mode breaks ties, and among equal pairs the first
+advertised endpoint wins (both pickers are stable).
+"""
+
+from __future__ import annotations
+
+from repro.secure.policies import SecurityPolicy, policy_by_uri
+from repro.uabin.enums import MessageSecurityMode, UserTokenType
+
+
+def endpoint_policy(endpoint) -> SecurityPolicy | None:
+    """The endpoint's registered policy, or None when absent/unknown."""
+    if endpoint.security_policy_uri is None:
+        return None
+    try:
+        return policy_by_uri(endpoint.security_policy_uri)
+    except KeyError:
+        return None
+
+
+def security_rank(
+    policy: SecurityPolicy, mode: MessageSecurityMode
+) -> tuple[int, int]:
+    """Comparable strength of a ``(policy, mode)`` pair."""
+    return (policy.security_rank, mode.security_rank)
+
+
+def most_secure_endpoint(endpoints):
+    """Strongest advertised secure ``(endpoint, policy)`` pair, or None.
+
+    None-mode endpoints and endpoints with an unknown policy URI are
+    skipped; ties keep the first advertised endpoint.
+    """
+    best = None
+    best_rank = (-1, -1)
+    for endpoint in endpoints:
+        if endpoint.mode == MessageSecurityMode.NONE:
+            continue
+        policy = endpoint_policy(endpoint)
+        if policy is None:
+            continue
+        rank = security_rank(policy, endpoint.mode)
+        if rank > best_rank:
+            best_rank = rank
+            best = (endpoint, policy)
+    return best
+
+
+def weakest_anonymous_endpoint(endpoints):
+    """Preferred ``(endpoint, policy)`` for the anonymous session attempt.
+
+    None-mode endpoints first (cheapest), then the weakest secure one —
+    the scanner is after access classification, not confidentiality.
+    Returns None when no endpoint advertises the anonymous token.
+    """
+    candidates = []
+    for endpoint in endpoints:
+        if UserTokenType.ANONYMOUS not in endpoint.token_type_set():
+            continue
+        policy = endpoint_policy(endpoint)
+        if policy is None:
+            continue
+        candidates.append((security_rank(policy, endpoint.mode), endpoint, policy))
+    if not candidates:
+        return None
+    candidates.sort(key=lambda item: item[0])
+    _, endpoint, policy = candidates[0]
+    return endpoint, policy

@@ -105,10 +105,18 @@ class SessionAttempt:
     ``error_status`` alone cannot (connection-level failures carry no
     status code).  ``details_error`` marks a partial success: the
     session activated, but collecting namespaces / software version /
-    traversal failed afterwards.  Both are sparse fields: they are
-    omitted from the canonical JSON when unset, so records from the
-    simulated lane keep their exact pre-live-lane bytes (pinned by
-    the golden digests).
+    traversal failed afterwards.
+
+    ``negotiated_policy_uri``/``negotiated_mode`` record the secure
+    re-grab: the ``(policy, mode)`` pair the scanner *completed* a
+    secure channel at (always the strongest advertised pair), with
+    ``negotiation_error`` holding the status name or failure category
+    when the handshake did not complete.  Hosts advertising only
+    None endpoints leave all three unset.
+
+    All five are sparse fields: they are omitted from the canonical
+    JSON when unset, so records from hosts that never reach them keep
+    their exact pre-existing bytes (pinned by the golden digests).
     """
 
     attempted: bool
@@ -119,6 +127,9 @@ class SessionAttempt:
     error_status: int | None = None
     error_category: str | None = None
     details_error: str | None = None
+    negotiated_policy_uri: str | None = None
+    negotiated_mode: int | None = None
+    negotiation_error: str | None = None
 
 
 @dataclass
@@ -220,7 +231,13 @@ class HostRecord:
     #: canonical JSON while unset so the simulated lane's bytes (and
     #: with them the golden digests) are unchanged by their existence.
     _SPARSE_FIELDS = ("error_category",)
-    _SPARSE_SESSION_FIELDS = ("error_category", "details_error")
+    _SPARSE_SESSION_FIELDS = (
+        "error_category",
+        "details_error",
+        "negotiated_policy_uri",
+        "negotiated_mode",
+        "negotiation_error",
+    )
 
     def to_json_dict(self) -> dict:
         data = asdict(self)

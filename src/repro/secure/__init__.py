@@ -27,10 +27,12 @@ from repro.secure.channel import (
     SecureChannelError,
     ServerSecureChannel,
 )
+from repro.secure.negotiation import ChannelSecurity
 
 __all__ = [
     "ALL_POLICIES",
     "DEPRECATED_POLICIES",
+    "ChannelSecurity",
     "ClientSecureChannel",
     "POLICY_AES128_SHA256_RSAOAEP",
     "POLICY_AES256_SHA256_RSAPSS",

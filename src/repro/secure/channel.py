@@ -373,6 +373,31 @@ class ServerSecureChannel(_ChannelBase):
                 "secure policies require the server certificate and key"
             )
 
+    def adopt_mode(self, mode: MessageSecurityMode) -> None:
+        """Adopt the mode the client requested inside the OPN body.
+
+        The requested mode travels *inside* the (possibly encrypted)
+        chunk, so the server must construct the channel with a
+        provisional mode and switch once the body is decoded.  The
+        same policy/mode pairing rules as construction apply; a
+        mismatch raises :class:`SecureChannelError` so the engine can
+        answer with a truthful ``BadSecurityModeRejected``.
+        """
+        if self.policy is POLICY_NONE:
+            if mode != MessageSecurityMode.NONE:
+                raise SecureChannelError(
+                    f"mode {mode.name} requires a security policy"
+                )
+        elif mode not in (
+            MessageSecurityMode.SIGN,
+            MessageSecurityMode.SIGN_AND_ENCRYPT,
+        ):
+            raise SecureChannelError(
+                f"policy {self.policy.name} requires Sign or "
+                f"SignAndEncrypt, got {mode.name}"
+            )
+        self.mode = mode
+
     def handle_open_request(self, frame_body: bytes) -> OpenSecureChannelRequest:
         reader = BinaryReader(frame_body)
         reader.read_uint32()  # channel id (0 on first open)

@@ -4,11 +4,19 @@ Bridges the abstract algorithm names in :class:`SecurityPolicy` to the
 concrete primitives in :mod:`repro.crypto`: asymmetric operations for
 OpenSecureChannel protection and symmetric operations for session
 traffic.
+
+Every public operation reports its wall time to :data:`OP_STATS`, so
+``benchmarks/report.py --profile`` can break secure-handshake time out
+by primitive (RSA sign vs. verify vs. encrypt, AES/HMAC for MSG
+traffic).  The counters are diagnostic only and never feed back into
+any output byte.
 """
 
 from __future__ import annotations
 
+import functools
 import random
+import time
 
 from repro.crypto import pkcs1
 from repro.crypto.aes import AesCbc
@@ -16,6 +24,26 @@ from repro.crypto.hmac_prf import hmac_digest
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
 from repro.secure.keysets import SymmetricKeys
 from repro.secure.policies import SecurityPolicy
+from repro.util.profiling import CryptoOpStats
+
+#: Secure-handshake operation counters (per process; see
+#: :class:`repro.util.profiling.CryptoOpStats`).
+OP_STATS = CryptoOpStats()
+
+
+def _timed(op: str):
+    def deco(fn):
+        @functools.wraps(fn)
+        def inner(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                OP_STATS.record(op, time.perf_counter() - start)
+
+        return inner
+
+    return deco
 
 
 class SuiteError(Exception):
@@ -25,6 +53,7 @@ class SuiteError(Exception):
 # --- asymmetric operations (OPN protection) ---------------------------------
 
 
+@_timed("asym_encrypt")
 def asym_encrypt(
     policy: SecurityPolicy, key: RsaPublicKey, plaintext: bytes, rng: random.Random
 ) -> bytes:
@@ -37,6 +66,7 @@ def asym_encrypt(
     return bytes(out)
 
 
+@_timed("asym_decrypt")
 def asym_decrypt(policy: SecurityPolicy, key: RsaPrivateKey, ciphertext: bytes) -> bytes:
     cipher_block = key.byte_length
     if len(ciphertext) % cipher_block:
@@ -85,6 +115,7 @@ def _asym_decrypt_block(
     raise SuiteError(f"policy {policy.name} does not encrypt asymmetrically")
 
 
+@_timed("asym_sign")
 def asym_sign(
     policy: SecurityPolicy, key: RsaPrivateKey, data: bytes, rng: random.Random
 ) -> bytes:
@@ -97,6 +128,7 @@ def asym_sign(
     raise SuiteError(f"policy {policy.name} does not sign asymmetrically")
 
 
+@_timed("asym_verify")
 def asym_verify(
     policy: SecurityPolicy, key: RsaPublicKey, data: bytes, signature: bytes
 ) -> bool:
@@ -118,18 +150,27 @@ def asym_signature_length(policy: SecurityPolicy, key: RsaPrivateKey | RsaPublic
 # --- symmetric operations (MSG protection) ----------------------------------
 
 
-def sym_sign(policy: SecurityPolicy, keys: SymmetricKeys, data: bytes) -> bytes:
+def _sym_sign(policy: SecurityPolicy, keys: SymmetricKeys, data: bytes) -> bytes:
+    # Untimed body shared by sym_sign and sym_verify, so a verify
+    # counts once as "sym_verify" rather than also as a sign.
     if policy.sym_signature_hash is None:
         raise SuiteError(f"policy {policy.name} does not sign symmetrically")
     return hmac_digest(policy.sym_signature_hash, keys.signing_key, data)
 
 
+@_timed("sym_sign")
+def sym_sign(policy: SecurityPolicy, keys: SymmetricKeys, data: bytes) -> bytes:
+    return _sym_sign(policy, keys, data)
+
+
+@_timed("sym_verify")
 def sym_verify(
     policy: SecurityPolicy, keys: SymmetricKeys, data: bytes, signature: bytes
 ) -> bool:
-    return sym_sign(policy, keys, data) == signature
+    return _sym_sign(policy, keys, data) == signature
 
 
+@_timed("sym_encrypt")
 def sym_encrypt(policy: SecurityPolicy, keys: SymmetricKeys, plaintext: bytes) -> bytes:
     if policy.sym_encryption_key_len == 0:
         raise SuiteError(f"policy {policy.name} does not encrypt symmetrically")
@@ -137,6 +178,7 @@ def sym_encrypt(policy: SecurityPolicy, keys: SymmetricKeys, plaintext: bytes) -
     return cipher.encrypt(plaintext)
 
 
+@_timed("sym_decrypt")
 def sym_decrypt(policy: SecurityPolicy, keys: SymmetricKeys, ciphertext: bytes) -> bytes:
     if policy.sym_encryption_key_len == 0:
         raise SuiteError(f"policy {policy.name} does not encrypt symmetrically")

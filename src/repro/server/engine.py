@@ -12,7 +12,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.secure.channel import SecureChannelError, ServerSecureChannel
-from repro.secure.crypto_suite import asym_sign, asym_verify
+from repro.secure.negotiation import sign_nonce_proof, verify_nonce_proof
 from repro.secure.policies import POLICY_NONE, SecurityPolicy, policy_by_uri
 from repro.server.access import Role
 from repro.server.addressspace import AddressSpace
@@ -65,12 +65,6 @@ from repro.uabin.types_view import (
 from repro.uabin.variant import DataValue, Variant, VariantType
 from repro.util.binary import BinaryReader
 from repro.x509.certificate import Certificate
-
-_SIGNATURE_ALG_URIS = {
-    "pkcs1-sha1": "http://www.w3.org/2000/09/xmldsig#rsa-sha1",
-    "pkcs1-sha256": "http://www.w3.org/2001/04/xmldsig-more#rsa-sha256",
-    "pss-sha256": "http://opcfoundation.org/UA/security/rsa-pss-sha2-256",
-}
 
 
 @dataclass
@@ -245,19 +239,28 @@ class UaServer:
         )
 
     def handle_create_session(self, session, request, channel):
+        if channel.policy is not POLICY_NONE:
+            # The application certificate in the request must be the
+            # one that opened the channel (OPC 10000-4 §5.6.2): a
+            # mismatch means the session would not be bound to the
+            # keys that protect it.
+            channel_cert = channel.client_certificate
+            if channel_cert is not None and request.client_certificate != (
+                channel_cert.raw_der
+            ):
+                raise _Fault(StatusCodes.BadCertificateInvalid)
         new_session = self.sessions.create(
             name=request.session_name or "",
             timeout_ms=request.requested_session_timeout,
             client_nonce=request.client_nonce,
+            security_policy_uri=channel.policy.uri,
+            security_mode=int(channel.mode),
         )
         server_signature = SignatureData()
         if channel.policy is not POLICY_NONE and request.client_certificate:
             signed = request.client_certificate + (request.client_nonce or b"")
-            server_signature = SignatureData(
-                algorithm=_SIGNATURE_ALG_URIS[channel.policy.asym_signature],
-                signature=asym_sign(
-                    channel.policy, self.config.private_key, signed, self._rng
-                ),
+            server_signature = sign_nonce_proof(
+                channel.policy, self.config.private_key, signed, self._rng
             )
         return CreateSessionResponse(
             response_header=self._ok_header(request),
@@ -276,6 +279,13 @@ class UaServer:
         target = self.sessions.lookup(request.request_header.authentication_token)
         if target is None:
             raise _Fault(StatusCodes.BadSessionIdInvalid)
+        if (
+            target.security_policy_uri != channel.policy.uri
+            or target.security_mode != int(channel.mode)
+        ):
+            # Activation must arrive over a channel with the same
+            # security the session was created under.
+            raise _Fault(StatusCodes.BadSecurityChecksFailed)
         if self.config.behavior.faulty_session_config:
             raise _Fault(StatusCodes.BadIdentityTokenRejected)
         if channel.policy is not POLICY_NONE:
@@ -331,9 +341,8 @@ class UaServer:
             (self.config.certificate.raw_der if self.config.certificate else b"")
             + session.server_nonce
         )
-        signature = request.client_signature.signature or b""
-        if not asym_verify(
-            channel.policy, client_cert.public_key, signed, signature
+        if not verify_nonce_proof(
+            channel.policy, client_cert, signed, request.client_signature
         ):
             raise _Fault(StatusCodes.BadApplicationSignatureInvalid)
 
@@ -718,8 +727,11 @@ class ServerConnection:
                 StatusCodes.BadSecurityModeRejected,
                 f"mode {requested_mode.name} not offered with {policy.name}",
             )
-        if policy is not POLICY_NONE:
-            channel.mode = requested_mode
+        try:
+            channel.adopt_mode(requested_mode)
+        except SecureChannelError as exc:
+            self._closed = True
+            return self._error_frame(StatusCodes.BadSecurityModeRejected, str(exc))
 
         response = OpenSecureChannelResponse(
             response_header=ResponseHeader(

@@ -5,6 +5,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.secure.policies import POLICY_NONE
 from repro.server.access import UserContext
 from repro.uabin.nodeid import NodeId
 from repro.uabin.statuscodes import StatusCodes
@@ -20,6 +21,10 @@ class Session:
     server_nonce: bytes = b""
     activated: bool = False
     user: UserContext | None = None
+    # Security of the channel the session was created on; activation
+    # must arrive over a channel with the same pair.
+    security_policy_uri: str = POLICY_NONE.uri
+    security_mode: int = 1
 
     @property
     def role(self):
@@ -40,7 +45,14 @@ class SessionManager:
     def __len__(self) -> int:
         return len(self._by_token)
 
-    def create(self, name: str, timeout_ms: float, client_nonce: bytes | None) -> Session:
+    def create(
+        self,
+        name: str,
+        timeout_ms: float,
+        client_nonce: bytes | None,
+        security_policy_uri: str = POLICY_NONE.uri,
+        security_mode: int = 1,
+    ) -> Session:
         if len(self._by_token) >= self._max_sessions:
             from repro.server.auth import AuthenticationError
 
@@ -53,6 +65,8 @@ class SessionManager:
             timeout_ms=timeout_ms,
             client_nonce=client_nonce,
             server_nonce=self._rng.getrandbits(256).to_bytes(32, "big"),
+            security_policy_uri=security_policy_uri,
+            security_mode=security_mode,
         )
         self._next_numeric += 1
         self._by_token[token_bytes] = session

@@ -1,14 +1,18 @@
 """Lightweight profiling hooks for the scan pipeline.
 
-Two complementary views, both behind the ``--profile`` flags on
+Three complementary views, all behind the ``--profile`` flags on
 ``repro scan`` and ``benchmarks/report.py``:
 
 * :class:`StageStats` — per-pipeline-stage counters (tasks completed
   and in-process seconds for probe / grab / follow-reference), cheap
   enough to leave on during a benchmark run;
+* :class:`CryptoOpStats` — per-operation counters for the secure
+  handshake (sign / verify / encrypt / decrypt, asymmetric and
+  symmetric), answering "where does secure-handshake time go" without
+  a full profile;
 * :class:`ProfileSession` — a context manager wrapping a block in
   :mod:`cProfile` plus :mod:`tracemalloc`, for the "where exactly"
-  drill-down once :class:`StageStats` has said which lane regressed.
+  drill-down once the counters have said which lane regressed.
 
 The numbers are diagnostic output, never inputs to the scan itself, so
 profiling cannot perturb snapshot bytes.
@@ -18,6 +22,12 @@ profiling cannot perturb snapshot bytes.
 >>> stats.record_seconds(0, 0.5)
 >>> stats.as_dict()["probe"]
 {'tasks': 1, 'seconds': 0.5}
+
+>>> ops = CryptoOpStats()
+>>> ops.record("asym_sign", 0.25)
+>>> ops.record("asym_sign", 0.25)
+>>> ops.as_dict()
+{'asym_sign': {'ops': 2, 'seconds': 0.5}}
 
 >>> with ProfileSession(top=3) as session:
 ...     _ = sorted(range(100))
@@ -84,6 +94,55 @@ class StageStats:
         for label, row in self.as_dict().items():
             lines.append(
                 f"{label:<18} {row['tasks']:>6}  {row['seconds']:>9.3f}"
+            )
+        return "\n".join(lines)
+
+
+class CryptoOpStats:
+    """Per-operation counts and wall seconds for crypto primitives.
+
+    Driven by the timing shims in :mod:`repro.secure.crypto_suite`:
+    every asymmetric/symmetric sign, verify, encrypt, and decrypt
+    reports here, so a profile run can say how secure-handshake time
+    splits across RSA (OPN protection, nonce proofs) and AES/HMAC
+    (MSG protection) without a cProfile drill-down.  Thread-safe for
+    the same reason :class:`StageStats` is; on the process backend the
+    forked workers count into their own copies, so — like grab
+    seconds — secure-op numbers reflect in-process work only.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ops: dict[str, int] = {}
+        self._seconds: dict[str, float] = {}
+
+    def record(self, op: str, seconds: float) -> None:
+        with self._lock:
+            self._ops[op] = self._ops.get(op, 0) + 1
+            self._seconds[op] = self._seconds.get(op, 0.0) + seconds
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ops.clear()
+            self._seconds.clear()
+
+    def as_dict(self) -> dict[str, dict]:
+        """``{op: {ops, seconds}}``, operations in name order."""
+        with self._lock:
+            return {
+                op: {
+                    "ops": self._ops[op],
+                    "seconds": round(self._seconds.get(op, 0.0), 6),
+                }
+                for op in sorted(self._ops)
+            }
+
+    def render(self) -> str:
+        """Human-readable per-operation table."""
+        lines = ["operation           ops      seconds"]
+        for op, row in self.as_dict().items():
+            lines.append(
+                f"{op:<18} {row['ops']:>6}  {row['seconds']:>11.6f}"
             )
         return "\n".join(lines)
 

@@ -34,8 +34,8 @@ def serial_report(serial_tiny_result):
 class TestRegistry:
     def test_every_analysis_registered(self):
         assert set(ANALYSIS_NAMES) == {
-            "modes", "policies", "certs", "reuse", "access", "rights",
-            "deficits", "breakdown", "longitudinal", "ipv6",
+            "modes", "policies", "negotiated", "certs", "reuse", "access",
+            "rights", "deficits", "breakdown", "longitudinal", "ipv6",
         }
 
     def test_report_is_canonically_ordered(self, serial_report):

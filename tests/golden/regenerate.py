@@ -1,14 +1,18 @@
-"""Regenerate the committed golden digests (serial reference run).
+"""Regenerate the committed golden digests (serial reference runs).
 
 Usage::
 
     PYTHONPATH=src python tests/golden/regenerate.py
 
+Writes both ``tiny_study.digest.json`` (the None-only population) and
+``negotiated.digest.json`` (the secure-endpoint population whose
+records carry the ``negotiated_*`` session fields).
+
 Only run this after an *intentional* determinism change (new record
 field, RNG re-keying, population change) and commit the refreshed
-``tiny_study.digest.json`` together with the change that explains it.
-A diff here without an explanation is exactly the regression the
-golden tests exist to catch.
+digests together with the change that explains it.  A diff here
+without an explanation is exactly the regression the golden tests
+exist to catch.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 DIGEST_PATH = Path(__file__).resolve().parent / "tiny_study.digest.json"
+NEGOTIATED_PATH = Path(__file__).resolve().parent / "negotiated.digest.json"
 
 for entry in (str(REPO_ROOT / "src"),):
     if entry not in sys.path:
@@ -30,10 +35,13 @@ os.environ.setdefault("REPRO_KEYCACHE", str(REPO_ROOT / ".keycache"))
 
 from repro.core.golden import (  # noqa: E402
     TINY_BATCH_SIZE,
+    TINY_SECURE_ROW_IDS,
     TINY_SPEC_ROWS,
+    run_tiny_secure_study,
     run_tiny_study,
     study_digest,
     study_digests,
+    tiny_secure_spec,
     tiny_spec,
 )
 
@@ -55,6 +63,24 @@ def main() -> int:
     DIGEST_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {DIGEST_PATH}")
     print(f"study digest: {payload['digest']}")
+
+    secure = run_tiny_secure_study()
+    secure_payload = {
+        "_comment": (
+            "Golden digests of the negotiated-security serial study "
+            "(secure-endpoint rows only). Regenerate with: "
+            "PYTHONPATH=src python tests/golden/regenerate.py"
+        ),
+        "seed": secure.config.seed,
+        "spec_rows": list(TINY_SECURE_ROW_IDS),
+        "servers": tiny_secure_spec().total_servers,
+        "probe_batch_size": TINY_BATCH_SIZE,
+        "digest": study_digest(secure),
+        "per_sweep": study_digests(secure),
+    }
+    NEGOTIATED_PATH.write_text(json.dumps(secure_payload, indent=2) + "\n")
+    print(f"wrote {NEGOTIATED_PATH}")
+    print(f"negotiated study digest: {secure_payload['digest']}")
     return 0
 
 

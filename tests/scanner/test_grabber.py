@@ -385,7 +385,9 @@ class TestErrorTruthfulness:
         assert record.session.success  # access itself worked
         assert record.session.details_error is not None
         assert "namespace read blew up" in record.session.details_error
-        assert closes == [True]
+        # Two sessions were opened (anonymous attempt + negotiated
+        # re-grab) and both must be closed.
+        assert closes == [True, True]
 
     def test_sparse_fields_omitted_from_canonical_json(
         self, network, scanner_identity, scan_rng

@@ -148,6 +148,61 @@ class TestLiveMatchesSimulated:
         assert live_record.session.success
         assert _normalized(live_record) == _normalized(sim_record)
 
+    def test_loopback_negotiates_sign_and_encrypt(
+        self, live_rng, scanner, rsa_1024
+    ):
+        """Acceptance: a live grab completes a SignAndEncrypt
+        (Basic256Sha256) secure channel against a real socket, and the
+        record's negotiated_* fields match the simulated lane
+        byte-for-byte."""
+        live_server = build_server(
+            DeterministicRng(77, "negotiate-profile"), rsa_1024
+        )
+        sim_server = build_server(
+            DeterministicRng(77, "negotiate-profile"), rsa_1024
+        )
+
+        with TcpServerHost(live_server) as (host, port):
+            campaign = LiveScanCampaign(
+                scanner,
+                live_rng.substream("negotiate"),
+                config=LiveScanConfig(workers=2, traverse=False),
+                limiter=_fast_limiter(),
+                executor=AsyncScanExecutor(2),
+            )
+            snapshot = campaign.run([(LOOPBACK, port)])
+        live_record = snapshot.records[0]
+
+        network = SimNetwork(SimClock(parse_utc("2020-08-30")))
+        sim_address = parse_ipv4("10.0.0.1")
+        sim_host = SimHost(address=sim_address, asn=None)
+        sim_host.listen(4840, sim_server.new_connection)
+        network.add_host(sim_host)
+        sim_record = grab_host(
+            network,
+            sim_address,
+            4840,
+            scanner.client_identity,
+            live_rng.substream("negotiate"),
+            traverse=False,
+        )
+
+        for record in (live_record, sim_record):
+            session = record.session
+            assert session.negotiation_error is None
+            assert session.negotiated_policy_uri is not None
+            assert session.negotiated_policy_uri.endswith("#Basic256Sha256")
+            assert session.negotiated_mode == 3  # SignAndEncrypt
+        assert (
+            live_record.session.negotiated_policy_uri
+            == sim_record.session.negotiated_policy_uri
+        )
+        assert (
+            live_record.session.negotiated_mode
+            == sim_record.session.negotiated_mode
+        )
+        assert _normalized(live_record) == _normalized(sim_record)
+
     def test_closed_port_recorded_truthfully(self, live_rng, scanner):
         """A refused connection is a 'refused' record, not a crash
         and not a bare unexplained failure."""
@@ -226,9 +281,10 @@ class TestLiveGates:
     def test_rate_limiter_paces_every_connection(
         self, live_rng, scanner, rsa_1024
     ):
-        """One grab of an OPC UA host opens three connections
-        (discovery, secure-channel probe, session) — each one must
-        pass the rate limiter, not just the first."""
+        """One grab of an OPC UA host opens four connections
+        (discovery, secure-channel probe, session, negotiated
+        re-grab) — each one must pass the rate limiter, not just the
+        first."""
         waits = []
 
         class _Spy(ScanRateLimiter):
@@ -248,7 +304,7 @@ class TestLiveGates:
             )
             snapshot = campaign.run([(LOOPBACK, port)])
         assert snapshot.records[0].is_opcua
-        assert waits == [LOOPBACK] * 3
+        assert waits == [LOOPBACK] * 4
 
     def test_rate_limiter_paces_refused_connects_too(
         self, live_rng, scanner

@@ -1,0 +1,158 @@
+"""Round-trip coverage of the crypto suite across ALL registered policies.
+
+Every secure policy must sign/verify and encrypt/decrypt — both
+asymmetrically (OPN protection, nonce proofs) and symmetrically (MSG
+protection under both secure modes) — and the None policy must refuse
+each operation loudly rather than silently no-op.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.secure.crypto_suite import (
+    SuiteError,
+    asym_decrypt,
+    asym_encrypt,
+    asym_plaintext_block_size,
+    asym_sign,
+    asym_signature_length,
+    asym_verify,
+    sym_decrypt,
+    sym_encrypt,
+    sym_sign,
+    sym_verify,
+)
+from repro.secure.keysets import derive_channel_keys
+from repro.secure.policies import ALL_POLICIES, POLICY_NONE, SECURE_POLICIES
+from repro.uabin.enums import MessageSecurityMode
+from repro.util.rng import DeterministicRng
+
+SECURE = [p for p in ALL_POLICIES if p is not POLICY_NONE]
+SECURE_IDS = [p.short_label for p in SECURE]
+SECURE_MODES = [MessageSecurityMode.SIGN, MessageSecurityMode.SIGN_AND_ENCRYPT]
+
+
+@pytest.fixture(scope="module")
+def suite_rng():
+    return DeterministicRng(1717, "crypto-suite-tests")
+
+
+def _nonces(policy, rng):
+    sub = rng.substream(f"nonce-{policy.short_label}")
+    return (
+        sub.token_bytes(policy.nonce_length),
+        sub.token_bytes(policy.nonce_length),
+    )
+
+
+class TestAsymmetric:
+    @pytest.mark.parametrize("policy", SECURE, ids=SECURE_IDS)
+    def test_sign_verify_round_trip(self, policy, rsa_1024, suite_rng):
+        data = b"certificate-bytes" + b"nonce-bytes"
+        signature = asym_sign(
+            policy, rsa_1024.private, data, suite_rng.substream("s")
+        )
+        assert len(signature) == asym_signature_length(policy, rsa_1024.private)
+        assert asym_verify(policy, rsa_1024.public, data, signature)
+
+    @pytest.mark.parametrize("policy", SECURE, ids=SECURE_IDS)
+    def test_tampered_data_fails_verification(
+        self, policy, rsa_1024, suite_rng
+    ):
+        data = b"authentic"
+        signature = asym_sign(
+            policy, rsa_1024.private, data, suite_rng.substream("t")
+        )
+        assert not asym_verify(policy, rsa_1024.public, b"forged", signature)
+
+    @pytest.mark.parametrize("policy", SECURE, ids=SECURE_IDS)
+    def test_encrypt_decrypt_round_trip(self, policy, rsa_1024, suite_rng):
+        block = asym_plaintext_block_size(policy, rsa_1024.public)
+        # Span several RSA blocks to exercise the block-wise path.
+        plaintext = bytes(range(256)) * ((3 * block) // 256 + 1)
+        ciphertext = asym_encrypt(
+            policy, rsa_1024.public, plaintext, suite_rng.substream("e")
+        )
+        assert ciphertext != plaintext
+        assert asym_decrypt(policy, rsa_1024.private, ciphertext) == plaintext
+
+    @pytest.mark.parametrize("policy", SECURE, ids=SECURE_IDS)
+    def test_truncated_ciphertext_rejected(self, policy, rsa_1024, suite_rng):
+        ciphertext = asym_encrypt(
+            policy, rsa_1024.public, b"payload", suite_rng.substream("c")
+        )
+        with pytest.raises(SuiteError):
+            asym_decrypt(policy, rsa_1024.private, ciphertext[:-1])
+
+    def test_none_policy_refuses_every_operation(self, rsa_1024, suite_rng):
+        with pytest.raises(SuiteError):
+            asym_sign(POLICY_NONE, rsa_1024.private, b"x", suite_rng)
+        with pytest.raises(SuiteError):
+            asym_verify(POLICY_NONE, rsa_1024.public, b"x", b"sig")
+        with pytest.raises(SuiteError):
+            asym_encrypt(POLICY_NONE, rsa_1024.public, b"x", suite_rng)
+        with pytest.raises(SuiteError):
+            asym_decrypt(POLICY_NONE, rsa_1024.private, b"x")
+
+
+class TestSymmetric:
+    @pytest.mark.parametrize("policy", SECURE, ids=SECURE_IDS)
+    @pytest.mark.parametrize("mode", SECURE_MODES, ids=lambda m: m.name)
+    def test_round_trip_per_direction(self, policy, mode, suite_rng):
+        """Both derived keysets round-trip under both secure modes
+        (Sign always signs; SignAndEncrypt additionally encrypts)."""
+        client_nonce, server_nonce = _nonces(policy, suite_rng)
+        client_keys, server_keys = derive_channel_keys(
+            policy, client_nonce, server_nonce
+        )
+        payload = b"MSG chunk payload " * 7
+        for keys in (client_keys, server_keys):
+            signature = sym_sign(policy, keys, payload)
+            assert len(signature) == policy.signature_length
+            assert sym_verify(policy, keys, payload, signature)
+            assert not sym_verify(policy, keys, payload + b"!", signature)
+            if mode == MessageSecurityMode.SIGN_AND_ENCRYPT:
+                padded = payload + bytes(
+                    -len(payload) % policy.sym_block_size
+                )
+                ciphertext = sym_encrypt(policy, keys, padded)
+                assert ciphertext != padded
+                assert sym_decrypt(policy, keys, ciphertext) == padded
+
+    @pytest.mark.parametrize("policy", SECURE, ids=SECURE_IDS)
+    def test_directions_do_not_cross_verify(self, policy, suite_rng):
+        client_nonce, server_nonce = _nonces(policy, suite_rng)
+        client_keys, server_keys = derive_channel_keys(
+            policy, client_nonce, server_nonce
+        )
+        payload = b"direction-bound"
+        signature = sym_sign(policy, client_keys, payload)
+        assert not sym_verify(policy, server_keys, payload, signature)
+
+    def test_none_policy_refuses_symmetric_operations(self):
+        with pytest.raises(SuiteError):
+            sym_sign(POLICY_NONE, None, b"x")
+        with pytest.raises(SuiteError):
+            sym_encrypt(POLICY_NONE, None, b"x")
+        with pytest.raises(SuiteError):
+            sym_decrypt(POLICY_NONE, None, b"x")
+
+
+class TestKeysets:
+    @pytest.mark.parametrize("policy", SECURE, ids=SECURE_IDS)
+    def test_every_registered_policy_derives(self, policy, suite_rng):
+        client_nonce, server_nonce = _nonces(policy, suite_rng)
+        client_keys, server_keys = derive_channel_keys(
+            policy, client_nonce, server_nonce
+        )
+        assert client_keys != server_keys
+        for keys in (client_keys, server_keys):
+            assert len(keys.signing_key) == policy.sym_signature_key_len
+            assert len(keys.encryption_key) == policy.sym_encryption_key_len
+            assert len(keys.initialization_vector) == policy.sym_block_size
+
+    def test_secure_constant_is_all_minus_deprecated(self):
+        assert set(SECURE_POLICIES) == {
+            p for p in SECURE if not p.is_deprecated
+        }

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.client import ClientIdentity, UaClient
+from repro.secure.negotiation import ChannelSecurity
 from repro.secure.policies import POLICY_BASIC256SHA256, POLICY_NONE
 from repro.server import (
     Authenticator,
@@ -137,6 +138,15 @@ def build_server(
     if behavior is not None:
         config.behavior = behavior
     return UaServer(config, rng.substream("server"))
+
+
+def secure_open(client: UaClient, policy, mode, server_certificate_der):
+    """Open ``client``'s channel at ``(policy, mode)`` toward a server cert."""
+    return client.open_secure_channel(
+        ChannelSecurity.for_endpoint(
+            policy, mode, client.identity, server_certificate_der
+        )
+    )
 
 
 def build_client(server: UaServer, rng: DeterministicRng, client_keys):

@@ -10,7 +10,7 @@ from repro.uabin.nodeid import NodeId
 from repro.uabin.statuscodes import StatusCodes
 from repro.util.rng import DeterministicRng
 
-from tests.server.helpers import build_client, build_server
+from tests.server.helpers import build_client, build_server, secure_open
 
 DEMO_NS = 1
 
@@ -62,10 +62,11 @@ class TestDiscoveryOnlyChannel:
         server = self.make_secure_only_server(erng, rsa_2048)
         client = build_client(server, erng.substream("c3"), rsa_1024)
         client.hello()
-        client.open_secure_channel(
+        secure_open(
+            client,
             POLICY_BASIC256SHA256,
             MessageSecurityMode.SIGN_AND_ENCRYPT,
-            server_certificate_der=server.config.certificate.raw_der,
+            server.config.certificate.raw_der,
         )
         client.create_session()
         response = client.activate_session()
@@ -122,10 +123,11 @@ class TestPerEndpointTokenOverride:
         server = self.make_override_server(erng, rsa_2048)
         client = build_client(server, erng.substream("c3"), rsa_1024)
         client.hello()
-        client.open_secure_channel(
+        secure_open(
+            client,
             POLICY_BASIC256SHA256,
             MessageSecurityMode.SIGN_AND_ENCRYPT,
-            server_certificate_der=server.config.certificate.raw_der,
+            server.config.certificate.raw_der,
         )
         client.create_session()
         response = client.activate_session()

@@ -20,7 +20,7 @@ from repro.uabin.nodeid import NodeId
 from repro.uabin.statuscodes import StatusCodes
 from repro.util.rng import DeterministicRng
 
-from tests.server.helpers import build_client, build_server
+from tests.server.helpers import build_client, build_server, secure_open
 
 DEMO_NS = 1  # first registered namespace in the demo address space
 
@@ -101,10 +101,11 @@ class TestSecureChannels:
         # Re-connect on a fresh secure channel.
         client2 = build_client(server, irng.substream("c2" + policy.short_label), rsa_1024)
         client2.hello()
-        client2.open_secure_channel(
+        secure_open(
+            client2,
             policy,
             MessageSecurityMode.SIGN_AND_ENCRYPT,
-            server_certificate_der=secure.server_certificate,
+            secure.server_certificate,
         )
         assert client2.get_endpoints()
 
@@ -112,10 +113,8 @@ class TestSecureChannels:
         client.hello()
         cert_der = server.config.certificate.raw_der
         with pytest.raises(TransportRejectedError) as excinfo:
-            client.open_secure_channel(
-                POLICY_BASIC128RSA15,
-                MessageSecurityMode.SIGN,
-                server_certificate_der=cert_der,
+            secure_open(
+                client, POLICY_BASIC128RSA15, MessageSecurityMode.SIGN, cert_der
             )
         assert excinfo.value.status == StatusCodes.BadSecurityPolicyRejected
 
@@ -129,10 +128,8 @@ class TestSecureChannels:
         client.hello()
         cert_der = server.config.certificate.raw_der
         with pytest.raises(TransportRejectedError) as excinfo:
-            client.open_secure_channel(
-                POLICY_BASIC256SHA256,
-                MessageSecurityMode.SIGN,
-                server_certificate_der=cert_der,
+            secure_open(
+                client, POLICY_BASIC256SHA256, MessageSecurityMode.SIGN, cert_der
             )
         assert excinfo.value.status == StatusCodes.BadSecurityChecksFailed
 
@@ -235,10 +232,11 @@ class TestSessions:
         cert_der = server.config.certificate.raw_der
         client2 = build_client(server, irng.substream("c2"), rsa_1024)
         client2.hello()
-        client2.open_secure_channel(
+        secure_open(
+            client2,
             POLICY_BASIC256SHA256,
             MessageSecurityMode.SIGN_AND_ENCRYPT,
-            server_certificate_der=cert_der,
+            cert_der,
         )
         client2.create_session()
         response = client2.activate_session()
