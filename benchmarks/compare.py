@@ -11,6 +11,8 @@ Compares the headline throughput sections of a bench report —
 ``grab_throughput`` (hosts/second through the full grab pipeline),
 ``probe_throughput`` (addresses/second through the SYN stage),
 ``sharded_throughput`` (hosts/second through a sharded sweep + merge),
+``hostile_grab_throughput`` (hosts/second through the device-zoo
+population, i.e. the grab pipeline's failure paths),
 ``diff_throughput`` (records/second through the streaming catalog
 fold behind ``repro diff``), and ``secure_handshake_throughput``
 (full secure handshakes/second, keyed per security policy rather than
@@ -47,6 +49,7 @@ SECTIONS = (
     "grab_throughput",
     "probe_throughput",
     "sharded_throughput",
+    "hostile_grab_throughput",
     "diff_throughput",
     "secure_handshake_throughput",
 )
@@ -54,6 +57,7 @@ RATE_KEYS = {
     "grab_throughput": "hosts_per_second",
     "probe_throughput": "addresses_per_second",
     "sharded_throughput": "hosts_per_second",
+    "hostile_grab_throughput": "hosts_per_second",
     "diff_throughput": "records_per_second",
     # Keyed per security policy, not per backend: the handshake is
     # single-connection, so the interesting split is crypto suite.

@@ -147,6 +147,12 @@ def main(argv: list[str] | None = None) -> int:
     sharded_throughput = _throughput_section(
         sweep, "sharded", "hosts_per_second"
     )
+    # Same pipeline, hostile population: every grab hits a device-zoo
+    # pathology, so this rate tracks the failure paths (stall
+    # deadlines, early aborts, error classification).
+    hostile_grab_throughput = _throughput_section(
+        sweep, "hostile", "hosts_per_second"
+    )
     diff_throughput = _throughput_section(
         sweep, "diff", "records_per_second"
     )
@@ -167,6 +173,7 @@ def main(argv: list[str] | None = None) -> int:
         "grab_throughput": grab_throughput,
         "probe_throughput": probe_throughput,
         "sharded_throughput": sharded_throughput,
+        "hostile_grab_throughput": hostile_grab_throughput,
         "diff_throughput": diff_throughput,
         "secure_handshake_throughput": secure_handshake_throughput,
     }

@@ -1,0 +1,163 @@
+"""Anomaly analysis: the hostile-Internet surface of a study.
+
+The paper's measurement constantly runs into deployments that are
+broken in mundane ways — expired certificates, deprecated-only
+security policies, honeypot-like responders, half-speaking TCP stacks.
+This analysis aggregates everything a sweep recorded about such hosts:
+per-``error_category`` failure counts, certificate pathologies,
+policy-hygiene breakdowns, honeypot tells, and cross-sweep address
+churn.  Detection works from scan records alone; when the population
+spec is available (simulated studies), ``spec_personalities`` carries
+the planted ground truth the golden tests compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scanner.records import HostRecord, MeasurementSnapshot
+from repro.secure.policies import policy_by_uri
+from repro.util.simtime import parse_utc
+
+
+@dataclass
+class AnomalyStatistics:
+    """Counters over the final sweep (plus cross-sweep churn)."""
+
+    total_records: int = 0
+    total_servers: int = 0
+    # How failed hosts failed: error_category -> count, at each level.
+    host_error_categories: dict[str, int] = field(default_factory=dict)
+    session_error_categories: dict[str, int] = field(default_factory=dict)
+    details_error_categories: dict[str, int] = field(default_factory=dict)
+    # Transport-level oddballs.
+    junk_talkers: int = 0  # open, spoke, but not OPC UA — no failure class
+    stalled_hosts: int = 0  # hit the stall deadline (slow-loris)
+    # Certificate pathologies among reachable servers.
+    expired_certificates: int = 0
+    not_yet_valid_certificates: int = 0
+    hostname_mismatches: int = 0  # cert names a different application
+    invalid_signatures: int = 0  # self-signed certs that fail verification
+    # Policy hygiene.
+    deprecated_only_hosts: int = 0  # secure-only at deprecated policies
+    # Honeypot tells: session completes, every data service faults.
+    honeypot_suspects: int = 0
+    # Applications observed at more than one address across sweeps.
+    churned_applications: int = 0
+    # Planted ground truth (empty when no spec is available, and for
+    # well-behaved populations).
+    spec_personalities: dict[str, int] = field(default_factory=dict)
+
+
+def _bump(counter: dict[str, int], key: str) -> None:
+    counter[key] = counter.get(key, 0) + 1
+
+
+def _is_deprecated_only(record: HostRecord) -> bool:
+    """Endpoints present, no None-policy fallback, all deprecated."""
+    if not record.endpoints:
+        return False
+    for endpoint in record.endpoints:
+        uri = endpoint.security_policy_uri
+        if uri is None:
+            return False
+        try:
+            policy = policy_by_uri(uri)
+        except KeyError:
+            return False
+        if not policy.is_deprecated:
+            return False
+    return True
+
+
+def _is_honeypot_suspect(record: HostRecord) -> bool:
+    """The session dance completed, but no data service ever did."""
+    session = record.session
+    return (
+        session is not None
+        and session.success
+        and session.details_error is not None
+        and session.details_error.startswith("service-fault")
+        and not record.namespaces
+    )
+
+
+def analyze_anomalies(
+    snapshots: list[MeasurementSnapshot], spec=None
+) -> AnomalyStatistics:
+    """Aggregate anomaly counters for a study's sweeps.
+
+    Failure categories and certificate checks read the final snapshot
+    (the paper's analysis set); address churn compares server
+    addresses across every sweep.
+    """
+    stats = AnomalyStatistics()
+    if not snapshots:
+        return stats
+    final = snapshots[-1]
+    date = final.date_dt()
+    stats.total_records = len(final.records)
+
+    for record in final.records:
+        if record.error_category is not None:
+            _bump(stats.host_error_categories, record.error_category)
+            if record.error_category == "timeout":
+                stats.stalled_hosts += 1
+        elif record.tcp_open and not record.is_opcua:
+            stats.junk_talkers += 1
+
+    servers = final.servers()
+    stats.total_servers = len(servers)
+    # Certificates shared across hosts (reuse images) legitimately
+    # name an application other than the host's — only unique
+    # certificates count toward the hostname-mismatch pathology.
+    thumbprint_hosts: dict[str, int] = {}
+    for record in servers:
+        if record.certificate is not None:
+            _bump(thumbprint_hosts, record.certificate.thumbprint_hex)
+
+    for record in servers:
+        session = record.session
+        if session is not None:
+            if session.error_category is not None:
+                _bump(stats.session_error_categories, session.error_category)
+            if session.details_error is not None:
+                prefix = session.details_error.split(":", 1)[0]
+                _bump(stats.details_error_categories, prefix)
+        certificate = record.certificate
+        if certificate is not None:
+            if parse_utc(certificate.not_after) < date:
+                stats.expired_certificates += 1
+            if parse_utc(certificate.not_before) > date:
+                stats.not_yet_valid_certificates += 1
+            # CA-signed certificates cannot verify against their own
+            # embedded key; only a *self*-signed cert failing its own
+            # signature is a pathology.
+            if certificate.self_signed and not certificate.signature_valid:
+                stats.invalid_signatures += 1
+            if (
+                certificate.application_uri is not None
+                and record.application_uri is not None
+                and certificate.application_uri != record.application_uri
+                and thumbprint_hosts[certificate.thumbprint_hex] == 1
+            ):
+                stats.hostname_mismatches += 1
+        if _is_deprecated_only(record):
+            stats.deprecated_only_hosts += 1
+        if _is_honeypot_suspect(record):
+            stats.honeypot_suspects += 1
+
+    addresses_by_application: dict[str, set[int]] = {}
+    for snapshot in snapshots:
+        for record in snapshot.servers():
+            if record.application_uri is not None:
+                addresses_by_application.setdefault(
+                    record.application_uri, set()
+                ).add(record.ip)
+    stats.churned_applications = sum(
+        1 for ips in addresses_by_application.values() if len(ips) > 1
+    )
+
+    if spec is not None:
+        stats.spec_personalities = spec.personality_counts()
+    return stats

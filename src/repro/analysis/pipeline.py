@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.analysis.access import analyze_access_control
+from repro.analysis.anomalies import analyze_anomalies
 from repro.analysis.breakdown import analyze_deficit_breakdown
 from repro.analysis.certs import analyze_certificate_conformance
 from repro.analysis.deficits import analyze_deficits
@@ -80,6 +81,7 @@ ANALYSES: dict[str, AnalysisFn] = {
     "ipv6": lambda ctx: analyze_dual_stack_sample(
         ctx.final_servers, ctx.seed
     ),
+    "anomalies": lambda ctx: analyze_anomalies(ctx.snapshots, ctx.spec),
 }
 
 ANALYSIS_NAMES: tuple[str, ...] = tuple(ANALYSES)

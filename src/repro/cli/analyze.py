@@ -11,6 +11,7 @@ from repro.cli.options import add_seed, executor_from_args, require_store
 ANALYZE_CHOICES = (
     "modes", "policies", "negotiated", "certs", "reuse", "access",
     "rights", "deficits", "breakdown", "longitudinal", "ipv6",
+    "anomalies",
 )
 
 

@@ -53,6 +53,14 @@ CONNECTION_FAILURE_CATEGORIES = frozenset(
     {"timeout", "refused", "unreachable", "closed", "transport-rejected"}
 )
 
+#: Every legal error category, connection-level and service-level.
+#: :func:`categorize_error` can return nothing outside this set, and
+#: the taxonomy-completeness test proves each one *reachable* via a
+#: dedicated device-zoo personality.
+ERROR_CATEGORIES = CONNECTION_FAILURE_CATEGORIES | frozenset(
+    {"service-fault", "protocol"}
+)
+
 
 def categorize_error(exc: BaseException) -> str:
     """Coarse failure class for the paper's rejection breakdown.

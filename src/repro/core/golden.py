@@ -128,6 +128,37 @@ def run_tiny_study(
     ).run()
 
 
+def tiny_hostile_spec() -> PopulationSpec:
+    """The device-zoo rows the hostile golden study scans (30 hosts).
+
+    Every personality in
+    :data:`repro.deployments.personalities.PERSONALITIES` is planted
+    at a known count, plus two well-behaved control rows — the
+    ``anomalies`` analysis must detect exactly the planted pathologies
+    and nothing on the controls.
+    """
+    from repro.deployments.personalities import hostile_zoo_rows
+
+    return PopulationSpec(rows=hostile_zoo_rows())
+
+
+def run_tiny_hostile_study(
+    executor: str = "serial", workers: int = 1, seed: int = 20200830
+) -> StudyResult:
+    """Run the device-zoo study ``anomalies.digest.json`` pins.
+
+    Same configuration knobs as :func:`run_tiny_study`, hostile
+    population: junk talkers, stalled writers, mid-handshake drops,
+    transport rejections, honeypots, certificate pathologies, and
+    address churn — every grab failure mode the scanner's error
+    taxonomy names, under one digest.
+    """
+    return Study(
+        tiny_study_config(executor=executor, workers=workers, seed=seed),
+        spec=tiny_hostile_spec(),
+    ).run()
+
+
 def tiny_secure_spec() -> PopulationSpec:
     """The secure-endpoint rows the negotiated golden study scans."""
     rows = [

@@ -122,8 +122,20 @@ def config_key_fields(config: StudyConfig) -> dict:
 
 
 def spec_fingerprint(spec: PopulationSpec) -> list[dict]:
-    """Every spec row as plain JSON (enums are ints, tuples lists)."""
-    return [dataclasses.asdict(row) for row in spec.rows]
+    """Every spec row as plain JSON (enums are ints, tuples lists).
+
+    Sparse row fields (``personality``) are pruned when unset, the
+    same idiom as the record schema: a well-behaved row fingerprints
+    identically whether or not the field exists, so growing the spec
+    schema does not invalidate stores of well-behaved studies.
+    """
+    rows = []
+    for row in spec.rows:
+        fields = dataclasses.asdict(row)
+        if fields["personality"] is None:
+            del fields["personality"]
+        rows.append(fields)
+    return rows
 
 
 def study_key(config: StudyConfig, spec: PopulationSpec) -> str:

@@ -305,11 +305,17 @@ class StudyTimeline:
             host.server.reseed(
                 self._rng.substream(f"sweep-{sweep}/server-{host.index}")
             )
-            sim_host = network.host(host.address)
+            # Address-churn personalities live at a different address
+            # each sweep; everyone else keeps their stable one.  The
+            # factory is personality-wrapped, so hostile transports
+            # answer on the simulated lane exactly as they would over
+            # a real socket.
+            address = host.address_for_sweep(sweep)
+            sim_host = network.host(address)
             if sim_host is None:
-                sim_host = SimHost(address=host.address, asn=host.asn)
+                sim_host = SimHost(address=address, asn=host.asn)
                 network.add_host(sim_host)
-            sim_host.listen(host.port, host.server.new_connection)
+            sim_host.listen(host.port, host.connection_factory())
         for sim_host, server in self._discovery_hosts(sweep):
             existing = network.host(sim_host.address)
             if existing is None:

@@ -1,0 +1,439 @@
+"""Device-zoo personalities: deterministic hostile vendor stacks.
+
+The paper measures the *real* Internet, where OPC UA deployments ship
+expired certificates, deprecated-only security policies, honeypots
+that advertise everything and serve nothing, and plain broken TCP
+talkers.  The default simulated population is uniformly well-behaved;
+a :class:`Personality` makes one archetype row hostile in a specific,
+ground-truth-knowable way, so the scanner's error taxonomy and the
+``anomalies`` analysis are exercised by construction instead of by
+accident.
+
+A personality hooks the population at three seams:
+
+* **certificate minting** (``cert_not_before`` / ``cert_valid_days`` /
+  ``mismatched_cert_uri``) — consumed by
+  :class:`~repro.deployments.population.PopulationBuilder`;
+* **endpoint + engine behavior** (``endpoint_configs`` override,
+  ``fault_data_services``) — consumed by the builder when assembling
+  :class:`~repro.server.engine.ServerConfig`;
+* **the bare connection factory** (``wrap_connection``) — the exact
+  seam :class:`~repro.server.tcp.TcpServerHost` exposes, so the same
+  wrapper runs over the simulated network, a real loopback socket,
+  and capture/replay.
+
+Everything is deterministic: wrappers hold no randomness, so a
+personality behaves identically across executor backends and lanes.
+
+>>> sorted(PERSONALITIES)  # doctest: +NORMALIZE_WHITESPACE
+['address-churn', 'confused-stack', 'deprecated-only', 'expired-cert',
+ 'hello-rejecter', 'honeypot', 'hostname-mismatch', 'junk-banner',
+ 'mid-handshake-drop', 'slow-loris', 'truncated-frame']
+>>> personality("slow-loris").expected_host_error_category
+'timeout'
+>>> personality("honeypot").fault_data_services
+True
+>>> personality("expired-cert").cert_not_before
+'2010-05-01'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.secure.policies import (
+    POLICY_AES128_SHA256_RSAOAEP,
+    POLICY_AES256_SHA256_RSAPSS,
+    POLICY_BASIC128RSA15,
+    POLICY_BASIC256,
+    POLICY_BASIC256SHA256,
+    POLICY_NONE,
+)
+from repro.server.endpoints import EndpointConfig
+from repro.transport.messages import (
+    AcknowledgeMessage,
+    ErrorMessage,
+    MessageType,
+)
+from repro.transport.connection import encode_frame
+from repro.uabin.enums import MessageSecurityMode
+from repro.uabin.statuscodes import StatusCodes
+
+#: Sweeps of the study timeline (mirrors
+#: ``len(repro.deployments.evolution.SWEEP_DATES)``; asserted equal in
+#: tests).  Address-churn hosts carry one address per sweep.
+CHURN_SWEEPS = 8
+
+#: Simulated seconds one slow-loris ``poll()`` stalls before yielding
+#: its single byte.  Four polls cross the simulator's 30 s stall
+#: deadline, so a grab spends a bounded ~30 s before giving up.
+LORIS_POLL_INTERVAL_S = 7.5
+
+
+@dataclass(frozen=True)
+class Personality:
+    """One deterministic vendor-stack pathology.
+
+    ``expected_*`` fields are the machine-readable ground truth the
+    taxonomy-completeness test and the ``anomalies`` golden assertions
+    check against — what a grab of such a host must record.
+    """
+
+    name: str
+    summary: str
+    # Certificate pathology (consumed by the population builder).
+    cert_not_before: str | None = None
+    cert_valid_days: int | None = None
+    mismatched_cert_uri: bool = False
+    # Endpoint/engine pathology.
+    endpoint_configs: Callable[[object], list[EndpointConfig]] | None = None
+    fault_data_services: bool = False
+    # Transport pathology: wraps the engine's bare connection factory.
+    wrap_connection: Callable[[Callable[[], object]], Callable[[], object]] | None = None
+    # Presence pathology.
+    churns_address: bool = False
+    # Ground truth for tests and the anomalies analysis.
+    expected_host_error_category: str | None = None
+    expected_session_error_category: str | None = None
+    expected_details_prefix: str | None = None
+
+
+# --- connection wrappers -----------------------------------------------------
+#
+# Each wrapper matches the bare-factory shape TcpServerHost hosts: a
+# zero-arg callable returning an object with ``receive(bytes) -> bytes``
+# and a ``closed`` attribute.  SimSocket additionally honors an
+# optional ``poll() -> (seconds, bytes)`` for writers that stall.
+
+#: What a junk talker says to anything: an HTTP-ish refusal that is
+#: valid TCP but not an OPC UA frame.  Unlike the noise-host junk
+#: service, this one keeps the connection open and keeps babbling.
+JUNK_BANNER = b"HTTP/1.0 200 OK\r\nServer: embedded-httpd/1.2\r\n\r\n<html></html>"
+
+
+class JunkBannerConnection:
+    """Answers every write with the same non-OPC-UA banner."""
+
+    closed = False
+
+    def receive(self, data: bytes) -> bytes:
+        return JUNK_BANNER
+
+
+class TruncatedFrameConnection:
+    """Sends half an Acknowledge frame, then drops the connection.
+
+    The header promises the full frame, so the client's reassembly
+    buffer is left mid-frame when the peer vanishes — the grab must
+    classify this as ``closed``, never hang or mis-parse.
+    """
+
+    def __init__(self):
+        self.closed = False
+
+    def receive(self, data: bytes) -> bytes:
+        self.closed = True
+        frame = encode_frame(
+            MessageType.ACKNOWLEDGE, "F", AcknowledgeMessage().encode_body()
+        )
+        return frame[: len(frame) // 2]
+
+
+class SlowLorisConnection:
+    """Acknowledges nothing, then dribbles one byte per long stall.
+
+    ``receive`` returns nothing; the simulator falls back to
+    ``poll()``, which yields a single byte of a frame whose header
+    promises 64 KiB that will never arrive.  Only the simulated lane's
+    stall deadline bounds such a grab.
+    """
+
+    def __init__(self):
+        self.closed = False
+        pending = bytearray(
+            encode_frame(
+                MessageType.ACKNOWLEDGE, "F", AcknowledgeMessage().encode_body()
+            )
+        )
+        pending[4:8] = (65536).to_bytes(4, "little")
+        self._pending = pending
+
+    def receive(self, data: bytes) -> bytes:
+        return b""
+
+    def poll(self) -> tuple[float, bytes]:
+        if self._pending:
+            byte = bytes(self._pending[:1])
+            del self._pending[:1]
+        else:
+            byte = b"\x00"
+        return (LORIS_POLL_INTERVAL_S, byte)
+
+
+class MidHandshakeDropConnection:
+    """Completes Hello/Acknowledge, then goes silent and hangs up."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._writes = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._writes > 1 or getattr(self._inner, "closed", False)
+
+    def receive(self, data: bytes) -> bytes:
+        self._writes += 1
+        if self._writes == 1:
+            return self._inner.receive(data)
+        return b""
+
+
+class HelloRejectConnection:
+    """Rejects the very first frame with a transport-level ERR."""
+
+    def __init__(self):
+        self.closed = False
+
+    def receive(self, data: bytes) -> bytes:
+        self.closed = True
+        message = ErrorMessage(
+            error_code=StatusCodes.BadTcpServerTooBusy.value,
+            reason="try again later",
+        )
+        return encode_frame(MessageType.ERROR, "F", message.encode_body())
+
+
+class ConfusedStackConnection:
+    """A buggy vendor stack that garbles its second MSG exchange.
+
+    The first secure-channel-borne service call works; from the second
+    MSG frame on, the stack answers with a stray Acknowledge — a frame
+    type the client can parse but must refuse mid-session.  Everything
+    else passes through to the real engine.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._msg_frames = 0
+
+    @property
+    def closed(self) -> bool:
+        return getattr(self._inner, "closed", False)
+
+    def receive(self, data: bytes) -> bytes:
+        if data[:3] == b"MSG":
+            self._msg_frames += 1
+            if self._msg_frames >= 2:
+                return encode_frame(
+                    MessageType.ACKNOWLEDGE,
+                    "F",
+                    AcknowledgeMessage().encode_body(),
+                )
+        return self._inner.receive(data)
+
+
+def _wrap_ignoring_engine(connection_class):
+    """A factory wrapper that discards the engine entirely."""
+
+    def wrap(inner_factory):
+        def factory():
+            return connection_class()
+
+        return factory
+
+    return wrap
+
+
+def _wrap_around_engine(connection_class):
+    """A factory wrapper that interposes on a live engine connection."""
+
+    def wrap(inner_factory):
+        def factory():
+            return connection_class(inner_factory())
+
+        return factory
+
+    return wrap
+
+
+# --- endpoint overrides ------------------------------------------------------
+
+
+def _deprecated_only_endpoints(row) -> list[EndpointConfig]:
+    """Secure-only endpoints at deprecated policies — no None fallback."""
+    return [
+        EndpointConfig(MessageSecurityMode.SIGN_AND_ENCRYPT, POLICY_BASIC128RSA15),
+        EndpointConfig(MessageSecurityMode.SIGN_AND_ENCRYPT, POLICY_BASIC256),
+    ]
+
+
+def _honeypot_endpoints(row) -> list[EndpointConfig]:
+    """Every mode × every policy: the advertise-everything tell."""
+    configs = [EndpointConfig(MessageSecurityMode.NONE, POLICY_NONE)]
+    for mode in (
+        MessageSecurityMode.SIGN,
+        MessageSecurityMode.SIGN_AND_ENCRYPT,
+    ):
+        for policy in (
+            POLICY_BASIC128RSA15,
+            POLICY_BASIC256,
+            POLICY_AES128_SHA256_RSAOAEP,
+            POLICY_BASIC256SHA256,
+            POLICY_AES256_SHA256_RSAPSS,
+        ):
+            configs.append(EndpointConfig(mode, policy))
+    return configs
+
+
+# --- the registry ------------------------------------------------------------
+
+PERSONALITIES: dict[str, Personality] = {
+    p.name: p
+    for p in (
+        Personality(
+            name="expired-cert",
+            summary="serves a certificate that expired years ago",
+            cert_not_before="2010-05-01",
+            cert_valid_days=730,
+        ),
+        Personality(
+            name="hostname-mismatch",
+            summary="certificate application URI names a different device",
+            mismatched_cert_uri=True,
+        ),
+        Personality(
+            name="deprecated-only",
+            summary="offers only deprecated security policies, no None",
+            endpoint_configs=_deprecated_only_endpoints,
+        ),
+        Personality(
+            name="honeypot",
+            summary="advertises every policy, completes sessions, serves nothing",
+            endpoint_configs=_honeypot_endpoints,
+            fault_data_services=True,
+            expected_details_prefix="service-fault",
+        ),
+        Personality(
+            name="junk-banner",
+            summary="speaks HTTP on the OPC UA port and keeps talking",
+            wrap_connection=_wrap_ignoring_engine(JunkBannerConnection),
+        ),
+        Personality(
+            name="truncated-frame",
+            summary="sends half a frame, then hangs up",
+            wrap_connection=_wrap_ignoring_engine(TruncatedFrameConnection),
+            expected_host_error_category="closed",
+        ),
+        Personality(
+            name="slow-loris",
+            summary="stalls, dribbling one byte of a 64 KiB promise",
+            wrap_connection=_wrap_ignoring_engine(SlowLorisConnection),
+            expected_host_error_category="timeout",
+        ),
+        Personality(
+            name="mid-handshake-drop",
+            summary="acknowledges Hello, then goes silent",
+            wrap_connection=_wrap_around_engine(MidHandshakeDropConnection),
+            expected_host_error_category="closed",
+        ),
+        Personality(
+            name="hello-rejecter",
+            summary="answers the first frame with a transport ERR",
+            wrap_connection=_wrap_ignoring_engine(HelloRejectConnection),
+            expected_host_error_category="transport-rejected",
+        ),
+        Personality(
+            name="confused-stack",
+            summary="garbles its second MSG exchange with a stray ACK",
+            wrap_connection=_wrap_around_engine(ConfusedStackConnection),
+            expected_session_error_category="protocol",
+        ),
+        Personality(
+            name="address-churn",
+            summary="re-appears at a different address every sweep",
+            churns_address=True,
+        ),
+    )
+}
+
+
+def personality(name: str) -> Personality:
+    """Look up a registered personality; raises KeyError on unknowns."""
+    try:
+        return PERSONALITIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown personality: {name!r} "
+            f"(known: {', '.join(sorted(PERSONALITIES))})"
+        ) from None
+
+
+# --- the hostile-zoo population ---------------------------------------------
+
+
+def hostile_zoo_rows():
+    """Spec rows of the ``tiny_hostile_spec`` golden study (30 hosts).
+
+    One or more rows per personality, plus two well-behaved control
+    rows proving the anomaly detectors report zero false positives.
+    Built lazily (not at import time) because :class:`SpecRow`
+    validates personalities against this module.
+
+    >>> rows = hostile_zoo_rows()
+    >>> sum(row.count for row in rows)
+    30
+    >>> [row.count for row in rows][:3]
+    [3, 2, 2]
+    """
+    from repro.deployments.spec import (
+        A,
+        AC,
+        C,
+        M_N,
+        M_NSSE,
+        M_SE,
+        PROD,
+        SpecRow,
+    )
+
+    def add(row_id, count, group, modes, tokens, cert, manu, person):
+        return SpecRow(
+            row_id=row_id,
+            count=count,
+            policy_group=group,
+            mode_set=modes,
+            token_combo=tokens,
+            outcome=PROD,
+            cert_class=cert,
+            manufacturer=manu,
+            personality=person,
+        )
+
+    return [
+        add("HZ-expired", 3, "P4", M_NSSE, AC, "sha256-2048", "Beckhoff",
+            "expired-cert"),
+        add("HZ-mismatch", 2, "P4", M_NSSE, AC, "sha256-2048", "Wago",
+            "hostname-mismatch"),
+        add("HZ-deprecated", 2, "P2", M_SE, C, "sha1-2048", "Bachmann",
+            "deprecated-only"),
+        add("HZ-honeypot", 2, "P8", M_NSSE, AC, "sha256-2048", "ControlCorp",
+            "honeypot"),
+        add("HZ-junk", 3, "PA", M_N, A, "sha1-2048", "other",
+            "junk-banner"),
+        add("HZ-truncated", 2, "PA", M_N, A, "sha1-2048", "other",
+            "truncated-frame"),
+        add("HZ-loris", 2, "PA", M_N, A, "sha1-2048", "other",
+            "slow-loris"),
+        add("HZ-drop", 2, "PA", M_N, A, "sha1-2048", "other",
+            "mid-handshake-drop"),
+        add("HZ-hello-err", 2, "PA", M_N, A, "sha1-2048", "other",
+            "hello-rejecter"),
+        add("HZ-confused", 2, "PA", M_N, A, "sha1-2048", "AutomataWerk",
+            "confused-stack"),
+        add("HZ-churn", 2, "PA", M_N, A, "sha1-2048", "ControlCorp",
+            "address-churn"),
+        add("HZ-control-none", 3, "PA", M_N, A, "sha1-2048", "other", None),
+        add("HZ-control-secure", 3, "P4", M_NSSE, AC, "sha256-2048",
+            "Beckhoff", None),
+    ]

@@ -23,6 +23,11 @@ from repro.deployments.manufacturers import (
     Manufacturer,
     manufacturer_by_name,
 )
+from repro.deployments.personalities import (
+    CHURN_SWEEPS,
+    PERSONALITIES,
+    Personality,
+)
 from repro.deployments.profiles import CERT_CLASSES, POLICY_GROUPS, CertClass
 from repro.deployments.spec import (
     AUTH,
@@ -73,10 +78,36 @@ class BuiltHost:
     deployed_at: datetime
     # Set by the timeline when this host renews its certificate.
     renewal: "object | None" = None
+    # Hostile device-zoo personality name (None: well-behaved).
+    personality: str | None = None
+    # Address-churn hosts carry one address per sweep; the last entry
+    # equals ``address`` so ``url`` names the final-sweep reality.
+    sweep_addresses: tuple[int, ...] | None = None
 
     @property
     def url(self) -> str:
         return f"opc.tcp://{format_ipv4(self.address)}:{self.port}/"
+
+    def address_for_sweep(self, sweep: int) -> int:
+        if self.sweep_addresses is None:
+            return self.address
+        return self.sweep_addresses[sweep]
+
+    def connection_factory(self):
+        """The bare factory this host answers connections with.
+
+        The engine's ``new_connection`` for well-behaved hosts; a
+        personality wrapper around (or instead of) it for hostile
+        ones.  This is the same factory shape
+        :class:`~repro.server.tcp.TcpServerHost` hosts, so the zoo
+        runs unchanged over the simulated and live lanes.
+        """
+        factory = self.server.new_connection
+        if self.personality is not None:
+            spec = PERSONALITIES[self.personality]
+            if spec.wrap_connection is not None:
+                return spec.wrap_connection(factory)
+        return factory
 
 
 def build_as_registry() -> AsRegistry:
@@ -174,12 +205,31 @@ class PopulationBuilder:
         asn = self._asn_for(row, index, rng)
         address = self._registry.allocate_address(asn, rng)
         url = f"opc.tcp://{format_ipv4(address)}:{port}/"
+        personality = (
+            PERSONALITIES[row.personality]
+            if row.personality is not None
+            else None
+        )
+        # Address-churn hosts draw one extra address per earlier sweep
+        # from a dedicated substream, so well-behaved hosts consume
+        # exactly the same draws as before personalities existed.
+        sweep_addresses = None
+        if personality is not None and personality.churns_address:
+            churn_rng = rng.substream("churn")
+            earlier = tuple(
+                self._registry.allocate_address(asn, churn_rng)
+                for _ in range(CHURN_SWEEPS - 1)
+            )
+            sweep_addresses = earlier + (address,)
 
         certificate, private_key, key_label = self._certificate_for(
-            index, row, manufacturer, url, rng
+            index, row, manufacturer, url, rng, personality
         )
 
-        endpoint_configs = self._endpoint_configs_for(row)
+        if personality is not None and personality.endpoint_configs is not None:
+            endpoint_configs = personality.endpoint_configs(row)
+        else:
+            endpoint_configs = self._endpoint_configs_for(row)
         rights = None
         if row.accessible:
             rights = draw_rights_profile(rng.substream("rights"))
@@ -214,6 +264,9 @@ class PopulationBuilder:
             faulty_session_config=(
                 row.outcome == AUTH and row.offers_anonymous
             ),
+            fault_data_services=(
+                personality is not None and personality.fault_data_services
+            ),
         )
         config = ServerConfig(
             application_uri=manufacturer.application_uri(index),
@@ -244,6 +297,8 @@ class PopulationBuilder:
             key_label=key_label,
             rights=rights,
             deployed_at=parse_utc("2020-01-01"),
+            personality=row.personality,
+            sweep_addresses=sweep_addresses,
         )
 
     # --- attribute helpers -----------------------------------------------------
@@ -307,6 +362,7 @@ class PopulationBuilder:
         manufacturer: Manufacturer,
         url: str,
         rng: DeterministicRng,
+        personality: Personality | None = None,
     ):
         if row.reuse_group is not None:
             cached = self._reuse_certs.get(row.reuse_group)
@@ -316,6 +372,20 @@ class PopulationBuilder:
         key_label = row.reuse_group or f"host-{index}"
         pair = self._keys.key_for(key_label, cert_class.key_bits)
         not_before = self._not_before_for(cert_class, rng)
+        valid_days = 365 * 10
+        cert_uri = (
+            manufacturer.application_uri(index)
+            if row.reuse_group is None
+            else f"{manufacturer.uri_prefix}:image"
+        )
+        if personality is not None:
+            # Certificate pathologies override *after* the standard
+            # draws, so the RNG call sequence stays identical.
+            if personality.cert_not_before is not None:
+                not_before = parse_utc(personality.cert_not_before)
+                valid_days = personality.cert_valid_days or valid_days
+            if personality.mismatched_cert_uri:
+                cert_uri = f"{manufacturer.uri_prefix}:mislabel:{index}"
         common_name = (
             f"{manufacturer.name}-device-{index}"
             if row.reuse_group is None
@@ -331,12 +401,8 @@ class PopulationBuilder:
             )
             .public_key(pair.public)
             .valid_from(not_before)
-            .valid_for_days(365 * 10)
-            .application_uri(
-                manufacturer.application_uri(index)
-                if row.reuse_group is None
-                else f"{manufacturer.uri_prefix}:image"
-            )
+            .valid_for_days(valid_days)
+            .application_uri(cert_uri)
         )
         if index in self.CA_SIGNED_INDEXES and row.reuse_group is None:
             ca_key = self._keys.key_for("study-ca", 2048)
@@ -406,5 +472,5 @@ def install_hosts(network: SimNetwork, hosts: list[BuiltHost]) -> None:
         if sim_host is None:
             sim_host = SimHost(address=built.address, asn=built.asn)
             network.add_host(sim_host)
-        sim_host.listen(built.port, built.server.new_connection)
+        sim_host.listen(built.port, built.connection_factory())
         sim_host.tags[f"row:{built.port}"] = built.row.row_id

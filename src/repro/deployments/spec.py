@@ -75,6 +75,10 @@ class SpecRow:
     # anonymous only on its secure endpoints (making a certificate
     # rejection block access despite a usable None channel).
     anon_on_secure_only: bool = False
+    # Hostile device-zoo personality (None: well-behaved).  Named rows
+    # override certificates, endpoints, or the connection factory —
+    # see :mod:`repro.deployments.personalities`.
+    personality: str | None = None
 
     def __post_init__(self):
         if self.policy_group not in POLICY_GROUPS:
@@ -83,6 +87,15 @@ class SpecRow:
             raise ValueError(f"unknown certificate class: {self.cert_class}")
         if self.count <= 0:
             raise ValueError(f"row {self.row_id} has count {self.count}")
+        if self.personality is not None:
+            # Imported lazily: the personality module builds SpecRows
+            # itself, so a module-level import would be circular.
+            from repro.deployments.personalities import PERSONALITIES
+
+            if self.personality not in PERSONALITIES:
+                raise ValueError(
+                    f"unknown personality: {self.personality}"
+                )
 
     @property
     def accessible(self) -> bool:
@@ -346,6 +359,20 @@ class PopulationSpec:
 
     def reuse_group_size(self, group: str) -> int:
         return self.count_where(lambda r: r.reuse_group == group)
+
+    def personality_counts(self) -> dict[str, int]:
+        """Hosts per hostile personality — the anomaly ground truth.
+
+        Empty for well-behaved populations (the default spec), which
+        is exactly what the ``anomalies`` analysis reports for them.
+        """
+        counts: dict[str, int] = {}
+        for row in self.rows:
+            if row.personality is not None:
+                counts[row.personality] = (
+                    counts.get(row.personality, 0) + row.count
+                )
+        return counts
 
     def negotiation_expectations(self) -> dict:
         """Aggregate negotiated-security ground truth for this spec.

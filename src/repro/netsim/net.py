@@ -13,8 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.netsim.latency import ZeroLatency
+from repro.transport.messages import TransportTimeout
 from repro.util.ipaddr import format_ipv4
 from repro.util.simtime import SimClock
+
+#: Cumulative seconds a reader waits on a stalling peer before the
+#: simulated lane raises :class:`TransportTimeout` — the per-grab
+#: deadline a slow-loris writer runs into.
+DEFAULT_STALL_TIMEOUT_S = 30.0
 
 
 class ConnectionRefused(Exception):
@@ -54,14 +60,32 @@ class SimHost:
 
 
 class SimSocket:
-    """A connected TCP-ish byte stream with RTT accounting."""
+    """A connected TCP-ish byte stream with RTT accounting.
 
-    def __init__(self, connection, clock: SimClock, latency, asn: int | None):
+    Connections normally answer synchronously inside ``write``.  A
+    connection may additionally implement ``poll() -> (seconds,
+    bytes)`` — a peer that stalls before dribbling out more bytes
+    (the slow-loris personality).  ``read`` then waits on the
+    simulated clock and enforces a cumulative stall deadline: the
+    total seconds spent polling one socket never resets, so dribbling
+    a byte per poll cannot keep a grab alive forever.
+    """
+
+    def __init__(
+        self,
+        connection,
+        clock: SimClock,
+        latency,
+        asn: int | None,
+        stall_timeout_s: float = DEFAULT_STALL_TIMEOUT_S,
+    ):
         self._connection = connection
         self._clock = clock
         self._latency = latency
         self._asn = asn
         self._inbox = bytearray()
+        self._stall_timeout_s = stall_timeout_s
+        self._stalled_s = 0.0
         self.bytes_sent = 0
         self.bytes_received = 0
         self.closed = False
@@ -78,6 +102,20 @@ class SimSocket:
             self.closed = True
 
     def read(self) -> bytes:
+        poll = getattr(self._connection, "poll", None)
+        while not self._inbox and poll is not None:
+            if self._stalled_s >= self._stall_timeout_s:
+                self.closed = True
+                raise TransportTimeout(
+                    f"peer stalled for {self._stalled_s:.0f}s"
+                )
+            waited_s, data = poll()
+            self._clock.advance(waited_s)
+            self._stalled_s += waited_s
+            self.bytes_received += len(data)
+            self._inbox.extend(data)
+            if getattr(self._connection, "closed", False):
+                break
         out = bytes(self._inbox)
         self._inbox.clear()
         return out
@@ -89,9 +127,15 @@ class SimSocket:
 class SimNetwork:
     """Registry of hosts plus the connect() entry point."""
 
-    def __init__(self, clock: SimClock | None = None, latency=None):
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        latency=None,
+        stall_timeout_s: float = DEFAULT_STALL_TIMEOUT_S,
+    ):
         self.clock = clock or SimClock()
         self.latency = latency or ZeroLatency()
+        self.stall_timeout_s = stall_timeout_s
         self._hosts: dict[int, SimHost] = {}
 
     def add_host(self, host: SimHost) -> SimHost:
@@ -132,7 +176,10 @@ class SimNetwork:
                 f"{format_ipv4(address)}:{port} refused the connection"
             )
         connection = factory()
-        return SimSocket(connection, clock, latency, host.asn)
+        return SimSocket(
+            connection, clock, latency, host.asn,
+            stall_timeout_s=self.stall_timeout_s,
+        )
 
     def task_view(self, label: str) -> "NetworkView":
         """A per-task facade with isolated clock and latency stream.

@@ -81,6 +81,14 @@ def _headline(name: str, result) -> str:
             f"hosts, {result.ipv6_deficient_fraction:.1%} deficient "
             f"(IPv4 {result.ipv4_deficient_fraction:.1%})"
         )
+    if name == "anomalies":
+        return (
+            f"{result.junk_talkers} junk talkers, "
+            f"{result.stalled_hosts} stalled, "
+            f"{result.expired_certificates} expired certs, "
+            f"{result.honeypot_suspects} honeypot suspects, "
+            f"{result.churned_applications} churned applications"
+        )
     return type(result).__name__
 
 

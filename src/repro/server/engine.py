@@ -78,10 +78,15 @@ class ServerBehavior:
       anonymous access but reject every session activation due to a
       faulty or incomplete endpoint configuration (the anonymous hosts
       counted under "Authentication" rejections in Table 2).
+    * ``fault_data_services`` models honeypot-like responders: the
+      session dance completes, but every session-bound service call
+      (Read, Browse, Write, Call, …) faults — the host advertises
+      everything and serves nothing.
     """
 
     reject_untrusted_client_certs: bool = False
     faulty_session_config: bool = False
+    fault_data_services: bool = False
 
 
 @dataclass
@@ -787,6 +792,13 @@ class ServerConnection:
                 return _fault_response(request, StatusCodes.BadSessionIdInvalid)
             if not session.activated:
                 return _fault_response(request, StatusCodes.BadSessionNotActivated)
+            if server.config.behavior.fault_data_services:
+                # Honeypot knob: sessions complete, data services never
+                # do — CloseSession is sessionless here, so the client
+                # can still part cleanly.
+                return _fault_response(
+                    request, StatusCodes.BadResourceUnavailable
+                )
         try:
             return handler(session, request, self._channel)
         except _Fault as fault:

@@ -18,12 +18,13 @@ class TransportError(Exception):
 
 
 class TransportTimeout(TransportError):
-    """An I/O deadline expired on a live connection.
+    """An I/O deadline expired.
 
-    The simulated lane never raises this (the simulator answers
-    synchronously); live sockets raise it for connect/read/write
-    deadlines so the scanner can tell a silent host from one that
-    spoke garbage.
+    Live sockets raise it for connect/read/write deadlines; the
+    simulated lane raises it when a peer stalls past the cumulative
+    stall deadline (``repro.netsim.net.DEFAULT_STALL_TIMEOUT_S``) —
+    either way the scanner can tell a silent host from one that spoke
+    garbage.
     """
 
     category = "timeout"

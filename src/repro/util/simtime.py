@@ -18,8 +18,8 @@ _FILETIME_UNIX_OFFSET = 116444736000000000
 
 
 def parse_utc(text: str) -> datetime:
-    """Parse ``YYYY-MM-DD`` or ``YYYY-MM-DDTHH:MM:SS`` as UTC."""
-    for fmt in ("%Y-%m-%dT%H:%M:%S", "%Y-%m-%d"):
+    """Parse ``YYYY-MM-DD`` or ``YYYY-MM-DDTHH:MM:SS[Z]`` as UTC."""
+    for fmt in ("%Y-%m-%dT%H:%M:%S", "%Y-%m-%dT%H:%M:%SZ", "%Y-%m-%d"):
         try:
             return datetime.strptime(text, fmt).replace(tzinfo=timezone.utc)
         except ValueError:

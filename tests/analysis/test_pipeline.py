@@ -36,6 +36,7 @@ class TestRegistry:
         assert set(ANALYSIS_NAMES) == {
             "modes", "policies", "negotiated", "certs", "reuse", "access",
             "rights", "deficits", "breakdown", "longitudinal", "ipv6",
+            "anomalies",
         }
 
     def test_report_is_canonically_ordered(self, serial_report):

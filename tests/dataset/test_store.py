@@ -84,6 +84,32 @@ class TestContentAddressing:
             config, tiny_spec(rows=4)
         )
 
+    def test_fingerprint_prunes_unset_personality(self):
+        """Well-behaved rows fingerprint without the sparse field.
+
+        Growing the spec schema with an optional field must not
+        invalidate existing stores of well-behaved studies; a set
+        personality still keys its own entry.
+        """
+        from repro.dataset.store import spec_fingerprint
+
+        spec = tiny_spec()
+        for row in spec_fingerprint(spec):
+            assert "personality" not in row
+
+        from repro.core.golden import tiny_hostile_spec
+
+        hostile = tiny_hostile_spec()
+        fingerprinted = {
+            row["personality"]
+            for row in spec_fingerprint(hostile)
+            if "personality" in row
+        }
+        assert fingerprinted == set(hostile.personality_counts())
+        assert study_key(tiny_study_config(), hostile) != study_key(
+            tiny_study_config(), spec
+        )
+
 
 class TestRoundTrip:
     def test_load_is_byte_identical(self, stored, serial_tiny_result):

@@ -35,6 +35,7 @@ DOCTEST_MODULES = (
     "repro.dataset.catalog",
     "repro.analysis.pipeline",
     "repro.analysis.diff",
+    "repro.deployments.personalities",
     "repro.reporting.pack",
     "repro.transport.socket_io",
     "repro.transport.capture",

@@ -4,9 +4,10 @@ Usage::
 
     PYTHONPATH=src python tests/golden/regenerate.py
 
-Writes both ``tiny_study.digest.json`` (the None-only population) and
+Writes ``tiny_study.digest.json`` (the None-only population),
 ``negotiated.digest.json`` (the secure-endpoint population whose
-records carry the ``negotiated_*`` session fields).
+records carry the ``negotiated_*`` session fields), and
+``anomalies.digest.json`` (the hostile device-zoo population).
 
 Only run this after an *intentional* determinism change (new record
 field, RNG re-keying, population change) and commit the refreshed
@@ -24,6 +25,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[2]
 DIGEST_PATH = Path(__file__).resolve().parent / "tiny_study.digest.json"
 NEGOTIATED_PATH = Path(__file__).resolve().parent / "negotiated.digest.json"
+ANOMALIES_PATH = Path(__file__).resolve().parent / "anomalies.digest.json"
 
 for entry in (str(REPO_ROOT / "src"),):
     if entry not in sys.path:
@@ -37,10 +39,12 @@ from repro.core.golden import (  # noqa: E402
     TINY_BATCH_SIZE,
     TINY_SECURE_ROW_IDS,
     TINY_SPEC_ROWS,
+    run_tiny_hostile_study,
     run_tiny_secure_study,
     run_tiny_study,
     study_digest,
     study_digests,
+    tiny_hostile_spec,
     tiny_secure_spec,
     tiny_spec,
 )
@@ -81,6 +85,24 @@ def main() -> int:
     NEGOTIATED_PATH.write_text(json.dumps(secure_payload, indent=2) + "\n")
     print(f"wrote {NEGOTIATED_PATH}")
     print(f"negotiated study digest: {secure_payload['digest']}")
+
+    hostile = run_tiny_hostile_study()
+    hostile_payload = {
+        "_comment": (
+            "Golden digests of the hostile device-zoo serial study "
+            "(one spec row per personality plus controls). Regenerate "
+            "with: PYTHONPATH=src python tests/golden/regenerate.py"
+        ),
+        "seed": hostile.config.seed,
+        "spec_rows": [row.row_id for row in tiny_hostile_spec().rows],
+        "servers": tiny_hostile_spec().total_servers,
+        "probe_batch_size": TINY_BATCH_SIZE,
+        "digest": study_digest(hostile),
+        "per_sweep": study_digests(hostile),
+    }
+    ANOMALIES_PATH.write_text(json.dumps(hostile_payload, indent=2) + "\n")
+    print(f"wrote {ANOMALIES_PATH}")
+    print(f"hostile study digest: {hostile_payload['digest']}")
     return 0
 
 

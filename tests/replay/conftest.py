@@ -16,6 +16,10 @@ import pytest
 from repro.transport.capture import read_corpus
 
 from tests.replay.fixture import CORPUS_PATH, DIGEST_PATH
+from tests.replay.hostile_fixture import (
+    HOSTILE_CORPUS_PATH,
+    HOSTILE_DIGEST_PATH,
+)
 
 
 @pytest.fixture(scope="session")
@@ -26,3 +30,13 @@ def committed_corpus():
 @pytest.fixture(scope="session")
 def committed_replay_digests() -> dict:
     return json.loads(DIGEST_PATH.read_text())
+
+
+@pytest.fixture(scope="session")
+def committed_hostile_corpus():
+    return read_corpus(HOSTILE_CORPUS_PATH)
+
+
+@pytest.fixture(scope="session")
+def committed_hostile_digests() -> dict:
+    return json.loads(HOSTILE_DIGEST_PATH.read_text())

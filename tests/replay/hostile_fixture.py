@@ -1,0 +1,124 @@
+"""Builders behind the committed *hostile* replay corpus.
+
+The main corpus (``corpus.jsonl.gz``) records well-behaved outcomes;
+``hostile_corpus.jsonl.gz`` records three device-zoo personalities
+over the same real-loopback lane — a junk HTTP banner, a stack that
+drops mid-handshake, and a full engine serving a long-expired
+certificate — and ``hostile.digest.json`` pins the snapshot replay
+must reproduce.  Same recipe as :mod:`tests.replay.fixture`, separate
+files: regenerating the hostile corpus never touches the original.
+"""
+
+from __future__ import annotations
+
+from repro.deployments.personalities import personality
+from repro.scanner.campaign import (
+    LiveScanCampaign,
+    LiveScanConfig,
+    ReplayScanCampaign,
+)
+from repro.scanner.limits import ScanRateLimiter
+from repro.server import TcpServerHost, UaServer
+from repro.server.engine import ServerConfig
+from repro.transport.capture import CaptureCorpus, CaptureRecorder
+from repro.util.rng import DeterministicRng
+from repro.util.simtime import parse_utc
+from repro.x509.builder import make_self_signed
+
+from tests.replay.fixture import (
+    FIXTURE_DIR,
+    LABEL,
+    LOOPBACK,
+    SEED,
+    fixture_budget,
+    fixture_identity,
+    fixture_server,
+)
+
+HOSTILE_CORPUS_PATH = FIXTURE_DIR / "hostile_corpus.jsonl.gz"
+HOSTILE_DIGEST_PATH = FIXTURE_DIR / "hostile.digest.json"
+
+#: Namespace of the hostile campaign's RNG tree (record and replay).
+HOSTILE_RNG_NAMESPACE = "replay-hostile-fixture"
+
+#: The personalities the corpus records, in target order.
+HOSTILE_PERSONALITIES = ("junk-banner", "mid-handshake-drop", "expired-cert")
+
+
+def hostile_rng() -> DeterministicRng:
+    return DeterministicRng(SEED, HOSTILE_RNG_NAMESPACE)
+
+
+def expired_cert_server(keys) -> UaServer:
+    """A fully working engine whose certificate expired in 2012."""
+    spec = personality("expired-cert")
+    certificate = make_self_signed(
+        keys,
+        common_name="legacy-plc",
+        application_uri="urn:repro:tests:legacy-plc",
+        not_before=parse_utc(spec.cert_not_before),
+        hash_name="sha1",
+        rng=DeterministicRng(SEED, "hostile-legacy-cert"),
+        valid_days=spec.cert_valid_days,
+    )
+    config = ServerConfig(
+        application_uri="urn:repro:tests:legacy-plc",
+        application_name="Legacy PLC",
+        endpoint_url="opc.tcp://127.0.0.1:4840/",
+        certificate=certificate,
+        private_key=keys.private,
+    )
+    return UaServer(config, DeterministicRng(SEED, "hostile-legacy-server"))
+
+
+def record_hostile_corpus(keys):
+    """Re-record the hostile scan over real loopback sockets.
+
+    Three targets, three pathologies: an HTTP banner on the OPC UA
+    port, an engine whose transport vanishes after Hello/Acknowledge,
+    and an engine serving an expired certificate.  Returns
+    ``(corpus, live_snapshot)`` for round-trip verification.
+    """
+    recorder = CaptureRecorder(
+        {"seed": SEED, "rng_namespace": HOSTILE_RNG_NAMESPACE}
+    )
+    campaign = LiveScanCampaign(
+        fixture_identity(keys),
+        hostile_rng(),
+        config=LiveScanConfig(workers=4, traverse=True),
+        limiter=ScanRateLimiter(
+            rate_per_s=10_000, per_host_interval_s=0.0
+        ),
+        budget=fixture_budget(),
+        recorder=recorder,
+    )
+    junk_factory = personality("junk-banner").wrap_connection(None)
+    drop_factory = personality("mid-handshake-drop").wrap_connection(
+        fixture_server(keys).new_connection
+    )
+    with TcpServerHost(junk_factory) as (_, junk_port):
+        with TcpServerHost(drop_factory) as (_, drop_port):
+            with TcpServerHost(expired_cert_server(keys)) as (_, legacy_port):
+                snapshot = campaign.run(
+                    [
+                        (LOOPBACK, junk_port),
+                        (LOOPBACK, drop_port),
+                        (LOOPBACK, legacy_port),
+                    ],
+                    label=LABEL,
+                )
+    return recorder.corpus(), snapshot
+
+
+def replay_hostile_campaign(
+    corpus: CaptureCorpus, keys, executor=None
+) -> ReplayScanCampaign:
+    """A replay campaign configured exactly like the recording."""
+    return ReplayScanCampaign(
+        corpus,
+        fixture_identity(keys),
+        hostile_rng(),
+        executor=executor,
+        budget=fixture_budget(),
+        traverse=True,
+    )

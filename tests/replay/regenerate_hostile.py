@@ -1,0 +1,92 @@
+"""Regenerate the committed *hostile* replay corpus and its digests.
+
+Usage::
+
+    PYTHONPATH=src python tests/replay/regenerate_hostile.py
+
+Separate from ``regenerate.py`` on purpose: the hostile corpus can be
+refreshed (new personality, changed wrapper bytes) without
+re-recording — and therefore without touching — the original
+well-behaved corpus.  Same safety protocol: the fresh recording must
+replay byte-identically before anything is written.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+import os  # noqa: E402
+
+os.environ.setdefault("REPRO_KEYCACHE", str(REPO_ROOT / ".keycache"))
+
+from repro.core.golden import snapshot_digest  # noqa: E402
+from repro.crypto.rsa import generate_rsa_key  # noqa: E402
+from repro.transport.capture import read_corpus, write_corpus  # noqa: E402
+from repro.util.rng import DeterministicRng  # noqa: E402
+
+from tests.replay.fixture import LABEL, SEED  # noqa: E402
+from tests.replay.hostile_fixture import (  # noqa: E402
+    HOSTILE_CORPUS_PATH,
+    HOSTILE_DIGEST_PATH,
+    HOSTILE_PERSONALITIES,
+    record_hostile_corpus,
+    replay_hostile_campaign,
+)
+
+
+def main() -> int:
+    # Same key derivation as the test session (tests/conftest.py
+    # rsa_1024), so tests rebuild this scanner without the corpus.
+    keys = generate_rsa_key(
+        1024, DeterministicRng(20200830, "tests").substream("rsa-1024")
+    )
+    corpus, live_snapshot = record_hostile_corpus(keys)
+    staged = HOSTILE_CORPUS_PATH.with_name("hostile_corpus.staged.jsonl.gz")
+    write_corpus(staged, corpus)
+    reread = read_corpus(staged)
+
+    snapshot = replay_hostile_campaign(reread, keys).run()
+    digest = snapshot_digest(snapshot)
+    live_digest = snapshot_digest(live_snapshot)
+    if digest != live_digest:
+        staged.unlink()
+        raise SystemExit(
+            "capture→replay round trip is not byte-identical "
+            f"(live {live_digest[:12]}…, replay {digest[:12]}…); "
+            "refusing to commit a corpus that does not reproduce "
+            "its own recording"
+        )
+    os.replace(staged, HOSTILE_CORPUS_PATH)
+    payload = {
+        "_comment": (
+            "Replay digest of the committed hostile loopback capture "
+            "corpus (device-zoo personalities). Regenerate with: "
+            "PYTHONPATH=src python tests/replay/regenerate_hostile.py"
+        ),
+        "seed": SEED,
+        "label": LABEL,
+        "personalities": list(HOSTILE_PERSONALITIES),
+        "targets": len(reread.targets),
+        "corpus_digest": reread.digest(),
+        "digest": digest,
+    }
+    HOSTILE_DIGEST_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"wrote {HOSTILE_CORPUS_PATH} "
+        f"({HOSTILE_CORPUS_PATH.stat().st_size} bytes)"
+    )
+    print(f"wrote {HOSTILE_DIGEST_PATH}")
+    print(f"hostile replay digest: {digest}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

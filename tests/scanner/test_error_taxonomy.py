@@ -1,0 +1,284 @@
+"""Taxonomy completeness: every legal error category is reachable.
+
+``repro.client.errors.ERROR_CATEGORIES`` names the scanner's entire
+failure vocabulary.  This suite proves the taxonomy is *exact*: each
+category is produced by a dedicated device-zoo personality (or dark
+address space, for the two connect-level ones), and a full zoo sweep
+observes nothing outside the declared set.  A new category added to
+the code without a personality that reaches it — or a personality
+whose failure is mislabeled — fails here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import ClientIdentity
+from repro.client.errors import (
+    CONNECTION_FAILURE_CATEGORIES,
+    ERROR_CATEGORIES,
+    ConnectionClosedError,
+    ServiceFaultError,
+    TransportRejectedError,
+    UaClientError,
+    categorize_error,
+)
+from repro.deployments.personalities import PERSONALITIES, personality
+from repro.netsim.net import ConnectionRefused, HostDown, SimHost, SimNetwork
+from repro.scanner.grabber import grab_host
+from repro.server import ServerBehavior
+from repro.uabin.statuscodes import StatusCode, StatusCodes
+from repro.util.ipaddr import parse_ipv4
+from repro.util.rng import DeterministicRng
+from repro.util.simtime import SimClock, parse_utc
+from repro.x509.builder import make_self_signed
+
+from tests.server.helpers import build_server
+
+#: personality name -> the zoo address its connection listens on.
+ZOO_ADDRESSES = {
+    "junk-banner": "10.1.0.1",
+    "truncated-frame": "10.1.0.2",
+    "slow-loris": "10.1.0.3",
+    "mid-handshake-drop": "10.1.0.4",
+    "hello-rejecter": "10.1.0.5",
+    "confused-stack": "10.1.0.6",
+    "honeypot": "10.1.0.7",
+}
+
+#: A host that is up but has no listener on 4840 (-> refused) ...
+CLOSED_PORT_ADDRESS = "10.1.0.50"
+#: ... and an address with no host at all (-> unreachable).
+DARK_ADDRESS = "10.1.0.51"
+
+
+@pytest.fixture(scope="module")
+def zoo_rng():
+    return DeterministicRng(42424, "taxonomy-tests")
+
+
+@pytest.fixture(scope="module")
+def scanner_identity(zoo_rng, rsa_1024):
+    certificate = make_self_signed(
+        rsa_1024,
+        common_name="research-scanner",
+        application_uri="urn:repro:scanner",
+        not_before=parse_utc("2020-01-01"),
+        hash_name="sha256",
+        rng=zoo_rng.substream("scanner-cert"),
+    )
+    return ClientIdentity(
+        application_uri="urn:repro:scanner",
+        application_name="Research Scanner (contact: research@example.org)",
+        certificate=certificate,
+        private_key=rsa_1024.private,
+    )
+
+
+@pytest.fixture(scope="module")
+def zoo_network(zoo_rng, rsa_2048):
+    """One host per transport/engine personality, plus dark space."""
+    net = SimNetwork(SimClock(parse_utc("2020-08-30")))
+    for name, ip_text in ZOO_ADDRESSES.items():
+        spec = personality(name)
+        if spec.fault_data_services:
+            server = build_server(
+                zoo_rng.substream(name),
+                rsa_2048,
+                behavior=ServerBehavior(fault_data_services=True),
+            )
+            factory = server.new_connection
+        else:
+            server = build_server(zoo_rng.substream(name), rsa_2048)
+            factory = spec.wrap_connection(server.new_connection)
+        host = SimHost(address=parse_ipv4(ip_text), asn=64500)
+        host.listen(4840, factory)
+        net.add_host(host)
+    net.add_host(
+        SimHost(address=parse_ipv4(CLOSED_PORT_ADDRESS), asn=64500)
+    )
+    return net
+
+
+def _grab(network, identity, ip_text, rng_label):
+    rng = DeterministicRng(42424, "taxonomy-tests").substream(rng_label)
+    return grab_host(network, parse_ipv4(ip_text), 4840, identity, rng)
+
+
+@pytest.fixture(scope="module")
+def zoo_records(zoo_network, scanner_identity):
+    """One grab per zoo host (keyed by personality) plus dark space."""
+    records = {
+        name: _grab(zoo_network, scanner_identity, ip_text, f"grab-{name}")
+        for name, ip_text in ZOO_ADDRESSES.items()
+    }
+    records["closed-port"] = _grab(
+        zoo_network, scanner_identity, CLOSED_PORT_ADDRESS, "grab-refused"
+    )
+    records["dark"] = _grab(
+        zoo_network, scanner_identity, DARK_ADDRESS, "grab-unreachable"
+    )
+    return records
+
+
+def _observed_categories(records) -> set[str]:
+    observed = set()
+    for record in records.values():
+        if record.error_category is not None:
+            observed.add(record.error_category)
+        session = record.session
+        if session is not None:
+            if session.error_category is not None:
+                observed.add(session.error_category)
+            if session.details_error is not None:
+                observed.add(session.details_error.split(":", 1)[0])
+    return observed
+
+
+class TestTaxonomyCompleteness:
+    def test_every_category_reachable(self, zoo_records):
+        """The zoo produces the whole declared taxonomy — no category
+        exists only on paper."""
+        assert _observed_categories(zoo_records) == set(ERROR_CATEGORIES)
+
+    def test_no_undeclared_categories(self, zoo_records):
+        """Nothing outside the declared set ever reaches a record."""
+        assert _observed_categories(zoo_records) <= set(ERROR_CATEGORIES)
+
+    def test_declared_set_is_connection_plus_service(self):
+        assert CONNECTION_FAILURE_CATEGORIES < ERROR_CATEGORIES
+        assert ERROR_CATEGORIES - CONNECTION_FAILURE_CATEGORIES == {
+            "service-fault",
+            "protocol",
+        }
+
+    def test_personality_ground_truth_declared_in_taxonomy(self):
+        """A personality cannot promise a category the taxonomy lacks."""
+        for spec in PERSONALITIES.values():
+            for expected in (
+                spec.expected_host_error_category,
+                spec.expected_session_error_category,
+                spec.expected_details_prefix,
+            ):
+                if expected is not None:
+                    assert expected in ERROR_CATEGORIES, spec.name
+
+
+class TestPersonalityCategories:
+    """Each personality lands in exactly its declared category."""
+
+    def test_junk_banner_is_protocol_outcome_without_category(
+        self, zoo_records
+    ):
+        record = zoo_records["junk-banner"]
+        assert record.tcp_open
+        assert not record.is_opcua
+        assert record.error.startswith("not OPC UA")
+        # Answering with a non-OPC-UA payload is a protocol outcome,
+        # not a connection failure — the category stays unset.
+        assert record.error_category is None
+
+    def test_truncated_frame_closed(self, zoo_records):
+        record = zoo_records["truncated-frame"]
+        assert record.tcp_open
+        assert not record.is_opcua
+        assert record.error_category == "closed"
+
+    def test_mid_handshake_drop_closed(self, zoo_records):
+        record = zoo_records["mid-handshake-drop"]
+        assert record.tcp_open
+        assert not record.is_opcua
+        assert record.error_category == "closed"
+
+    def test_slow_loris_times_out(self, zoo_records):
+        """Satellite regression: a stalled writer must hit the stall
+        deadline and be recorded as ``timeout``, not hang the sweep."""
+        record = zoo_records["slow-loris"]
+        assert record.tcp_open
+        assert not record.is_opcua
+        assert record.error_category == "timeout"
+        assert "stalled" in record.error
+
+    def test_slow_loris_clock_advance_bounded(
+        self, zoo_rng, scanner_identity, rsa_2048
+    ):
+        """The stall deadline bounds how much simulated time one
+        slow-loris host can burn."""
+        from repro.netsim.net import DEFAULT_STALL_TIMEOUT_S
+
+        net = SimNetwork(SimClock(parse_utc("2020-08-30")))
+        factory = personality("slow-loris").wrap_connection(None)
+        host = SimHost(address=parse_ipv4("10.2.0.1"), asn=64500)
+        host.listen(4840, factory)
+        net.add_host(host)
+        start = net.clock.now()
+        record = _grab(net, scanner_identity, "10.2.0.1", "loris-bound")
+        assert record.error_category == "timeout"
+        elapsed = (net.clock.now() - start).total_seconds()
+        assert elapsed <= 2 * DEFAULT_STALL_TIMEOUT_S
+
+    def test_hello_rejecter_transport_rejected(self, zoo_records):
+        record = zoo_records["hello-rejecter"]
+        assert record.tcp_open
+        assert not record.is_opcua
+        assert record.error_category == "transport-rejected"
+        assert "BadTcpServerTooBusy" in record.error
+
+    def test_confused_stack_session_protocol(self, zoo_records):
+        record = zoo_records["confused-stack"]
+        assert record.is_opcua
+        assert record.session is not None
+        assert not record.session.success
+        assert record.session.error_category == "protocol"
+
+    def test_honeypot_service_fault_details(self, zoo_records):
+        record = zoo_records["honeypot"]
+        assert record.is_opcua
+        assert record.session.success
+        assert record.session.details_error is not None
+        assert record.session.details_error.startswith("service-fault")
+        assert not record.namespaces
+
+    def test_closed_port_refused(self, zoo_records):
+        record = zoo_records["closed-port"]
+        assert not record.tcp_open
+        assert record.error_category == "refused"
+
+    def test_dark_address_unreachable(self, zoo_records):
+        record = zoo_records["dark"]
+        assert not record.tcp_open
+        assert record.error_category == "unreachable"
+
+
+class TestCategorizeError:
+    """The classifier itself never leaves the declared set."""
+
+    @pytest.mark.parametrize(
+        "exc,expected",
+        [
+            (UaClientError("boom"), "protocol"),
+            (ConnectionClosedError("gone"), "closed"),
+            (
+                TransportRejectedError(
+                    StatusCode(StatusCodes.BadTcpServerTooBusy.value), "busy"
+                ),
+                "transport-rejected",
+            ),
+            (
+                ServiceFaultError(
+                    StatusCode(StatusCodes.BadResourceUnavailable.value)
+                ),
+                "service-fault",
+            ),
+            (ConnectionRefused("no listener"), "refused"),
+            (HostDown("dark"), "unreachable"),
+            (TimeoutError("slow"), "timeout"),
+            (ConnectionRefusedError("os-level"), "refused"),
+            (OSError("network down"), "unreachable"),
+            (ValueError("garbage"), "protocol"),
+        ],
+    )
+    def test_classification(self, exc, expected):
+        category = categorize_error(exc)
+        assert category == expected
+        assert category in ERROR_CATEGORIES

@@ -1,0 +1,216 @@
+"""Fuzzing the frame layer: hostile bytes must never hang the scanner.
+
+The device-zoo personalities plant *specific* malformed streams; these
+properties plant *arbitrary* ones.  Oracle: the frame-size guards —
+a frame header may promise at most ``max_frame_size`` bytes and at
+least its own 8 — plus the reassembly invariants.  For any byte
+stream, :class:`FrameReader` either yields well-formed frames, asks
+for more bytes, or raises :class:`TransportError`; and
+``UaClient._read_frame`` terminates with a frame or a classified
+error.  No input may cause an unbounded loop, an over-read past the
+buffered bytes, or a silently mis-framed message.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.client import UaClient
+from repro.client.errors import ConnectionClosedError, UaClientError
+from repro.transport.connection import FrameReader, encode_frame
+from repro.transport.messages import (
+    HEADER_SIZE,
+    MessageType,
+    TransportError,
+)
+
+MAX_TEST_FRAME = 4096
+
+#: Well-formed frames: any type/chunk marker, bounded random body.
+valid_frames = st.builds(
+    encode_frame,
+    st.sampled_from(list(MessageType)),
+    st.sampled_from(["F", "C", "A"]),
+    st.binary(max_size=200),
+)
+
+
+def chop(data: bytes, boundaries: list[int]) -> list[bytes]:
+    """Split ``data`` at the given (arbitrary) cut points."""
+    cuts = sorted({min(b, len(data)) for b in boundaries})
+    pieces, start = [], 0
+    for cut in cuts:
+        pieces.append(data[start:cut])
+        start = cut
+    pieces.append(data[start:])
+    return pieces
+
+
+class ScriptedStream:
+    """A read/write stream that replays a fixed chunk script, then EOF."""
+
+    def __init__(self, chunks: list[bytes]):
+        self._chunks = list(chunks)
+        self.reads = 0
+
+    def write(self, data: bytes) -> None:
+        pass
+
+    def read(self) -> bytes:
+        self.reads += 1
+        if self._chunks:
+            return self._chunks.pop(0)
+        return b""
+
+
+def read_all_frames(reader: FrameReader, limit: int = 10_000):
+    """Drain a reader with a hard iteration bound (the hang oracle)."""
+    frames = []
+    for _ in range(limit):
+        frame = reader.next_frame()
+        if frame is None:
+            return frames
+        frames.append(frame)
+    raise AssertionError("FrameReader did not terminate")
+
+
+class TestFrameReaderProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.binary(max_size=400))
+    def test_arbitrary_bytes_never_hang_or_overread(self, data):
+        reader = FrameReader(max_frame_size=MAX_TEST_FRAME)
+        reader.feed(data)
+        try:
+            frames = read_all_frames(reader)
+        except TransportError:
+            return  # rejected junk is a legal outcome
+        consumed = sum(header.size for header, _ in frames)
+        # Every yielded frame is internally consistent and fully
+        # accounted for: consumed + still-buffered == fed.
+        for header, body in frames:
+            assert len(body) == header.size - HEADER_SIZE
+            assert header.size >= HEADER_SIZE
+            assert header.size <= MAX_TEST_FRAME
+        assert consumed + reader.buffered == len(data)
+        # Whatever remains is less than one complete frame.
+        if reader.buffered >= HEADER_SIZE:
+            assert reader.next_frame() is None
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        frames=st.lists(valid_frames, max_size=5),
+        boundaries=st.lists(st.integers(min_value=0, max_value=2000), max_size=8),
+    )
+    def test_segmentation_invariance(self, frames, boundaries):
+        """Reassembly must not depend on TCP segment boundaries."""
+        stream = b"".join(frames)
+        whole = FrameReader(max_frame_size=MAX_TEST_FRAME)
+        whole.feed(stream)
+        expected = read_all_frames(whole)
+
+        pieced = FrameReader(max_frame_size=MAX_TEST_FRAME)
+        got = []
+        for piece in chop(stream, boundaries):
+            pieced.feed(piece)
+            got.extend(read_all_frames(pieced))
+        assert got == expected
+        assert len(got) == len(frames)
+        assert pieced.buffered == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        size=st.integers(min_value=0, max_value=HEADER_SIZE - 1),
+        tail=st.binary(max_size=50),
+    )
+    def test_undersized_frame_rejected(self, size, tail):
+        """size < header size can never yield (it would loop forever)."""
+        reader = FrameReader(max_frame_size=MAX_TEST_FRAME)
+        reader.feed(b"MSGF" + size.to_bytes(4, "little") + tail)
+        try:
+            reader.next_frame()
+        except TransportError:
+            return
+        raise AssertionError("undersized frame accepted")
+
+    @settings(max_examples=50, deadline=None)
+    @given(size=st.integers(min_value=MAX_TEST_FRAME + 1, max_value=2**32 - 1))
+    def test_oversized_promise_rejected_before_delivery(self, size):
+        """A huge size field fails fast — no buffering toward a frame
+        the peer may never send (the slow-loris precondition)."""
+        reader = FrameReader(max_frame_size=MAX_TEST_FRAME)
+        reader.feed(b"MSGF" + size.to_bytes(4, "little"))
+        try:
+            reader.next_frame()
+        except TransportError:
+            return
+        raise AssertionError("oversized frame accepted")
+
+
+class TestReadFrameProperties:
+    def _client(self, chunks):
+        stream = ScriptedStream(chunks)
+        client = UaClient(stream, None, random.Random(0))
+        return client, stream
+
+    @settings(max_examples=100, deadline=None)
+    @given(chunks=st.lists(st.binary(max_size=120), max_size=6))
+    def test_read_frame_always_terminates(self, chunks):
+        """Whatever the peer dribbles, ``_read_frame`` returns a frame
+        or raises a classified error — within a bounded number of
+        reads (the stream EOFs after the script)."""
+        client, stream = self._client(chunks)
+        try:
+            header, body = client._read_frame()
+        except (ConnectionClosedError, TransportError, UaClientError):
+            pass
+        else:
+            assert len(body) == header.size - HEADER_SIZE
+        assert stream.reads <= len(chunks) + 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        frame=valid_frames,
+        boundaries=st.lists(st.integers(min_value=1, max_value=300), max_size=4),
+    )
+    def test_read_frame_reassembles_segmented_delivery(
+        self, frame, boundaries
+    ):
+        """A frame split across arbitrary TCP segments parses whole."""
+        pieces = [p for p in chop(frame, boundaries) if p]
+        client, _ = self._client(pieces)
+        header, body = client._read_frame()
+        assert encode_frame(header.message_type, header.chunk_type, body) == frame
+
+    @settings(max_examples=50, deadline=None)
+    @given(frame=valid_frames, cut=st.integers(min_value=1, max_value=100))
+    def test_truncated_frame_classified_closed(self, frame, cut):
+        """EOF mid-frame is ``closed`` — distinct from a silent peer."""
+        truncated = frame[: max(HEADER_SIZE, len(frame) - cut)]
+        if len(truncated) >= len(frame):
+            return  # nothing was actually cut off
+        client, _ = self._client([truncated])
+        try:
+            client._read_frame()
+        except ConnectionClosedError as exc:
+            assert "mid-frame" in str(exc)
+        else:
+            raise AssertionError("truncated frame yielded a full frame")
+
+    def test_silent_peer_classified_no_response(self):
+        client, _ = self._client([])
+        try:
+            client._read_frame()
+        except ConnectionClosedError as exc:
+            assert "no response" in str(exc)
+        else:
+            raise AssertionError("EOF yielded a frame")
+
+    def test_no_read_after_complete_frame_buffered(self):
+        """Once a full frame is buffered the client must not block on
+        another read — over-reading would hang on a quiet live peer."""
+        frame = encode_frame(MessageType.MESSAGE, "F", b"payload")
+        client, stream = self._client([frame])
+        client._read_frame()
+        assert stream.reads == 1

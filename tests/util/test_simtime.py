@@ -20,6 +20,11 @@ class TestParseFormat:
         moment = parse_utc("2020-08-30T12:30:00")
         assert moment.hour == 12
 
+    def test_parse_with_zulu_suffix(self):
+        assert parse_utc("2030-01-01T00:00:00Z") == datetime(
+            2030, 1, 1, tzinfo=timezone.utc
+        )
+
     def test_parse_rejects_garbage(self):
         with pytest.raises(ValueError):
             parse_utc("yesterday")
